@@ -1,0 +1,36 @@
+# Convenience targets for the MASC reproduction.
+
+GO ?= go
+
+.PHONY: all test race bench experiments examples lint cover
+
+all: test
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Regenerates every table/figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/scmbench -all
+	$(GO) run ./cmd/stocktrade
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/stocktrading
+	$(GO) run ./examples/supplychain
+	$(GO) run ./examples/brokervep
+	$(GO) run ./examples/processhost
+
+lint:
+	$(GO) vet ./...
+	gofmt -l . && test -z "$$(gofmt -l .)"
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/...
+	$(GO) tool cover -func=cover.out | tail -1

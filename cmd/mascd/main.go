@@ -1,0 +1,175 @@
+// Command mascd runs the MASC middleware as a real HTTP deployment:
+// the SCM services are hosted on local HTTP ports, a wsBus gateway
+// endpoint mediates them through a Retailer VEP with the Table 1
+// recovery policies, and (optionally) a policy document supplied with
+// -policies replaces the built-in one. Send SOAP POSTs at the gateway:
+//
+//	mascd -listen :8080
+//	curl -s -X POST --data '<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"><e:Body><getCatalog xmlns="urn:wsi:scm"><category>tv</category></getCatalog></e:Body></e:Envelope>' http://localhost:8080/vep/Retailer
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/masc-project/masc/internal/bus"
+	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/scm"
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/transport"
+)
+
+const defaultPolicies = `
+<PolicyDocument xmlns="urn:masc:ws-policy4masc" name="gateway-recovery">
+  <AdaptationPolicy name="retry-then-failover" subject="vep:Retailer" priority="10" kind="correction">
+    <OnEvent type="fault.detected"/>
+    <Actions>
+      <Retry maxAttempts="3" delay="2s"/>
+      <Substitute selection="bestResponseTime"/>
+    </Actions>
+  </AdaptationPolicy>
+</PolicyDocument>`
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mascd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	listen := ":8080"
+	policyPath := ""
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-listen":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-listen needs an address")
+			}
+			listen = args[i]
+		case "-policies":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-policies needs a file")
+			}
+			policyPath = args[i]
+		default:
+			return fmt.Errorf("unknown flag %q", args[i])
+		}
+	}
+
+	// Backend SCM services on an in-process network but also exposed
+	// over HTTP so external tools can hit them directly.
+	network := transport.NewNetwork()
+	deployment, err := scm.Deploy(network, nil, scm.DeployConfig{Retailers: 2})
+	if err != nil {
+		return err
+	}
+
+	policyXML := defaultPolicies
+	if policyPath != "" {
+		raw, err := os.ReadFile(policyPath)
+		if err != nil {
+			return err
+		}
+		policyXML = string(raw)
+	}
+	repo := policy.NewRepository()
+	if _, err := repo.LoadXML(policyXML); err != nil {
+		return err
+	}
+
+	gateway := bus.New(network, bus.WithPolicyRepository(repo))
+	if _, err := gateway.CreateVEP(bus.VEPConfig{
+		Name:      "Retailer",
+		Services:  deployment.RetailerAddrs,
+		Contract:  scm.RetailerContract(),
+		Selection: policy.SelectRoundRobin,
+	}); err != nil {
+		return err
+	}
+
+	mux := http.NewServeMux()
+	// Gateway endpoints: /vep/<name> mediates through the named VEP.
+	mux.Handle("/vep/", http.StripPrefix("/vep/", vepHandler(gateway)))
+	// Direct endpoints: /svc/<address suffix>, e.g. /svc/scm/retailer-a.
+	mux.Handle("/svc/", directHandler(network))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	server := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- server.Serve(ln) }()
+	fmt.Printf("mascd: SOAP gateway on %s (VEPs: %s; retailers: %s)\n",
+		ln.Addr(), strings.Join(gateway.VEPs(), ", "), strings.Join(deployment.RetailerAddrs, ", "))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case <-sigc:
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return server.Shutdown(ctx)
+	}
+}
+
+// vepHandler serves SOAP posts addressed to /vep/<name> through the
+// bus, and publishes each VEP's abstract contract on GET ?wsdl ("a VEP
+// ... exposes an abstract WSDL for accessing the configured services").
+func vepHandler(gateway *bus.Bus) http.Handler {
+	soapHandler := &transport.HTTPHandler{Service: transport.HandlerFunc(
+		func(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error) {
+			name := soap.ReadAddressing(req).To
+			if name == "" {
+				name = "vep:Retailer"
+			}
+			return gateway.Invoke(ctx, name, req)
+		})}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && r.URL.Query().Has("wsdl") {
+			vep, err := gateway.VEP(strings.Trim(r.URL.Path, "/"))
+			if err != nil || vep.Contract() == nil {
+				http.NotFound(w, r)
+				return
+			}
+			text, err := vep.Contract().Encode()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+			fmt.Fprintln(w, text)
+			return
+		}
+		soapHandler.ServeHTTP(w, r)
+	})
+}
+
+// directHandler forwards to in-process service addresses
+// (inproc://scm/retailer-a etc., named by path suffix, e.g.
+// /svc/scm/retailer-a).
+func directHandler(network *transport.Network) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		addr := "inproc://" + strings.TrimPrefix(r.URL.Path, "/svc/")
+		h := &transport.HTTPHandler{Service: transport.HandlerFunc(
+			func(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error) {
+				return network.Invoke(ctx, addr, req)
+			})}
+		h.ServeHTTP(w, r)
+	})
+}

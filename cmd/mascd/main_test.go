@@ -1,0 +1,157 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/masc-project/masc/internal/bus"
+	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/scm"
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/transport"
+	"github.com/masc-project/masc/internal/wsdl"
+)
+
+func testGateway(t *testing.T) (*bus.Bus, *transport.Network) {
+	t.Helper()
+	network := transport.NewNetwork()
+	deployment, err := scm.Deploy(network, nil, scm.DeployConfig{Retailers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := policy.NewRepository()
+	if _, err := repo.LoadXML(defaultPolicies); err != nil {
+		t.Fatal(err)
+	}
+	gateway := bus.New(network, bus.WithPolicyRepository(repo))
+	if _, err := gateway.CreateVEP(bus.VEPConfig{
+		Name:     "Retailer",
+		Services: deployment.RetailerAddrs,
+		Contract: scm.RetailerContract(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return gateway, network
+}
+
+func TestDefaultPoliciesValid(t *testing.T) {
+	doc, err := policy.ParseString(defaultPolicies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := policy.Validate(doc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVEPHandlerOverHTTP(t *testing.T) {
+	gateway, _ := testGateway(t)
+	srv := httptest.NewServer(vepHandler(gateway))
+	defer srv.Close()
+
+	inv := &transport.HTTPInvoker{}
+	req := soap.NewRequest(scm.NewGetCatalogRequest("tv", 0))
+	soap.Addressing{To: "vep:Retailer", Action: "getCatalog"}.Apply(req)
+	resp, err := inv.Invoke(context.Background(), srv.URL, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.IsFault() || len(resp.Payload.ChildrenNamed("", "Product")) == 0 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestVEPHandlerDefaultsToRetailer(t *testing.T) {
+	gateway, _ := testGateway(t)
+	srv := httptest.NewServer(vepHandler(gateway))
+	defer srv.Close()
+
+	inv := &transport.HTTPInvoker{}
+	req := soap.NewRequest(scm.NewGetCatalogRequest("", 0)) // no To header
+	resp, err := inv.Invoke(context.Background(), srv.URL, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.IsFault() {
+		t.Fatalf("fault: %v", resp.Fault)
+	}
+}
+
+func TestDirectHandlerRoutesByPath(t *testing.T) {
+	_, network := testGateway(t)
+	srv := httptest.NewServer(directHandler(network))
+	defer srv.Close()
+
+	inv := &transport.HTTPInvoker{}
+	req := soap.NewRequest(scm.NewGetCatalogRequest("audio", 0))
+	resp, err := inv.Invoke(context.Background(), srv.URL+"/svc/scm/retailer-b", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.IsFault() {
+		t.Fatalf("fault: %v", resp.Fault)
+	}
+	if got := len(resp.Payload.ChildrenNamed("", "Product")); got != 3 {
+		t.Fatalf("audio products = %d", got)
+	}
+
+	// Unknown path maps to a missing endpoint → fault response.
+	resp, err = inv.Invoke(context.Background(), srv.URL+"/svc/nope", req)
+	if err == nil && !resp.IsFault() {
+		t.Fatal("unknown service path succeeded")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := run([]string{"-listen"}); err == nil {
+		t.Fatal("dangling -listen accepted")
+	}
+	if err := run([]string{"-policies"}); err == nil {
+		t.Fatal("dangling -policies accepted")
+	}
+	if err := run([]string{"-policies", "/does/not/exist.xml"}); err == nil {
+		t.Fatal("missing policy file accepted")
+	}
+}
+
+func TestVEPHandlerPublishesWSDL(t *testing.T) {
+	gateway, _ := testGateway(t)
+	srv := httptest.NewServer(vepHandler(gateway))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/Retailer?wsdl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contract, err := wsdl.ParseContractString(string(body))
+	if err != nil {
+		t.Fatalf("published WSDL does not parse: %v\n%s", err, body)
+	}
+	if contract.Name != "Retailer" || contract.Operation("getCatalog") == nil {
+		t.Fatalf("contract = %+v", contract)
+	}
+
+	// Unknown VEP → 404.
+	resp2, err := srv.Client().Get(srv.URL + "/Ghost?wsdl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 404 {
+		t.Fatalf("ghost status = %d", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,68 @@
+// Command policylint parses and validates WS-Policy4MASC documents:
+//
+//	policylint policies/*.xml
+//
+// For each file it reports parse errors, consistency violations (the
+// checks the paper claims over RobustBPEL: layer coverage, action
+// ordering, trigger/kind coherence), and on success a summary of the
+// policies the document defines. Exit status is non-zero if any file
+// fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/masc-project/masc/internal/policy"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: policylint <file.xml>...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	failed := 0
+	for _, path := range flag.Args() {
+		if err := lint(path); err != nil {
+			fmt.Fprintf(os.Stderr, "policylint: %s: %v\n", path, err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func lint(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	doc, err := policy.Parse(f)
+	if err != nil {
+		return err
+	}
+	if err := policy.Validate(doc); err != nil {
+		return err
+	}
+	fmt.Printf("%s: document %q OK — %d monitoring, %d adaptation\n",
+		path, doc.Name, len(doc.Monitoring), len(doc.Adaptation))
+	for _, mp := range doc.Monitoring {
+		fmt.Printf("  monitoring %-28s subject=%q operation=%q pre=%d post=%d thresholds=%d\n",
+			mp.Name, mp.Subject, mp.Operation,
+			len(mp.PreConditions), len(mp.PostConditions), len(mp.Thresholds))
+	}
+	for _, ap := range doc.Adaptation {
+		fmt.Printf("  adaptation %-28s subject=%q kind=%s layer=%s priority=%d trigger=%s actions=%d\n",
+			ap.Name, ap.Subject, ap.Kind, ap.Layer, ap.Priority, ap.Trigger.EventType, len(ap.Actions))
+	}
+	return nil
+}

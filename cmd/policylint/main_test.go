@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLintValidDocument(t *testing.T) {
+	path := write(t, "ok.xml", `
+<PolicyDocument xmlns="urn:masc:ws-policy4masc" name="ok">
+  <MonitoringPolicy name="m" subject="vep:S">
+    <PreCondition name="p">//x != ''</PreCondition>
+  </MonitoringPolicy>
+  <AdaptationPolicy name="a" subject="vep:S" priority="1">
+    <OnEvent type="fault.detected"/>
+    <Actions><Retry maxAttempts="1"/></Actions>
+  </AdaptationPolicy>
+</PolicyDocument>`)
+	if err := lint(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLintParseError(t *testing.T) {
+	path := write(t, "bad.xml", "not xml")
+	if err := lint(path); err == nil {
+		t.Fatal("parse error not reported")
+	}
+}
+
+func TestLintConsistencyError(t *testing.T) {
+	path := write(t, "inconsistent.xml", `
+<PolicyDocument xmlns="urn:masc:ws-policy4masc" name="bad">
+  <AdaptationPolicy name="a" priority="1">
+    <OnEvent type="fault.detected"/>
+    <Actions><Skip/><Retry maxAttempts="1"/></Actions>
+  </AdaptationPolicy>
+</PolicyDocument>`)
+	if err := lint(path); err == nil {
+		t.Fatal("consistency violation not reported")
+	}
+}
+
+func TestLintMissingFile(t *testing.T) {
+	if err := lint(filepath.Join(t.TempDir(), "ghost.xml")); err == nil {
+		t.Fatal("missing file not reported")
+	}
+}
+
+func TestLintShippedPolicies(t *testing.T) {
+	// The sample document in policies/ must stay valid.
+	if err := lint("../../policies/scm-recovery.xml"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+// Command stocktrade drives the paper's §2.2 customization experiments
+// end to end: it deploys the Fig. 2 stock-trading services, loads the
+// WS-Policy4MASC customization policies, runs the base national
+// process for several investor orders, and narrates which activities
+// MASC added or removed per instance — all without ever editing the
+// process definition.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/masc-project/masc/internal/core"
+	"github.com/masc-project/masc/internal/event"
+	"github.com/masc-project/masc/internal/stocktrade"
+	"github.com/masc-project/masc/internal/transport"
+	"github.com/masc-project/masc/internal/workflow"
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+// customizationPolicies are the §2.2 experiments: add CurrencyConversion
+// for international trades, PESTAnalysis by country, CreditRating over
+// an amount/profile constraint, and remove MarketCompliance below a
+// threshold.
+const customizationPolicies = `
+<PolicyDocument xmlns="urn:masc:ws-policy4masc" name="international-trading">
+  <AdaptationPolicy name="add-currency-conversion" subject="TradingProcess" kind="customization" layer="process" priority="8">
+    <OnEvent type="process.started"/>
+    <Condition>//order/placeOrder/Market != 'domestic'</Condition>
+    <StateAfter>international</StateAfter>
+    <Actions>
+      <AddActivity anchor="Analyze" position="after">
+        <Activity><invoke name="CurrencyConversion" endpoint="inproc://trade/currency-1" operation="convert" input="order"/></Activity>
+      </AddActivity>
+    </Actions>
+    <BusinessValue amount="12.5" currency="AUD" reason="international trade fee"/>
+  </AdaptationPolicy>
+  <AdaptationPolicy name="add-pest-analysis" subject="TradingProcess" kind="customization" layer="process" priority="7">
+    <OnEvent type="process.started"/>
+    <Condition>//order/placeOrder/Market != 'domestic' and //order/placeOrder/Country != ''</Condition>
+    <Actions>
+      <AddActivity anchor="Analyze" position="after">
+        <Activity><invoke name="PESTAnalysis" endpoint="inproc://trade/pest-1" operation="assess" input="order"/></Activity>
+      </AddActivity>
+    </Actions>
+  </AdaptationPolicy>
+  <AdaptationPolicy name="add-credit-rating" subject="TradingProcess" kind="customization" layer="process" priority="6">
+    <OnEvent type="process.started"/>
+    <Condition>number(//order/placeOrder/Amount) > 10000 or //order/placeOrder/Profile = 'corporate'</Condition>
+    <Actions>
+      <AddActivity anchor="ExecuteTrade" position="before">
+        <Activity><invoke name="CreditRating" endpoint="inproc://trade/credit-1" operation="rate" input="order"/></Activity>
+      </AddActivity>
+    </Actions>
+  </AdaptationPolicy>
+  <AdaptationPolicy name="drop-compliance-small-trades" subject="TradingProcess" kind="customization" layer="process" priority="5">
+    <OnEvent type="process.started"/>
+    <Condition>number(//order/placeOrder/Amount) &lt; 1000</Condition>
+    <Actions>
+      <RemoveActivity activity="MarketCompliance"/>
+    </Actions>
+  </AdaptationPolicy>
+</PolicyDocument>`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stocktrade:", err)
+		os.Exit(1)
+	}
+}
+
+type order struct {
+	label   string
+	market  string
+	country string
+	profile string
+	amount  float64
+}
+
+func run() error {
+	net := transport.NewNetwork()
+	if _, err := stocktrade.Deploy(net, nil, 2); err != nil {
+		return err
+	}
+	stack := core.NewStack(net)
+	defer stack.Close()
+	if err := stack.LoadPolicies(customizationPolicies); err != nil {
+		return err
+	}
+	def, err := workflow.ParseDefinitionString(stocktrade.BaseProcessXML)
+	if err != nil {
+		return err
+	}
+	stack.Engine.Deploy(def)
+
+	// Track which activities each instance runs.
+	activities := map[string][]string{}
+	stack.Events.Subscribe(event.TypeActivityCompleted, func(ev event.Event) {
+		if ev.Detail == "invoke" || strings.HasPrefix(ev.Operation, "main") {
+			activities[ev.ProcessInstanceID] = append(activities[ev.ProcessInstanceID], ev.Operation)
+		}
+	})
+
+	orders := []order{
+		{"small domestic personal trade", "domestic", "Australia", "personal", 500},
+		{"large domestic corporate trade", "domestic", "Australia", "corporate", 50000},
+		{"small international trade (Japan)", "international", "Japan", "personal", 800},
+		{"large international corporate trade (Japan)", "international", "Japan", "corporate", 120000},
+	}
+	for _, o := range orders {
+		payload, err := xmltree.ParseString(stocktrade.NewOrderPayload(o.market, o.country, o.profile, o.amount, "buy"))
+		if err != nil {
+			return err
+		}
+		inst, err := stack.Engine.Start("TradingProcess", map[string]*xmltree.Element{"order": payload})
+		if err != nil {
+			return err
+		}
+		state, err := inst.Wait(10 * time.Second)
+		fmt.Printf("\n=== %s (instance %s) ===\n", o.label, inst.ID())
+		fmt.Printf("  final state: %s", state)
+		if err != nil {
+			fmt.Printf(" (%v)", err)
+		}
+		fmt.Println()
+		fmt.Printf("  adaptation state: %q\n", inst.AdaptationState())
+		fmt.Printf("  activities executed: %s\n", strings.Join(activities[inst.ID()], " → "))
+	}
+
+	fmt.Println("\n=== business value booked by adaptations ===")
+	for _, e := range stack.Ledger.Entries() {
+		fmt.Printf("  %-30s %+.2f %s (%s) instance=%s\n",
+			e.PolicyName, e.Amount, e.Currency, e.Reason, e.ProcessInstanceID)
+	}
+	fmt.Printf("  total AUD: %+.2f\n", stack.Ledger.Total("AUD"))
+	return nil
+}

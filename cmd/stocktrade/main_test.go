@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/masc-project/masc/internal/policy"
+)
+
+func TestCustomizationPoliciesAreValid(t *testing.T) {
+	doc, err := policy.ParseString(customizationPolicies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := policy.Validate(doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Adaptation) != 4 {
+		t.Fatalf("policies = %d", len(doc.Adaptation))
+	}
+}
+
+func TestRunScenarioMatrix(t *testing.T) {
+	// The driver must complete every scenario without error.
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

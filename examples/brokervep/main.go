@@ -1,0 +1,133 @@
+// Brokervep demonstrates the VEP's selection strategies (§3.1(4)): a
+// "Web search" virtual service grouping three engines with different
+// latencies, driven in round-robin, best-response-time, and
+// broadcast-first-response modes, plus a message-adaptation pipeline
+// that normalizes the engines' differing response schemas.
+//
+//	go run ./examples/brokervep
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/masc-project/masc/internal/bus"
+	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/transport"
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+func engine(name string, delay time.Duration, resultElement string) transport.Handler {
+	return transport.HandlerFunc(func(_ context.Context, req *soap.Envelope) (*soap.Envelope, error) {
+		time.Sleep(delay)
+		resp := xmltree.New("urn:search", "searchResponse")
+		resp.Append(xmltree.NewText("urn:search", resultElement, name+" result for "+req.Payload.ChildText("", "query")))
+		resp.Append(xmltree.NewText("urn:search", "engine", name))
+		return soap.NewRequest(resp), nil
+	})
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	network := transport.NewNetwork()
+	// The engines disagree on their result element name — the Message
+	// Adaptation Service will normalize them (§3.1(6)).
+	network.Register("inproc://google", engine("google", 2*time.Millisecond, "hit"))
+	network.Register("inproc://yahoo", engine("yahoo", 6*time.Millisecond, "match"))
+	network.Register("inproc://msn", engine("msn", 15*time.Millisecond, "item"))
+	services := []string{"inproc://google", "inproc://yahoo", "inproc://msn"}
+
+	search := func(gateway transport.Invoker, target string) (*soap.Envelope, time.Duration, error) {
+		q := xmltree.New("urn:search", "search")
+		q.Append(xmltree.NewText("urn:search", "query", "adaptive middleware"))
+		env := soap.NewRequest(q)
+		soap.Addressing{To: target, Action: "search"}.Apply(env)
+		start := time.Now()
+		resp, err := gateway.Invoke(context.Background(), target, env)
+		return resp, time.Since(start), err
+	}
+
+	fmt.Println("round-robin selection rotates engines:")
+	rr := bus.New(network)
+	if _, err := rr.CreateVEP(bus.VEPConfig{
+		Name: "Search", Services: services, Selection: policy.SelectRoundRobin,
+	}); err != nil {
+		return err
+	}
+	vep, err := rr.VEP("Search")
+	if err != nil {
+		return err
+	}
+	// Normalize every engine's schema to <result>.
+	vep.Pipeline().Append(&bus.AdaptationModule{
+		Name: "normalize-results",
+		ResponseTransforms: []bus.Transform{
+			bus.RenameElements(map[string]string{"hit": "result", "match": "result", "item": "result"}),
+		},
+	})
+	for i := 0; i < 3; i++ {
+		resp, rtt, err := search(rr, "vep:Search")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  engine=%s rtt=%v result=%q\n",
+			resp.Payload.ChildText("", "engine"), rtt.Round(time.Millisecond),
+			resp.Payload.ChildText("", "result"))
+	}
+
+	fmt.Println("\nbest-response-time selection converges on the fastest engine:")
+	best := bus.New(network)
+	if _, err := best.CreateVEP(bus.VEPConfig{
+		Name: "Search", Services: services, Selection: policy.SelectBestResponseTime,
+	}); err != nil {
+		return err
+	}
+	for i := 0; i < 5; i++ {
+		resp, rtt, err := search(best, "vep:Search")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  pick %d: engine=%s rtt=%v\n", i+1,
+			resp.Payload.ChildText("", "engine"), rtt.Round(time.Millisecond))
+	}
+
+	fmt.Println("\nbroadcast: all engines invoked concurrently, first response wins")
+	fmt.Println("(configured as a corrective policy on a VEP whose primary always fails):")
+	network.Register("inproc://deadengine", transport.HandlerFunc(
+		func(context.Context, *soap.Envelope) (*soap.Envelope, error) {
+			return nil, &transport.UnavailableError{Endpoint: "inproc://deadengine", Reason: "retired"}
+		}))
+	repo := policy.NewRepository()
+	if _, err := repo.LoadXML(`
+<PolicyDocument xmlns="urn:masc:ws-policy4masc" name="broadcast">
+  <AdaptationPolicy name="race-all" subject="vep:Search" priority="5">
+    <OnEvent type="fault.detected"/>
+    <Actions><ConcurrentInvoke/></Actions>
+  </AdaptationPolicy>
+</PolicyDocument>`); err != nil {
+		return err
+	}
+	bcast := bus.New(network, bus.WithPolicyRepository(repo))
+	if _, err := bcast.CreateVEP(bus.VEPConfig{
+		Name:      "Search",
+		Services:  append([]string{"inproc://deadengine"}, services...),
+		Selection: policy.SelectFirst,
+	}); err != nil {
+		return err
+	}
+	resp, rtt, err := search(bcast, "vep:Search")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  winner=%s rtt=%v (fastest healthy engine)\n",
+		resp.Payload.ChildText("", "engine"), rtt.Round(time.Millisecond))
+	return nil
+}

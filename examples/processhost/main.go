@@ -1,0 +1,81 @@
+// Processhost exposes the Fig. 2 Trading Process itself as a SOAP
+// service over real HTTP: an investor's placeOrder request starts a
+// process instance, the composition runs (verify → analyze → decide →
+// compliance → trade with parallel settlement), and the trade
+// confirmation comes back as the SOAP response — the process IS the
+// service.
+//
+//	go run ./examples/processhost
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"github.com/masc-project/masc/internal/core"
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/stocktrade"
+	"github.com/masc-project/masc/internal/transport"
+	"github.com/masc-project/masc/internal/workflow"
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Backend services on the in-process network, middleware on top.
+	network := transport.NewNetwork()
+	if _, err := stocktrade.Deploy(network, nil, 1); err != nil {
+		return err
+	}
+	stack := core.NewStack(network)
+	defer stack.Close()
+	def, err := workflow.ParseDefinitionString(stocktrade.BaseProcessXML)
+	if err != nil {
+		return err
+	}
+	stack.Engine.Deploy(def)
+
+	// The composition, hosted as a SOAP service over HTTP.
+	host := &workflow.ProcessHost{
+		Engine:     stack.Engine,
+		Definition: "TradingProcess",
+		InputVar:   "order",
+		OutputVar:  "trade",
+	}
+	server := httptest.NewServer(&transport.HTTPHandler{Service: host})
+	defer server.Close()
+	fmt.Println("Trading Process hosted at", server.URL)
+
+	// An investor places two orders over plain HTTP SOAP.
+	investor := &transport.HTTPInvoker{}
+	for _, amount := range []float64{2500, 90000} {
+		payload, err := xmltree.ParseString(
+			stocktrade.NewOrderPayload("domestic", "Australia", "personal", amount, "buy"))
+		if err != nil {
+			return err
+		}
+		req := soap.NewRequest(payload)
+		soap.Addressing{Action: "placeOrder"}.Apply(req)
+
+		resp, err := investor.Invoke(context.Background(), server.URL, req)
+		if err != nil {
+			return err
+		}
+		if resp.IsFault() {
+			return resp.Fault
+		}
+		fmt.Printf("order %.0f AUD -> %s (%s), served by instance %s\n",
+			amount,
+			resp.Payload.ChildText("", "tradeID"),
+			resp.Payload.ChildText("", "status"),
+			soap.ProcessInstanceID(resp))
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+// Quickstart: put a flaky service behind a wsBus Virtual End Point and
+// let a declarative WS-Policy4MASC document make it reliable.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	"github.com/masc-project/masc/internal/bus"
+	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/transport"
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+const recoveryPolicies = `
+<PolicyDocument xmlns="urn:masc:ws-policy4masc" name="quickstart">
+  <AdaptationPolicy name="retry-then-failover" subject="vep:Greeter" priority="10">
+    <OnEvent type="fault.detected"/>
+    <Actions>
+      <Retry maxAttempts="2" delay="10ms"/>
+      <Substitute selection="first"/>
+    </Actions>
+  </AdaptationPolicy>
+</PolicyDocument>`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A network with one unreliable service and one stable backup.
+	network := transport.NewNetwork()
+	var calls atomic.Int64
+	network.Register("inproc://flaky", transport.HandlerFunc(
+		func(_ context.Context, req *soap.Envelope) (*soap.Envelope, error) {
+			if calls.Add(1)%2 == 1 { // every odd call fails
+				return nil, &transport.UnavailableError{Endpoint: "inproc://flaky", Reason: "crashed"}
+			}
+			return reply("hello from flaky"), nil
+		}))
+	network.Register("inproc://stable", transport.HandlerFunc(
+		func(context.Context, *soap.Envelope) (*soap.Envelope, error) {
+			return reply("hello from stable"), nil
+		}))
+
+	// A bus with one VEP grouping both services, plus the policies.
+	repo := policy.NewRepository()
+	if _, err := repo.LoadXML(recoveryPolicies); err != nil {
+		return err
+	}
+	gateway := bus.New(network, bus.WithPolicyRepository(repo))
+	if _, err := gateway.CreateVEP(bus.VEPConfig{
+		Name:     "Greeter",
+		Services: []string{"inproc://flaky", "inproc://stable"},
+	}); err != nil {
+		return err
+	}
+
+	// Every request succeeds even though the primary fails half the
+	// time: the policy retries it and fails over to the backup.
+	for i := 0; i < 6; i++ {
+		req := soap.NewRequest(xmltree.New("urn:demo", "greet"))
+		resp, err := gateway.Invoke(context.Background(), "vep:Greeter", req)
+		if err != nil {
+			return fmt.Errorf("request %d failed despite recovery policy: %w", i, err)
+		}
+		fmt.Printf("request %d -> %s\n", i, resp.Payload.Text)
+	}
+	fmt.Printf("flaky service was attempted %d times in total\n", calls.Load())
+	return nil
+}
+
+func reply(text string) *soap.Envelope {
+	return soap.NewRequest(xmltree.NewText("urn:demo", "greetResponse", text))
+}

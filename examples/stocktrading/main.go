@@ -1,0 +1,150 @@
+// Stocktrading demonstrates the paper's §2 contribution: policy-driven
+// customization of a composition *instance* — statically (at instance
+// creation) and dynamically (on a running, suspended instance) —
+// without editing the process definition or any service.
+//
+//	go run ./examples/stocktrading
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"github.com/masc-project/masc/internal/bus"
+	"github.com/masc-project/masc/internal/core"
+	"github.com/masc-project/masc/internal/event"
+	"github.com/masc-project/masc/internal/stocktrade"
+	"github.com/masc-project/masc/internal/transport"
+	"github.com/masc-project/masc/internal/workflow"
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+// Static customization policy: international orders gain a
+// CurrencyConversion step, selected dynamically from the directory.
+const staticPolicy = `
+<PolicyDocument xmlns="urn:masc:ws-policy4masc" name="static-customization">
+  <AdaptationPolicy name="add-currency-conversion" subject="TradingProcess" kind="customization" layer="process" priority="8">
+    <OnEvent type="process.started"/>
+    <Condition>//order/placeOrder/Market = 'international'</Condition>
+    <StateAfter>international</StateAfter>
+    <Actions>
+      <AddActivity anchor="Analyze" position="after" variationRef="currency-conversion">
+        <Bind from="order" to="ccInput"/>
+      </AddActivity>
+    </Actions>
+  </AdaptationPolicy>
+</PolicyDocument>`
+
+// Dynamic customization policy: when monitoring sees the fund manager
+// approve a large amount mid-run, a CreditRating step is inserted into
+// the *running* instance before the trade executes.
+const dynamicPolicy = `
+<PolicyDocument xmlns="urn:masc:ws-policy4masc" name="dynamic-customization">
+  <AdaptationPolicy name="credit-check-large-approvals" subject="TradingProcess" kind="customization" layer="process" priority="9">
+    <OnEvent type="message.intercepted"/>
+    <Condition>number(//verifyOrderResponse/approvedAmount) > 50000</Condition>
+    <StateBefore></StateBefore>
+    <StateAfter>credit-checked</StateAfter>
+    <Actions>
+      <AddActivity anchor="ExecuteTrade" position="before">
+        <Activity><invoke name="CreditRating" endpoint="inproc://trade/credit-1" operation="rate" input="order"/></Activity>
+      </AddActivity>
+    </Actions>
+  </AdaptationPolicy>
+</PolicyDocument>`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	network := transport.NewNetwork()
+	if _, err := stocktrade.Deploy(network, nil, 1); err != nil {
+		return err
+	}
+	stack := core.NewStack(network)
+	defer stack.Close()
+
+	// Variation processes live in their own documents and are only
+	// referenced from policies (§2).
+	err := stack.Adaptation.RegisterVariationXML("currency-conversion",
+		`<invoke name="CurrencyConversion" endpoint="inproc://trade/currency-1" operation="convert" input="ccInput"/>`)
+	if err != nil {
+		return err
+	}
+	for _, doc := range []string{staticPolicy, dynamicPolicy} {
+		if err := stack.LoadPolicies(doc); err != nil {
+			return err
+		}
+	}
+
+	def, err := workflow.ParseDefinitionString(stocktrade.BaseProcessXML)
+	if err != nil {
+		return err
+	}
+	stack.Engine.Deploy(def)
+
+	// Route the fund-manager through a VEP so the monitoring service
+	// intercepts its messages (the dynamic-customization sensor).
+	if _, err := stack.Bus.CreateVEP(vepFor("FundManager", stocktrade.FundManagerAddr)); err != nil {
+		return err
+	}
+	if err := stack.Bus.Proxy(stocktrade.FundManagerAddr, "FundManager"); err != nil {
+		return err
+	}
+
+	trace := traceActivities(stack.Events)
+
+	fmt.Println("=== static customization: international order gains CurrencyConversion ===")
+	if err := trade(stack, trace, "international", 2_000); err != nil {
+		return err
+	}
+	fmt.Println("\n=== no customization: domestic order runs the base process ===")
+	if err := trade(stack, trace, "domestic", 2_000); err != nil {
+		return err
+	}
+	fmt.Println("\n=== dynamic customization: large approval inserts CreditRating mid-run ===")
+	if err := trade(stack, trace, "domestic", 90_000); err != nil {
+		return err
+	}
+	return nil
+}
+
+func trade(stack *core.Stack, trace map[string][]string, market string, amount float64) error {
+	payload, err := xmltree.ParseString(stocktrade.NewOrderPayload(market, "Japan", "personal", amount, "buy"))
+	if err != nil {
+		return err
+	}
+	inst, err := stack.Engine.Start("TradingProcess", map[string]*xmltree.Element{"order": payload})
+	if err != nil {
+		return err
+	}
+	state, err := inst.Wait(10 * time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instance %s finished %s; adaptation state %q\n", inst.ID(), state, inst.AdaptationState())
+	fmt.Printf("  invokes: %s\n", strings.Join(trace[inst.ID()], " → "))
+	return nil
+}
+
+func traceActivities(events *event.Bus) map[string][]string {
+	trace := make(map[string][]string)
+	events.Subscribe(event.TypeActivityCompleted, func(ev event.Event) {
+		if ev.Detail == "invoke" {
+			trace[ev.ProcessInstanceID] = append(trace[ev.ProcessInstanceID], ev.Operation)
+		}
+	})
+	return trace
+}
+
+func vepFor(name, addr string) busVEPConfig {
+	return busVEPConfig{Name: name, Services: []string{addr}}
+}
+
+// busVEPConfig aliases the bus configuration type for readability.
+type busVEPConfig = bus.VEPConfig

@@ -1,0 +1,3 @@
+module github.com/masc-project/masc
+
+go 1.22

@@ -1,0 +1,182 @@
+package bus
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+// Conversation is one tracked multi-message exchange — the VEP's
+// "conversation management" middleware service (§3.1). Messages are
+// correlated by the MASC conversation header, falling back to the
+// process-instance correlation ID.
+type Conversation struct {
+	// ID correlates the conversation's messages.
+	ID string
+	// Started is when the first message was observed.
+	Started time.Time
+	// LastActivity is when the most recent message was observed.
+	LastActivity time.Time
+	// Requests and Responses count observed messages per direction.
+	Requests  int
+	Responses int
+	// Operations lists the distinct operations seen, sorted.
+	Operations []string
+	// Faulted reports whether any response in the conversation carried
+	// a fault.
+	Faulted bool
+}
+
+// ConversationHeader is the MASC header local name carrying an
+// explicit conversation ID.
+const ConversationHeader = "ConversationID"
+
+// SetConversationID stamps an explicit conversation ID onto a message.
+func SetConversationID(env *soap.Envelope, id string) {
+	env.SetHeader(xmltree.NewText(soap.NamespaceMASC, ConversationHeader, id))
+}
+
+// ConversationIDOf extracts the conversation ID: the explicit header
+// if present, else the process-instance correlation.
+func ConversationIDOf(env *soap.Envelope) string {
+	if h := env.Header(soap.NamespaceMASC, ConversationHeader); h != nil {
+		return h.Text
+	}
+	return soap.ProcessInstanceID(env)
+}
+
+// ConversationManager tracks conversations flowing through a pipeline.
+// It implements Module; attach it to a VEP's pipeline. Conversations
+// idle past the timeout are dropped by Expire (call it periodically or
+// before reads). ConversationManager is safe for concurrent use.
+type ConversationManager struct {
+	now     func() time.Time
+	timeout time.Duration
+
+	mu            sync.Mutex
+	conversations map[string]*Conversation
+}
+
+var _ Module = (*ConversationManager)(nil)
+
+// NewConversationManager builds a manager; idle conversations expire
+// after timeout (0 means never).
+func NewConversationManager(now func() time.Time, timeout time.Duration) *ConversationManager {
+	return &ConversationManager{
+		now:           now,
+		timeout:       timeout,
+		conversations: make(map[string]*Conversation),
+	}
+}
+
+// ModuleName implements Module.
+func (*ConversationManager) ModuleName() string { return "ConversationManager" }
+
+// ProcessRequest implements Module.
+func (m *ConversationManager) ProcessRequest(mc *MessageContext) error {
+	m.observe(mc, mc.Request, true)
+	return nil
+}
+
+// ProcessResponse implements Module.
+func (m *ConversationManager) ProcessResponse(mc *MessageContext) error {
+	m.observe(mc, mc.Response, false)
+	return nil
+}
+
+func (m *ConversationManager) observe(mc *MessageContext, env *soap.Envelope, request bool) {
+	if env == nil {
+		return
+	}
+	id := ConversationIDOf(env)
+	if id == "" {
+		return
+	}
+	now := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.conversations[id]
+	if c == nil {
+		c = &Conversation{ID: id, Started: now}
+		m.conversations[id] = c
+	}
+	c.LastActivity = now
+	if request {
+		c.Requests++
+	} else {
+		c.Responses++
+		if env.IsFault() {
+			c.Faulted = true
+		}
+	}
+	if mc.Operation != "" {
+		i := sort.SearchStrings(c.Operations, mc.Operation)
+		if i == len(c.Operations) || c.Operations[i] != mc.Operation {
+			c.Operations = append(c.Operations, "")
+			copy(c.Operations[i+1:], c.Operations[i:])
+			c.Operations[i] = mc.Operation
+		}
+	}
+}
+
+// Get returns a copy of the conversation, if tracked.
+func (m *ConversationManager) Get(id string) (Conversation, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.conversations[id]
+	if !ok {
+		return Conversation{}, false
+	}
+	return copyConversation(c), true
+}
+
+// Active returns all tracked conversations sorted by ID.
+func (m *ConversationManager) Active() []Conversation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Conversation, 0, len(m.conversations))
+	for _, c := range m.conversations {
+		out = append(out, copyConversation(c))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Expire drops conversations idle past the timeout and returns how
+// many were removed.
+func (m *ConversationManager) Expire() int {
+	if m.timeout <= 0 {
+		return 0
+	}
+	cutoff := m.now().Add(-m.timeout)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	removed := 0
+	for id, c := range m.conversations {
+		if c.LastActivity.Before(cutoff) {
+			delete(m.conversations, id)
+			removed++
+		}
+	}
+	return removed
+}
+
+// End explicitly removes a finished conversation.
+func (m *ConversationManager) End(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.conversations[id]; !ok {
+		return false
+	}
+	delete(m.conversations, id)
+	return true
+}
+
+func copyConversation(c *Conversation) Conversation {
+	cp := *c
+	cp.Operations = append([]string(nil), c.Operations...)
+	return cp
+}

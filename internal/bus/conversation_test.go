@@ -1,0 +1,154 @@
+package bus
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+func convReq(op, convID string) *MessageContext {
+	env := soap.NewRequest(xmltree.New("urn:t", op))
+	if convID != "" {
+		SetConversationID(env, convID)
+	}
+	return &MessageContext{Operation: op, Request: env, Meta: map[string]string{}}
+}
+
+func TestConversationTracking(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	m := NewConversationManager(clock, time.Minute)
+
+	mc := convReq("getQuote", "conv-1")
+	if err := m.ProcessRequest(mc); err != nil {
+		t.Fatal(err)
+	}
+	mc.Response = soap.NewRequest(xmltree.New("urn:t", "getQuoteResponse"))
+	SetConversationID(mc.Response, "conv-1")
+	if err := m.ProcessResponse(mc); err != nil {
+		t.Fatal(err)
+	}
+	mc2 := convReq("placeOrder", "conv-1")
+	m.ProcessRequest(mc2) //nolint:errcheck
+
+	c, ok := m.Get("conv-1")
+	if !ok {
+		t.Fatal("conversation not tracked")
+	}
+	if c.Requests != 2 || c.Responses != 1 {
+		t.Fatalf("counts = %d/%d", c.Requests, c.Responses)
+	}
+	if len(c.Operations) != 2 || c.Operations[0] != "getQuote" || c.Operations[1] != "placeOrder" {
+		t.Fatalf("operations = %v", c.Operations)
+	}
+	if c.Faulted {
+		t.Fatal("healthy conversation marked faulted")
+	}
+}
+
+func TestConversationFaultFlag(t *testing.T) {
+	m := NewConversationManager(time.Now, 0)
+	mc := convReq("op", "conv-f")
+	m.ProcessRequest(mc) //nolint:errcheck
+	mc.Response = soap.NewFaultEnvelope(soap.FaultServer, "boom")
+	SetConversationID(mc.Response, "conv-f")
+	m.ProcessResponse(mc) //nolint:errcheck
+	c, _ := m.Get("conv-f")
+	if !c.Faulted {
+		t.Fatal("fault not flagged")
+	}
+}
+
+func TestConversationFallsBackToInstanceID(t *testing.T) {
+	m := NewConversationManager(time.Now, 0)
+	env := soap.NewRequest(xmltree.New("urn:t", "op"))
+	soap.SetProcessInstanceID(env, "proc-9")
+	m.ProcessRequest(&MessageContext{Operation: "op", Request: env}) //nolint:errcheck
+	if _, ok := m.Get("proc-9"); !ok {
+		t.Fatal("instance-correlated conversation not tracked")
+	}
+}
+
+func TestConversationUncorrelatedIgnored(t *testing.T) {
+	m := NewConversationManager(time.Now, 0)
+	m.ProcessRequest(convReq("op", "")) //nolint:errcheck
+	if got := len(m.Active()); got != 0 {
+		t.Fatalf("active = %d", got)
+	}
+}
+
+func TestConversationExpiry(t *testing.T) {
+	now := time.Now()
+	m := NewConversationManager(func() time.Time { return now }, time.Minute)
+	m.ProcessRequest(convReq("op", "old")) //nolint:errcheck
+	now = now.Add(2 * time.Minute)
+	m.ProcessRequest(convReq("op", "fresh")) //nolint:errcheck
+
+	if removed := m.Expire(); removed != 1 {
+		t.Fatalf("expired = %d", removed)
+	}
+	if _, ok := m.Get("old"); ok {
+		t.Fatal("stale conversation survived")
+	}
+	if _, ok := m.Get("fresh"); !ok {
+		t.Fatal("fresh conversation expired")
+	}
+
+	// Timeout 0: never expires.
+	m0 := NewConversationManager(func() time.Time { return now }, 0)
+	m0.ProcessRequest(convReq("op", "c")) //nolint:errcheck
+	if m0.Expire() != 0 {
+		t.Fatal("zero-timeout manager expired a conversation")
+	}
+}
+
+func TestConversationEnd(t *testing.T) {
+	m := NewConversationManager(time.Now, 0)
+	m.ProcessRequest(convReq("op", "c1")) //nolint:errcheck
+	if !m.End("c1") {
+		t.Fatal("End returned false")
+	}
+	if m.End("c1") {
+		t.Fatal("double End returned true")
+	}
+}
+
+func TestConversationActiveSortedAndCopied(t *testing.T) {
+	m := NewConversationManager(time.Now, 0)
+	m.ProcessRequest(convReq("op", "b")) //nolint:errcheck
+	m.ProcessRequest(convReq("op", "a")) //nolint:errcheck
+	active := m.Active()
+	if len(active) != 2 || active[0].ID != "a" || active[1].ID != "b" {
+		t.Fatalf("active = %+v", active)
+	}
+	active[0].Operations = append(active[0].Operations, "mutated")
+	again, _ := m.Get("a")
+	for _, op := range again.Operations {
+		if op == "mutated" {
+			t.Fatal("Active exposed internal state")
+		}
+	}
+}
+
+func TestConversationThroughVEPPipeline(t *testing.T) {
+	svc := &scriptedService{}
+	_, v, _ := testBus(t, "", map[string]*scriptedService{"inproc://a": svc}, VEPConfig{})
+	cm := NewConversationManager(time.Now, time.Minute)
+	v.Pipeline().Append(cm)
+
+	for i := 0; i < 3; i++ {
+		if _, err := v.Invoke(context.Background(), "", catalogReq(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, ok := cm.Get("proc-1") // catalogReq correlates to proc-1
+	if !ok {
+		t.Fatal("pipeline conversation not tracked")
+	}
+	if c.Requests != 3 || c.Responses != 3 {
+		t.Fatalf("counts = %d/%d", c.Requests, c.Responses)
+	}
+}

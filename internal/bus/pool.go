@@ -1,0 +1,121 @@
+package bus
+
+import (
+	"context"
+	"sync"
+
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/transport"
+)
+
+// Listener fronts the bus (or any invoker) with a request-dispatch
+// model. The paper attributes part of the Java wsBus's latency to its
+// listener: "when a message arrives at the Listener component, a
+// thread is created to serve the request, and this does not scale well
+// with high number of requests. This will be avoided in our new .NET
+// reimplementation" (§3.2). Listener implements both models so the
+// ablation bench can compare them:
+//
+//   - Workers > 0: a fixed worker pool serves requests from a queue
+//     (the planned .NET design, and this implementation's default);
+//   - Workers == 0: a fresh goroutine is spawned per request with a
+//     handoff through the same queue (the Java thread-per-request
+//     model).
+//
+// Close shuts the pool down and waits for workers to exit.
+type Listener struct {
+	inner transport.Invoker
+	tasks chan task
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  bool
+	spawned bool // per-request goroutine mode
+}
+
+type task struct {
+	ctx  context.Context
+	addr string
+	req  *soap.Envelope
+	out  chan<- taskResult
+}
+
+type taskResult struct {
+	resp *soap.Envelope
+	err  error
+}
+
+// NewListener builds a listener over inner with the given worker count
+// (0 selects goroutine-per-request mode).
+func NewListener(inner transport.Invoker, workers int) *Listener {
+	l := &Listener{
+		inner: inner,
+		tasks: make(chan task),
+	}
+	if workers <= 0 {
+		l.spawned = true
+		l.wg.Add(1)
+		go l.spawner()
+		return l
+	}
+	l.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go l.worker()
+	}
+	return l
+}
+
+func (l *Listener) worker() {
+	defer l.wg.Done()
+	for t := range l.tasks {
+		resp, err := l.inner.Invoke(t.ctx, t.addr, t.req)
+		t.out <- taskResult{resp: resp, err: err}
+	}
+}
+
+// spawner models thread-per-request: each arriving task gets a freshly
+// created goroutine (plus the handoff cost through the queue).
+func (l *Listener) spawner() {
+	defer l.wg.Done()
+	var inflight sync.WaitGroup
+	for t := range l.tasks {
+		inflight.Add(1)
+		go func(t task) {
+			defer inflight.Done()
+			resp, err := l.inner.Invoke(t.ctx, t.addr, t.req)
+			t.out <- taskResult{resp: resp, err: err}
+		}(t)
+	}
+	inflight.Wait()
+}
+
+var _ transport.Invoker = (*Listener)(nil)
+
+// Invoke implements transport.Invoker by dispatching through the
+// listener's serving model.
+func (l *Listener) Invoke(ctx context.Context, addr string, req *soap.Envelope) (*soap.Envelope, error) {
+	out := make(chan taskResult, 1)
+	select {
+	case l.tasks <- task{ctx: ctx, addr: addr, req: req, out: out}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case r := <-out:
+		return r.resp, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops accepting requests and waits for workers to finish
+// their current tasks.
+func (l *Listener) Close() {
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		close(l.tasks)
+	}
+	l.mu.Unlock()
+	l.wg.Wait()
+}

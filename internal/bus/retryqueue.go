@@ -1,0 +1,232 @@
+package bus
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/masc-project/masc/internal/clock"
+	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/transport"
+)
+
+// DeadLetter is a message whose redelivery was abandoned: "messages
+// for which processing repeatedly fails are placed in a 'dead letter'
+// queue after exhausting the maximum number of allowed retries and no
+// further delivery will be attempted" (§3.1).
+type DeadLetter struct {
+	Endpoint string
+	Envelope *soap.Envelope
+	Attempts int
+	LastErr  string
+	Time     time.Time
+}
+
+// DeadLetterQueue retains dead letters for inspection. It is safe for
+// concurrent use.
+type DeadLetterQueue struct {
+	mu      sync.Mutex
+	letters []DeadLetter
+}
+
+// Add appends a dead letter.
+func (q *DeadLetterQueue) Add(d DeadLetter) {
+	q.mu.Lock()
+	q.letters = append(q.letters, d)
+	q.mu.Unlock()
+}
+
+// Letters returns a copy of the queue contents.
+func (q *DeadLetterQueue) Letters() []DeadLetter {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]DeadLetter, len(q.letters))
+	copy(out, q.letters)
+	return out
+}
+
+// Len returns the number of dead letters.
+func (q *DeadLetterQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.letters)
+}
+
+// queuedMessage is one message awaiting (re)delivery.
+type queuedMessage struct {
+	endpoint string
+	envelope *soap.Envelope
+	attempts int
+	due      time.Time
+	lastErr  string
+	done     chan error // closed with final outcome; may be nil
+}
+
+// RetryQueue is the Invocation Retry Handler for one-way messages:
+// "the Invocation Retry Handler places the messages that fail to be
+// delivered in a retry queue and the queue reader tries redelivery
+// using the pattern specified by the used recovery policy" (§3.1).
+// Delivery order among due messages is FIFO. RetryQueue owns a reader
+// goroutine; Stop shuts it down and waits for exit.
+type RetryQueue struct {
+	clk      clock.Clock
+	invoker  transport.Invoker
+	retry    policy.RetryAction
+	dlq      *DeadLetterQueue
+	pollTick time.Duration
+
+	mu      sync.Mutex
+	pending []*queuedMessage
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// RetryQueueConfig configures NewRetryQueue.
+type RetryQueueConfig struct {
+	// Clock is the time source (defaults to the real clock).
+	Clock clock.Clock
+	// Invoker performs deliveries.
+	Invoker transport.Invoker
+	// Policy is the redelivery pattern; MaxAttempts counts retries
+	// after the first delivery attempt.
+	Policy policy.RetryAction
+	// DLQ receives abandoned messages (one is created if nil).
+	DLQ *DeadLetterQueue
+	// PollInterval is the queue reader's wakeup period (defaults to
+	// 10ms; with a fake clock, advance in multiples of it).
+	PollInterval time.Duration
+}
+
+// NewRetryQueue builds and starts a retry queue.
+func NewRetryQueue(cfg RetryQueueConfig) *RetryQueue {
+	q := &RetryQueue{
+		clk:      cfg.Clock,
+		invoker:  cfg.Invoker,
+		retry:    cfg.Policy,
+		dlq:      cfg.DLQ,
+		pollTick: cfg.PollInterval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if q.clk == nil {
+		q.clk = clock.New()
+	}
+	if q.dlq == nil {
+		q.dlq = &DeadLetterQueue{}
+	}
+	if q.pollTick <= 0 {
+		q.pollTick = 10 * time.Millisecond
+	}
+	go q.reader()
+	return q
+}
+
+// DLQ returns the dead-letter queue.
+func (q *RetryQueue) DLQ() *DeadLetterQueue { return q.dlq }
+
+// Pending reports how many messages await (re)delivery.
+func (q *RetryQueue) Pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
+// Enqueue schedules a message for delivery. The returned channel
+// receives the final outcome (nil on delivered, the last error on
+// dead-lettering) and is closed afterwards.
+func (q *RetryQueue) Enqueue(endpoint string, env *soap.Envelope) <-chan error {
+	done := make(chan error, 1)
+	m := &queuedMessage{
+		endpoint: endpoint,
+		envelope: env.Clone(),
+		due:      q.clk.Now(),
+		done:     done,
+	}
+	q.mu.Lock()
+	q.pending = append(q.pending, m)
+	q.mu.Unlock()
+	return done
+}
+
+// Stop shuts down the queue reader and waits for it to exit. Pending
+// messages stay queued (not dead-lettered).
+func (q *RetryQueue) Stop() {
+	select {
+	case <-q.stop:
+	default:
+		close(q.stop)
+	}
+	<-q.done
+}
+
+func (q *RetryQueue) reader() {
+	defer close(q.done)
+	for {
+		select {
+		case <-q.stop:
+			return
+		case <-q.clk.After(q.pollTick):
+		}
+		q.drainDue()
+	}
+}
+
+func (q *RetryQueue) drainDue() {
+	now := q.clk.Now()
+	q.mu.Lock()
+	var due []*queuedMessage
+	kept := q.pending[:0]
+	for _, m := range q.pending {
+		if !m.due.After(now) {
+			due = append(due, m)
+		} else {
+			kept = append(kept, m)
+		}
+	}
+	q.pending = kept
+	q.mu.Unlock()
+
+	for _, m := range due {
+		q.deliver(m)
+	}
+}
+
+func (q *RetryQueue) deliver(m *queuedMessage) {
+	resp, err := q.invoker.Invoke(context.Background(), m.endpoint, m.envelope)
+	if err == nil && resp != nil && resp.IsFault() {
+		err = resp.Fault
+	}
+	if err == nil {
+		m.done <- nil
+		close(m.done)
+		return
+	}
+
+	m.attempts++
+	m.lastErr = err.Error()
+	if m.attempts > q.retry.MaxAttempts {
+		q.dlq.Add(DeadLetter{
+			Endpoint: m.endpoint,
+			Envelope: m.envelope,
+			Attempts: m.attempts,
+			LastErr:  m.lastErr,
+			Time:     q.clk.Now(),
+		})
+		m.done <- err
+		close(m.done)
+		return
+	}
+
+	delay := q.retry.Delay
+	if q.retry.Backoff == policy.BackoffExponential {
+		for i := 1; i < m.attempts; i++ {
+			delay *= 2
+		}
+	}
+	m.due = q.clk.Now().Add(delay)
+	q.mu.Lock()
+	q.pending = append(q.pending, m)
+	q.mu.Unlock()
+}

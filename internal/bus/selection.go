@@ -1,0 +1,137 @@
+// Package bus implements wsBus, the paper's SOAP-messaging-layer
+// middleware (§3.1): Virtual End Points (VEPs) that group functionally
+// equivalent services behind one abstract endpoint, a message
+// processing pipeline of inspectors and processing modules, policy-
+// driven corrective adaptation (retries, substitution, concurrent
+// invocation, skipping), QoS measurement, a retry queue with
+// dead-letter handling for one-way messages, and gateway/transparent-
+// proxy deployment modes.
+package bus
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+
+	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/qos"
+)
+
+// selector orders candidate service addresses by preference for one
+// invocation. Implementations must be safe for concurrent use.
+type selector interface {
+	// order returns the candidates in preference order (most preferred
+	// first). The returned slice is freshly allocated.
+	order(candidates []string) []string
+}
+
+// newSelector builds the strategy for a selection kind ("a VEP can be
+// configured to choose between registered services in round-robin
+// fashion, or to select the best performing service...", §3.1(4)).
+func newSelector(kind policy.SelectionKind, tracker *qos.Tracker, minSamples int, seed int64) selector {
+	switch kind {
+	case policy.SelectRoundRobin:
+		return &roundRobinSelector{}
+	case policy.SelectBestResponseTime:
+		return &bestQoSSelector{tracker: tracker, minSamples: minSamples}
+	case policy.SelectRandom:
+		return &randomSelector{rng: rand.New(rand.NewSource(seed))}
+	default:
+		return firstSelector{}
+	}
+}
+
+// firstSelector preserves registration order.
+type firstSelector struct{}
+
+func (firstSelector) order(candidates []string) []string {
+	out := make([]string, len(candidates))
+	copy(out, candidates)
+	return out
+}
+
+// roundRobinSelector rotates the starting point on every call.
+type roundRobinSelector struct {
+	mu   sync.Mutex
+	next int
+}
+
+func (r *roundRobinSelector) order(candidates []string) []string {
+	n := len(candidates)
+	out := make([]string, 0, n)
+	if n == 0 {
+		return out
+	}
+	r.mu.Lock()
+	start := r.next % n
+	r.next++
+	r.mu.Unlock()
+	for i := 0; i < n; i++ {
+		out = append(out, candidates[(start+i)%n])
+	}
+	return out
+}
+
+// bestQoSSelector prefers the lowest measured mean response time.
+// Targets without enough samples come first (in registration order) so
+// they get explored and measured before the selector settles on the
+// best performer.
+type bestQoSSelector struct {
+	tracker    *qos.Tracker
+	minSamples int
+}
+
+func (b *bestQoSSelector) order(candidates []string) []string {
+	type scored struct {
+		addr  string
+		known bool
+		mean  int64
+		idx   int
+	}
+	scores := make([]scored, 0, len(candidates))
+	for i, addr := range candidates {
+		s := scored{addr: addr, idx: i}
+		if b.tracker != nil {
+			snap := b.tracker.Snapshot(addr)
+			if snap.Invocations-snap.Failures >= b.minSamples && snap.MeanResponse > 0 {
+				s.known = true
+				s.mean = int64(snap.MeanResponse)
+			}
+		}
+		scores = append(scores, s)
+	}
+	sort.SliceStable(scores, func(i, j int) bool {
+		si, sj := scores[i], scores[j]
+		switch {
+		case si.known != sj.known:
+			return !si.known // explore unmeasured targets first
+		case si.known:
+			if si.mean != sj.mean {
+				return si.mean < sj.mean
+			}
+			return si.idx < sj.idx
+		default:
+			return si.idx < sj.idx
+		}
+	})
+	out := make([]string, 0, len(scores))
+	for _, s := range scores {
+		out = append(out, s.addr)
+	}
+	return out
+}
+
+// randomSelector shuffles candidates with a seeded RNG.
+type randomSelector struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (r *randomSelector) order(candidates []string) []string {
+	out := make([]string, len(candidates))
+	copy(out, candidates)
+	r.mu.Lock()
+	r.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	r.mu.Unlock()
+	return out
+}

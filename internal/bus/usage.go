@@ -1,0 +1,62 @@
+package bus
+
+import (
+	"sort"
+)
+
+// UsageRecord summarizes metered traffic for one key — the "meter
+// usage for subsequent billing to users" purpose of the Message Logger
+// (§3.1(5)).
+type UsageRecord struct {
+	// Key is the metering dimension value (an instance ID, operation,
+	// or VEP name).
+	Key string
+	// Messages is the number of metered messages.
+	Messages int
+	// Bytes is the total serialized message volume.
+	Bytes int
+	// Faults counts fault messages.
+	Faults int
+}
+
+// UsageBy aggregates a message logger's retained entries along a
+// dimension: "instance", "operation", or "vep". Results are sorted by
+// descending byte volume (ties by key).
+func UsageBy(logger *MessageLogger, dimension string) []UsageRecord {
+	byKey := make(map[string]*UsageRecord)
+	for _, e := range logger.Entries() {
+		var key string
+		switch dimension {
+		case "instance":
+			key = e.InstanceID
+		case "operation":
+			key = e.Operation
+		default:
+			key = e.VEP
+		}
+		if key == "" {
+			key = "(unattributed)"
+		}
+		r := byKey[key]
+		if r == nil {
+			r = &UsageRecord{Key: key}
+			byKey[key] = r
+		}
+		r.Messages++
+		r.Bytes += e.Size
+		if e.Fault {
+			r.Faults++
+		}
+	}
+	out := make([]UsageRecord, 0, len(byKey))
+	for _, r := range byKey {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

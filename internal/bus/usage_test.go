@@ -1,0 +1,129 @@
+package bus
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+func TestUsageMetering(t *testing.T) {
+	svc := &scriptedService{}
+	_, v, _ := testBus(t, "", map[string]*scriptedService{"inproc://a": svc}, VEPConfig{})
+	logger := NewMessageLogger(time.Now, 0)
+	v.Pipeline().Append(logger)
+
+	// Two instances, different request counts.
+	for i := 0; i < 3; i++ {
+		if _, err := v.Invoke(context.Background(), "", catalogReq(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, _ := xmltree.ParseString(`<getCatalog xmlns="urn:scm"><category>tv</category></getCatalog>`)
+	other := soap.NewRequest(p)
+	soap.SetProcessInstanceID(other, "proc-2")
+	if _, err := v.Invoke(context.Background(), "", other); err != nil {
+		t.Fatal(err)
+	}
+
+	byInstance := UsageBy(logger, "instance")
+	if len(byInstance) != 2 {
+		t.Fatalf("instances = %+v", byInstance)
+	}
+	if byInstance[0].Key != "proc-1" || byInstance[0].Messages != 6 { // 3×(req+resp)
+		t.Fatalf("top consumer = %+v", byInstance[0])
+	}
+	if byInstance[1].Key != "proc-2" || byInstance[1].Messages != 2 {
+		t.Fatalf("second = %+v", byInstance[1])
+	}
+	if byInstance[0].Bytes <= byInstance[1].Bytes {
+		t.Fatal("byte ordering wrong")
+	}
+
+	byOp := UsageBy(logger, "operation")
+	if len(byOp) != 1 || byOp[0].Key != "getCatalog" || byOp[0].Messages != 8 {
+		t.Fatalf("by operation = %+v", byOp)
+	}
+	byVEP := UsageBy(logger, "vep")
+	if len(byVEP) != 1 || byVEP[0].Key != "Retailer" {
+		t.Fatalf("by vep = %+v", byVEP)
+	}
+}
+
+func TestUsageCountsFaults(t *testing.T) {
+	svc := &scriptedService{failFor: 1000, errMode: "fault"}
+	_, v, _ := testBus(t, "", map[string]*scriptedService{"inproc://a": svc}, VEPConfig{})
+	logger := NewMessageLogger(time.Now, 0)
+	v.Pipeline().Append(logger)
+
+	// With no recovery policy, the unhandled fault envelope passes back
+	// through the response pipeline and is metered as a fault message.
+	resp, err := v.Invoke(context.Background(), "", catalogReq(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.IsFault() {
+		t.Fatal("expected fault response")
+	}
+	records := UsageBy(logger, "instance")
+	if len(records) != 1 || records[0].Messages != 2 {
+		t.Fatalf("records = %+v", records)
+	}
+	if records[0].Faults != 1 {
+		t.Fatalf("faults = %d", records[0].Faults)
+	}
+}
+
+func TestOptimizationPolicySwitchesSelection(t *testing.T) {
+	slow := &scriptedService{delay: 40 * time.Millisecond}
+	fast := &scriptedService{}
+	xml := `
+<PolicyDocument xmlns="urn:masc:ws-policy4masc" name="opt">
+  <MonitoringPolicy name="sla" subject="vep:Retailer">
+    <QoSThreshold metric="responseTime" maxResponse="10ms" minSamples="1"/>
+  </MonitoringPolicy>
+  <AdaptationPolicy name="optimize-routing" subject="vep:Retailer" priority="5" kind="optimization">
+    <OnEvent type="sla.violation"/>
+    <Actions><Substitute selection="bestResponseTime"/></Actions>
+  </AdaptationPolicy>
+</PolicyDocument>`
+	_, v, rec := testBus(t, xml, map[string]*scriptedService{
+		"inproc://a": slow, "inproc://b": fast,
+	}, VEPConfig{Selection: policy.SelectRoundRobin})
+
+	// Warm both targets so the best-QoS selector has data, breaching
+	// the SLA on the slow one.
+	for i := 0; i < 2; i++ {
+		if _, err := v.Invoke(context.Background(), "", catalogReq(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if vs := v.CheckQoSAndPrevent(time.Minute); len(vs) == 0 {
+		t.Fatal("SLA violation not detected")
+	}
+
+	// The optimizing policy switched the VEP from round-robin to
+	// best-response-time: all subsequent traffic goes to the fast target.
+	slowBefore := slow.count()
+	for i := 0; i < 4; i++ {
+		if _, err := v.Invoke(context.Background(), "", catalogReq(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if slow.count() != slowBefore {
+		t.Fatalf("slow target still selected after optimization (%d calls)", slow.count()-slowBefore)
+	}
+	adapts := rec.OfType("adaptation.completed")
+	found := false
+	for _, ev := range adapts {
+		if ev.PolicyName == "optimize-routing" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("optimization adaptation not reported: %+v", adapts)
+	}
+}

@@ -1,0 +1,572 @@
+package bus
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/masc-project/masc/internal/event"
+	"github.com/masc-project/masc/internal/monitor"
+	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/transport"
+	"github.com/masc-project/masc/internal/wsdl"
+	"github.com/masc-project/masc/internal/xmltree"
+	"github.com/masc-project/masc/internal/xpath"
+)
+
+// SubjectPrefix prefixes VEP names to form policy-attachment subjects
+// (e.g. VEP "Retailer" has subject "vep:Retailer").
+const SubjectPrefix = "vep:"
+
+// VEPConfig configures CreateVEP.
+type VEPConfig struct {
+	// Name identifies the VEP; its address is "vep:"+Name.
+	Name string
+	// Services are the initial registered equivalent services.
+	Services []string
+	// Contract is the abstract WSDL the VEP exposes ("exposes an
+	// abstract WSDL for accessing the configured services").
+	Contract *wsdl.Contract
+	// Selection is the default selection strategy (round-robin if
+	// empty).
+	Selection policy.SelectionKind
+	// InvokeTimeout bounds each downstream attempt (default 10s).
+	InvokeTimeout time.Duration
+	// MinQoSSamples is the observation count a target needs before
+	// best-QoS selection trusts its metrics (default 1).
+	MinQoSSamples int
+	// DemotionPeriod is how long a target stays avoided after a
+	// preventive SLA-violation adaptation demotes it (default 30s).
+	DemotionPeriod time.Duration
+}
+
+// VEP is a Virtual End Point: "a VEP allows virtualization by grouping
+// a set of functionally equivalent services and exposes an abstract
+// WSDL for accessing the configured services ... The VEP acts as a
+// recovery block and various runtime policies can be associated with
+// it" (§3.1). It performs dynamic Find/Select/Bind/Invoke on behalf of
+// the orchestration engine and enforces corrective adaptation policies.
+type VEP struct {
+	name          string
+	bus           *Bus
+	contract      *wsdl.Contract
+	sel           selector
+	invokeTimeout time.Duration
+	pipeline      Pipeline
+
+	mu       sync.RWMutex
+	services []string
+	demoted  map[string]time.Time // target -> avoid until
+}
+
+var _ transport.Invoker = (*VEP)(nil)
+
+// Name returns the VEP name.
+func (v *VEP) Name() string { return v.name }
+
+// Subject returns the policy-attachment subject ("vep:Name").
+func (v *VEP) Subject() string { return SubjectPrefix + v.name }
+
+// Address returns the invokable bus address of this VEP.
+func (v *VEP) Address() string { return SubjectPrefix + v.name }
+
+// Contract returns the VEP's abstract contract (may be nil).
+func (v *VEP) Contract() *wsdl.Contract { return v.contract }
+
+// Pipeline returns the VEP's message processing pipeline for module
+// configuration.
+func (v *VEP) Pipeline() *Pipeline { return &v.pipeline }
+
+// RegisterService adds an equivalent service to the group.
+func (v *VEP) RegisterService(addr string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, s := range v.services {
+		if s == addr {
+			return
+		}
+	}
+	v.services = append(v.services, addr)
+}
+
+// DeregisterService removes a service and reports whether it existed.
+func (v *VEP) DeregisterService(addr string) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for i, s := range v.services {
+		if s == addr {
+			v.services = append(v.services[:i], v.services[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Services returns the registered services in registration order.
+func (v *VEP) Services() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]string, len(v.services))
+	copy(out, v.services)
+	return out
+}
+
+// activeServices filters out currently demoted targets unless that
+// would leave none.
+func (v *VEP) activeServices() []string {
+	now := v.bus.clk.Now()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var active []string
+	for _, s := range v.services {
+		if until, bad := v.demoted[s]; bad && now.Before(until) {
+			continue
+		}
+		active = append(active, s)
+	}
+	if len(active) == 0 {
+		active = make([]string, len(v.services))
+		copy(active, v.services)
+	}
+	return active
+}
+
+// Demote preventively avoids a target for the demotion period — the
+// enactment of a preventive/optimizing SLA-violation policy.
+func (v *VEP) Demote(target string, period time.Duration) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.demoted[target] = v.bus.clk.Now().Add(period)
+}
+
+// SetSelection replaces the VEP's default selection strategy at
+// runtime — the enactment of an optimizing adaptation (switching to
+// best-QoS routing when SLAs degrade).
+func (v *VEP) SetSelection(kind policy.SelectionKind, minSamples int) {
+	if minSamples <= 0 {
+		minSamples = 1
+	}
+	sel := newSelector(kind, v.bus.tracker, minSamples, v.bus.seed)
+	v.mu.Lock()
+	v.sel = sel
+	v.mu.Unlock()
+}
+
+// operationOf derives the operation name from a request message.
+func (v *VEP) operationOf(env *soap.Envelope) string {
+	if v.contract != nil {
+		if op, _, err := v.contract.OperationForMessage(env); err == nil {
+			return op.Name
+		}
+	}
+	if a := soap.ReadAddressing(env); a.Action != "" {
+		return a.Action
+	}
+	return env.PayloadName().Local
+}
+
+// Invoke implements transport.Invoker: the endpoint argument is
+// ignored (the VEP itself selects the concrete target).
+func (v *VEP) Invoke(ctx context.Context, _ string, req *soap.Envelope) (*soap.Envelope, error) {
+	op := v.operationOf(req)
+	mc := &MessageContext{VEP: v.name, Operation: op, Request: req, Meta: map[string]string{}}
+	if err := v.pipeline.RunRequest(mc); err != nil {
+		return nil, err
+	}
+	req = mc.Request
+
+	mon := v.bus.monitor
+	if mon != nil {
+		mon.ObserveMessage(v.Subject(), op, req, wsdl.Request)
+		if viol := mon.CheckRequest(v.Subject(), op, req, v.contract); viol != nil {
+			return nil, viol
+		}
+	}
+
+	order := v.order()
+	if len(order) == 0 {
+		return nil, fmt.Errorf("%w: VEP %s has no registered services", transport.ErrEndpointNotFound, v.name)
+	}
+	target := order[0]
+	resp, err := v.attempt(ctx, target, req, op)
+
+	adapted := false
+	if !healthy(resp, err) {
+		faultType := v.reportFault(op, target, req, resp, err)
+		resp, target, err = v.correct(ctx, req, op, target, faultType, resp, err)
+		adapted = true
+	}
+
+	if healthy(resp, err) && mon != nil && resp != nil {
+		// Propagate the request's instance correlation to the response
+		// so monitoring events on responses reach the right instance.
+		if soap.ProcessInstanceID(resp) == "" {
+			if id := soap.ProcessInstanceID(req); id != "" {
+				soap.SetProcessInstanceID(resp, id)
+			}
+		}
+		mon.ObserveMessage(v.Subject(), op, resp, wsdl.Response)
+		if viol := mon.CheckResponse(v.Subject(), op, resp, v.contract); viol != nil {
+			if adapted {
+				return nil, viol
+			}
+			resp, target, err = v.correct(ctx, req, op, target, viol.FaultType, nil, viol)
+			if err != nil {
+				return resp, err
+			}
+			if resp != nil {
+				if viol2 := mon.CheckResponse(v.Subject(), op, resp, v.contract); viol2 != nil {
+					return nil, viol2
+				}
+			}
+		}
+	}
+	if err != nil {
+		return resp, err
+	}
+
+	mc.Response = resp
+	mc.Target = target
+	if err := v.pipeline.RunResponse(mc); err != nil {
+		return nil, err
+	}
+	return mc.Response, nil
+}
+
+func healthy(resp *soap.Envelope, err error) bool {
+	return err == nil && (resp == nil || !resp.IsFault())
+}
+
+// order returns the preference-ordered active targets.
+func (v *VEP) order() []string {
+	v.mu.RLock()
+	sel := v.sel
+	v.mu.RUnlock()
+	return sel.order(v.activeServices())
+}
+
+// attempt performs one measured downstream invocation.
+func (v *VEP) attempt(ctx context.Context, target string, req *soap.Envelope, op string) (*soap.Envelope, error) {
+	actx := ctx
+	var cancel context.CancelFunc
+	if v.invokeTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, v.invokeTimeout)
+		defer cancel()
+	}
+	clk := v.bus.clk
+	start := clk.Now()
+	resp, err := v.bus.downstream.Invoke(actx, target, req)
+	dur := clk.Since(start)
+	if v.bus.tracker != nil {
+		v.bus.tracker.Record(target, dur, healthy(resp, err))
+	}
+	return resp, err
+}
+
+func (v *VEP) reportFault(op, target string, req, resp *soap.Envelope, err error) string {
+	if v.bus.monitor != nil {
+		msg := req
+		if resp != nil && resp.IsFault() {
+			msg = resp
+			// Keep correlation: fault responses may lack headers.
+			if soap.ProcessInstanceID(msg) == "" {
+				if id := soap.ProcessInstanceID(req); id != "" {
+					soap.SetProcessInstanceID(msg, id)
+				}
+			}
+		}
+		return v.bus.monitor.ReportInvocationFault(v.Subject(), op, target, msg, err)
+	}
+	if ft := monitor.ClassifyError(err); ft != "" {
+		return ft
+	}
+	return monitor.ClassifyResponse(resp)
+}
+
+// correct runs the Adaptation Manager decision loop (§3.1(3)): find
+// the adaptation policies triggered by the classified fault (ordered
+// by priority), check their conditions and pre-states, and execute
+// their actions at the appropriate layer until one policy resolves the
+// fault. Returns the recovered response (with the serving target) or
+// the original failure.
+func (v *VEP) correct(ctx context.Context, req *soap.Envelope, op, failedTarget, faultType string,
+	origResp *soap.Envelope, origErr error) (*soap.Envelope, string, error) {
+
+	ev := event.Event{
+		Type:      event.TypeFaultDetected,
+		FaultType: faultType,
+		Operation: op,
+	}
+	repo := v.bus.policySource()
+	instanceID := soap.ProcessInstanceID(req)
+
+	for _, pol := range repo.AdaptationFor(ev, v.Subject()) {
+		ok, err := v.policyApplies(pol, req, op, failedTarget, faultType, instanceID)
+		if err != nil || !ok {
+			continue
+		}
+		resp, target, handled := v.executePolicy(ctx, pol, req, op, failedTarget, instanceID)
+		if !handled {
+			continue
+		}
+		if pol.StateAfter != "" && v.bus.procAdapter != nil && instanceID != "" {
+			v.bus.procAdapter.SetAdaptationState(instanceID, pol.StateAfter)
+		}
+		v.publishAdaptation(pol, op, faultType, instanceID)
+		return resp, target, nil
+	}
+	return origResp, failedTarget, origErr
+}
+
+func (v *VEP) policyApplies(pol *policy.AdaptationPolicy, req *soap.Envelope, op, target, faultType, instanceID string) (bool, error) {
+	if pol.StateBefore != "" {
+		if v.bus.procAdapter == nil || instanceID == "" {
+			return false, nil
+		}
+		state, ok := v.bus.procAdapter.AdaptationState(instanceID)
+		if !ok || state != pol.StateBefore {
+			return false, nil
+		}
+	}
+	if pol.Condition == nil {
+		return true, nil
+	}
+	env := xpath.Context{Vars: map[string]xpath.Value{
+		"faultType":  xpath.String(faultType),
+		"target":     xpath.String(target),
+		"operation":  xpath.String(op),
+		"instanceID": xpath.String(instanceID),
+	}}
+	return pol.Condition.EvalBool(req.ToXML(), env)
+}
+
+// executePolicy runs a policy's actions in order. It reports whether
+// the policy produced a successful outcome (a healthy response, a
+// skip, or — for purely process-layer policies — completed process
+// actions). Once a messaging action has recovered a response, further
+// recovery attempts are skipped but remaining process-layer actions
+// still execute — a cross-layer policy's trailing ResumeProcess must
+// run even when an earlier Retry already succeeded (§3.1(3)).
+func (v *VEP) executePolicy(ctx context.Context, pol *policy.AdaptationPolicy,
+	req *soap.Envelope, op, failedTarget, instanceID string) (*soap.Envelope, string, bool) {
+
+	var (
+		resp        *soap.Envelope
+		target      = failedTarget
+		recovered   = false
+		processOnly = true
+	)
+	for _, act := range pol.Actions {
+		switch a := act.(type) {
+		case policy.RetryAction:
+			processOnly = false
+			if recovered {
+				continue
+			}
+			if r, tgt, ok := v.doRetry(ctx, a, req, op, failedTarget); ok {
+				resp, target, recovered = r, tgt, true
+			}
+		case policy.SubstituteAction:
+			processOnly = false
+			if recovered {
+				continue
+			}
+			if r, tgt, ok := v.doSubstitute(ctx, a, req, op, failedTarget); ok {
+				resp, target, recovered = r, tgt, true
+			}
+		case policy.ConcurrentAction:
+			processOnly = false
+			if recovered {
+				continue
+			}
+			if r, tgt, ok := v.doBroadcast(ctx, a, req, op); ok {
+				resp, target, recovered = r, tgt, true
+			}
+		case policy.SkipAction:
+			processOnly = false
+			if recovered {
+				continue
+			}
+			resp, recovered = v.skipResponse(op), true
+		default:
+			// Process-layer action: delegate across layers.
+			if v.bus.procAdapter == nil {
+				continue
+			}
+			if err := v.bus.procAdapter.ExecuteProcessAction(ctx, instanceID, act); err != nil {
+				v.bus.publish(event.Event{
+					Type:              event.TypeAdaptationCompleted,
+					Time:              v.bus.clk.Now(),
+					Source:            "wsbus/vep:" + v.name,
+					PolicyName:        pol.Name,
+					ProcessInstanceID: instanceID,
+					Detail:            "process action " + act.ActionName() + " failed: " + err.Error(),
+				})
+				return resp, target, recovered
+			}
+		}
+	}
+	// A policy consisting solely of process-layer actions succeeds once
+	// they have all executed.
+	return resp, target, recovered || (processOnly && len(pol.Actions) > 0)
+}
+
+func (v *VEP) doRetry(ctx context.Context, a policy.RetryAction, req *soap.Envelope, op, target string) (*soap.Envelope, string, bool) {
+	delay := a.Delay
+	for i := 0; i < a.MaxAttempts; i++ {
+		if delay > 0 {
+			select {
+			case <-v.bus.clk.After(delay):
+			case <-ctx.Done():
+				return nil, target, false
+			}
+			if a.Backoff == policy.BackoffExponential {
+				delay *= 2
+			}
+		}
+		resp, err := v.attempt(ctx, target, req, op)
+		if healthy(resp, err) {
+			return resp, target, true
+		}
+	}
+	return nil, target, false
+}
+
+func (v *VEP) doSubstitute(ctx context.Context, a policy.SubstituteAction, req *soap.Envelope, op, failedTarget string) (*soap.Envelope, string, bool) {
+	sel := newSelector(a.Selection, v.bus.tracker, 1, v.bus.seed)
+	var candidates []string
+	for _, s := range v.activeServices() {
+		if s != failedTarget {
+			candidates = append(candidates, s)
+		}
+	}
+	ordered := sel.order(candidates)
+	if a.MaxAlternatives > 0 && len(ordered) > a.MaxAlternatives {
+		ordered = ordered[:a.MaxAlternatives]
+	}
+	for _, target := range ordered {
+		resp, err := v.attempt(ctx, target, req, op)
+		if healthy(resp, err) {
+			return resp, target, true
+		}
+	}
+	return nil, failedTarget, false
+}
+
+// doBroadcast implements concurrent invocation of equivalent services:
+// "making a copy of the message and modifying its route, then invoking
+// multiple target services using concurrent invocation threads"; the
+// first healthy response wins and the rest are aborted (§3.1(4)).
+func (v *VEP) doBroadcast(ctx context.Context, a policy.ConcurrentAction, req *soap.Envelope, op string) (*soap.Envelope, string, bool) {
+	targets := v.activeServices()
+	if a.MaxTargets > 0 && len(targets) > a.MaxTargets {
+		targets = targets[:a.MaxTargets]
+	}
+	if len(targets) == 0 {
+		return nil, "", false
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type result struct {
+		resp   *soap.Envelope
+		target string
+		err    error
+	}
+	ch := make(chan result, len(targets))
+	for _, target := range targets {
+		go func(target string) {
+			clone := req.Clone()
+			addr := soap.ReadAddressing(clone)
+			addr.To = target
+			addr.Apply(clone)
+			resp, err := v.attempt(cctx, target, clone, op)
+			ch <- result{resp: resp, target: target, err: err}
+		}(target)
+	}
+	for range targets {
+		r := <-ch
+		if healthy(r.resp, r.err) {
+			return r.resp, r.target, true
+		}
+	}
+	return nil, "", false
+}
+
+// skipResponse synthesizes the empty success a Skip action returns for
+// non-business-critical calls.
+func (v *VEP) skipResponse(op string) *soap.Envelope {
+	ns := ""
+	if v.contract != nil {
+		ns = v.contract.TargetNamespace
+	}
+	payload := xmltree.New(ns, op+"Response")
+	payload.SetAttr("", "skipped", "true")
+	return soap.NewRequest(payload)
+}
+
+func (v *VEP) publishAdaptation(pol *policy.AdaptationPolicy, op, faultType, instanceID string) {
+	data := map[string]string{"layer": string(pol.Layer)}
+	if pol.BusinessValue != nil {
+		data["businessValueAmount"] = strconv.FormatFloat(pol.BusinessValue.Amount, 'g', -1, 64)
+		data["businessValueCurrency"] = pol.BusinessValue.Currency
+		data["businessValueReason"] = pol.BusinessValue.Reason
+	}
+	v.bus.publish(event.Event{
+		Type:              event.TypeAdaptationCompleted,
+		Time:              v.bus.clk.Now(),
+		Source:            "wsbus/vep:" + v.name,
+		Service:           v.Subject(),
+		Operation:         op,
+		ProcessInstanceID: instanceID,
+		FaultType:         faultType,
+		PolicyName:        pol.Name,
+		Data:              data,
+	})
+}
+
+// CheckQoSAndPrevent evaluates SLA thresholds for every registered
+// target and enacts preventive demotion policies on violations: a
+// policy triggered by sla.violation whose first action is Substitute
+// demotes the violating target so future selections avoid it. This is
+// the paper's future-work "preventive adaptation" implemented as an
+// extension (DESIGN.md §6).
+func (v *VEP) CheckQoSAndPrevent(demotion time.Duration) []monitor.Violation {
+	mon := v.bus.monitor
+	if mon == nil {
+		return nil
+	}
+	var all []monitor.Violation
+	repo := v.bus.policySource()
+	for _, target := range v.Services() {
+		vs := mon.CheckQoS(v.Subject(), target)
+		all = append(all, vs...)
+		if len(vs) == 0 {
+			continue
+		}
+		ev := event.Event{Type: event.TypeSLAViolation, FaultType: vs[0].FaultType}
+		for _, pol := range repo.AdaptationFor(ev, v.Subject()) {
+			if len(pol.Actions) == 0 {
+				continue
+			}
+			sub, isSub := pol.Actions[0].(policy.SubstituteAction)
+			if !isSub {
+				continue
+			}
+			if pol.Kind == policy.KindOptimization {
+				// Optimizing adaptation: re-route future traffic by the
+				// policy's selection strategy instead of (only)
+				// avoiding the violating target.
+				v.SetSelection(sub.Selection, 1)
+			} else {
+				v.Demote(target, demotion)
+			}
+			v.publishAdaptation(pol, "", vs[0].FaultType, "")
+			break
+		}
+	}
+	return all
+}

@@ -1,0 +1,76 @@
+package bus
+
+import (
+	"sync"
+	"time"
+)
+
+// QoSWatcher periodically evaluates SLA thresholds for a VEP's targets
+// and enacts preventive demotion policies — the continuous side of the
+// Monitoring Service ("continuously monitors interactions with the
+// participating services to verify that the configured monitoring
+// policies are being satisfied", §3.1(2), with the "periodic probing
+// for management information" of §3.1(1)). Stop shuts the watcher down
+// and waits for its goroutine.
+type QoSWatcher struct {
+	vep      *VEP
+	interval time.Duration
+	demotion time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+
+	mu     sync.Mutex
+	sweeps int
+}
+
+// NewQoSWatcher starts a watcher over the VEP, checking every interval
+// and demoting violating targets for the demotion period.
+func NewQoSWatcher(v *VEP, interval, demotion time.Duration) *QoSWatcher {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	w := &QoSWatcher{
+		vep:      v,
+		interval: interval,
+		demotion: demotion,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+func (w *QoSWatcher) loop() {
+	defer close(w.done)
+	clk := w.vep.bus.clk
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-clk.After(w.interval):
+		}
+		w.vep.CheckQoSAndPrevent(w.demotion)
+		w.mu.Lock()
+		w.sweeps++
+		w.mu.Unlock()
+	}
+}
+
+// Sweeps reports how many checks have run.
+func (w *QoSWatcher) Sweeps() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sweeps
+}
+
+// Stop terminates the watcher and waits for it to exit. Safe to call
+// more than once.
+func (w *QoSWatcher) Stop() {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	<-w.done
+}

@@ -1,0 +1,64 @@
+package bus
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/masc-project/masc/internal/policy"
+)
+
+func TestQoSWatcherDemotesContinuously(t *testing.T) {
+	slow := &scriptedService{delay: 40 * time.Millisecond}
+	fast := &scriptedService{}
+	xml := `
+<PolicyDocument xmlns="urn:masc:ws-policy4masc" name="p">
+  <MonitoringPolicy name="sla" subject="vep:Retailer">
+    <QoSThreshold metric="responseTime" maxResponse="10ms" minSamples="1"/>
+  </MonitoringPolicy>
+  <AdaptationPolicy name="prevent" subject="vep:Retailer" priority="5" kind="prevention">
+    <OnEvent type="sla.violation"/>
+    <Actions><Substitute selection="first"/></Actions>
+  </AdaptationPolicy>
+</PolicyDocument>`
+	_, v, _ := testBus(t, xml, map[string]*scriptedService{
+		"inproc://a": slow, "inproc://b": fast,
+	}, VEPConfig{Selection: policy.SelectFirst})
+
+	// Record the slow target's latency, then start the watcher.
+	if _, err := v.Invoke(context.Background(), "", catalogReq(t)); err != nil {
+		t.Fatal(err)
+	}
+	w := NewQoSWatcher(v, 5*time.Millisecond, time.Minute)
+	defer w.Stop()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for w.Sweeps() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("watcher swept %d times", w.Sweeps())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Traffic now avoids the demoted slow target.
+	before := slow.count()
+	for i := 0; i < 3; i++ {
+		if _, err := v.Invoke(context.Background(), "", catalogReq(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if slow.count() != before {
+		t.Fatalf("slow target still selected after watcher demotion")
+	}
+	if fast.count() < 3 {
+		t.Fatalf("fast target calls = %d", fast.count())
+	}
+}
+
+func TestQoSWatcherStopIdempotent(t *testing.T) {
+	svc := &scriptedService{}
+	_, v, _ := testBus(t, "", map[string]*scriptedService{"inproc://a": svc}, VEPConfig{})
+	w := NewQoSWatcher(v, time.Millisecond, time.Minute)
+	w.Stop()
+	w.Stop()
+}

@@ -1,0 +1,205 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNow(t *testing.T) {
+	c := New()
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now() = %v, want within [%v, %v]", got, before, after)
+	}
+}
+
+func TestRealSince(t *testing.T) {
+	c := New()
+	start := c.Now()
+	if d := c.Since(start); d < 0 {
+		t.Fatalf("Since returned negative duration %v", d)
+	}
+}
+
+func TestFakeNowStable(t *testing.T) {
+	f := NewFakeAtZero()
+	if !f.Now().Equal(f.Now()) {
+		t.Fatal("fake clock moved without Advance")
+	}
+}
+
+func TestFakeAdvance(t *testing.T) {
+	start := time.Date(2006, 11, 27, 0, 0, 0, 0, time.UTC)
+	f := NewFake(start)
+	f.Advance(90 * time.Second)
+	want := start.Add(90 * time.Second)
+	if got := f.Now(); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestFakeAdvanceToBackwardsIsNoop(t *testing.T) {
+	f := NewFakeAtZero()
+	before := f.Now()
+	f.AdvanceTo(before.Add(-time.Hour))
+	if got := f.Now(); !got.Equal(before) {
+		t.Fatalf("clock moved backwards: %v -> %v", before, got)
+	}
+}
+
+func TestFakeAfterFires(t *testing.T) {
+	f := NewFakeAtZero()
+	ch := f.After(10 * time.Second)
+
+	select {
+	case <-ch:
+		t.Fatal("After fired before Advance")
+	default:
+	}
+
+	f.Advance(10 * time.Second)
+	select {
+	case ts := <-ch:
+		if want := f.Now(); !ts.Equal(want) {
+			t.Fatalf("delivered time %v, want %v", ts, want)
+		}
+	default:
+		t.Fatal("After did not fire after Advance")
+	}
+}
+
+func TestFakeAfterNonPositiveFiresImmediately(t *testing.T) {
+	f := NewFakeAtZero()
+	select {
+	case <-f.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+	select {
+	case <-f.After(-time.Second):
+	default:
+		t.Fatal("After(-1s) did not fire immediately")
+	}
+}
+
+func TestFakeAfterPartialAdvance(t *testing.T) {
+	f := NewFakeAtZero()
+	ch := f.After(10 * time.Second)
+	f.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired too early")
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("After did not fire at deadline")
+	}
+}
+
+func TestFakeSleepBlocksUntilAdvance(t *testing.T) {
+	f := NewFakeAtZero()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f.Sleep(5 * time.Second)
+	}()
+
+	if !f.BlockUntilWaiters(1, time.Second) {
+		t.Fatal("sleeper never registered")
+	}
+	f.Advance(5 * time.Second)
+
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep did not return after Advance")
+	}
+}
+
+func TestFakeMultipleWaitersReleasedInOrder(t *testing.T) {
+	f := NewFakeAtZero()
+
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	durations := []time.Duration{30 * time.Second, 10 * time.Second, 20 * time.Second}
+	for i, d := range durations {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-f.After(d)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}()
+	}
+	if !f.BlockUntilWaiters(3, time.Second) {
+		t.Fatal("waiters never registered")
+	}
+	f.Advance(time.Minute)
+	wg.Wait()
+
+	// Waiter 1 (10s) must complete before waiter 0 (30s). Channel sends
+	// release in deadline order; goroutine scheduling may interleave the
+	// appends, so assert only on delivered timestamps indirectly via the
+	// waiter count being complete.
+	if len(order) != 3 {
+		t.Fatalf("released %d waiters, want 3", len(order))
+	}
+}
+
+func TestFakeChainedTimers(t *testing.T) {
+	// A waiter that re-arms a shorter timer when it fires must still be
+	// released within the same Advance call window.
+	f := NewFakeAtZero()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-f.After(time.Second)
+		<-f.After(time.Second)
+	}()
+	if !f.BlockUntilWaiters(1, time.Second) {
+		t.Fatal("first timer never armed")
+	}
+	f.Advance(time.Second)
+	if !f.BlockUntilWaiters(1, time.Second) {
+		t.Fatal("second timer never armed")
+	}
+	f.Advance(time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("chained timers did not complete")
+	}
+}
+
+func TestFakeSinceAdvances(t *testing.T) {
+	f := NewFakeAtZero()
+	start := f.Now()
+	f.Advance(42 * time.Millisecond)
+	if got := f.Since(start); got != 42*time.Millisecond {
+		t.Fatalf("Since = %v, want 42ms", got)
+	}
+}
+
+func TestPendingWaiters(t *testing.T) {
+	f := NewFakeAtZero()
+	if n := f.PendingWaiters(); n != 0 {
+		t.Fatalf("PendingWaiters = %d, want 0", n)
+	}
+	_ = f.After(time.Hour)
+	_ = f.After(time.Hour)
+	if n := f.PendingWaiters(); n != 2 {
+		t.Fatalf("PendingWaiters = %d, want 2", n)
+	}
+	f.Advance(time.Hour)
+	if n := f.PendingWaiters(); n != 0 {
+		t.Fatalf("PendingWaiters after Advance = %d, want 0", n)
+	}
+}

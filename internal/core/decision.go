@@ -1,0 +1,159 @@
+package core
+
+import (
+	"context"
+	"strings"
+
+	"github.com/masc-project/masc/internal/event"
+	"github.com/masc-project/masc/internal/monitor"
+	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/workflow"
+	"github.com/masc-project/masc/internal/xpath"
+)
+
+// compileVarPath turns a binding's source into an XPath over the
+// variables document: a bare variable name selects the variable's
+// content ("//name/*"); anything containing a path or expression
+// syntax is compiled verbatim.
+func compileVarPath(from string) (*xpath.Compiled, error) {
+	if !strings.ContainsAny(from, "/([@$") {
+		return xpath.Compile("//" + from + "/*")
+	}
+	return xpath.Compile(from)
+}
+
+// instanceXPathEnv exposes instance context to policy conditions.
+func instanceXPathEnv(inst *workflow.Instance) xpath.Context {
+	return xpath.Context{Vars: map[string]xpath.Value{
+		"instanceID": xpath.String(inst.ID()),
+		"state":      xpath.String(inst.AdaptationState()),
+	}}
+}
+
+// DecisionMaker is the MASCPolicyDecisionMaker (§2.1): it receives
+// monitoring events, "determines adaptation policy assertions to be
+// applied to the process instance and sends an event to
+// MASCAdaptationService", honoring policy priorities.
+//
+// It handles the process-layer triggers:
+//   - message.intercepted → dynamic customization of the correlated
+//     running instance;
+//   - fault.detected / sla.violation → process-scoped corrective
+//     policies (policies scoped to VEP subjects are enforced inside the
+//     bus itself).
+//
+// Subscribe attaches it to an event bus; Unsubscribe (the returned
+// function) detaches it.
+type DecisionMaker struct {
+	engine *workflow.Engine
+	repo   *policy.Repository
+	adapt  *AdaptationService
+	events *event.Bus
+	store  *monitor.Store
+}
+
+// NewDecisionMaker builds a decision maker.
+func NewDecisionMaker(engine *workflow.Engine, repo *policy.Repository, adapt *AdaptationService, events *event.Bus) *DecisionMaker {
+	return &DecisionMaker{engine: engine, repo: repo, adapt: adapt, events: events}
+}
+
+// SetStore attaches the MonitoringStore so policy conditions can
+// reference message history ($instanceMessageCount) — the paper's
+// "situations when adaptation pre-conditions refer to several
+// different SOAP messages" (§2.1).
+func (d *DecisionMaker) SetStore(s *monitor.Store) { d.store = s }
+
+// Subscribe attaches the decision maker to the event bus and returns
+// the detach function.
+func (d *DecisionMaker) Subscribe() (unsubscribe func()) {
+	un1 := d.events.Subscribe(event.TypeMessageIntercepted, d.onEvent)
+	un2 := d.events.Subscribe(event.TypeFaultDetected, d.onEvent)
+	un3 := d.events.Subscribe(event.TypeSLAViolation, d.onEvent)
+	return func() {
+		un1()
+		un2()
+		un3()
+	}
+}
+
+func (d *DecisionMaker) onEvent(ev event.Event) {
+	if ev.ProcessInstanceID == "" {
+		return
+	}
+	inst, err := d.engine.Instance(ev.ProcessInstanceID)
+	if err != nil {
+		return
+	}
+	// Policies scoped to the process definition (the bus enforces
+	// VEP-scoped ones itself).
+	for _, pol := range d.repo.AdaptationFor(ev, inst.Definition()) {
+		if !d.policyApplies(pol, inst, ev) {
+			continue
+		}
+		if err := d.dispatch(pol, inst, ev); err != nil {
+			d.adapt.publishAdaptation(inst.ID(), pol, "adaptation failed: "+err.Error())
+			continue
+		}
+		if pol.StateAfter != "" {
+			inst.SetAdaptationState(pol.StateAfter)
+		}
+		d.adapt.publishAdaptation(inst.ID(), pol, "dynamic adaptation applied")
+	}
+}
+
+func (d *DecisionMaker) policyApplies(pol *policy.AdaptationPolicy, inst *workflow.Instance, ev event.Event) bool {
+	if pol.StateBefore != "" && inst.AdaptationState() != pol.StateBefore {
+		return false
+	}
+	if pol.Condition == nil {
+		return true
+	}
+	env := instanceXPathEnv(inst)
+	env.Vars["faultType"] = xpath.String(ev.FaultType)
+	env.Vars["operation"] = xpath.String(ev.Operation)
+	if d.store != nil {
+		env.Vars["instanceMessageCount"] = xpath.Number(d.store.CountForInstance(inst.ID()))
+	}
+
+	// Conditions on message events evaluate against the intercepted
+	// message (the paper's "introspecting exchanged SOAP messages");
+	// otherwise against the instance's variables.
+	root := inst.VarsDoc()
+	if ev.Message != nil {
+		root = ev.Message.ToXML()
+	}
+	ok, err := pol.Condition.EvalBool(root, env)
+	return err == nil && ok
+}
+
+// dispatch executes a policy: structural actions via dynamic
+// customization, the rest via ExecuteProcessAction in order.
+func (d *DecisionMaker) dispatch(pol *policy.AdaptationPolicy, inst *workflow.Instance, ev event.Event) error {
+	structural := &policy.AdaptationPolicy{
+		Name:    pol.Name,
+		Kind:    pol.Kind,
+		Actions: nil,
+	}
+	for _, act := range pol.Actions {
+		switch act.(type) {
+		case policy.AddActivityAction, policy.RemoveActivityAction, policy.ReplaceActivityAction:
+			structural.Actions = append(structural.Actions, act)
+		default:
+			if len(structural.Actions) > 0 {
+				if err := d.adapt.CustomizeInstance(inst, structural); err != nil {
+					return err
+				}
+				structural.Actions = nil
+			}
+			if err := d.adapt.ExecuteProcessAction(context.Background(), inst.ID(), act); err != nil {
+				return err
+			}
+		}
+	}
+	if len(structural.Actions) > 0 {
+		return d.adapt.CustomizeInstance(inst, structural)
+	}
+	return nil
+}
+
+var _ = event.TypeAdaptationRequested

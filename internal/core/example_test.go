@@ -1,0 +1,73 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/masc-project/masc/internal/bus"
+	"github.com/masc-project/masc/internal/core"
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/transport"
+	"github.com/masc-project/masc/internal/workflow"
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+// ExampleNewStack assembles the full middleware: a process invoking a
+// flaky service through the bus, healed by a declarative recovery
+// policy, with the adaptation booked to the business ledger.
+func ExampleNewStack() {
+	network := transport.NewNetwork()
+	var calls atomic.Int64
+	network.Register("inproc://flaky", transport.HandlerFunc(
+		func(context.Context, *soap.Envelope) (*soap.Envelope, error) {
+			if calls.Add(1) == 1 {
+				return nil, &transport.UnavailableError{Endpoint: "inproc://flaky", Reason: "cold start"}
+			}
+			return soap.NewRequest(xmltree.NewText("urn:x", "quoteResponse", "ok")), nil
+		}))
+
+	stack := core.NewStack(network)
+	defer stack.Close()
+	if err := stack.LoadPolicies(`
+<PolicyDocument xmlns="urn:masc:ws-policy4masc" name="recovery">
+  <AdaptationPolicy name="retry" subject="vep:Quotes" priority="5">
+    <OnEvent type="fault.detected"/>
+    <Actions><Retry maxAttempts="2" delay="1ms"/></Actions>
+    <BusinessValue amount="-0.5" currency="AUD" reason="retry cost"/>
+  </AdaptationPolicy>
+</PolicyDocument>`); err != nil {
+		fmt.Println("policies:", err)
+		return
+	}
+	if _, err := stack.Bus.CreateVEP(bus.VEPConfig{
+		Name: "Quotes", Services: []string{"inproc://flaky"},
+	}); err != nil {
+		fmt.Println("vep:", err)
+		return
+	}
+
+	def, err := workflow.ParseDefinitionString(`
+<process xmlns="urn:masc:workflow" name="GetQuote">
+  <invoke name="Fetch" endpoint="vep:Quotes" operation="quote" output="result" timeout="5s"/>
+</process>`)
+	if err != nil {
+		fmt.Println("parse:", err)
+		return
+	}
+	stack.Engine.Deploy(def)
+
+	inst, err := stack.Engine.Start("GetQuote", nil)
+	if err != nil {
+		fmt.Println("start:", err)
+		return
+	}
+	state, _ := inst.Wait(5 * time.Second)
+	result, _ := inst.GetVar("result")
+	fmt.Println(state, result.Text)
+	fmt.Printf("adaptation cost: %.1f AUD\n", stack.Ledger.Total("AUD"))
+	// Output:
+	// completed ok
+	// adaptation cost: -0.5 AUD
+}

@@ -1,0 +1,11 @@
+package core
+
+import (
+	"github.com/masc-project/masc/internal/bus"
+	"github.com/masc-project/masc/internal/clock"
+)
+
+// busVEPCfg aliases the bus VEP configuration for test brevity.
+type busVEPCfg = bus.VEPConfig
+
+func clockFake() *clock.Fake { return clock.NewFakeAtZero() }

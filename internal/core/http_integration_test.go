@@ -1,0 +1,114 @@
+package core
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/masc-project/masc/internal/scm"
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/transport"
+	"github.com/masc-project/masc/internal/workflow"
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+// TestHTTPEndToEnd runs the whole middleware over real HTTP sockets:
+// SCM services hosted by httptest servers, a MASC stack whose
+// downstream transport is the HTTP invoker, a VEP with retry+failover
+// policies, and a workflow instance whose invoke is rescued from a
+// flaky HTTP retailer.
+func TestHTTPEndToEnd(t *testing.T) {
+	// A retailer whose first two requests are refused at the HTTP
+	// layer, and a stable one.
+	var calls atomic.Int64
+	logging := &scm.LoggingFacility{}
+	flakyRetailer := scm.NewRetailer("F", nil, "", nil)
+	stableRetailer := scm.NewRetailer("S", nil, "", nil)
+
+	flakySrv := httptest.NewServer(&transport.HTTPHandler{
+		Service: transport.HandlerFunc(func(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error) {
+			if calls.Add(1) <= 2 {
+				return nil, &transport.UnavailableError{Endpoint: "flaky", Reason: "warming up"}
+			}
+			return flakyRetailer.Serve(ctx, req)
+		})})
+	defer flakySrv.Close()
+	stableSrv := httptest.NewServer(&transport.HTTPHandler{Service: stableRetailer})
+	defer stableSrv.Close()
+	logSrv := httptest.NewServer(&transport.HTTPHandler{Service: logging})
+	defer logSrv.Close()
+
+	stack := NewStack(&transport.HTTPInvoker{})
+	defer stack.Close()
+	if err := stack.LoadPolicies(`
+<PolicyDocument xmlns="urn:masc:ws-policy4masc" name="http-recovery">
+  <AdaptationPolicy name="retry-then-failover" subject="vep:Retailer" priority="10">
+    <OnEvent type="fault.detected"/>
+    <Actions>
+      <Retry maxAttempts="1" delay="5ms"/>
+      <Substitute selection="first"/>
+    </Actions>
+  </AdaptationPolicy>
+</PolicyDocument>`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stack.Bus.CreateVEP(busVEPCfg{
+		Name:     "Retailer",
+		Services: []string{flakySrv.URL, stableSrv.URL},
+		Contract: scm.RetailerContract(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Plain bus invocation over HTTP recovers via failover.
+	env := soap.NewRequest(scm.NewGetCatalogRequest("tv", 0))
+	soap.Addressing{Action: "getCatalog"}.Apply(env)
+	resp, err := stack.Bus.Invoke(context.Background(), "vep:Retailer", env)
+	if err != nil {
+		t.Fatalf("mediated HTTP invoke failed: %v", err)
+	}
+	if resp.IsFault() || len(resp.Payload.ChildrenNamed("", "Product")) == 0 {
+		t.Fatalf("resp = %+v", resp)
+	}
+
+	// 2. A workflow instance invoking through the same stack: its
+	// invoke targets the VEP; logging goes straight to the HTTP logging
+	// service.
+	def, err := workflow.ParseDefinitionString(`
+<process xmlns="urn:masc:workflow" name="HTTPOrder">
+  <variables><variable name="order"/><variable name="catalog"/></variables>
+  <sequence name="main">
+    <invoke name="Catalog" endpoint="vep:Retailer" operation="getCatalog" input="order" output="catalog" timeout="10s"/>
+    <invoke name="Log" endpoint="` + logSrv.URL + `" operation="logEvent" timeout="10s">
+      <input><logEvent xmlns="urn:wsi:scm"><eventText>order flow done</eventText></logEvent></input>
+    </invoke>
+  </sequence>
+</process>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack.Engine.Deploy(def)
+	inst, err := stack.Engine.Start("HTTPOrder", map[string]*xmltree.Element{
+		"order": el(t, `<getCatalog xmlns="urn:wsi:scm"><category>audio</category></getCatalog>`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := inst.Wait(15 * time.Second)
+	if err != nil || st != workflow.StateCompleted {
+		t.Fatalf("state=%s err=%v", st, err)
+	}
+	catalog, ok := inst.GetVar("catalog")
+	if !ok || len(catalog.ChildrenNamed("", "Product")) != 3 {
+		t.Fatalf("catalog = %v", catalog)
+	}
+	if got := logging.Events(); len(got) != 1 || got[0] != "order flow done" {
+		t.Fatalf("logging events = %v", got)
+	}
+	// QoS was measured per HTTP target.
+	if snap := stack.Tracker.Snapshot(stableSrv.URL); !snap.Known() {
+		t.Fatal("no QoS recorded for HTTP target")
+	}
+}

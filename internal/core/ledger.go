@@ -1,0 +1,82 @@
+package core
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/masc-project/masc/internal/event"
+)
+
+// LedgerEntry is one booked business-value change.
+type LedgerEntry struct {
+	Time              time.Time
+	PolicyName        string
+	ProcessInstanceID string
+	Amount            float64
+	Currency          string
+	Reason            string
+}
+
+// Ledger accumulates the business value of executed adaptations — the
+// accounting substrate for MASC's long-term goal of "maximizing
+// business metrics (e.g., profit)" rather than only technical QoS (§1).
+// It books entries from adaptation.completed events that carry a
+// BusinessValue annotation. Ledger is safe for concurrent use.
+type Ledger struct {
+	mu      sync.Mutex
+	entries []LedgerEntry
+	totals  map[string]float64 // by currency
+}
+
+// NewLedger builds an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{totals: make(map[string]float64)}
+}
+
+// Attach subscribes the ledger to adaptation events on the bus and
+// returns the detach function.
+func (l *Ledger) Attach(events *event.Bus) (unsubscribe func()) {
+	return events.Subscribe(event.TypeAdaptationCompleted, func(ev event.Event) {
+		raw, ok := ev.Data["businessValueAmount"]
+		if !ok {
+			return
+		}
+		amount, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return
+		}
+		l.Book(LedgerEntry{
+			Time:              ev.Time,
+			PolicyName:        ev.PolicyName,
+			ProcessInstanceID: ev.ProcessInstanceID,
+			Amount:            amount,
+			Currency:          ev.Data["businessValueCurrency"],
+			Reason:            ev.Data["businessValueReason"],
+		})
+	})
+}
+
+// Book records an entry directly.
+func (l *Ledger) Book(e LedgerEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, e)
+	l.totals[e.Currency] += e.Amount
+}
+
+// Total returns the accumulated value in a currency.
+func (l *Ledger) Total(currency string) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.totals[currency]
+}
+
+// Entries returns a copy of all booked entries.
+func (l *Ledger) Entries() []LedgerEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LedgerEntry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/masc-project/masc/internal/faultinject"
+	"github.com/masc-project/masc/internal/scm"
+	"github.com/masc-project/masc/internal/transport"
+	"github.com/masc-project/masc/internal/workflow"
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+// scmOrderingProcessXML composes the Fig. 4 use cases into a workflow:
+// browse the catalog, submit an order, then fetch the tracking events
+// — each step mediated by the bus.
+const scmOrderingProcessXML = `
+<process xmlns="urn:masc:workflow" name="OrderingProcess">
+  <variables>
+    <variable name="catalogReq"/>
+    <variable name="catalog"/>
+    <variable name="orderReq"/>
+    <variable name="confirmation"/>
+    <variable name="events"/>
+  </variables>
+  <sequence name="main">
+    <invoke name="BrowseCatalog" endpoint="vep:Retailer" operation="getCatalog"
+            input="catalogReq" output="catalog" timeout="10s"/>
+    <if name="HasStock" test="count(//catalog/getCatalogResponse/Product) > 0">
+      <then>
+        <invoke name="PlaceOrder" endpoint="vep:Retailer" operation="submitOrder"
+                input="orderReq" output="confirmation" timeout="10s"/>
+        <invoke name="TrackOrder" endpoint="inproc://scm/logging" operation="getEvents"
+                timeout="10s" output="events"/>
+      </then>
+      <else>
+        <terminate name="NoStock"/>
+      </else>
+    </if>
+  </sequence>
+</process>`
+
+// TestSCMOrderingProcessThroughStack runs the Fig. 4 composition as a
+// MASC workflow over a faulty retailer fleet: the bus's retry+failover
+// policies keep the process instance oblivious to the injected
+// outages.
+func TestSCMOrderingProcessThroughStack(t *testing.T) {
+	net := transport.NewNetwork()
+	deployment, err := scm.Deploy(net, nil, scm.DeployConfig{
+		Retailers: 3,
+		RetailerInjectors: map[int]faultinject.Injector{
+			0: faultinject.NewFailureRate(1.0, 1), // retailer A is dead
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewStack(net)
+	t.Cleanup(s.Close)
+	if err := s.LoadPolicies(`
+<PolicyDocument xmlns="urn:masc:ws-policy4masc" name="scm-process-recovery">
+  <AdaptationPolicy name="failover" subject="vep:Retailer" priority="10">
+    <OnEvent type="fault.detected"/>
+    <Actions>
+      <Retry maxAttempts="1" delay="1ms"/>
+      <Substitute selection="first"/>
+    </Actions>
+  </AdaptationPolicy>
+</PolicyDocument>`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Bus.CreateVEP(busVEPCfg{
+		Name:      "Retailer",
+		Services:  deployment.RetailerAddrs, // A (dead), B, C
+		Contract:  scm.RetailerContract(),
+		Selection: "first",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	def, err := workflow.ParseDefinitionString(scmOrderingProcessXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Engine.Deploy(def)
+
+	inst, err := s.Engine.Start("OrderingProcess", map[string]*xmltree.Element{
+		"catalogReq": scm.NewGetCatalogRequest("tv", 0),
+		"orderReq": scm.NewSubmitOrderRequest("cust-7", []scm.OrderItem{
+			{SKU: "605002", Qty: 2},
+		}, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := inst.Wait(10 * time.Second)
+	if err != nil || st != workflow.StateCompleted {
+		t.Fatalf("state=%s err=%v", st, err)
+	}
+
+	confirmation, ok := inst.GetVar("confirmation")
+	if !ok {
+		t.Fatal("no order confirmation")
+	}
+	line := confirmation.Child("", "lineResult")
+	if line == nil || line.ChildText("", "status") != "shipped" {
+		t.Fatalf("confirmation = %v", confirmation)
+	}
+	// The dead retailer A never served; B (first healthy) did.
+	if !strings.Contains(confirmation.ChildText("", "orderID"), "-B-") {
+		t.Fatalf("order served by %q, want retailer B", confirmation.ChildText("", "orderID"))
+	}
+
+	// Tracking events flowed to the logging facility and back into the
+	// process.
+	events, ok := inst.GetVar("events")
+	if !ok || len(events.ChildrenNamed("", "event")) < 2 {
+		t.Fatalf("tracked events = %v", events)
+	}
+
+	// Warehouse stock moved.
+	if got := deployment.Warehouses[scm.WarehouseAddr(0)].Stock("605002"); got != 98 {
+		t.Fatalf("warehouse stock = %d", got)
+	}
+}
+
+// TestSCMOrderingProcessTerminatesOnEmptyCatalog exercises the else
+// branch: no products → the instance terminates by design.
+func TestSCMOrderingProcessTerminatesOnEmptyCatalog(t *testing.T) {
+	net := transport.NewNetwork()
+	deployment, err := scm.Deploy(net, nil, scm.DeployConfig{Retailers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty every retailer's catalog.
+	for _, r := range deployment.Retailers {
+		r.Catalog = nil
+	}
+
+	s := NewStack(net)
+	t.Cleanup(s.Close)
+	if _, err := s.Bus.CreateVEP(busVEPCfg{
+		Name:     "Retailer",
+		Services: deployment.RetailerAddrs,
+		Contract: scm.RetailerContract(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	def, err := workflow.ParseDefinitionString(scmOrderingProcessXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Engine.Deploy(def)
+	inst, err := s.Engine.Start("OrderingProcess", map[string]*xmltree.Element{
+		"catalogReq": scm.NewGetCatalogRequest("tv", 0),
+		"orderReq":   scm.NewSubmitOrderRequest("c", []scm.OrderItem{{SKU: "605001", Qty: 1}}, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := inst.Wait(10 * time.Second)
+	if st != workflow.StateTerminated {
+		t.Fatalf("state = %s, want terminated", st)
+	}
+}

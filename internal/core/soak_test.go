@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/masc-project/masc/internal/workflow"
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+// TestSoakConcurrentInstances drives many concurrent customized
+// instances through the full stack, hunting for deadlocks and races in
+// the suspend/edit/resume machinery under load.
+func TestSoakConcurrentInstances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	s, _ := tradingStack(t, fullCustomizationPolicies)
+
+	const instances = 60
+	var wg sync.WaitGroup
+	errc := make(chan error, instances)
+	for i := 0; i < instances; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var inputs map[string]*xmltree.Element
+			switch i % 3 {
+			case 0:
+				inputs = domesticOrder(t)
+			case 1:
+				inputs = internationalOrder(t, "50000")
+			default:
+				inputs = internationalOrder(t, "200")
+			}
+			inst, err := s.Engine.Start("TradingProcess", inputs)
+			if err != nil {
+				errc <- err
+				return
+			}
+			st, err := inst.Wait(30 * time.Second)
+			if err != nil || st != workflow.StateCompleted {
+				errc <- fmt.Errorf("instance %s: state=%s err=%v", inst.ID(), st, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if got := len(s.Engine.Instances()); got != instances {
+		t.Fatalf("instances tracked = %d", got)
+	}
+}
+
+// TestNoGoroutineLeaksAfterClose verifies that the stack's components
+// release their goroutines: after all instances finish and Close runs,
+// the goroutine count returns to (near) the baseline.
+func TestNoGoroutineLeaksAfterClose(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	func() {
+		s, _ := tradingStack(t, addCurrencyPolicy)
+		for i := 0; i < 10; i++ {
+			runToCompletion(t, s, internationalOrder(t, "5000"))
+		}
+		s.Close()
+	}()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			stacks := string(buf[:n])
+			// Ignore testing-framework goroutines in the report.
+			t.Fatalf("goroutines: baseline %d, now %d\n%s",
+				baseline, now, firstLines(stacks, 60))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.Split(s, "\n")
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

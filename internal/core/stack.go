@@ -1,0 +1,171 @@
+package core
+
+import (
+	"github.com/masc-project/masc/internal/bus"
+	"github.com/masc-project/masc/internal/clock"
+	"github.com/masc-project/masc/internal/event"
+	"github.com/masc-project/masc/internal/monitor"
+	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/qos"
+	"github.com/masc-project/masc/internal/registry"
+	"github.com/masc-project/masc/internal/transport"
+	"github.com/masc-project/masc/internal/workflow"
+)
+
+// Stack is the fully wired MASC middleware: the Figure 1 architecture
+// assembled over a downstream transport. Process invokes flow through
+// the bus (gateway deployment), monitoring events flow to the decision
+// maker, and the adaptation service bridges both layers.
+type Stack struct {
+	// Events is the shared cross-layer event bus.
+	Events *event.Bus
+	// Policies is the WS-Policy4MASC repository.
+	Policies *policy.Repository
+	// Tracker is the QoS measurement service.
+	Tracker *qos.Tracker
+	// Monitor is the monitoring service (with MonitoringStore).
+	Monitor *monitor.Monitor
+	// Bus is the wsBus messaging layer.
+	Bus *bus.Bus
+	// Engine is the workflow engine; its invoker is the Bus.
+	Engine *workflow.Engine
+	// Adaptation is the MASCAdaptationService.
+	Adaptation *AdaptationService
+	// Decisions is the MASCPolicyDecisionMaker (already subscribed).
+	Decisions *DecisionMaker
+	// Ledger books business value (already subscribed).
+	Ledger *Ledger
+	// Registry is the service directory backing dynamic selection.
+	Registry *registry.Registry
+
+	clk         clock.Clock
+	unsubscribe []func()
+}
+
+// StackOption configures NewStack.
+type StackOption func(*stackConfig)
+
+type stackConfig struct {
+	clk      clock.Clock
+	repo     *policy.Repository
+	seed     int64
+	registry *registry.Registry
+}
+
+// WithClock injects the time source used by every component.
+func WithClock(clk clock.Clock) StackOption {
+	return func(c *stackConfig) { c.clk = clk }
+}
+
+// WithPolicyRepository supplies a pre-loaded repository.
+func WithPolicyRepository(repo *policy.Repository) StackOption {
+	return func(c *stackConfig) { c.repo = repo }
+}
+
+// WithSeed seeds randomized strategies.
+func WithSeed(seed int64) StackOption {
+	return func(c *stackConfig) { c.seed = seed }
+}
+
+// WithRegistry supplies a service directory.
+func WithRegistry(r *registry.Registry) StackOption {
+	return func(c *stackConfig) { c.registry = r }
+}
+
+// NewStack assembles the middleware over a downstream transport
+// (typically a transport.Network in experiments, or HTTP invokers in
+// real deployments).
+func NewStack(downstream transport.Invoker, opts ...StackOption) *Stack {
+	cfg := stackConfig{clk: clock.New(), seed: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.repo == nil {
+		cfg.repo = policy.NewRepository()
+	}
+	if cfg.registry == nil {
+		cfg.registry = registry.New()
+	}
+
+	events := event.NewBus()
+	tracker := qos.NewTracker(0, qos.WithClock(cfg.clk))
+	mon := monitor.New(cfg.repo,
+		monitor.WithClock(cfg.clk),
+		monitor.WithQoSTracker(tracker),
+		monitor.WithEventBus(events),
+		monitor.WithStore(monitor.NewStore(0)),
+	)
+	b := bus.New(downstream,
+		bus.WithClock(cfg.clk),
+		bus.WithEventBus(events),
+		bus.WithPolicyRepository(cfg.repo),
+		bus.WithQoSTracker(tracker),
+		bus.WithMonitor(mon),
+		bus.WithSeed(cfg.seed),
+	)
+
+	reg := cfg.registry
+	resolver := workflow.ResolverFunc(func(serviceType string) (string, error) {
+		// Dynamic Find/Select/Bind: prefer the best measured performer
+		// among registered implementations, falling back to the first.
+		addrs, err := reg.Addresses(serviceType)
+		if err != nil {
+			return "", err
+		}
+		if best, ok := tracker.Best(addrs, 1); ok {
+			return best, nil
+		}
+		return addrs[0], nil
+	})
+
+	engine := workflow.NewEngine(b,
+		workflow.WithClock(cfg.clk),
+		workflow.WithEventBus(events),
+		workflow.WithResolver(resolver),
+	)
+
+	adapt := NewAdaptationService(engine, cfg.repo, events, cfg.clk)
+	engine.AddRuntimeService(adapt)
+	b.SetProcessAdapter(adapt)
+
+	decisions := NewDecisionMaker(engine, cfg.repo, adapt, events)
+	decisions.SetStore(mon.Store())
+	unDecide := decisions.Subscribe()
+
+	ledger := NewLedger()
+	unLedger := ledger.Attach(events)
+
+	return &Stack{
+		Events:      events,
+		Policies:    cfg.repo,
+		Tracker:     tracker,
+		Monitor:     mon,
+		Bus:         b,
+		Engine:      engine,
+		Adaptation:  adapt,
+		Decisions:   decisions,
+		Ledger:      ledger,
+		Registry:    reg,
+		clk:         cfg.clk,
+		unsubscribe: []func(){unDecide, unLedger},
+	}
+}
+
+// Close detaches subscriptions and waits for background adaptation
+// work.
+func (s *Stack) Close() {
+	for _, un := range s.unsubscribe {
+		un()
+	}
+	s.Adaptation.Close()
+}
+
+// Clock returns the stack's time source.
+func (s *Stack) Clock() clock.Clock { return s.clk }
+
+// LoadPolicies parses and loads a WS-Policy4MASC document into the
+// shared repository.
+func (s *Stack) LoadPolicies(xmlText string) error {
+	_, err := s.Policies.LoadXML(xmlText)
+	return err
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/masc-project/masc/internal/event"
+)
+
+// TrackingService is the WF built-in Tracking runtime service analog
+// (§2.1): it renders every middleware event as one audit-log line on a
+// writer. Attach it to the stack's event bus; Detach (the returned
+// function) stops it. TrackingService serializes writes and is safe
+// for concurrent use.
+type TrackingService struct {
+	mu  sync.Mutex
+	w   io.Writer
+	n   int
+	err error
+}
+
+// NewTrackingService builds a tracking service writing to w.
+func NewTrackingService(w io.Writer) *TrackingService {
+	return &TrackingService{w: w}
+}
+
+// Attach subscribes to every event on the bus; the returned function
+// detaches.
+func (t *TrackingService) Attach(events *event.Bus) (unsubscribe func()) {
+	return events.SubscribeAll(t.record)
+}
+
+func (t *TrackingService) record(ev event.Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	line := fmt.Sprintf("%s %s", ev.Time.UTC().Format("2006-01-02T15:04:05.000000Z"), ev.Type)
+	if ev.ProcessInstanceID != "" {
+		line += " instance=" + ev.ProcessInstanceID
+	}
+	if ev.Service != "" {
+		line += " service=" + ev.Service
+	}
+	if ev.Operation != "" {
+		line += " operation=" + ev.Operation
+	}
+	if ev.FaultType != "" {
+		line += " fault=" + ev.FaultType
+	}
+	if ev.PolicyName != "" {
+		line += " policy=" + ev.PolicyName
+	}
+	if ev.Detail != "" {
+		line += fmt.Sprintf(" detail=%q", ev.Detail)
+	}
+	if _, err := fmt.Fprintln(t.w, line); err != nil {
+		// A broken audit sink must not break the middleware; remember
+		// the error and go quiet.
+		t.err = err
+		return
+	}
+	t.n++
+}
+
+// Records reports how many events were written.
+func (t *TrackingService) Records() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Err reports a write failure, if any occurred.
+func (t *TrackingService) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/masc-project/masc/internal/event"
+)
+
+type failingWriter struct{ failAfter int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.failAfter <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.failAfter--
+	return len(p), nil
+}
+
+func TestTrackingServiceWritesAuditLines(t *testing.T) {
+	var sb strings.Builder
+	ts := NewTrackingService(&sb)
+	bus := event.NewBus()
+	un := ts.Attach(bus)
+	defer un()
+
+	bus.Publish(event.Event{
+		Type:              event.TypeFaultDetected,
+		Time:              time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC),
+		ProcessInstanceID: "proc-3",
+		Service:           "vep:Retailer",
+		Operation:         "getCatalog",
+		FaultType:         "TimeoutFault",
+		PolicyName:        "retry",
+		Detail:            "took too long",
+	})
+	bus.Publish(event.Event{Type: event.TypeProcessStarted, Time: time.Now()})
+
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"fault.detected", "instance=proc-3", "service=vep:Retailer",
+		"operation=getCatalog", "fault=TimeoutFault", "policy=retry", `detail="took too long"`} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("audit line missing %q: %s", want, lines[0])
+		}
+	}
+	if ts.Records() != 2 {
+		t.Fatalf("records = %d", ts.Records())
+	}
+}
+
+func TestTrackingServiceSurvivesBrokenSink(t *testing.T) {
+	ts := NewTrackingService(&failingWriter{failAfter: 1})
+	bus := event.NewBus()
+	un := ts.Attach(bus)
+	defer un()
+
+	bus.Publish(event.Event{Type: event.TypeProcessStarted, Time: time.Now()})
+	bus.Publish(event.Event{Type: event.TypeProcessStarted, Time: time.Now()}) // sink fails here
+	bus.Publish(event.Event{Type: event.TypeProcessStarted, Time: time.Now()}) // silently dropped
+
+	if ts.Err() == nil {
+		t.Fatal("sink failure not remembered")
+	}
+	if ts.Records() != 1 {
+		t.Fatalf("records = %d", ts.Records())
+	}
+}
+
+func TestTrackingServiceOnFullStack(t *testing.T) {
+	var sb strings.Builder
+	s, _ := tradingStack(t, addCurrencyPolicy)
+	ts := NewTrackingService(&sb)
+	un := ts.Attach(s.Events)
+	defer un()
+
+	runToCompletion(t, s, internationalOrder(t, "5000"))
+	out := sb.String()
+	for _, want := range []string{"process.started", "activity.started", "adaptation.completed", "process.completed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("audit log missing %q", want)
+		}
+	}
+}
+
+func TestHistoryConditionGatesDynamicCustomization(t *testing.T) {
+	// A customization that must only fire once an instance has
+	// exchanged at least 2 messages ($instanceMessageCount): the
+	// paper's multi-message pre-condition.
+	s, f := tradingStack(t, `
+<PolicyDocument xmlns="urn:masc:ws-policy4masc" name="hist">
+  <AdaptationPolicy name="after-two-messages" subject="TradingProcess" kind="customization" layer="process" priority="5">
+    <OnEvent type="message.intercepted"/>
+    <Condition>$instanceMessageCount >= 3</Condition>
+    <StateBefore></StateBefore>
+    <StateAfter>history-triggered</StateAfter>
+    <Actions>
+      <AddActivity position="atEnd">
+        <Activity><invoke name="Extra" endpoint="inproc://pest" operation="assess" input="order"/></Activity>
+      </AddActivity>
+    </Actions>
+  </AdaptationPolicy>
+</PolicyDocument>`)
+
+	// Proxy two services through VEPs so their messages are observed.
+	for i, addr := range []string{"inproc://fundmanager", "inproc://analysis"} {
+		name := []string{"VFund", "VAnalysis"}[i]
+		if _, err := s.Bus.CreateVEP(busVEPConfig(name, addr)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Bus.Proxy(addr, name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inst, _ := runToCompletion(t, s, domesticOrder(t))
+	if inst.AdaptationState() != "history-triggered" {
+		t.Fatalf("state = %q; history condition never satisfied", inst.AdaptationState())
+	}
+	found := false
+	for _, c := range f.calls() {
+		if strings.Contains(c, "pest assess") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("history-gated activity never ran: %v", f.calls())
+	}
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTable1Shape asserts the paper's qualitative result (E1): every
+// direct configuration loses requests roughly in proportion to its
+// injected outage fraction, and the wsBus VEP with retry+failover is
+// far more reliable than the *average* direct retailer and no worse
+// than the best one.
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reliability run")
+	}
+	cfg := Table1Config{Requests: 1000, Clients: 4, Seed: 7}
+	rows, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+
+	direct := rows[:4]
+	vep := rows[4]
+
+	// Direct failure rates roughly track the injected fractions
+	// (A=10.5%, B=8.1%, C=1.7%, D=9.1%) within generous bounds. The
+	// lower bound only applies to the lossy retailers: C's outages are
+	// so rare (MTBF ≈ 1.4 s at this scale) that a short run may
+	// legitimately see none.
+	fractions := []float64{0.105, 0.081, 0.017, 0.091}
+	for i, r := range direct {
+		want := fractions[i] * 1000
+		if r.FailuresPer1000 > want*2.5+10 {
+			t.Errorf("%s: failures per 1000 = %.1f, injected fraction implies ~%.0f",
+				r.Configuration, r.FailuresPer1000, want)
+		}
+		if want >= 50 && r.FailuresPer1000 < want*0.3 {
+			t.Errorf("%s: failures per 1000 = %.1f suspiciously low for fraction %.3f",
+				r.Configuration, r.FailuresPer1000, fractions[i])
+		}
+	}
+
+	// C (1.7%) is the most reliable direct retailer; A (10.5%) among
+	// the worst.
+	if direct[2].FailuresPer1000 >= direct[0].FailuresPer1000 {
+		t.Errorf("retailer C (%.1f) should beat retailer A (%.1f)",
+			direct[2].FailuresPer1000, direct[0].FailuresPer1000)
+	}
+
+	// The VEP beats the mean direct retailer by a wide margin (the
+	// paper: 6 vs 17..105) and is at least as good as the best one.
+	var meanDirect float64
+	for _, r := range direct {
+		meanDirect += r.FailuresPer1000
+	}
+	meanDirect /= 4
+	if vep.FailuresPer1000 > meanDirect/3 {
+		t.Errorf("VEP failures per 1000 = %.1f, want ≲ mean direct (%.1f) / 3",
+			vep.FailuresPer1000, meanDirect)
+	}
+	if vep.FailuresPer1000 > direct[2].FailuresPer1000+5 {
+		t.Errorf("VEP (%.1f) should be comparable to best direct retailer (%.1f)",
+			vep.FailuresPer1000, direct[2].FailuresPer1000)
+	}
+
+	// Availability mirrors reliability: VEP ≥ worst direct.
+	if vep.Availability < direct[0].Availability {
+		t.Errorf("VEP availability %.3f below retailer A's %.3f",
+			vep.Availability, direct[0].Availability)
+	}
+
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "wsBus") || !strings.Contains(out, "failures per 1000") {
+		t.Fatalf("format output:\n%s", out)
+	}
+	t.Logf("\n%s", out)
+}
+
+// TestFigure5Shape asserts the Figure 5 qualitative results (E2): RTT
+// grows with request size for both operations and both deployment
+// modes, and the bus overhead stays moderate (the paper reports
+// "usually about 10%, which is not drastic").
+func TestFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full RTT sweep")
+	}
+	cfg := Figure5Config{SizesKB: []int{1, 8, 32}, RequestsPerPoint: 120, Clients: 4, Seed: 7}
+	points, err := RunFigure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("points = %d", len(points))
+	}
+
+	byOp := map[string][]Figure5Point{}
+	for _, p := range points {
+		byOp[p.Operation] = append(byOp[p.Operation], p)
+	}
+	for op, series := range byOp {
+		for i := 1; i < len(series); i++ {
+			if series[i].DirectRTT <= series[i-1].DirectRTT {
+				t.Errorf("%s direct RTT not growing with size: %v then %v",
+					op, series[i-1].DirectRTT, series[i].DirectRTT)
+			}
+			if series[i].BusRTT <= series[i-1].BusRTT {
+				t.Errorf("%s bus RTT not growing with size: %v then %v",
+					op, series[i-1].BusRTT, series[i].BusRTT)
+			}
+		}
+		for _, p := range series {
+			if p.BusRTT < p.DirectRTT {
+				t.Logf("%s %dKB: bus faster than direct (%v vs %v) — jitter artifact",
+					op, p.SizeKB, p.BusRTT, p.DirectRTT)
+			}
+			limit := 60.0
+			if raceEnabled {
+				// The race detector inflates the bus's CPU work ~10x,
+				// so only guard against runaway overhead.
+				limit = 400.0
+			}
+			if p.OverheadPct > limit {
+				t.Errorf("%s %dKB: bus overhead %.1f%% is drastic (paper: ~10%%)",
+					op, p.SizeKB, p.OverheadPct)
+			}
+		}
+	}
+	t.Logf("\n%s", FormatFigure5(points))
+}
+
+func TestThroughputShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput sweep")
+	}
+	points, err := RunThroughput(ThroughputConfig{Concurrency: []int{1, 4}, RequestsPerClient: 80, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.DirectRPS <= 0 || p.BusRPS <= 0 {
+			t.Fatalf("non-positive throughput: %+v", p)
+		}
+	}
+	// More clients → more total throughput in both modes (closed loop
+	// over a simulated-latency service).
+	if points[1].DirectRPS <= points[0].DirectRPS {
+		t.Errorf("direct throughput did not scale: %v", points)
+	}
+	t.Logf("\n%s", FormatThroughput(points))
+}
+
+func TestRetrySweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation")
+	}
+	points, err := RunRetrySweep(Table1Config{Requests: 400, Clients: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 10 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// With failover enabled, failures at any retry budget are no worse
+	// than triple the no-failover equivalent... in practice far lower.
+	noFail := points[:5]
+	withFail := points[5:]
+	for i := range withFail {
+		if withFail[i].FailuresPer1000 > noFail[i].FailuresPer1000+20 {
+			t.Errorf("failover made things worse at %d retries: %.1f vs %.1f",
+				withFail[i].MaxAttempts, withFail[i].FailuresPer1000, noFail[i].FailuresPer1000)
+		}
+	}
+	t.Logf("\n%s", FormatRetrySweep(points))
+}
+
+func TestFormatHelpersRenderAllSections(t *testing.T) {
+	sel := FormatSelection([]SelectionPoint{{Strategy: "x", FailuresPer1000: 1, MeanRTT: time.Millisecond}})
+	if !strings.Contains(sel, "strategy") {
+		t.Fatal(sel)
+	}
+	rep := FormatReparse([]ReparsePoint{{Mode: "object-repository", MeanRTT: time.Millisecond}})
+	if !strings.Contains(rep, "object-repository") {
+		t.Fatal(rep)
+	}
+	lis := FormatListener([]ListenerPoint{{Mode: "worker-pool-8", Throughput: 10}})
+	if !strings.Contains(lis, "worker-pool-8") {
+		t.Fatal(lis)
+	}
+}

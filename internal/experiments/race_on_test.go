@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; CPU-sensitive overhead assertions are relaxed because the
+// detector multiplies the middleware's compute cost by roughly an
+// order of magnitude.
+const raceEnabled = true

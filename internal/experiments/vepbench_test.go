@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"github.com/masc-project/masc/internal/scm"
+)
+
+// healthySCM builds a fault-free four-retailer deployment.
+func healthySCM(b *testing.B) *scm.Deployment {
+	b.Helper()
+	cfg := Table1Config{Requests: 1, Clients: 1, Seed: 7, OutageFractions: []float64{0, 0, 0, 0}}
+	cfg.fill()
+	cfg.OutageFractions = []float64{0, 0, 0, 0}
+	d, err := buildSCM(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkMediationOverheadDirect measures one getCatalog round trip
+// without the bus; together with BenchmarkMediationOverheadVEP it
+// isolates the per-message cost of wsBus mediation (the Figure 5
+// overhead at its floor).
+func BenchmarkMediationOverheadDirect(b *testing.B) {
+	d := healthySCM(b)
+	op := catalogOp(d.Net, scm.RetailerAddr(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := op(context.Background(), 0, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMediationOverheadVEP measures the same round trip through
+// the recovery-policy-equipped VEP.
+func BenchmarkMediationOverheadVEP(b *testing.B) {
+	d := healthySCM(b)
+	mediated, err := mediatedBus(d, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	op := catalogOp(mediated, "vep:Retailer")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := op(context.Background(), 0, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2006, 11, 27, 0, 0, 0, 0, time.UTC)
+
+func TestNone(t *testing.T) {
+	var n None
+	o := n.Decide(epoch)
+	if o.Unavailable || o.ExtraDelay != 0 {
+		t.Fatalf("None injected %+v", o)
+	}
+}
+
+func TestWindowContains(t *testing.T) {
+	w := Window{Start: epoch, End: epoch.Add(time.Minute)}
+	if !w.Contains(epoch) {
+		t.Fatal("start should be contained (half-open)")
+	}
+	if w.Contains(epoch.Add(time.Minute)) {
+		t.Fatal("end should not be contained")
+	}
+	if w.Contains(epoch.Add(-time.Second)) {
+		t.Fatal("before start contained")
+	}
+}
+
+func TestScheduled(t *testing.T) {
+	s := NewScheduled(
+		Window{Start: epoch.Add(time.Minute), End: epoch.Add(2 * time.Minute)},
+		Window{Start: epoch.Add(5 * time.Minute), End: epoch.Add(6 * time.Minute)},
+	)
+	if o := s.Decide(epoch); o.Unavailable {
+		t.Fatal("unavailable before first window")
+	}
+	o := s.Decide(epoch.Add(90 * time.Second))
+	if !o.Unavailable {
+		t.Fatal("available inside window")
+	}
+	if o.Reason != "scheduled outage" {
+		t.Fatalf("reason = %q", o.Reason)
+	}
+	if o := s.Decide(epoch.Add(3 * time.Minute)); o.Unavailable {
+		t.Fatal("unavailable between windows")
+	}
+	if o := s.Decide(epoch.Add(330 * time.Second)); !o.Unavailable {
+		t.Fatal("available inside second window")
+	}
+}
+
+func TestScheduledCustomReason(t *testing.T) {
+	s := NewScheduled(Window{Start: epoch, End: epoch.Add(time.Hour)})
+	s.Reason = "network partition"
+	if o := s.Decide(epoch); o.Reason != "network partition" {
+		t.Fatalf("reason = %q", o.Reason)
+	}
+}
+
+func TestRandomOutagesDeterministic(t *testing.T) {
+	a := NewRandomOutages(epoch, time.Minute, 10*time.Second, 99)
+	b := NewRandomOutages(epoch, time.Minute, 10*time.Second, 99)
+	for i := 0; i < 500; i++ {
+		now := epoch.Add(time.Duration(i) * time.Second)
+		if a.Decide(now).Unavailable != b.Decide(now).Unavailable {
+			t.Fatalf("seeded injectors diverged at +%ds", i)
+		}
+	}
+}
+
+func TestRandomOutagesAlternate(t *testing.T) {
+	r := NewRandomOutages(epoch, 30*time.Second, 5*time.Second, 7)
+	end := epoch.Add(10 * time.Minute)
+	windows := r.OutageWindowsThrough(end)
+	if len(windows) == 0 {
+		t.Fatal("no outages generated in 10 minutes with 30s mean uptime")
+	}
+	var down time.Duration
+	for i, w := range windows {
+		if !w.End.After(w.Start) {
+			t.Fatalf("window %d not positive: %+v", i, w)
+		}
+		if i > 0 && w.Start.Before(windows[i-1].End) {
+			t.Fatalf("windows overlap: %v then %v", windows[i-1], w)
+		}
+		down += w.End.Sub(w.Start)
+	}
+	// With meanUp=30s, meanDown=5s expected downtime fraction ~1/7; allow
+	// a wide band for randomness.
+	frac := float64(down) / float64(end.Sub(epoch))
+	if frac <= 0 || frac > 0.5 {
+		t.Fatalf("downtime fraction = %v, implausible", frac)
+	}
+	// Decide agrees with the windows.
+	for _, w := range windows {
+		mid := w.Start.Add(w.End.Sub(w.Start) / 2)
+		if !r.Decide(mid).Unavailable {
+			t.Fatalf("Decide(%v) available inside generated window %+v", mid, w)
+		}
+	}
+}
+
+func TestRandomOutagesQueryBeforeOrigin(t *testing.T) {
+	r := NewRandomOutages(epoch, time.Minute, time.Second, 1)
+	if o := r.Decide(epoch.Add(-time.Hour)); o.Unavailable {
+		t.Fatal("unavailable before origin")
+	}
+}
+
+func TestDegradation(t *testing.T) {
+	d := NewDegradation(1.0, 10*time.Millisecond, 20*time.Millisecond, 5)
+	for i := 0; i < 100; i++ {
+		o := d.Decide(epoch)
+		if o.Unavailable {
+			t.Fatal("degradation should not make unavailable")
+		}
+		if o.ExtraDelay < 10*time.Millisecond || o.ExtraDelay >= 20*time.Millisecond {
+			t.Fatalf("delay %v outside [10ms,20ms)", o.ExtraDelay)
+		}
+	}
+	never := NewDegradation(0, time.Second, time.Second, 5)
+	if o := never.Decide(epoch); o.ExtraDelay != 0 {
+		t.Fatal("p=0 injected delay")
+	}
+}
+
+func TestDegradationFixedDelay(t *testing.T) {
+	d := NewDegradation(1.0, 5*time.Millisecond, 5*time.Millisecond, 1)
+	if o := d.Decide(epoch); o.ExtraDelay != 5*time.Millisecond {
+		t.Fatalf("fixed delay = %v", o.ExtraDelay)
+	}
+}
+
+func TestDegradationSwappedBounds(t *testing.T) {
+	d := NewDegradation(1.0, 10*time.Millisecond, time.Millisecond, 1)
+	if o := d.Decide(epoch); o.ExtraDelay != 10*time.Millisecond {
+		t.Fatalf("swapped bounds delay = %v, want clamped to min", o.ExtraDelay)
+	}
+}
+
+func TestFailureRate(t *testing.T) {
+	always := NewFailureRate(1.0, 3)
+	if o := always.Decide(epoch); !o.Unavailable || o.Reason == "" {
+		t.Fatalf("p=1 outcome = %+v", o)
+	}
+	never := NewFailureRate(0, 3)
+	if o := never.Decide(epoch); o.Unavailable {
+		t.Fatal("p=0 failed")
+	}
+
+	half := NewFailureRate(0.5, 3)
+	fails := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if half.Decide(epoch).Unavailable {
+			fails++
+		}
+	}
+	if fails < n*4/10 || fails > n*6/10 {
+		t.Fatalf("p=0.5 failure count = %d/%d, outside 40-60%%", fails, n)
+	}
+}
+
+func TestComposite(t *testing.T) {
+	c := NewComposite(
+		NewDegradation(1.0, time.Millisecond, time.Millisecond, 1),
+		NewScheduled(Window{Start: epoch, End: epoch.Add(time.Minute)}),
+		NewDegradation(1.0, 2*time.Millisecond, 2*time.Millisecond, 2),
+	)
+	o := c.Decide(epoch)
+	if !o.Unavailable {
+		t.Fatal("composite missed scheduled outage")
+	}
+	if o.Reason != "scheduled outage" {
+		t.Fatalf("reason = %q", o.Reason)
+	}
+	if o.ExtraDelay != 3*time.Millisecond {
+		t.Fatalf("delays did not accumulate: %v", o.ExtraDelay)
+	}
+
+	after := c.Decide(epoch.Add(2 * time.Minute))
+	if after.Unavailable {
+		t.Fatal("composite unavailable outside window")
+	}
+	if after.ExtraDelay != 3*time.Millisecond {
+		t.Fatalf("delay = %v", after.ExtraDelay)
+	}
+}

@@ -1,0 +1,382 @@
+// Package monitor implements the wsBus Monitoring Service (§3.1(2)):
+// it verifies configured monitoring policies against intercepted
+// messages (pre/post conditions), checks QoS thresholds from SLAs
+// against measured snapshots, classifies undesirable conditions into
+// meaningful fault types ("Service Unavailable Fault, SLA Violation
+// Fault, Service Failure Fault and Timeout Fault") and raises events
+// carrying the data recovery needs (process instance ID and context).
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/masc-project/masc/internal/clock"
+	"github.com/masc-project/masc/internal/event"
+	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/qos"
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/transport"
+	"github.com/masc-project/masc/internal/wsdl"
+	"github.com/masc-project/masc/internal/xpath"
+)
+
+// Fault type names assigned by the monitoring service's ECA rules.
+const (
+	FaultServiceUnavailable = "ServiceUnavailableFault"
+	FaultSLAViolation       = "SLAViolationFault"
+	FaultServiceFailure     = "ServiceFailureFault"
+	FaultTimeout            = "TimeoutFault"
+)
+
+// ClassifyError maps an invocation error to a fault type.
+func ClassifyError(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, transport.ErrTimeout):
+		return FaultTimeout
+	case errors.Is(err, transport.ErrUnavailable),
+		errors.Is(err, transport.ErrEndpointNotFound):
+		return FaultServiceUnavailable
+	default:
+		var f *soap.Fault
+		if errors.As(err, &f) {
+			return classifyFault(f)
+		}
+		return FaultServiceFailure
+	}
+}
+
+// ClassifyResponse maps a response envelope to a fault type; a non-
+// fault response yields "".
+func ClassifyResponse(env *soap.Envelope) string {
+	if env == nil || !env.IsFault() {
+		return ""
+	}
+	return classifyFault(env.Fault)
+}
+
+func classifyFault(f *soap.Fault) string {
+	if f.Code == soap.FaultServer {
+		return FaultServiceFailure
+	}
+	// Client/VersionMismatch/MustUnderstand faults indicate a problem
+	// with the request itself, which retrying cannot fix; they are
+	// still service failures from the composition's perspective.
+	return FaultServiceFailure
+}
+
+// Violation is a detected breach of a monitoring policy.
+type Violation struct {
+	// Policy is the violated monitoring policy's name.
+	Policy string
+	// Check names the violated assertion or threshold.
+	Check string
+	// FaultType is the classified fault raised for this violation.
+	FaultType string
+	// Detail elaborates the breach for diagnostics.
+	Detail string
+}
+
+// Error renders the violation as an error string.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("monitor: policy %q check %q violated (%s): %s",
+		v.Policy, v.Check, v.FaultType, v.Detail)
+}
+
+// Monitor evaluates monitoring policies. It is safe for concurrent use.
+type Monitor struct {
+	repo    *policy.Repository
+	tracker *qos.Tracker
+	bus     *event.Bus
+	store   *Store
+	clk     clock.Clock
+}
+
+// Option configures a Monitor.
+type Option func(*Monitor)
+
+// WithClock injects the time source.
+func WithClock(clk clock.Clock) Option {
+	return func(m *Monitor) { m.clk = clk }
+}
+
+// WithEventBus connects fault/SLA events to a bus.
+func WithEventBus(b *event.Bus) Option {
+	return func(m *Monitor) { m.bus = b }
+}
+
+// WithQoSTracker supplies measured QoS for threshold checks.
+func WithQoSTracker(t *qos.Tracker) Option {
+	return func(m *Monitor) { m.tracker = t }
+}
+
+// WithStore attaches a MonitoringStore recording intercepted messages
+// for multi-message conditions.
+func WithStore(s *Store) Option {
+	return func(m *Monitor) { m.store = s }
+}
+
+// New builds a monitor over a policy repository.
+func New(repo *policy.Repository, opts ...Option) *Monitor {
+	m := &Monitor{repo: repo, clk: clock.New()}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m
+}
+
+// Store returns the attached MonitoringStore (nil if none).
+func (m *Monitor) Store() *Store { return m.store }
+
+// CheckRequest evaluates pre-conditions (and contract validation) of
+// every monitoring policy scoped to subject/operation against a
+// request message. The first violation is returned and published as a
+// fault event; nil means the request conforms.
+func (m *Monitor) CheckRequest(subject, operation string, env *soap.Envelope, contract *wsdl.Contract) *Violation {
+	return m.checkMessage(subject, operation, env, contract, wsdl.Request)
+}
+
+// CheckResponse evaluates post-conditions of monitoring policies
+// against a response message.
+func (m *Monitor) CheckResponse(subject, operation string, env *soap.Envelope, contract *wsdl.Contract) *Violation {
+	return m.checkMessage(subject, operation, env, contract, wsdl.Response)
+}
+
+func (m *Monitor) checkMessage(subject, operation string, env *soap.Envelope, contract *wsdl.Contract, dir wsdl.Direction) *Violation {
+	if m.store != nil && env != nil {
+		m.store.Record(StoredMessage{
+			Time:       m.clk.Now(),
+			InstanceID: soap.ProcessInstanceID(env),
+			Subject:    subject,
+			Operation:  operation,
+			Direction:  dir,
+			Envelope:   env.Clone(),
+		})
+	}
+
+	root := env.ToXML()
+	for _, mp := range m.repo.MonitoringFor(subject, operation) {
+		if mp.ValidateContract && contract != nil {
+			if err := contract.Validate(env, dir); err != nil {
+				return m.violate(subject, operation, env, &Violation{
+					Policy:    mp.Name,
+					Check:     "contract",
+					FaultType: FaultServiceFailure,
+					Detail:    err.Error(),
+				})
+			}
+		}
+		assertions := mp.PreConditions
+		if dir == wsdl.Response {
+			assertions = mp.PostConditions
+		}
+		for _, a := range assertions {
+			ok, err := a.Expr.EvalBool(root, m.xpathEnv(env))
+			if err != nil {
+				return m.violate(subject, operation, env, &Violation{
+					Policy:    mp.Name,
+					Check:     a.Name,
+					FaultType: a.FaultType,
+					Detail:    "assertion evaluation failed: " + err.Error(),
+				})
+			}
+			if !ok {
+				return m.violate(subject, operation, env, &Violation{
+					Policy:    mp.Name,
+					Check:     a.Name,
+					FaultType: a.FaultType,
+					Detail:    fmt.Sprintf("assertion %q is false", a.Expr.Source()),
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// xpathEnv exposes evaluation variables to monitoring assertions,
+// including message history counts from the MonitoringStore ("the
+// Monitoring Service might reference data from external sources to
+// obtain data not available in the exchange messages").
+func (m *Monitor) xpathEnv(env *soap.Envelope) xpath.Context {
+	vars := map[string]xpath.Value{}
+	if env != nil {
+		instID := soap.ProcessInstanceID(env)
+		vars["instanceID"] = xpath.String(instID)
+		if m.store != nil {
+			vars["instanceMessageCount"] = xpath.Number(m.store.CountForInstance(instID))
+		}
+	}
+	return xpath.Context{Vars: vars}
+}
+
+// CheckQoS evaluates SLA thresholds of policies scoped to the subject
+// against the target's measured snapshot. All violations are returned
+// and published as SLA events.
+func (m *Monitor) CheckQoS(subject, target string) []Violation {
+	if m.tracker == nil {
+		return nil
+	}
+	snap := m.tracker.Snapshot(target)
+	if !snap.Known() {
+		return nil
+	}
+	var out []Violation
+	for _, mp := range m.repo.MonitoringFor(subject, "") {
+		for _, th := range mp.Thresholds {
+			if snap.Invocations < th.MinSamples {
+				continue
+			}
+			v := checkThreshold(th, snap)
+			if v == nil {
+				continue
+			}
+			v.Policy = mp.Name
+			m.publishSLA(subject, target, *v)
+			out = append(out, *v)
+		}
+	}
+	return out
+}
+
+func checkThreshold(th *policy.QoSThreshold, snap qos.Snapshot) *Violation {
+	name := th.Name
+	if name == "" {
+		name = string(th.Metric)
+	}
+	switch th.Metric {
+	case policy.MetricResponseTime:
+		if snap.MeanResponse > th.MaxResponse {
+			return &Violation{
+				Check:     name,
+				FaultType: th.FaultType,
+				Detail: fmt.Sprintf("mean response %v exceeds SLA max %v",
+					snap.MeanResponse, th.MaxResponse),
+			}
+		}
+	case policy.MetricReliability:
+		if snap.Reliability < th.MinValue {
+			return &Violation{
+				Check:     name,
+				FaultType: th.FaultType,
+				Detail: fmt.Sprintf("reliability %.4f below SLA min %.4f",
+					snap.Reliability, th.MinValue),
+			}
+		}
+	case policy.MetricAvailability:
+		if snap.Availability < th.MinValue {
+			return &Violation{
+				Check:     name,
+				FaultType: th.FaultType,
+				Detail: fmt.Sprintf("availability %.4f below SLA min %.4f",
+					snap.Availability, th.MinValue),
+			}
+		}
+	}
+	return nil
+}
+
+// ReportInvocationFault classifies an invocation outcome (error or
+// fault response) and publishes the fault event that triggers
+// corrective adaptation. It returns the fault type ("" when healthy).
+func (m *Monitor) ReportInvocationFault(subject, operation, target string, env *soap.Envelope, err error) string {
+	ft := ClassifyError(err)
+	if ft == "" {
+		ft = ClassifyResponse(env)
+	}
+	if ft == "" {
+		return ""
+	}
+	detail := ""
+	if err != nil {
+		detail = err.Error()
+	} else if env != nil && env.Fault != nil {
+		detail = env.Fault.String
+	}
+	instID := ""
+	if env != nil {
+		instID = soap.ProcessInstanceID(env)
+	}
+	m.publish(event.Event{
+		Type:              event.TypeFaultDetected,
+		Time:              m.clk.Now(),
+		Source:            "monitor",
+		Service:           subject,
+		Operation:         operation,
+		ProcessInstanceID: instID,
+		FaultType:         ft,
+		Message:           env,
+		Detail:            detail,
+		Data:              map[string]string{"target": target},
+	})
+	return ft
+}
+
+func (m *Monitor) violate(subject, operation string, env *soap.Envelope, v *Violation) *Violation {
+	instID := ""
+	if env != nil {
+		instID = soap.ProcessInstanceID(env)
+	}
+	m.publish(event.Event{
+		Type:              event.TypeFaultDetected,
+		Time:              m.clk.Now(),
+		Source:            "monitor",
+		Service:           subject,
+		Operation:         operation,
+		ProcessInstanceID: instID,
+		FaultType:         v.FaultType,
+		PolicyName:        v.Policy,
+		Message:           env,
+		Detail:            v.Detail,
+	})
+	return v
+}
+
+func (m *Monitor) publishSLA(subject, target string, v Violation) {
+	m.publish(event.Event{
+		Type:       event.TypeSLAViolation,
+		Time:       m.clk.Now(),
+		Source:     "monitor",
+		Service:    subject,
+		FaultType:  v.FaultType,
+		PolicyName: v.Policy,
+		Detail:     v.Detail,
+		Data:       map[string]string{"target": target},
+	})
+}
+
+func (m *Monitor) publish(e event.Event) {
+	if m.bus != nil {
+		m.bus.Publish(e)
+	}
+}
+
+// ObserveMessage records a message interception event (used by the
+// MASCMonitoringService to trigger dynamic customization policies) and
+// stores the message when a store is attached.
+func (m *Monitor) ObserveMessage(subject, operation string, env *soap.Envelope, dir wsdl.Direction) {
+	if m.store != nil && env != nil {
+		m.store.Record(StoredMessage{
+			Time:       m.clk.Now(),
+			InstanceID: soap.ProcessInstanceID(env),
+			Subject:    subject,
+			Operation:  operation,
+			Direction:  dir,
+			Envelope:   env.Clone(),
+		})
+	}
+	m.publish(event.Event{
+		Type:              event.TypeMessageIntercepted,
+		Time:              m.clk.Now(),
+		Source:            "monitor",
+		Service:           subject,
+		Operation:         operation,
+		ProcessInstanceID: soap.ProcessInstanceID(env),
+		Message:           env,
+	})
+}
+
+// duration formatting helper kept for diagnostics consistency.
+var _ = time.Duration(0)

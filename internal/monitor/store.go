@@ -1,0 +1,139 @@
+package monitor
+
+import (
+	"sync"
+	"time"
+
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/wsdl"
+	"github.com/masc-project/masc/internal/xpath"
+)
+
+// StoredMessage is one intercepted message retained by the
+// MonitoringStore.
+type StoredMessage struct {
+	Time       time.Time
+	InstanceID string
+	Subject    string
+	Operation  string
+	Direction  wsdl.Direction
+	Envelope   *soap.Envelope
+}
+
+// Store is the MonitoringStore: a bounded history of intercepted
+// messages that supports "situations when adaptation pre-conditions
+// refer to several different SOAP messages" (§2.1) and "querying the
+// log of prior interactions to get some historical data" (§3.1(2)).
+// Store is safe for concurrent use.
+type Store struct {
+	limit int
+
+	mu       sync.Mutex
+	messages []StoredMessage
+}
+
+// NewStore builds a store retaining at most limit messages (oldest
+// evicted first); limit <= 0 means 1024.
+func NewStore(limit int) *Store {
+	if limit <= 0 {
+		limit = 1024
+	}
+	return &Store{limit: limit}
+}
+
+// Record appends a message, evicting the oldest beyond the limit.
+func (s *Store) Record(m StoredMessage) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.messages = append(s.messages, m)
+	if len(s.messages) > s.limit {
+		s.messages = append(s.messages[:0], s.messages[len(s.messages)-s.limit:]...)
+	}
+}
+
+// Len returns the number of retained messages.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.messages)
+}
+
+// CountForInstance returns how many retained messages correlate to the
+// process instance.
+func (s *Store) CountForInstance(instanceID string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, m := range s.messages {
+		if m.InstanceID == instanceID {
+			n++
+		}
+	}
+	return n
+}
+
+// Filter selects retained messages; zero-valued fields match anything.
+type Filter struct {
+	InstanceID string
+	Subject    string
+	Operation  string
+	Direction  wsdl.Direction
+}
+
+func (f Filter) matches(m StoredMessage) bool {
+	if f.InstanceID != "" && f.InstanceID != m.InstanceID {
+		return false
+	}
+	if f.Subject != "" && f.Subject != m.Subject {
+		return false
+	}
+	if f.Operation != "" && f.Operation != m.Operation {
+		return false
+	}
+	if f.Direction != 0 && f.Direction != m.Direction {
+		return false
+	}
+	return true
+}
+
+// Query returns copies of the retained messages matching the filter,
+// oldest first.
+func (s *Store) Query(f Filter) []StoredMessage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []StoredMessage
+	for _, m := range s.messages {
+		if f.matches(m) {
+			cp := m
+			cp.Envelope = m.Envelope.Clone()
+			out = append(out, cp)
+		}
+	}
+	return out
+}
+
+// CountMatching evaluates a compiled XPath boolean over each retained
+// message matching the filter and returns how many satisfy it. This is
+// the multi-message pre-condition primitive: e.g. "the instance has
+// already seen two orders over $threshold".
+func (s *Store) CountMatching(f Filter, expr *xpath.Compiled) (int, error) {
+	msgs := s.Query(f)
+	n := 0
+	for _, m := range msgs {
+		ok, err := expr.EvalBool(m.Envelope.ToXML(), xpath.Context{})
+		if err != nil {
+			return n, err
+		}
+		if ok {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Reset discards all retained messages.
+func (s *Store) Reset() {
+	s.mu.Lock()
+	s.messages = nil
+	s.mu.Unlock()
+}

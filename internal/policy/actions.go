@@ -1,0 +1,275 @@
+package policy
+
+import (
+	"time"
+
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+// Action is one adaptation step. The policy package only models
+// actions; internal/bus enacts the messaging-layer ones and
+// internal/core + internal/workflow the process-layer ones ("the policy
+// decision manager passes an object representation of the adaptation
+// actions to the relevant policy enforcement point(s)", §3.1(3)).
+type Action interface {
+	// ActionName returns the action's XML element name.
+	ActionName() string
+	// ActionLayer returns the layer that enacts the action.
+	ActionLayer() Layer
+}
+
+// BackoffKind selects the delay pattern between retries ("the queue
+// reader tries redelivery using the pattern specified by the used
+// recovery policy", §3.1).
+type BackoffKind string
+
+// Backoff patterns.
+const (
+	BackoffFixed       BackoffKind = "fixed"
+	BackoffExponential BackoffKind = "exponential"
+)
+
+// RetryAction re-invokes the faulty service up to MaxAttempts times
+// ("first attempt n retries before failover to a known backup
+// service").
+type RetryAction struct {
+	// MaxAttempts is the number of retries after the initial attempt.
+	MaxAttempts int
+	// Delay is the pause between retry cycles (the paper's experiments
+	// use 3 retries with 2 s delay).
+	Delay time.Duration
+	// Backoff selects fixed or exponential delay growth.
+	Backoff BackoffKind
+}
+
+// ActionName implements Action.
+func (RetryAction) ActionName() string { return "Retry" }
+
+// ActionLayer implements Action.
+func (RetryAction) ActionLayer() Layer { return LayerMessaging }
+
+// SelectionKind is a VEP service-selection strategy (§3.1(4)).
+type SelectionKind string
+
+// Selection strategies.
+const (
+	// SelectRoundRobin rotates through registered services.
+	SelectRoundRobin SelectionKind = "roundRobin"
+	// SelectBestResponseTime picks the best performer by measured QoS.
+	SelectBestResponseTime SelectionKind = "bestResponseTime"
+	// SelectRandom picks uniformly at random (baseline).
+	SelectRandom SelectionKind = "random"
+	// SelectFirst always picks the first registered service.
+	SelectFirst SelectionKind = "first"
+)
+
+// SubstituteAction fails over to an equivalent service registered with
+// the VEP ("if the fault persists then it should select an equivalent
+// backup service").
+type SubstituteAction struct {
+	// Selection picks among the VEP's remaining services; defaults to
+	// SelectBestResponseTime.
+	Selection SelectionKind
+	// MaxAlternatives bounds how many different services are tried;
+	// 0 means all registered alternatives.
+	MaxAlternatives int
+}
+
+// ActionName implements Action.
+func (SubstituteAction) ActionName() string { return "Substitute" }
+
+// ActionLayer implements Action.
+func (SubstituteAction) ActionLayer() Layer { return LayerMessaging }
+
+// ConcurrentAction invokes multiple equivalent services concurrently
+// and takes the first response ("'broadcast' the request message to
+// multiple targets service providers concurrently and consider the
+// first one that respond, all pending invocations are then aborted").
+type ConcurrentAction struct {
+	// MaxTargets bounds the fan-out; 0 means all registered services.
+	MaxTargets int
+}
+
+// ActionName implements Action.
+func (ConcurrentAction) ActionName() string { return "ConcurrentInvoke" }
+
+// ActionLayer implements Action.
+func (ConcurrentAction) ActionLayer() Layer { return LayerMessaging }
+
+// SkipAction abandons the invocation and reports success with an empty
+// response — used for non-critical calls ("for the Logging service we
+// have configured a skip policy since the functionality provided by the
+// Logging service is not business critical", §3.2).
+type SkipAction struct{}
+
+// ActionName implements Action.
+func (SkipAction) ActionName() string { return "Skip" }
+
+// ActionLayer implements Action.
+func (SkipAction) ActionLayer() Layer { return LayerMessaging }
+
+// Position places an added activity relative to an anchor activity in
+// the base process.
+type Position string
+
+// Insertion positions.
+const (
+	PositionBefore  Position = "before"
+	PositionAfter   Position = "after"
+	PositionReplace Position = "replace"
+	PositionAtStart Position = "atStart"
+	PositionAtEnd   Position = "atEnd"
+)
+
+// DataBinding describes "required parameters binding and value passing
+// between base processes and their variation processes" (§2.1).
+type DataBinding struct {
+	// FromVariable is the base-process variable read.
+	FromVariable string
+	// ToVariable is the variation-process/activity variable written
+	// before the variation runs (and vice versa for results).
+	ToVariable string
+	// Direction is "in" (base→variation, default) or "out"
+	// (variation→base after completion).
+	Direction string
+}
+
+// AddActivityAction inserts a variation activity or process fragment
+// into a process instance. The activity specification is an opaque XML
+// subtree in the workflow package's process-definition vocabulary;
+// "all business processes, including base processes and variation
+// processes, are defined in appropriate other documents ... so they are
+// only referenced in WS-Policy4MASC policies" (§2) — we additionally
+// allow inline fragments for self-contained policy files.
+type AddActivityAction struct {
+	// Anchor names the base-process activity the insertion is relative
+	// to; unused for PositionAtStart/AtEnd.
+	Anchor string
+	// Position places the new activity relative to Anchor.
+	Position Position
+	// ActivitySpec is the inline activity/fragment definition.
+	ActivitySpec *xmltree.Element
+	// VariationRef optionally references an externally defined
+	// variation process by name instead of an inline spec.
+	VariationRef string
+	// Bindings passes values between the base and variation scopes.
+	Bindings []DataBinding
+}
+
+// ActionName implements Action.
+func (AddActivityAction) ActionName() string { return "AddActivity" }
+
+// ActionLayer implements Action.
+func (AddActivityAction) ActionLayer() Layer { return LayerProcess }
+
+// RemoveActivityAction deletes an activity or an activity block
+// ("an activity block is specified using beginning and ending points",
+// §2) from a process instance.
+type RemoveActivityAction struct {
+	// Activity names the activity to remove (or the block's beginning).
+	Activity string
+	// BlockEnd, when non-empty, extends the removal to the consecutive
+	// sibling block ending at this activity (inclusive).
+	BlockEnd string
+}
+
+// ActionName implements Action.
+func (RemoveActivityAction) ActionName() string { return "RemoveActivity" }
+
+// ActionLayer implements Action.
+func (RemoveActivityAction) ActionLayer() Layer { return LayerProcess }
+
+// ReplaceActivityAction swaps an activity for a variation.
+type ReplaceActivityAction struct {
+	// Activity names the activity to replace.
+	Activity string
+	// ActivitySpec is the inline replacement definition.
+	ActivitySpec *xmltree.Element
+	// VariationRef optionally references an external variation process.
+	VariationRef string
+	// Bindings passes values between the base and variation scopes.
+	Bindings []DataBinding
+}
+
+// ActionName implements Action.
+func (ReplaceActivityAction) ActionName() string { return "ReplaceActivity" }
+
+// ActionLayer implements Action.
+func (ReplaceActivityAction) ActionLayer() Layer { return LayerProcess }
+
+// SuspendProcessAction pauses the correlated process instance — used
+// for cross-layer coordination ("the adaptation policy might stipulate
+// that MASCAdaptationService should first suspend the calling process
+// instance (until the execution of the adaptation actions is
+// completed)", §3.1(3)).
+type SuspendProcessAction struct{}
+
+// ActionName implements Action.
+func (SuspendProcessAction) ActionName() string { return "SuspendProcess" }
+
+// ActionLayer implements Action.
+func (SuspendProcessAction) ActionLayer() Layer { return LayerProcess }
+
+// ResumeProcessAction resumes a suspended process instance.
+type ResumeProcessAction struct{}
+
+// ActionName implements Action.
+func (ResumeProcessAction) ActionName() string { return "ResumeProcess" }
+
+// ActionLayer implements Action.
+func (ResumeProcessAction) ActionLayer() Layer { return LayerProcess }
+
+// TerminateProcessAction aborts the correlated process instance.
+type TerminateProcessAction struct{}
+
+// ActionName implements Action.
+func (TerminateProcessAction) ActionName() string { return "TerminateProcess" }
+
+// ActionLayer implements Action.
+func (TerminateProcessAction) ActionLayer() Layer { return LayerProcess }
+
+// DelayProcessAction pauses the instance for a fixed duration
+// ("delay/suspend/resume/terminate process", §3).
+type DelayProcessAction struct {
+	// Duration is how long the instance is delayed.
+	Duration time.Duration
+}
+
+// ActionName implements Action.
+func (DelayProcessAction) ActionName() string { return "DelayProcess" }
+
+// ActionLayer implements Action.
+func (DelayProcessAction) ActionLayer() Layer { return LayerProcess }
+
+// AdjustTimeoutAction raises an activity's timeout on the correlated
+// process instance ("or increase its timeout interval to avoid the
+// calling process timing out", §3.1(3)).
+type AdjustTimeoutAction struct {
+	// Activity names the invoke activity whose timeout changes; empty
+	// means the instance's currently executing invoke activity.
+	Activity string
+	// NewTimeout is the replacement timeout interval.
+	NewTimeout time.Duration
+}
+
+// ActionName implements Action.
+func (AdjustTimeoutAction) ActionName() string { return "AdjustTimeout" }
+
+// ActionLayer implements Action.
+func (AdjustTimeoutAction) ActionLayer() Layer { return LayerProcess }
+
+// Compile-time interface checks.
+var (
+	_ Action = RetryAction{}
+	_ Action = SubstituteAction{}
+	_ Action = ConcurrentAction{}
+	_ Action = SkipAction{}
+	_ Action = AddActivityAction{}
+	_ Action = RemoveActivityAction{}
+	_ Action = ReplaceActivityAction{}
+	_ Action = SuspendProcessAction{}
+	_ Action = ResumeProcessAction{}
+	_ Action = TerminateProcessAction{}
+	_ Action = DelayProcessAction{}
+	_ Action = AdjustTimeoutAction{}
+)

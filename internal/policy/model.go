@@ -1,0 +1,230 @@
+// Package policy implements WS-Policy4MASC, the paper's novel policy
+// language (§2): an extension of WS-Policy for specifying monitoring
+// policies (functional pre/post conditions and QoS thresholds that
+// detect adaptation needs) and adaptation policies (Event-Condition-
+// Action rules with priorities, pre/post states, and business-value
+// annotations that guide process reconfiguration).
+//
+// Policies are authored as XML documents (see Parse), loaded once into
+// object form, and stored in a Repository that decision makers query
+// per event — the "object representation of policies, which is updated
+// only when policies change" optimization the paper plans for the .NET
+// reimplementation (§3.2).
+//
+// The package is deliberately independent of the engines that enforce
+// policies: process-layer activity specifications are carried as opaque
+// XML subtrees interpreted by internal/workflow, and messaging-layer
+// actions are interpreted by internal/bus.
+package policy
+
+import (
+	"time"
+
+	"github.com/masc-project/masc/internal/event"
+	"github.com/masc-project/masc/internal/xpath"
+)
+
+// Namespace is the XML namespace of WS-Policy4MASC documents.
+const Namespace = "urn:masc:ws-policy4masc"
+
+// Document is a parsed WS-Policy4MASC file: a named collection of
+// monitoring and adaptation policies.
+type Document struct {
+	// Name identifies the document (unique within a repository).
+	Name string
+	// Monitoring lists the monitoring policies in document order.
+	Monitoring []*MonitoringPolicy
+	// Adaptation lists the adaptation policies in document order.
+	Adaptation []*AdaptationPolicy
+}
+
+// Scope attaches a policy to its subject, the WS-PolicyAttachment
+// analog. Policies "can be attached to Monitoring Points at various
+// levels of granularity such as a Service Endpoint or a Service
+// Operation" (§3.1(2)).
+type Scope struct {
+	// Subject names the attachment point: a VEP name ("vep:Retailer"),
+	// an endpoint address, a service type, or a process definition name.
+	Subject string
+	// Operation optionally narrows the scope to one operation; empty
+	// means all operations of the subject.
+	Operation string
+}
+
+// Matches reports whether the scope covers the given subject and
+// operation. An empty scope Subject matches everything.
+func (s Scope) Matches(subject, operation string) bool {
+	if s.Subject != "" && s.Subject != subject {
+		return false
+	}
+	if s.Operation != "" && operation != "" && s.Operation != operation {
+		return false
+	}
+	return true
+}
+
+// MonitoringPolicy specifies "the desired behavior of the system in
+// terms of (a) pre-conditions and post-conditions that express
+// constraints over exchanged messages (b) thresholds over QoS
+// guarantees ... as stipulated in pre-established SLAs" (§3.1(2)).
+type MonitoringPolicy struct {
+	Name string
+	Scope
+	// PreConditions are evaluated against request messages.
+	PreConditions []*Assertion
+	// PostConditions are evaluated against response messages.
+	PostConditions []*Assertion
+	// Thresholds are evaluated against QoS snapshots.
+	Thresholds []*QoSThreshold
+	// ValidateContract requests WSDL contract validation of exchanged
+	// messages.
+	ValidateContract bool
+}
+
+// Assertion is one XPath constraint over a message. A violated
+// assertion raises a fault event of the given type (the monitoring
+// service "uses ECA rules to assign a meaningful fault type to the
+// violation event").
+type Assertion struct {
+	// Name labels the assertion for diagnostics.
+	Name string
+	// Expr is the compiled XPath boolean constraint, evaluated with
+	// the message envelope as document root.
+	Expr *xpath.Compiled
+	// FaultType is raised when the constraint evaluates false;
+	// defaults to "ServiceFailureFault".
+	FaultType string
+}
+
+// Metric names a QoS measurement a threshold can constrain.
+type Metric string
+
+// Metrics measured by the QoS Measurement Service (§3.1(1)).
+const (
+	MetricResponseTime Metric = "responseTime"
+	MetricReliability  Metric = "reliability"
+	MetricAvailability Metric = "availability"
+)
+
+// QoSThreshold is an SLA bound over a metric.
+type QoSThreshold struct {
+	// Name labels the threshold for diagnostics.
+	Name string
+	// Metric selects the measurement.
+	Metric Metric
+	// MaxResponse bounds response time (only for MetricResponseTime).
+	MaxResponse time.Duration
+	// MinValue bounds ratio metrics from below (reliability,
+	// availability, in [0,1]).
+	MinValue float64
+	// MinSamples is the minimum number of observations before the
+	// threshold is evaluated (avoids false alarms on cold metrics).
+	MinSamples int
+	// FaultType is raised on violation; defaults to "SLAViolationFault".
+	FaultType string
+}
+
+// AdaptationKind is the paper's third classification dimension: why
+// the adaptation is done (§1).
+type AdaptationKind string
+
+// Adaptation kinds.
+const (
+	// KindCustomization adds/removes/replaces activities specific to a
+	// composition instance (business special cases).
+	KindCustomization AdaptationKind = "customization"
+	// KindCorrection handles faults reported during execution.
+	KindCorrection AdaptationKind = "correction"
+	// KindOptimization improves extra-functional issues noticed during
+	// correct execution (paper future work; supported as extension).
+	KindOptimization AdaptationKind = "optimization"
+	// KindPrevention prevents future faults before they occur (paper
+	// future work; supported as extension).
+	KindPrevention AdaptationKind = "prevention"
+)
+
+// Layer is where an adaptation action is enacted: "either at the SOAP
+// messaging layer (such as retry a service call) or at the process
+// orchestration layer (such as skip a process activity or add/remove
+// activity) or sometimes at both layers" (§3.1(3)).
+type Layer string
+
+// Enforcement layers.
+const (
+	LayerMessaging Layer = "messaging"
+	LayerProcess   Layer = "process"
+	LayerBoth      Layer = "both"
+)
+
+// Trigger is the E of the ECA rule: the event that causes policy
+// evaluation.
+type Trigger struct {
+	// EventType selects which middleware events trigger evaluation
+	// (e.g. event.TypeFaultDetected, event.TypeProcessStarted,
+	// event.TypeMessageIntercepted).
+	EventType event.Type
+	// FaultType further narrows fault events to one classified fault
+	// ("adaptation policies ... specify the necessary adaptations per
+	// fault type"); empty matches any fault.
+	FaultType string
+}
+
+// Matches reports whether the trigger fires for an event.
+func (t Trigger) Matches(e event.Event) bool {
+	if t.EventType != "" && t.EventType != e.Type {
+		return false
+	}
+	if t.FaultType != "" && t.FaultType != e.FaultType {
+		return false
+	}
+	return true
+}
+
+// BusinessValue is the monetary change associated with performing an
+// adaptation — the hook for the paper's long-term goal of
+// business-driven adaptation ("change of business value (e.g., monetary
+// payments) associated with this adaptation", §2).
+type BusinessValue struct {
+	// Amount is the value change (positive = gain) in Currency units.
+	Amount float64
+	// Currency is the ISO currency code.
+	Currency string
+	// Reason documents the business rationale.
+	Reason string
+}
+
+// AdaptationPolicy is an ECA rule guiding adaptation. Fields mirror
+// the paper's §2 description of a WS-Policy4MASC adaptation policy:
+// triggering events, relevance conditions, required pre-state, actions,
+// post-state, and business value.
+type AdaptationPolicy struct {
+	Name string
+	Scope
+	// Kind classifies why the adaptation is performed.
+	Kind AdaptationKind
+	// Priority orders execution when several policies apply to one
+	// event; higher runs first ("policy priorities are used to
+	// determine the order of execution").
+	Priority int
+	// Layer is where the actions are enacted.
+	Layer Layer
+	// Trigger is the triggering event pattern.
+	Trigger Trigger
+	// Condition is an optional XPath relevance condition evaluated
+	// against the triggering message (with event context exposed as
+	// XPath variables; see monitor package). A nil condition is true.
+	Condition *xpath.Compiled
+	// StateBefore optionally names the state the adapted system must
+	// be in before the adaptation (checked against the process
+	// instance's adaptation state).
+	StateBefore string
+	// StateAfter optionally names the state recorded after a
+	// successful adaptation.
+	StateAfter string
+	// Actions run in order until one fails in a way its semantics
+	// treat as terminal (see each action type).
+	Actions []Action
+	// BusinessValue is the value change booked when the policy's
+	// actions complete successfully.
+	BusinessValue *BusinessValue
+}

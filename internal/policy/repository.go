@@ -1,0 +1,141 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/masc-project/masc/internal/event"
+)
+
+// Repository is the policy store queried by decision makers: "policy
+// assertions are stored in a policy repository, which is a collection
+// of instances of policy classes" (§2.1). Documents can be replaced at
+// runtime — "when a WS-Policy4MASC document changes, these changes are
+// automatically enforced the next time adaptation is needed with no
+// need to restart any software component" (§2.2). Repository is safe
+// for concurrent use.
+type Repository struct {
+	mu   sync.RWMutex
+	docs map[string]*Document
+}
+
+// NewRepository builds an empty repository.
+func NewRepository() *Repository {
+	return &Repository{docs: make(map[string]*Document)}
+}
+
+// Load validates the document and adds or replaces it (keyed by
+// document name).
+func (r *Repository) Load(d *Document) error {
+	if err := Validate(d); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.docs[d.Name] = d
+	r.mu.Unlock()
+	return nil
+}
+
+// LoadXML parses and loads a document from XML text.
+func (r *Repository) LoadXML(text string) (*Document, error) {
+	d, err := ParseString(text)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Load(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Unload removes the named document and reports whether it existed.
+func (r *Repository) Unload(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.docs[name]; !ok {
+		return false
+	}
+	delete(r.docs, name)
+	return true
+}
+
+// Documents returns the loaded document names, sorted.
+func (r *Repository) Documents() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.docs))
+	for name := range r.docs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MonitoringFor returns the monitoring policies whose scope covers the
+// subject and operation, in (document name, document order).
+func (r *Repository) MonitoringFor(subject, operation string) []*MonitoringPolicy {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*MonitoringPolicy
+	for _, name := range r.docNamesLocked() {
+		for _, mp := range r.docs[name].Monitoring {
+			if mp.Scope.Matches(subject, operation) {
+				out = append(out, mp)
+			}
+		}
+	}
+	return out
+}
+
+// AdaptationFor returns the adaptation policies triggered by the event
+// whose scope covers the event's subject, ordered by descending
+// priority (ties broken by name for determinism). The caller evaluates
+// each policy's Condition separately because condition evaluation needs
+// the message and variable context.
+func (r *Repository) AdaptationFor(e event.Event, subject string) []*AdaptationPolicy {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*AdaptationPolicy
+	for _, name := range r.docNamesLocked() {
+		for _, ap := range r.docs[name].Adaptation {
+			if !ap.Trigger.Matches(e) {
+				continue
+			}
+			if !ap.Scope.Matches(subject, e.Operation) {
+				continue
+			}
+			out = append(out, ap)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority > out[j].Priority
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// AdaptationByName finds a policy by name across documents.
+func (r *Repository) AdaptationByName(name string) (*AdaptationPolicy, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, docName := range r.docNamesLocked() {
+		for _, ap := range r.docs[docName].Adaptation {
+			if ap.Name == name {
+				return ap, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("policy: no adaptation policy named %q", name)
+}
+
+func (r *Repository) docNamesLocked() []string {
+	names := make([]string, 0, len(r.docs))
+	for n := range r.docs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,185 @@
+package policy
+
+import (
+	"strconv"
+
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+// ToXML serializes the document back to its XML form. Round-tripping
+// Parse(ToXML(d)) yields an equivalent document.
+func (d *Document) ToXML() *xmltree.Element {
+	root := xmltree.New(Namespace, "PolicyDocument")
+	root.SetAttr("", "name", d.Name)
+	for _, mp := range d.Monitoring {
+		root.Append(monitoringToXML(mp))
+	}
+	for _, ap := range d.Adaptation {
+		root.Append(adaptationToXML(ap))
+	}
+	return root
+}
+
+// Encode serializes the document to XML text.
+func (d *Document) Encode() (string, error) {
+	return xmltree.MarshalString(d.ToXML())
+}
+
+func scopeAttrs(e *xmltree.Element, s Scope) {
+	if s.Subject != "" {
+		e.SetAttr("", "subject", s.Subject)
+	}
+	if s.Operation != "" {
+		e.SetAttr("", "operation", s.Operation)
+	}
+}
+
+func monitoringToXML(mp *MonitoringPolicy) *xmltree.Element {
+	e := xmltree.New(Namespace, "MonitoringPolicy")
+	e.SetAttr("", "name", mp.Name)
+	scopeAttrs(e, mp.Scope)
+	if mp.ValidateContract {
+		e.SetAttr("", "validateContract", "true")
+	}
+	appendAssertions := func(local string, as []*Assertion) {
+		for _, a := range as {
+			c := xmltree.NewText(Namespace, local, a.Expr.Source())
+			if a.Name != "" {
+				c.SetAttr("", "name", a.Name)
+			}
+			c.SetAttr("", "faultType", a.FaultType)
+			e.Append(c)
+		}
+	}
+	appendAssertions("PreCondition", mp.PreConditions)
+	appendAssertions("PostCondition", mp.PostConditions)
+	for _, th := range mp.Thresholds {
+		c := xmltree.New(Namespace, "QoSThreshold")
+		if th.Name != "" {
+			c.SetAttr("", "name", th.Name)
+		}
+		c.SetAttr("", "metric", string(th.Metric))
+		if th.Metric == MetricResponseTime {
+			c.SetAttr("", "maxResponse", th.MaxResponse.String())
+		} else {
+			c.SetAttr("", "min", strconv.FormatFloat(th.MinValue, 'g', -1, 64))
+		}
+		if th.MinSamples > 0 {
+			c.SetAttr("", "minSamples", strconv.Itoa(th.MinSamples))
+		}
+		c.SetAttr("", "faultType", th.FaultType)
+		e.Append(c)
+	}
+	return e
+}
+
+func adaptationToXML(ap *AdaptationPolicy) *xmltree.Element {
+	e := xmltree.New(Namespace, "AdaptationPolicy")
+	e.SetAttr("", "name", ap.Name)
+	scopeAttrs(e, ap.Scope)
+	e.SetAttr("", "kind", string(ap.Kind))
+	e.SetAttr("", "layer", string(ap.Layer))
+	e.SetAttr("", "priority", strconv.Itoa(ap.Priority))
+
+	on := xmltree.New(Namespace, "OnEvent")
+	on.SetAttr("", "type", string(ap.Trigger.EventType))
+	if ap.Trigger.FaultType != "" {
+		on.SetAttr("", "faultType", ap.Trigger.FaultType)
+	}
+	e.Append(on)
+
+	if ap.Condition != nil {
+		e.Append(xmltree.NewText(Namespace, "Condition", ap.Condition.Source()))
+	}
+	if ap.StateBefore != "" {
+		e.Append(xmltree.NewText(Namespace, "StateBefore", ap.StateBefore))
+	}
+	if ap.StateAfter != "" {
+		e.Append(xmltree.NewText(Namespace, "StateAfter", ap.StateAfter))
+	}
+
+	actions := xmltree.New(Namespace, "Actions")
+	for _, a := range ap.Actions {
+		actions.Append(actionToXML(a))
+	}
+	e.Append(actions)
+
+	if ap.BusinessValue != nil {
+		bv := xmltree.New(Namespace, "BusinessValue")
+		bv.SetAttr("", "amount", strconv.FormatFloat(ap.BusinessValue.Amount, 'g', -1, 64))
+		if ap.BusinessValue.Currency != "" {
+			bv.SetAttr("", "currency", ap.BusinessValue.Currency)
+		}
+		if ap.BusinessValue.Reason != "" {
+			bv.SetAttr("", "reason", ap.BusinessValue.Reason)
+		}
+		e.Append(bv)
+	}
+	return e
+}
+
+func actionToXML(a Action) *xmltree.Element {
+	e := xmltree.New(Namespace, a.ActionName())
+	switch act := a.(type) {
+	case RetryAction:
+		e.SetAttr("", "maxAttempts", strconv.Itoa(act.MaxAttempts))
+		if act.Delay > 0 {
+			e.SetAttr("", "delay", act.Delay.String())
+		}
+		e.SetAttr("", "backoff", string(act.Backoff))
+	case SubstituteAction:
+		e.SetAttr("", "selection", string(act.Selection))
+		if act.MaxAlternatives > 0 {
+			e.SetAttr("", "maxAlternatives", strconv.Itoa(act.MaxAlternatives))
+		}
+	case ConcurrentAction:
+		if act.MaxTargets > 0 {
+			e.SetAttr("", "maxTargets", strconv.Itoa(act.MaxTargets))
+		}
+	case SkipAction, SuspendProcessAction, ResumeProcessAction, TerminateProcessAction:
+		// No attributes.
+	case AddActivityAction:
+		if act.Anchor != "" {
+			e.SetAttr("", "anchor", act.Anchor)
+		}
+		e.SetAttr("", "position", string(act.Position))
+		if act.VariationRef != "" {
+			e.SetAttr("", "variationRef", act.VariationRef)
+		}
+		appendSpecAndBindings(e, act.ActivitySpec, act.Bindings)
+	case RemoveActivityAction:
+		e.SetAttr("", "activity", act.Activity)
+		if act.BlockEnd != "" {
+			e.SetAttr("", "blockEnd", act.BlockEnd)
+		}
+	case ReplaceActivityAction:
+		e.SetAttr("", "activity", act.Activity)
+		if act.VariationRef != "" {
+			e.SetAttr("", "variationRef", act.VariationRef)
+		}
+		appendSpecAndBindings(e, act.ActivitySpec, act.Bindings)
+	case DelayProcessAction:
+		e.SetAttr("", "duration", act.Duration.String())
+	case AdjustTimeoutAction:
+		if act.Activity != "" {
+			e.SetAttr("", "activity", act.Activity)
+		}
+		e.SetAttr("", "newTimeout", act.NewTimeout.String())
+	}
+	return e
+}
+
+func appendSpecAndBindings(e *xmltree.Element, spec *xmltree.Element, bindings []DataBinding) {
+	for _, b := range bindings {
+		bind := xmltree.New(Namespace, "Bind")
+		bind.SetAttr("", "from", b.FromVariable)
+		bind.SetAttr("", "to", b.ToVariable)
+		bind.SetAttr("", "direction", b.Direction)
+		e.Append(bind)
+	}
+	if spec != nil {
+		wrap := xmltree.New(Namespace, "Activity")
+		wrap.Append(spec.Copy())
+		e.Append(wrap)
+	}
+}

@@ -1,0 +1,106 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/masc-project/masc/internal/event"
+)
+
+// ErrInvalid wraps all validation failures.
+var ErrInvalid = errors.New("policy: invalid document")
+
+// Validate performs the consistency checks the paper claims over
+// RobustBPEL ("our approach is more general and controls adaptation
+// using policies that can be checked for consistency", §4):
+//
+//   - policy names are unique within the document;
+//   - every adaptation policy's declared layer covers its actions;
+//   - action sequences are coherent (no actions after a terminal
+//     Skip/Terminate, Resume without a preceding Suspend in the same
+//     policy, at most one retry action);
+//   - customization policies trigger on process/message events, not
+//     fault events (those are corrections).
+func Validate(d *Document) error {
+	if d.Name == "" {
+		return fmt.Errorf("%w: document has no name", ErrInvalid)
+	}
+	names := make(map[string]bool)
+	for _, mp := range d.Monitoring {
+		if names[mp.Name] {
+			return fmt.Errorf("%w: duplicate policy name %q", ErrInvalid, mp.Name)
+		}
+		names[mp.Name] = true
+		if len(mp.PreConditions) == 0 && len(mp.PostConditions) == 0 &&
+			len(mp.Thresholds) == 0 && !mp.ValidateContract {
+			return fmt.Errorf("%w: monitoring policy %q monitors nothing", ErrInvalid, mp.Name)
+		}
+	}
+	for _, ap := range d.Adaptation {
+		if names[ap.Name] {
+			return fmt.Errorf("%w: duplicate policy name %q", ErrInvalid, ap.Name)
+		}
+		names[ap.Name] = true
+		if err := validateAdaptation(ap); err != nil {
+			return fmt.Errorf("%w: policy %q: %v", ErrInvalid, ap.Name, err)
+		}
+	}
+	return nil
+}
+
+func validateAdaptation(ap *AdaptationPolicy) error {
+	// Layer coverage.
+	for _, a := range ap.Actions {
+		al := a.ActionLayer()
+		if ap.Layer != LayerBoth && ap.Layer != al {
+			return fmt.Errorf("action %s is a %s-layer action but policy layer is %s",
+				a.ActionName(), al, ap.Layer)
+		}
+	}
+
+	// Sequence coherence.
+	retries := 0
+	terminalAt := -1
+	suspended := false
+	for i, a := range ap.Actions {
+		if terminalAt >= 0 {
+			return fmt.Errorf("action %s follows terminal action %s",
+				a.ActionName(), ap.Actions[terminalAt].ActionName())
+		}
+		switch a.(type) {
+		case RetryAction:
+			retries++
+			if retries > 1 {
+				return errors.New("multiple Retry actions in one policy")
+			}
+		case SkipAction, TerminateProcessAction:
+			terminalAt = i
+		case SuspendProcessAction:
+			if suspended {
+				return errors.New("SuspendProcess repeated without ResumeProcess")
+			}
+			suspended = true
+		case ResumeProcessAction:
+			if !suspended {
+				return errors.New("ResumeProcess without a preceding SuspendProcess")
+			}
+			suspended = false
+		}
+	}
+
+	// Kind/trigger coherence.
+	if ap.Kind == KindCustomization {
+		switch ap.Trigger.EventType {
+		case event.TypeProcessStarted, event.TypeMessageIntercepted, event.TypeActivityStarted, event.TypeActivityCompleted:
+		default:
+			return fmt.Errorf("customization policy triggers on %q; customizations react to process/message events, not faults",
+				ap.Trigger.EventType)
+		}
+	}
+	if ap.Kind == KindCorrection && ap.Trigger.FaultType != "" &&
+		ap.Trigger.EventType != event.TypeFaultDetected && ap.Trigger.EventType != event.TypeSLAViolation {
+		return fmt.Errorf("trigger faultType %q requires a fault or SLA event, got %q",
+			ap.Trigger.FaultType, ap.Trigger.EventType)
+	}
+	return nil
+}

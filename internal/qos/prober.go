@@ -1,0 +1,132 @@
+package qos
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/masc-project/masc/internal/clock"
+)
+
+// ProbeFunc performs one synthetic health probe of a target and
+// returns an error on failure. Typically it invokes a cheap operation
+// (a getStock or getQuotes call) through the transport.
+type ProbeFunc func(ctx context.Context, target string) error
+
+// Prober implements the QoS Measurement Service's second collection
+// mode: "via periodic probing for management information" (§3.1(1)).
+// It probes every configured target on a fixed period and records the
+// outcomes into the tracker alongside passively measured traffic, so
+// selection and SLA policies see fresh data even for idle targets.
+// Stop shuts the prober down and waits for its goroutine.
+type Prober struct {
+	tracker  *Tracker
+	clk      clock.Clock
+	interval time.Duration
+	timeout  time.Duration
+	probe    ProbeFunc
+
+	mu      sync.Mutex
+	targets []string
+	rounds  int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// ProberConfig configures NewProber.
+type ProberConfig struct {
+	// Tracker receives the probe outcomes.
+	Tracker *Tracker
+	// Clock paces the probing (defaults to the real clock).
+	Clock clock.Clock
+	// Interval is the probing period (default 1s).
+	Interval time.Duration
+	// Timeout bounds each probe (default Interval).
+	Timeout time.Duration
+	// Targets are the initial probe targets.
+	Targets []string
+	// Probe performs the synthetic invocation.
+	Probe ProbeFunc
+}
+
+// NewProber builds and starts a prober.
+func NewProber(cfg ProberConfig) *Prober {
+	p := &Prober{
+		tracker:  cfg.Tracker,
+		clk:      cfg.Clock,
+		interval: cfg.Interval,
+		timeout:  cfg.Timeout,
+		probe:    cfg.Probe,
+		targets:  append([]string(nil), cfg.Targets...),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if p.clk == nil {
+		p.clk = clock.New()
+	}
+	if p.interval <= 0 {
+		p.interval = time.Second
+	}
+	if p.timeout <= 0 {
+		p.timeout = p.interval
+	}
+	go p.loop()
+	return p
+}
+
+// AddTarget adds a probe target (idempotent).
+func (p *Prober) AddTarget(target string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, t := range p.targets {
+		if t == target {
+			return
+		}
+	}
+	p.targets = append(p.targets, target)
+}
+
+// Rounds reports how many probe rounds have completed.
+func (p *Prober) Rounds() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rounds
+}
+
+// Stop terminates the prober and waits for it to exit. Safe to call
+// more than once.
+func (p *Prober) Stop() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	<-p.done
+}
+
+func (p *Prober) loop() {
+	defer close(p.done)
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.clk.After(p.interval):
+		}
+		p.mu.Lock()
+		targets := append([]string(nil), p.targets...)
+		p.mu.Unlock()
+
+		for _, target := range targets {
+			ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+			start := p.clk.Now()
+			err := p.probe(ctx, target)
+			cancel()
+			p.tracker.Record(target, p.clk.Since(start), err == nil)
+		}
+
+		p.mu.Lock()
+		p.rounds++
+		p.mu.Unlock()
+	}
+}

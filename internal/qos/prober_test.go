@@ -1,0 +1,103 @@
+package qos
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func waitRounds(t *testing.T, p *Prober, n int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for p.Rounds() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("rounds = %d, want >= %d", p.Rounds(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestProberRecordsOutcomes(t *testing.T) {
+	tracker := NewTracker(0)
+	var healthyProbes, brokenProbes atomic.Int64
+	p := NewProber(ProberConfig{
+		Tracker:  tracker,
+		Interval: 2 * time.Millisecond,
+		Targets:  []string{"healthy", "broken"},
+		Probe: func(_ context.Context, target string) error {
+			if target == "broken" {
+				brokenProbes.Add(1)
+				return errors.New("down")
+			}
+			healthyProbes.Add(1)
+			return nil
+		},
+	})
+	defer p.Stop()
+	waitRounds(t, p, 3)
+
+	h := tracker.Snapshot("healthy")
+	if !h.Known() || h.Failures != 0 {
+		t.Fatalf("healthy snapshot = %+v", h)
+	}
+	b := tracker.Snapshot("broken")
+	if !b.Known() || b.Failures != b.Invocations {
+		t.Fatalf("broken snapshot = %+v", b)
+	}
+	if healthyProbes.Load() < 3 || brokenProbes.Load() < 3 {
+		t.Fatalf("probe counts = %d/%d", healthyProbes.Load(), brokenProbes.Load())
+	}
+}
+
+func TestProberAddTarget(t *testing.T) {
+	tracker := NewTracker(0)
+	p := NewProber(ProberConfig{
+		Tracker:  tracker,
+		Interval: 2 * time.Millisecond,
+		Probe:    func(context.Context, string) error { return nil },
+	})
+	defer p.Stop()
+	waitRounds(t, p, 1)
+	if tracker.Snapshot("late").Known() {
+		t.Fatal("unadded target probed")
+	}
+	p.AddTarget("late")
+	p.AddTarget("late") // idempotent
+	r := p.Rounds()
+	waitRounds(t, p, r+2)
+	if !tracker.Snapshot("late").Known() {
+		t.Fatal("added target never probed")
+	}
+}
+
+func TestProberStopIdempotent(t *testing.T) {
+	p := NewProber(ProberConfig{
+		Tracker:  NewTracker(0),
+		Interval: time.Millisecond,
+		Probe:    func(context.Context, string) error { return nil },
+	})
+	p.Stop()
+	p.Stop()
+}
+
+func TestProberHonorsTimeout(t *testing.T) {
+	tracker := NewTracker(0)
+	p := NewProber(ProberConfig{
+		Tracker:  tracker,
+		Interval: 2 * time.Millisecond,
+		Timeout:  5 * time.Millisecond,
+		Targets:  []string{"hung"},
+		Probe: func(ctx context.Context, _ string) error {
+			<-ctx.Done() // hung service: only the timeout releases us
+			return ctx.Err()
+		},
+	})
+	defer p.Stop()
+	waitRounds(t, p, 2)
+	s := tracker.Snapshot("hung")
+	if s.Failures != s.Invocations || s.Invocations < 2 {
+		t.Fatalf("hung snapshot = %+v", s)
+	}
+}

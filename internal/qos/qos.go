@@ -1,0 +1,262 @@
+// Package qos implements the wsBus QoS Measurement Service (paper
+// §3.1(1)): per-target collection of invocation outcomes and
+// computation of the three key metrics the paper names —
+//
+//   - Reliability: "ratio of successful invocations over the number of
+//     total invocations in given period of time";
+//   - Response Time: "the time interval between when a service is
+//     requested and when it is delivered";
+//   - Availability: "the percentage of time that a service is available
+//     during some time interval", computed as MTBF / (MTBF + MTTR) like
+//     the paper's Table 1.
+//
+// Selection policies (best-performing service) and SLA monitoring
+// policies read Snapshots from the Tracker.
+package qos
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/masc-project/masc/internal/clock"
+)
+
+// sample is one recorded invocation outcome.
+type sample struct {
+	at      time.Time // completion time
+	dur     time.Duration
+	success bool
+}
+
+// series holds one target's samples in chronological order.
+type series struct {
+	samples []sample
+}
+
+// Tracker measures QoS per target (a service address or VEP name).
+// It is safe for concurrent use.
+type Tracker struct {
+	clk    clock.Clock
+	window time.Duration
+
+	mu      sync.Mutex
+	targets map[string]*series
+}
+
+// Option configures a Tracker.
+type Option func(*Tracker)
+
+// WithClock injects the time source (defaults to the real clock).
+func WithClock(clk clock.Clock) Option {
+	return func(t *Tracker) { t.clk = clk }
+}
+
+// NewTracker builds a tracker that retains samples inside the given
+// sliding window ("in given period of time"). A zero window retains
+// everything.
+func NewTracker(window time.Duration, opts ...Option) *Tracker {
+	t := &Tracker{
+		clk:     clock.New(),
+		window:  window,
+		targets: make(map[string]*series),
+	}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
+}
+
+// Record adds one invocation outcome for target, stamped at the
+// tracker clock's current time.
+func (t *Tracker) Record(target string, dur time.Duration, success bool) {
+	now := t.clk.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.targets[target]
+	if s == nil {
+		s = &series{}
+		t.targets[target] = s
+	}
+	s.samples = append(s.samples, sample{at: now, dur: dur, success: success})
+	t.pruneLocked(s, now)
+}
+
+func (t *Tracker) pruneLocked(s *series, now time.Time) {
+	if t.window <= 0 {
+		return
+	}
+	cutoff := now.Add(-t.window)
+	i := 0
+	for i < len(s.samples) && s.samples[i].at.Before(cutoff) {
+		i++
+	}
+	if i > 0 {
+		s.samples = append(s.samples[:0], s.samples[i:]...)
+	}
+}
+
+// Snapshot is a point-in-time summary of a target's QoS.
+type Snapshot struct {
+	// Target is the measured service address or group.
+	Target string
+	// Invocations is the number of samples in the window.
+	Invocations int
+	// Failures is the number of failed samples in the window.
+	Failures int
+	// Reliability is successes / invocations; 0 when no samples.
+	Reliability float64
+	// MeanResponse is the mean duration of successful invocations.
+	MeanResponse time.Duration
+	// P95Response is the 95th percentile successful duration.
+	P95Response time.Duration
+	// MTBF is the mean up-period between failure episodes.
+	MTBF time.Duration
+	// MTTR is the mean duration of failure episodes.
+	MTTR time.Duration
+	// Availability is MTBF / (MTBF + MTTR); 1 when no failures.
+	Availability float64
+}
+
+// Known reports whether any samples exist for the target.
+func (s Snapshot) Known() bool { return s.Invocations > 0 }
+
+// Snapshot computes the current summary for target. A target with no
+// samples yields a zero snapshot (Known() == false).
+func (t *Tracker) Snapshot(target string) Snapshot {
+	now := t.clk.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.targets[target]
+	if s == nil {
+		return Snapshot{Target: target}
+	}
+	t.pruneLocked(s, now)
+	return summarize(target, s.samples, now)
+}
+
+// Targets returns the targets with recorded samples, sorted.
+func (t *Tracker) Targets() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.targets))
+	for k := range t.targets {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset discards all samples for all targets.
+func (t *Tracker) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.targets = make(map[string]*series)
+}
+
+func summarize(target string, samples []sample, now time.Time) Snapshot {
+	snap := Snapshot{Target: target, Invocations: len(samples)}
+	if len(samples) == 0 {
+		return snap
+	}
+
+	var okDurs []time.Duration
+	for _, s := range samples {
+		if s.success {
+			okDurs = append(okDurs, s.dur)
+		} else {
+			snap.Failures++
+		}
+	}
+	snap.Reliability = float64(len(samples)-snap.Failures) / float64(len(samples))
+
+	if len(okDurs) > 0 {
+		var total time.Duration
+		for _, d := range okDurs {
+			total += d
+		}
+		snap.MeanResponse = total / time.Duration(len(okDurs))
+		sort.Slice(okDurs, func(i, j int) bool { return okDurs[i] < okDurs[j] })
+		idx := (95*len(okDurs) + 99) / 100
+		if idx > 0 {
+			idx--
+		}
+		snap.P95Response = okDurs[idx]
+	}
+
+	snap.MTBF, snap.MTTR, snap.Availability = availability(samples, now)
+	return snap
+}
+
+// availability derives failure episodes from the sample sequence: a
+// maximal run of consecutive failures is one downtime episode lasting
+// from its first failed sample to the next successful sample (or to
+// now if still failing). Uptime is the remaining observed span.
+func availability(samples []sample, now time.Time) (mtbf, mttr time.Duration, avail float64) {
+	start := samples[0].at
+	end := now
+	if end.Before(samples[len(samples)-1].at) {
+		end = samples[len(samples)-1].at
+	}
+	span := end.Sub(start)
+
+	var downtime time.Duration
+	episodes := 0
+	var episodeStart time.Time
+	inEpisode := false
+	for _, s := range samples {
+		if !s.success {
+			if !inEpisode {
+				inEpisode = true
+				episodeStart = s.at
+				episodes++
+			}
+			continue
+		}
+		if inEpisode {
+			downtime += s.at.Sub(episodeStart)
+			inEpisode = false
+		}
+	}
+	if inEpisode {
+		downtime += end.Sub(episodeStart)
+	}
+
+	if episodes == 0 {
+		return span, 0, 1
+	}
+	if downtime > span {
+		downtime = span
+	}
+	uptime := span - downtime
+	mtbf = uptime / time.Duration(episodes)
+	mttr = downtime / time.Duration(episodes)
+	if mtbf+mttr == 0 {
+		return mtbf, mttr, 1
+	}
+	avail = float64(mtbf) / float64(mtbf+mttr)
+	return mtbf, mttr, avail
+}
+
+// Best returns the target with the lowest mean response time among
+// those with at least minSamples successful observations; the boolean
+// reports whether any qualified. Ties break lexicographically for
+// determinism. This backs the "select the best performing service
+// (based on the QoS metrics gathered from prior interactions)"
+// selection policy (paper §3.1(4)).
+func (t *Tracker) Best(targets []string, minSamples int) (string, bool) {
+	best := ""
+	var bestMean time.Duration
+	for _, target := range targets {
+		snap := t.Snapshot(target)
+		if snap.Invocations-snap.Failures < minSamples {
+			continue
+		}
+		if best == "" || snap.MeanResponse < bestMean ||
+			(snap.MeanResponse == bestMean && target < best) {
+			best = target
+			bestMean = snap.MeanResponse
+		}
+	}
+	return best, best != ""
+}

@@ -1,0 +1,196 @@
+package qos
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/masc-project/masc/internal/clock"
+)
+
+func tracker(window time.Duration) (*Tracker, *clock.Fake) {
+	fc := clock.NewFakeAtZero()
+	return NewTracker(window, WithClock(fc)), fc
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	tr, _ := tracker(0)
+	snap := tr.Snapshot("svc")
+	if snap.Known() {
+		t.Fatal("empty target should not be Known")
+	}
+	if snap.Target != "svc" {
+		t.Fatalf("target = %q", snap.Target)
+	}
+}
+
+func TestReliabilityRatio(t *testing.T) {
+	tr, fc := tracker(0)
+	for i := 0; i < 8; i++ {
+		tr.Record("svc", 10*time.Millisecond, true)
+		fc.Advance(time.Second)
+	}
+	for i := 0; i < 2; i++ {
+		tr.Record("svc", 10*time.Millisecond, false)
+		fc.Advance(time.Second)
+	}
+	snap := tr.Snapshot("svc")
+	if snap.Invocations != 10 || snap.Failures != 2 {
+		t.Fatalf("inv=%d fail=%d", snap.Invocations, snap.Failures)
+	}
+	if snap.Reliability != 0.8 {
+		t.Fatalf("reliability = %v, want 0.8", snap.Reliability)
+	}
+}
+
+func TestResponseTimes(t *testing.T) {
+	tr, fc := tracker(0)
+	durs := []time.Duration{10, 20, 30, 40, 100} // ms
+	for _, d := range durs {
+		tr.Record("svc", d*time.Millisecond, true)
+		fc.Advance(time.Second)
+	}
+	// A failure's duration must not pollute response times.
+	tr.Record("svc", 10*time.Second, false)
+
+	snap := tr.Snapshot("svc")
+	if want := 40 * time.Millisecond; snap.MeanResponse != want {
+		t.Fatalf("mean = %v, want %v", snap.MeanResponse, want)
+	}
+	if snap.P95Response != 100*time.Millisecond {
+		t.Fatalf("p95 = %v, want 100ms", snap.P95Response)
+	}
+}
+
+func TestAvailabilityPerfect(t *testing.T) {
+	tr, fc := tracker(0)
+	for i := 0; i < 5; i++ {
+		tr.Record("svc", time.Millisecond, true)
+		fc.Advance(time.Minute)
+	}
+	snap := tr.Snapshot("svc")
+	if snap.Availability != 1 {
+		t.Fatalf("availability = %v, want 1", snap.Availability)
+	}
+	if snap.MTTR != 0 {
+		t.Fatalf("MTTR = %v, want 0", snap.MTTR)
+	}
+}
+
+func TestAvailabilityEpisode(t *testing.T) {
+	tr, fc := tracker(0)
+	// 90s up, one 10s failure episode, then recovery and 100s more up.
+	tr.Record("svc", time.Millisecond, true) // t=0
+	fc.Advance(90 * time.Second)
+	tr.Record("svc", time.Millisecond, false) // t=90 episode starts
+	fc.Advance(5 * time.Second)
+	tr.Record("svc", time.Millisecond, false) // still down
+	fc.Advance(5 * time.Second)
+	tr.Record("svc", time.Millisecond, true) // t=100 recovered
+	fc.Advance(100 * time.Second)
+	tr.Record("svc", time.Millisecond, true) // t=200
+
+	snap := tr.Snapshot("svc")
+	// Span 200s, downtime 10s => availability 0.95.
+	if math.Abs(snap.Availability-0.95) > 0.001 {
+		t.Fatalf("availability = %v, want ~0.95", snap.Availability)
+	}
+	if snap.MTTR != 10*time.Second {
+		t.Fatalf("MTTR = %v, want 10s", snap.MTTR)
+	}
+	if snap.MTBF != 190*time.Second {
+		t.Fatalf("MTBF = %v, want 190s", snap.MTBF)
+	}
+}
+
+func TestAvailabilityOpenEpisodeExtendsToNow(t *testing.T) {
+	tr, fc := tracker(0)
+	tr.Record("svc", time.Millisecond, true) // t=0
+	fc.Advance(60 * time.Second)
+	tr.Record("svc", time.Millisecond, false) // t=60, down and never recovers
+	fc.Advance(60 * time.Second)              // now=120
+
+	snap := tr.Snapshot("svc")
+	if math.Abs(snap.Availability-0.5) > 0.001 {
+		t.Fatalf("availability = %v, want ~0.5 (60 up / 60 down)", snap.Availability)
+	}
+}
+
+func TestWindowPrunesOldSamples(t *testing.T) {
+	tr, fc := tracker(time.Minute)
+	tr.Record("svc", time.Millisecond, false)
+	fc.Advance(2 * time.Minute)
+	tr.Record("svc", time.Millisecond, true)
+	snap := tr.Snapshot("svc")
+	if snap.Invocations != 1 || snap.Failures != 0 {
+		t.Fatalf("window retained old failure: %+v", snap)
+	}
+}
+
+func TestTargetsSortedAndReset(t *testing.T) {
+	tr, _ := tracker(0)
+	tr.Record("b", time.Millisecond, true)
+	tr.Record("a", time.Millisecond, true)
+	got := tr.Targets()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Targets = %v", got)
+	}
+	tr.Reset()
+	if len(tr.Targets()) != 0 {
+		t.Fatal("Reset did not clear targets")
+	}
+}
+
+func TestBestByMeanResponse(t *testing.T) {
+	tr, fc := tracker(0)
+	for i := 0; i < 3; i++ {
+		tr.Record("fast", 10*time.Millisecond, true)
+		tr.Record("slow", 50*time.Millisecond, true)
+		fc.Advance(time.Second)
+	}
+	best, ok := tr.Best([]string{"slow", "fast"}, 1)
+	if !ok || best != "fast" {
+		t.Fatalf("Best = %q ok=%v", best, ok)
+	}
+}
+
+func TestBestRequiresMinSamples(t *testing.T) {
+	tr, _ := tracker(0)
+	tr.Record("once", 5*time.Millisecond, true)
+	if _, ok := tr.Best([]string{"once"}, 2); ok {
+		t.Fatal("Best qualified with too few samples")
+	}
+	if _, ok := tr.Best([]string{"unknown"}, 1); ok {
+		t.Fatal("Best qualified unknown target")
+	}
+}
+
+func TestBestTieBreaksLexicographically(t *testing.T) {
+	tr, _ := tracker(0)
+	tr.Record("zeta", 10*time.Millisecond, true)
+	tr.Record("alpha", 10*time.Millisecond, true)
+	best, ok := tr.Best([]string{"zeta", "alpha"}, 1)
+	if !ok || best != "alpha" {
+		t.Fatalf("tie break = %q", best)
+	}
+}
+
+func TestBestIgnoresFailedSamples(t *testing.T) {
+	tr, _ := tracker(0)
+	tr.Record("flaky", time.Millisecond, false)
+	tr.Record("flaky", time.Millisecond, false)
+	tr.Record("steady", 20*time.Millisecond, true)
+	best, ok := tr.Best([]string{"flaky", "steady"}, 1)
+	if !ok || best != "steady" {
+		t.Fatalf("Best = %q, want steady (flaky has no successes)", best)
+	}
+}
+
+func TestP95SingleSample(t *testing.T) {
+	tr, _ := tracker(0)
+	tr.Record("svc", 7*time.Millisecond, true)
+	snap := tr.Snapshot("svc")
+	if snap.P95Response != 7*time.Millisecond {
+		t.Fatalf("p95 of single sample = %v", snap.P95Response)
+	}
+}

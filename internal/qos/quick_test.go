@@ -1,0 +1,72 @@
+package qos
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/masc-project/masc/internal/clock"
+)
+
+// TestQuickSnapshotInvariants property-tests the measurement
+// invariants over arbitrary sample sequences: ratios stay in [0,1],
+// counters are consistent, and durations are non-negative.
+func TestQuickSnapshotInvariants(t *testing.T) {
+	f := func(seed int64, nSamples uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fc := clock.NewFakeAtZero()
+		tr := NewTracker(0, WithClock(fc))
+		n := int(nSamples % 64)
+		for i := 0; i < n; i++ {
+			tr.Record("svc",
+				time.Duration(rng.Intn(1_000_000))*time.Microsecond,
+				rng.Intn(3) > 0)
+			fc.Advance(time.Duration(rng.Intn(10_000)) * time.Microsecond)
+		}
+		s := tr.Snapshot("svc")
+		if s.Invocations != n || s.Failures < 0 || s.Failures > n {
+			return false
+		}
+		if s.Reliability < 0 || s.Reliability > 1 {
+			return false
+		}
+		if s.Availability < 0 || s.Availability > 1 {
+			return false
+		}
+		if s.MTBF < 0 || s.MTTR < 0 || s.MeanResponse < 0 || s.P95Response < 0 {
+			return false
+		}
+		if n > 0 && s.Failures == 0 && s.Availability != 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWindowMonotone property-tests that shrinking the window
+// never increases the retained sample count.
+func TestQuickWindowMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		record := func(window time.Duration) int {
+			fc := clock.NewFakeAtZero()
+			tr := NewTracker(window, WithClock(fc))
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 40; i++ {
+				tr.Record("svc", time.Millisecond, true)
+				fc.Advance(time.Duration(r.Intn(2000)) * time.Millisecond)
+			}
+			return tr.Snapshot("svc").Invocations
+		}
+		short := time.Duration(1+rng.Intn(10)) * time.Second
+		long := short * time.Duration(2+rng.Intn(5))
+		return record(short) <= record(long)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/masc-project/masc/internal/wsdl"
+)
+
+func TestRegisterLookup(t *testing.T) {
+	r := New()
+	c := wsdl.NewContract("Retailer", "urn:scm")
+	for _, addr := range []string{"inproc://retailer-b", "inproc://retailer-a"} {
+		if err := r.Register(Entry{Address: addr, ServiceType: "Retailer", Contract: c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := r.Lookup("Retailer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Address != "inproc://retailer-a" {
+		t.Fatalf("entries = %+v", entries)
+	}
+	addrs, err := r.Addresses("Retailer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 2 || addrs[1] != "inproc://retailer-b" {
+		t.Fatalf("addrs = %v", addrs)
+	}
+}
+
+func TestLookupNotFound(t *testing.T) {
+	r := New()
+	if _, err := r.Lookup("Nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := r.Addresses("Nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	r := New()
+	if err := r.Register(Entry{ServiceType: "X"}); err == nil {
+		t.Fatal("empty address accepted")
+	}
+	if err := r.Register(Entry{Address: "inproc://x"}); err == nil {
+		t.Fatal("empty service type accepted")
+	}
+}
+
+func TestRegisterReplacesSameAddress(t *testing.T) {
+	r := New()
+	mustRegister(t, r, Entry{Address: "inproc://x", ServiceType: "A"})
+	mustRegister(t, r, Entry{Address: "inproc://x", ServiceType: "B"})
+	if _, err := r.Lookup("A"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("old registration still visible")
+	}
+	entries, err := r.Lookup("B")
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("entries=%v err=%v", entries, err)
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	r := New()
+	mustRegister(t, r, Entry{Address: "inproc://x", ServiceType: "A"})
+	if !r.Deregister("inproc://x") {
+		t.Fatal("Deregister returned false")
+	}
+	if r.Deregister("inproc://x") {
+		t.Fatal("second Deregister returned true")
+	}
+	if _, err := r.Lookup("A"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("entry still present")
+	}
+}
+
+func TestTypesAndAll(t *testing.T) {
+	r := New()
+	mustRegister(t, r, Entry{Address: "inproc://w1", ServiceType: "Warehouse"})
+	mustRegister(t, r, Entry{Address: "inproc://r1", ServiceType: "Retailer"})
+	mustRegister(t, r, Entry{Address: "inproc://r2", ServiceType: "Retailer"})
+
+	types := r.Types()
+	if len(types) != 2 || types[0] != "Retailer" || types[1] != "Warehouse" {
+		t.Fatalf("Types = %v", types)
+	}
+	all := r.All()
+	if len(all) != 3 || all[0].Address != "inproc://r1" {
+		t.Fatalf("All = %+v", all)
+	}
+}
+
+func TestPropertiesCopied(t *testing.T) {
+	r := New()
+	props := map[string]string{"vendor": "acme"}
+	mustRegister(t, r, Entry{Address: "inproc://x", ServiceType: "A", Properties: props})
+	props["vendor"] = "mutated"
+	entries, err := r.Lookup("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries[0].Properties["vendor"] != "acme" {
+		t.Fatal("registry shared caller's map")
+	}
+}
+
+func mustRegister(t *testing.T, r *Registry, e Entry) {
+	t.Helper()
+	if err := r.Register(e); err != nil {
+		t.Fatal(err)
+	}
+}

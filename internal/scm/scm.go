@@ -1,0 +1,171 @@
+// Package scm implements the WS-I Supply Chain Management sample
+// application the paper uses to evaluate wsBus (§3.2, Fig. 4): an
+// online supplier of electronic goods where a Retailer fulfills orders
+// from three Warehouses (A, B, C, consulted in order), Warehouses
+// restock from their Manufacturers when stock falls below a threshold,
+// every use case logs to a Logging Facility, and a Configuration
+// service lists the implementations registered for each service type.
+//
+// All services speak SOAP over transport.Invoker/Handler, so they can
+// be deployed on the in-process simulated network, behind wsBus VEPs,
+// or over real HTTP.
+package scm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/masc-project/masc/internal/wsdl"
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+// Namespace qualifies all SCM message payloads.
+const Namespace = "urn:wsi:scm"
+
+// Service type names used in the registry and VEPs.
+const (
+	TypeRetailer      = "Retailer"
+	TypeWarehouse     = "Warehouse"
+	TypeManufacturer  = "Manufacturer"
+	TypeLogging       = "LoggingFacility"
+	TypeConfiguration = "Configuration"
+)
+
+// Product is one catalog entry.
+type Product struct {
+	SKU      string
+	Name     string
+	Category string
+	Price    float64
+}
+
+// DefaultCatalog returns the electronic-goods catalog every retailer
+// implementation serves.
+func DefaultCatalog() []Product {
+	return []Product{
+		{SKU: "605001", Name: "TV, 25in", Category: "tv", Price: 299.95},
+		{SKU: "605002", Name: "TV, 32in", Category: "tv", Price: 1299.95},
+		{SKU: "605003", Name: "TV, 50in flat", Category: "tv", Price: 1499.99},
+		{SKU: "605004", Name: "VCR 4-head", Category: "video", Price: 59.95},
+		{SKU: "605005", Name: "DVD player", Category: "video", Price: 199.95},
+		{SKU: "605006", Name: "Camcorder", Category: "video", Price: 999.99},
+		{SKU: "605007", Name: "Stereo receiver", Category: "audio", Price: 149.99},
+		{SKU: "605008", Name: "CD changer", Category: "audio", Price: 199.99},
+		{SKU: "605009", Name: "Speakers, pair", Category: "audio", Price: 999.99},
+	}
+}
+
+// OrderItem is one line of a purchase order.
+type OrderItem struct {
+	SKU string
+	Qty int
+}
+
+// RetailerContract describes the Retailer interface the VEP exposes.
+func RetailerContract() *wsdl.Contract {
+	c := wsdl.NewContract(TypeRetailer, Namespace)
+	c.AddOperation(wsdl.Operation{
+		Name: "getCatalog",
+		Doc:  "Returns the product catalog, optionally filtered by category.",
+	})
+	c.AddOperation(wsdl.Operation{
+		Name:               "submitOrder",
+		RequiredInputParts: []string{"customerID"},
+		Faults:             []string{"InvalidOrderFault"},
+		Doc:                "Submits a purchase order; items ship from the first warehouse with stock.",
+	})
+	return c
+}
+
+// WarehouseContract describes the Warehouse interface.
+func WarehouseContract() *wsdl.Contract {
+	c := wsdl.NewContract(TypeWarehouse, Namespace)
+	c.AddOperation(wsdl.Operation{
+		Name:               "shipGoods",
+		RequiredInputParts: []string{"sku", "qty"},
+	})
+	c.AddOperation(wsdl.Operation{Name: "getStock", RequiredInputParts: []string{"sku"}})
+	return c
+}
+
+// ManufacturerContract describes the Manufacturer interface.
+func ManufacturerContract() *wsdl.Contract {
+	c := wsdl.NewContract(TypeManufacturer, Namespace)
+	c.AddOperation(wsdl.Operation{
+		Name:               "submitPO",
+		RequiredInputParts: []string{"sku", "qty"},
+	})
+	return c
+}
+
+// LoggingContract describes the Logging Facility interface.
+func LoggingContract() *wsdl.Contract {
+	c := wsdl.NewContract(TypeLogging, Namespace)
+	c.AddOperation(wsdl.Operation{Name: "logEvent", RequiredInputParts: []string{"eventText"}})
+	c.AddOperation(wsdl.Operation{Name: "getEvents"})
+	return c
+}
+
+// ConfigurationContract describes the Configuration service interface.
+func ConfigurationContract() *wsdl.Contract {
+	c := wsdl.NewContract(TypeConfiguration, Namespace)
+	c.AddOperation(wsdl.Operation{Name: "getImplementations", RequiredInputParts: []string{"serviceType"}})
+	return c
+}
+
+// --- message constructors and parsers ---
+
+// NewGetCatalogRequest builds a getCatalog payload. A non-empty
+// category filters; paddingBytes inflates the message for the Figure 5
+// request-size sweep.
+func NewGetCatalogRequest(category string, paddingBytes int) *xmltree.Element {
+	e := xmltree.New(Namespace, "getCatalog")
+	e.Append(xmltree.NewText(Namespace, "category", category))
+	if paddingBytes > 0 {
+		e.Append(xmltree.NewText(Namespace, "padding", strings.Repeat("x", paddingBytes)))
+	}
+	return e
+}
+
+// NewSubmitOrderRequest builds a submitOrder payload.
+func NewSubmitOrderRequest(customerID string, items []OrderItem, paddingBytes int) *xmltree.Element {
+	e := xmltree.New(Namespace, "submitOrder")
+	e.Append(xmltree.NewText(Namespace, "customerID", customerID))
+	wrap := xmltree.New(Namespace, "items")
+	for _, it := range items {
+		item := xmltree.New(Namespace, "item")
+		item.Append(xmltree.NewText(Namespace, "sku", it.SKU))
+		item.Append(xmltree.NewText(Namespace, "qty", strconv.Itoa(it.Qty)))
+		wrap.Append(item)
+	}
+	e.Append(wrap)
+	if paddingBytes > 0 {
+		e.Append(xmltree.NewText(Namespace, "padding", strings.Repeat("x", paddingBytes)))
+	}
+	return e
+}
+
+// ParseOrderItems extracts order items from a submitOrder payload.
+func ParseOrderItems(payload *xmltree.Element) ([]OrderItem, error) {
+	wrap := payload.Child("", "items")
+	if wrap == nil {
+		return nil, fmt.Errorf("scm: submitOrder lacks items")
+	}
+	var out []OrderItem
+	for _, item := range wrap.ChildrenNamed("", "item") {
+		qty, err := strconv.Atoi(item.ChildText("", "qty"))
+		if err != nil || qty <= 0 {
+			return nil, fmt.Errorf("scm: bad qty %q", item.ChildText("", "qty"))
+		}
+		sku := item.ChildText("", "sku")
+		if sku == "" {
+			return nil, fmt.Errorf("scm: item lacks sku")
+		}
+		out = append(out, OrderItem{SKU: sku, Qty: qty})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("scm: order has no items")
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZeroValueLinkIsFree(t *testing.T) {
+	var l LinkProfile
+	if d := l.Delay(4096); d != 0 {
+		t.Fatalf("zero link delay = %v, want 0", d)
+	}
+}
+
+func TestDelayGrowsWithSize(t *testing.T) {
+	l := NewLinkProfile(time.Millisecond, 100*time.Microsecond, 0, 1)
+	small := l.Delay(1024)
+	large := l.Delay(64 * 1024)
+	if small >= large {
+		t.Fatalf("delay(1KB)=%v >= delay(64KB)=%v", small, large)
+	}
+	if want := time.Millisecond + 100*time.Microsecond; small != want {
+		t.Fatalf("delay(1KB) = %v, want %v", small, want)
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	l := NewLinkProfile(time.Millisecond, 0, 0.1, 42)
+	lo := time.Duration(float64(time.Millisecond) * 0.9)
+	hi := time.Duration(float64(time.Millisecond) * 1.1)
+	for i := 0; i < 1000; i++ {
+		d := l.Delay(0)
+		if d < lo || d > hi {
+			t.Fatalf("jittered delay %v outside [%v,%v]", d, lo, hi)
+		}
+	}
+}
+
+func TestJitterDeterministicPerSeed(t *testing.T) {
+	a := NewLinkProfile(time.Millisecond, 10*time.Microsecond, 0.2, 7)
+	b := NewLinkProfile(time.Millisecond, 10*time.Microsecond, 0.2, 7)
+	for i := 0; i < 100; i++ {
+		if da, db := a.Delay(i*100), b.Delay(i*100); da != db {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, da, db)
+		}
+	}
+}
+
+func TestLAN100MbShape(t *testing.T) {
+	l := LAN100Mb(1)
+	// 64 KB at ~80 µs/KB should dominate the 0.3 ms base.
+	d := l.Delay(64 * 1024)
+	if d < 3*time.Millisecond || d > 8*time.Millisecond {
+		t.Fatalf("LAN delay for 64KB = %v, want a few ms", d)
+	}
+}
+
+func TestDelayNeverNegative(t *testing.T) {
+	l := NewLinkProfile(0, 0, 0.9, 3)
+	f := func(size uint16) bool {
+		return l.Delay(int(size)) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceProfile(t *testing.T) {
+	p := ServiceProfile{Base: 2 * time.Millisecond, PerKB: time.Millisecond}
+	if got := p.ProcessingTime(0); got != 2*time.Millisecond {
+		t.Fatalf("base = %v", got)
+	}
+	if got := p.ProcessingTime(2048); got != 4*time.Millisecond {
+		t.Fatalf("2KB = %v, want 4ms", got)
+	}
+}
+
+func TestZeroValueLinkWithJitterLazyRNG(t *testing.T) {
+	// A LinkProfile constructed without NewLinkProfile but with jitter
+	// must lazily seed its RNG rather than panic.
+	l := LinkProfile{BaseLatency: time.Millisecond, JitterFrac: 0.1}
+	for i := 0; i < 10; i++ {
+		if d := l.Delay(100); d <= 0 {
+			t.Fatalf("delay = %v", d)
+		}
+	}
+}

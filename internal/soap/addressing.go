@@ -1,0 +1,113 @@
+package soap
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+// Addressing bundles the WS-Addressing message headers the middleware
+// reads and writes. Empty fields are omitted when applied.
+type Addressing struct {
+	// MessageID uniquely identifies the message.
+	MessageID string
+	// To is the destination endpoint address.
+	To string
+	// Action identifies the operation semantics of the message.
+	Action string
+	// ReplyTo is the endpoint for replies.
+	ReplyTo string
+	// RelatesTo correlates this message with a prior message or, in
+	// MASC, carries the ProcessInstanceID of the calling workflow
+	// instance so the Adaptation Manager can locate the instance to
+	// adapt (paper §3.1(3)).
+	RelatesTo string
+}
+
+// ReadAddressing extracts WS-Addressing headers from an envelope.
+// Missing headers yield empty fields.
+func ReadAddressing(e *Envelope) Addressing {
+	get := func(local string) string {
+		if h := e.Header(NamespaceAddressing, local); h != nil {
+			return h.Text
+		}
+		return ""
+	}
+	a := Addressing{
+		MessageID: get("MessageID"),
+		To:        get("To"),
+		Action:    get("Action"),
+		RelatesTo: get("RelatesTo"),
+	}
+	if h := e.Header(NamespaceAddressing, "ReplyTo"); h != nil {
+		if addr := h.Child(NamespaceAddressing, "Address"); addr != nil {
+			a.ReplyTo = addr.Text
+		} else {
+			a.ReplyTo = h.Text
+		}
+	}
+	return a
+}
+
+// Apply writes the non-empty addressing fields onto the envelope,
+// replacing existing headers of the same name.
+func (a Addressing) Apply(e *Envelope) {
+	set := func(local, value string) {
+		if value == "" {
+			return
+		}
+		e.SetHeader(xmltree.NewText(NamespaceAddressing, local, value))
+	}
+	set("MessageID", a.MessageID)
+	set("To", a.To)
+	set("Action", a.Action)
+	set("RelatesTo", a.RelatesTo)
+	if a.ReplyTo != "" {
+		h := xmltree.New(NamespaceAddressing, "ReplyTo")
+		h.Append(xmltree.NewText(NamespaceAddressing, "Address", a.ReplyTo))
+		e.SetHeader(h)
+	}
+}
+
+// ProcessInstanceHeader is the MASC header local name carrying the
+// workflow instance ID on outgoing messages.
+const ProcessInstanceHeader = "ProcessInstanceID"
+
+// SetProcessInstanceID stamps the calling process instance onto the
+// message, both as a MASC header and as the WS-Addressing RelatesTo
+// header (mirroring the paper's correlation mechanism).
+func SetProcessInstanceID(e *Envelope, instanceID string) {
+	e.SetHeader(xmltree.NewText(NamespaceMASC, ProcessInstanceHeader, instanceID))
+	a := ReadAddressing(e)
+	a.RelatesTo = instanceID
+	a.Apply(e)
+}
+
+// ProcessInstanceID reads the correlated process instance from the
+// message, preferring the MASC header and falling back to RelatesTo.
+func ProcessInstanceID(e *Envelope) string {
+	if h := e.Header(NamespaceMASC, ProcessInstanceHeader); h != nil {
+		return h.Text
+	}
+	return ReadAddressing(e).RelatesTo
+}
+
+// IDGenerator produces unique message IDs. It is safe for concurrent
+// use. A process-wide generator would be a mutable global; components
+// that need IDs own one instead.
+type IDGenerator struct {
+	prefix string
+	n      atomic.Uint64
+}
+
+// NewIDGenerator returns a generator whose IDs carry the given prefix,
+// e.g. "urn:masc:msg:".
+func NewIDGenerator(prefix string) *IDGenerator {
+	return &IDGenerator{prefix: prefix}
+}
+
+// Next returns a fresh unique ID.
+func (g *IDGenerator) Next() string {
+	return g.prefix + strconv.FormatUint(g.n.Add(1), 10)
+}

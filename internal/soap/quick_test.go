@@ -1,0 +1,93 @@
+package soap
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+// xmlSafe reduces an arbitrary string to XML-1.0-representable
+// character data (the codec is not expected to carry control bytes).
+func xmlSafe(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == 0x9 || r == 0xA || r == 0xD ||
+			(r >= 0x20 && r <= 0xD7FF) ||
+			(r >= 0xE000 && r <= 0xFFFD) {
+			return r
+		}
+		return -1
+	}, s)
+}
+
+// TestQuickAddressingRoundTrip property-tests that arbitrary
+// addressing field values survive envelope encode/decode.
+func TestQuickAddressingRoundTrip(t *testing.T) {
+	f := func(messageID, to, action, replyTo, relatesTo string) bool {
+		a := Addressing{
+			MessageID: strings.TrimSpace(xmlSafe(messageID)),
+			To:        strings.TrimSpace(xmlSafe(to)),
+			Action:    strings.TrimSpace(xmlSafe(action)),
+			ReplyTo:   strings.TrimSpace(xmlSafe(replyTo)),
+			RelatesTo: strings.TrimSpace(xmlSafe(relatesTo)),
+		}
+		env := NewRequest(xmltree.New("urn:q", "op"))
+		a.Apply(env)
+		text, err := env.Encode()
+		if err != nil {
+			return false
+		}
+		back, err := Decode(text)
+		if err != nil {
+			t.Logf("decode: %v\n%s", err, text)
+			return false
+		}
+		got := ReadAddressing(back)
+		return got == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFaultRoundTrip property-tests fault string preservation.
+func TestQuickFaultRoundTrip(t *testing.T) {
+	f := func(msg string) bool {
+		msg = strings.TrimSpace(xmlSafe(msg))
+		if !utf8.ValidString(msg) {
+			return true
+		}
+		env := NewFaultEnvelope(FaultServer, msg)
+		text, err := env.Encode()
+		if err != nil {
+			return false
+		}
+		back, err := Decode(text)
+		if err != nil || !back.IsFault() {
+			return false
+		}
+		return back.Fault.String == msg && back.Fault.Code == FaultServer
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCloneEquivalence property-tests that a clone encodes to the
+// same bytes as its original.
+func TestQuickCloneEquivalence(t *testing.T) {
+	f := func(text, header string) bool {
+		text = strings.TrimSpace(xmlSafe(text))
+		header = strings.TrimSpace(xmlSafe(header))
+		env := NewRequest(xmltree.NewText("urn:q", "op", text))
+		env.SetHeader(xmltree.NewText("urn:h", "Tag", header))
+		a, err1 := env.Encode()
+		b, err2 := env.Clone().Encode()
+		return err1 == nil && err2 == nil && a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,276 @@
+package soap
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+func payload(t *testing.T, doc string) *xmltree.Element {
+	t.Helper()
+	e, err := xmltree.ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	req := NewRequest(payload(t, `<getCatalog xmlns="urn:scm"><category>tv</category></getCatalog>`))
+	Addressing{
+		MessageID: "urn:msg:1",
+		To:        "inproc://retailer-a",
+		Action:    "urn:scm/getCatalog",
+		ReplyTo:   "inproc://client",
+		RelatesTo: "proc-42",
+	}.Apply(req)
+
+	text, err := req.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.IsFault() {
+		t.Fatal("round trip produced a fault")
+	}
+	if got := back.PayloadName(); got.Local != "getCatalog" || got.Space != "urn:scm" {
+		t.Fatalf("payload name = %v", got)
+	}
+	if got := back.Payload.ChildText("", "category"); got != "tv" {
+		t.Fatalf("category = %q", got)
+	}
+	a := ReadAddressing(back)
+	if a.MessageID != "urn:msg:1" || a.To != "inproc://retailer-a" ||
+		a.Action != "urn:scm/getCatalog" || a.ReplyTo != "inproc://client" ||
+		a.RelatesTo != "proc-42" {
+		t.Fatalf("addressing round trip = %+v", a)
+	}
+}
+
+func TestFaultRoundTrip(t *testing.T) {
+	f := NewFaultEnvelope(FaultServer, "warehouse unavailable")
+	f.Fault.Actor = "urn:warehouse-a"
+	f.Fault.Detail = payload(t, `<info xmlns="urn:scm"><retryAfter>2</retryAfter></info>`)
+
+	text, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsFault() {
+		t.Fatal("fault lost in round trip")
+	}
+	if back.Fault.Code != FaultServer {
+		t.Fatalf("code = %s", back.Fault.Code)
+	}
+	if back.Fault.String != "warehouse unavailable" {
+		t.Fatalf("string = %q", back.Fault.String)
+	}
+	if back.Fault.Actor != "urn:warehouse-a" {
+		t.Fatalf("actor = %q", back.Fault.Actor)
+	}
+	if back.Fault.Detail == nil || back.Fault.Detail.ChildText("", "retryAfter") != "2" {
+		t.Fatalf("detail = %v", back.Fault.Detail)
+	}
+	if !back.Fault.IsServerFault() {
+		t.Fatal("IsServerFault = false")
+	}
+	if !strings.Contains(back.Fault.Error(), "warehouse unavailable") {
+		t.Fatalf("Error() = %q", back.Fault.Error())
+	}
+}
+
+func TestFaultCodePrefixStripped(t *testing.T) {
+	text := `<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"><e:Body>
+	<e:Fault><faultcode>soapenv:Client</faultcode><faultstring>bad input</faultstring></e:Fault>
+	</e:Body></e:Envelope>`
+	env, err := Decode(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Fault.Code != FaultClient {
+		t.Fatalf("code = %q, want Client", env.Fault.Code)
+	}
+	if env.Fault.IsServerFault() {
+		t.Fatal("client fault reported as server fault")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		doc  string
+	}{
+		{"not xml", "garbage"},
+		{"wrong root", "<notEnvelope/>"},
+		{"wrong namespace", `<Envelope xmlns="urn:other"><Body/></Envelope>`},
+		{"missing body", `<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"/>`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Decode(tt.doc)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if tt.name != "not xml" && !errors.Is(err, ErrNotEnvelope) {
+				t.Fatalf("error %v not ErrNotEnvelope", err)
+			}
+		})
+	}
+}
+
+func TestEmptyBodyAllowed(t *testing.T) {
+	env, err := Decode(`<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"><e:Body/></e:Envelope>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Payload != nil || env.IsFault() {
+		t.Fatal("empty body should have nil payload and no fault")
+	}
+	if name := env.PayloadName(); name.Local != "" {
+		t.Fatalf("PayloadName of empty = %v", name)
+	}
+}
+
+func TestHeaderManipulation(t *testing.T) {
+	env := NewRequest(payload(t, `<op xmlns="urn:x"/>`))
+	h1 := xmltree.NewText("urn:h", "Priority", "1")
+	env.SetHeader(h1)
+	if got := env.Header("urn:h", "Priority"); got == nil || got.Text != "1" {
+		t.Fatalf("header = %v", got)
+	}
+	// SetHeader replaces same-named blocks.
+	env.SetHeader(xmltree.NewText("urn:h", "Priority", "2"))
+	if len(env.Headers) != 1 {
+		t.Fatalf("headers = %d, want 1", len(env.Headers))
+	}
+	if env.Header("urn:h", "Priority").Text != "2" {
+		t.Fatal("SetHeader did not replace")
+	}
+	if !env.RemoveHeader("urn:h", "Priority") {
+		t.Fatal("RemoveHeader returned false")
+	}
+	if env.Header("urn:h", "Priority") != nil {
+		t.Fatal("header not removed")
+	}
+	if env.RemoveHeader("urn:h", "Priority") {
+		t.Fatal("second RemoveHeader returned true")
+	}
+	// Any-namespace lookup.
+	env.SetHeader(xmltree.NewText("urn:other", "Tag", "x"))
+	if env.Header("", "Tag") == nil {
+		t.Fatal("any-namespace header lookup failed")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	orig := NewRequest(payload(t, `<op xmlns="urn:x"><v>1</v></op>`))
+	Addressing{MessageID: "m1", To: "a"}.Apply(orig)
+	cp := orig.Clone()
+	cp.Payload.Child("", "v").Text = "2"
+	Addressing{To: "b"}.Apply(cp)
+
+	if orig.Payload.ChildText("", "v") != "1" {
+		t.Fatal("clone mutation leaked into original payload")
+	}
+	if ReadAddressing(orig).To != "a" {
+		t.Fatal("clone header mutation leaked into original")
+	}
+	if ReadAddressing(cp).MessageID != "m1" {
+		t.Fatal("clone lost headers")
+	}
+}
+
+func TestCloneNilAndFault(t *testing.T) {
+	if (*Envelope)(nil).Clone() != nil {
+		t.Fatal("nil clone should be nil")
+	}
+	f := NewFaultEnvelope(FaultServer, "x")
+	cp := f.Clone()
+	cp.Fault.String = "y"
+	if f.Fault.String != "x" {
+		t.Fatal("fault clone shares state")
+	}
+}
+
+func TestProcessInstanceCorrelation(t *testing.T) {
+	env := NewRequest(payload(t, `<op xmlns="urn:x"/>`))
+	SetProcessInstanceID(env, "proc-99")
+	if got := ProcessInstanceID(env); got != "proc-99" {
+		t.Fatalf("ProcessInstanceID = %q", got)
+	}
+	if got := ReadAddressing(env).RelatesTo; got != "proc-99" {
+		t.Fatalf("RelatesTo = %q", got)
+	}
+	// Survives encode/decode.
+	text, err := env.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ProcessInstanceID(back); got != "proc-99" {
+		t.Fatalf("ProcessInstanceID after round trip = %q", got)
+	}
+}
+
+func TestProcessInstanceFallsBackToRelatesTo(t *testing.T) {
+	env := NewRequest(payload(t, `<op xmlns="urn:x"/>`))
+	Addressing{RelatesTo: "proc-7"}.Apply(env)
+	if got := ProcessInstanceID(env); got != "proc-7" {
+		t.Fatalf("fallback = %q", got)
+	}
+}
+
+func TestIDGeneratorUnique(t *testing.T) {
+	g := NewIDGenerator("urn:msg:")
+	const n = 200
+	var mu sync.Mutex
+	seen := make(map[string]bool, n)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < n/4; j++ {
+				id := g.Next()
+				mu.Lock()
+				if seen[id] {
+					t.Errorf("duplicate id %s", id)
+				}
+				seen[id] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != n {
+		t.Fatalf("got %d unique ids, want %d", len(seen), n)
+	}
+	if !strings.HasPrefix(g.Next(), "urn:msg:") {
+		t.Fatal("prefix missing")
+	}
+}
+
+func TestAddressingPartialApply(t *testing.T) {
+	env := NewRequest(payload(t, `<op xmlns="urn:x"/>`))
+	Addressing{MessageID: "m1"}.Apply(env)
+	a := ReadAddressing(env)
+	if a.MessageID != "m1" || a.To != "" || a.Action != "" || a.ReplyTo != "" {
+		t.Fatalf("partial apply = %+v", a)
+	}
+	if len(env.Headers) != 1 {
+		t.Fatalf("headers = %d, want 1 (empty fields omitted)", len(env.Headers))
+	}
+}

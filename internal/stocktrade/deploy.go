@@ -1,0 +1,144 @@
+package stocktrade
+
+import (
+	"fmt"
+
+	"github.com/masc-project/masc/internal/registry"
+	"github.com/masc-project/masc/internal/transport"
+)
+
+// Service addresses.
+const (
+	FundManagerAddr  = "inproc://trade/fundmanager"
+	AnalysisAddr     = "inproc://trade/analysis"
+	NotificationAddr = "inproc://trade/notification"
+	MarketAddr       = "inproc://trade/market"
+	RegistryAddr     = "inproc://trade/registry"
+	PaymentAddr      = "inproc://trade/payment"
+	ComplianceAddr   = "inproc://trade/compliance"
+)
+
+// CurrencyConversionAddr returns the address of conversion service i
+// (CC1…CCn).
+func CurrencyConversionAddr(i int) string {
+	return fmt.Sprintf("inproc://trade/currency-%d", i+1)
+}
+
+// PESTAddr returns the address of PEST service i (PS1…PSn).
+func PESTAddr(i int) string {
+	return fmt.Sprintf("inproc://trade/pest-%d", i+1)
+}
+
+// CreditRatingAddr returns the address of credit-rating service i
+// (CR1…CRn).
+func CreditRatingAddr(i int) string {
+	return fmt.Sprintf("inproc://trade/credit-%d", i+1)
+}
+
+// Service type names for the registry (the directory customization
+// policies select variation services from).
+const (
+	TypeCurrencyConversion = "CurrencyConversion"
+	TypePESTAnalysis       = "PESTAnalysis"
+	TypeCreditRating       = "CreditRating"
+)
+
+// Deployment is a running stock-trading topology.
+type Deployment struct {
+	Net          *transport.Network
+	Notification *StockNotification
+	Market       *StockMarket
+	Registry     *LedgerService
+	Payment      *LedgerService
+	Directory    *registry.Registry
+}
+
+// Deploy registers the Fig. 2 services plus `variants` instances of
+// each variation service type (CC, PS, CR). Internal service-to-
+// service calls go through backhaul (nil means direct).
+func Deploy(net *transport.Network, backhaul transport.Invoker, variants int) (*Deployment, error) {
+	if backhaul == nil {
+		backhaul = net
+	}
+	if variants <= 0 {
+		variants = 1
+	}
+	d := &Deployment{
+		Net:          net,
+		Notification: NewStockNotification(),
+		Registry:     NewStockRegistry(),
+		Payment:      NewPayment(),
+		Directory:    registry.New(),
+	}
+	d.Market = NewStockMarket(RegistryAddr, PaymentAddr, backhaul)
+
+	net.Register(NotificationAddr, d.Notification)
+	net.Register(AnalysisAddr, &FinancialAnalysis{Notification: NotificationAddr, Invoker: backhaul})
+	net.Register(FundManagerAddr, FundManager{})
+	net.Register(MarketAddr, d.Market)
+	net.Register(RegistryAddr, d.Registry)
+	net.Register(PaymentAddr, d.Payment)
+	net.Register(ComplianceAddr, MarketCompliance{})
+
+	register := func(addr, serviceType string) error {
+		return d.Directory.Register(registry.Entry{Address: addr, ServiceType: serviceType})
+	}
+	for i := 0; i < variants; i++ {
+		net.Register(CurrencyConversionAddr(i), NewCurrencyConversion())
+		if err := register(CurrencyConversionAddr(i), TypeCurrencyConversion); err != nil {
+			return nil, err
+		}
+		net.Register(PESTAddr(i), NewPESTAnalysis())
+		if err := register(PESTAddr(i), TypePESTAnalysis); err != nil {
+			return nil, err
+		}
+		net.Register(CreditRatingAddr(i), CreditRating{})
+		if err := register(CreditRatingAddr(i), TypeCreditRating); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// BaseProcessXML is the national (base) trading process of Fig. 2:
+// verify the order, get a recommendation, decide the trade, check
+// compliance, execute (the market settles registry+payment in
+// parallel). Customization policies adapt instances of this definition
+// without ever editing it.
+const BaseProcessXML = `
+<process xmlns="urn:masc:workflow" name="TradingProcess">
+  <variables>
+    <variable name="order"/>
+    <variable name="verified"/>
+    <variable name="analysis"/>
+    <variable name="decision"/>
+    <variable name="trade"/>
+  </variables>
+  <sequence name="main">
+    <invoke name="VerifyOrder" endpoint="inproc://trade/fundmanager" operation="verifyOrder"
+            input="order" output="verified"/>
+    <invoke name="Analyze" endpoint="inproc://trade/analysis" operation="analyze"
+            input="order" output="analysis"/>
+    <assign name="PrepareDecision">
+      <copy to="decision" from="//analysis/analyzeResponse"/>
+    </assign>
+    <invoke name="DecideTrade" endpoint="inproc://trade/fundmanager" operation="decideTrade"
+            input="decision" output="decision"/>
+    <invoke name="MarketCompliance" endpoint="inproc://trade/compliance" operation="checkCompliance"
+            input="order"/>
+    <invoke name="ExecuteTrade" endpoint="inproc://trade/market" operation="executeTrade"
+            input="decision" output="trade"/>
+  </sequence>
+</process>`
+
+// NewOrderPayload builds an investor order for process input.
+func NewOrderPayload(market, country, profile string, amount float64, side string) string {
+	return fmt.Sprintf(`<placeOrder xmlns="%s">
+  <Market>%s</Market>
+  <Country>%s</Country>
+  <Profile>%s</Profile>
+  <Amount>%.2f</Amount>
+  <Currency>USD</Currency>
+  <side>%s</side>
+</placeOrder>`, Namespace, market, country, profile, amount, side)
+}

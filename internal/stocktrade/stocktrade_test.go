@@ -1,0 +1,229 @@
+package stocktrade
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/masc-project/masc/internal/core"
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/transport"
+	"github.com/masc-project/masc/internal/workflow"
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+func deployed(t *testing.T) *Deployment {
+	t.Helper()
+	net := transport.NewNetwork()
+	d, err := Deploy(net, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func invoke(t *testing.T, d *Deployment, addr, action, payload string) *soap.Envelope {
+	t.Helper()
+	p, err := xmltree.ParseString(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := soap.NewRequest(p)
+	soap.Addressing{To: addr, Action: action}.Apply(env)
+	resp, err := d.Net.Invoke(context.Background(), addr, env)
+	if err != nil {
+		t.Fatalf("invoke %s %s: %v", addr, action, err)
+	}
+	return resp
+}
+
+func TestQuotesServed(t *testing.T) {
+	d := deployed(t)
+	resp := invoke(t, d, NotificationAddr, "getQuotes", `<getQuotes xmlns="urn:masc:stocktrade"/>`)
+	quotes := resp.Payload.ChildrenNamed("", "quote")
+	if len(quotes) != 5 {
+		t.Fatalf("quotes = %d", len(quotes))
+	}
+}
+
+func TestAnalysisRecommendsByTrend(t *testing.T) {
+	d := deployed(t)
+	resp := invoke(t, d, AnalysisAddr, "analyze", `<analyze xmlns="urn:masc:stocktrade"/>`)
+	if resp.IsFault() {
+		t.Fatalf("fault: %v", resp.Fault)
+	}
+	if got := resp.Payload.ChildText("", "buy"); got != "HOOLI" { // trend 0.9
+		t.Fatalf("buy = %q", got)
+	}
+	if got := resp.Payload.ChildText("", "sell"); got != "VANDELAY" { // trend -0.8
+		t.Fatalf("sell = %q", got)
+	}
+
+	// Market moves: recommendation follows.
+	d.Notification.SetQuote(Quote{Symbol: "GLOBO", Price: 50, Trend: 0.95})
+	resp = invoke(t, d, AnalysisAddr, "analyze", `<analyze xmlns="urn:masc:stocktrade"/>`)
+	if got := resp.Payload.ChildText("", "buy"); got != "GLOBO" {
+		t.Fatalf("buy after move = %q", got)
+	}
+}
+
+func TestVerifyOrder(t *testing.T) {
+	d := deployed(t)
+	ok := invoke(t, d, FundManagerAddr, "verifyOrder", NewOrderPayload("domestic", "Australia", "personal", 500, "buy"))
+	if ok.IsFault() || ok.Payload.ChildText("", "approved") != "true" {
+		t.Fatalf("resp = %+v", ok)
+	}
+	bad := invoke(t, d, FundManagerAddr, "verifyOrder", `<placeOrder xmlns="urn:masc:stocktrade"><Amount>-3</Amount></placeOrder>`)
+	if !bad.IsFault() || !strings.Contains(bad.Fault.String, "InvalidOrderFault") {
+		t.Fatalf("bad order = %+v", bad)
+	}
+}
+
+func TestDecideTradeSides(t *testing.T) {
+	d := deployed(t)
+	buy := invoke(t, d, FundManagerAddr, "decideTrade",
+		`<analyzeResponse xmlns="urn:masc:stocktrade"><buy>HOOLI</buy><sell>VANDELAY</sell></analyzeResponse>`)
+	if buy.Payload.ChildText("", "symbol") != "HOOLI" {
+		t.Fatalf("buy decision = %v", buy.Payload)
+	}
+	sell := invoke(t, d, FundManagerAddr, "decideTrade",
+		`<analyzeResponse xmlns="urn:masc:stocktrade"><buy>HOOLI</buy><sell>VANDELAY</sell><side>sell</side></analyzeResponse>`)
+	if sell.Payload.ChildText("", "symbol") != "VANDELAY" {
+		t.Fatalf("sell decision = %v", sell.Payload)
+	}
+}
+
+func TestTradeSettlesInParallel(t *testing.T) {
+	d := deployed(t)
+	resp := invoke(t, d, MarketAddr, "executeTrade",
+		`<decideTradeResponse xmlns="urn:masc:stocktrade"><symbol>ACME</symbol><side>buy</side><Amount>1000</Amount></decideTradeResponse>`)
+	if resp.IsFault() {
+		t.Fatalf("fault: %v", resp.Fault)
+	}
+	tradeID := resp.Payload.ChildText("", "tradeID")
+	if tradeID == "" || resp.Payload.ChildText("", "status") != "settled" {
+		t.Fatalf("resp = %v", resp.Payload)
+	}
+	if rec := d.Registry.Records(); len(rec) != 1 || rec[0] != tradeID {
+		t.Fatalf("registry records = %v", rec)
+	}
+	if rec := d.Payment.Records(); len(rec) != 1 || rec[0] != tradeID {
+		t.Fatalf("payment records = %v", rec)
+	}
+}
+
+func TestTradeWithoutSymbolFaults(t *testing.T) {
+	d := deployed(t)
+	resp := invoke(t, d, MarketAddr, "executeTrade", `<decideTradeResponse xmlns="urn:masc:stocktrade"/>`)
+	if !resp.IsFault() {
+		t.Fatal("symbol-less trade accepted")
+	}
+}
+
+func TestSettlementFailurePropagates(t *testing.T) {
+	net := transport.NewNetwork()
+	d, err := Deploy(net, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Unregister(PaymentAddr) // payment down
+	resp := invoke(t, d, MarketAddr, "executeTrade",
+		`<decideTradeResponse xmlns="urn:masc:stocktrade"><symbol>ACME</symbol><side>buy</side></decideTradeResponse>`)
+	if !resp.IsFault() || !strings.Contains(resp.Fault.String, "SettlementFault") {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestVariationServices(t *testing.T) {
+	d := deployed(t)
+
+	cc := invoke(t, d, CurrencyConversionAddr(0), "convert",
+		`<placeOrder xmlns="urn:masc:stocktrade"><Amount>100</Amount><Currency>USD</Currency></placeOrder>`)
+	if cc.Payload.ChildText("", "amountAUD") != "156.00" {
+		t.Fatalf("conversion = %v", cc.Payload)
+	}
+	ccBad := invoke(t, d, CurrencyConversionAddr(0), "convert",
+		`<placeOrder xmlns="urn:masc:stocktrade"><Amount>100</Amount><Currency>XYZ</Currency></placeOrder>`)
+	if !ccBad.IsFault() {
+		t.Fatal("unknown currency accepted")
+	}
+
+	pest := invoke(t, d, PESTAddr(0), "assess",
+		`<placeOrder xmlns="urn:masc:stocktrade"><Country>Japan</Country></placeOrder>`)
+	if pest.Payload.ChildText("", "risk") != "0.15" {
+		t.Fatalf("pest = %v", pest.Payload)
+	}
+	pestUnknown := invoke(t, d, PESTAddr(0), "assess",
+		`<placeOrder xmlns="urn:masc:stocktrade"><Country>Atlantis</Country></placeOrder>`)
+	if pestUnknown.Payload.ChildText("", "risk") != "0.50" {
+		t.Fatalf("unknown country risk = %v", pestUnknown.Payload)
+	}
+
+	cr := invoke(t, d, CreditRatingAddr(0), "rate",
+		`<placeOrder xmlns="urn:masc:stocktrade"><Profile>corporate</Profile></placeOrder>`)
+	if cr.Payload.ChildText("", "rating") != "A" {
+		t.Fatalf("rating = %v", cr.Payload)
+	}
+
+	mc := invoke(t, d, ComplianceAddr, "checkCompliance",
+		`<placeOrder xmlns="urn:masc:stocktrade"/>`)
+	if mc.Payload.ChildText("", "compliant") != "true" {
+		t.Fatalf("compliance = %v", mc.Payload)
+	}
+}
+
+func TestDirectoryListsVariants(t *testing.T) {
+	d := deployed(t)
+	for _, st := range []string{TypeCurrencyConversion, TypePESTAnalysis, TypeCreditRating} {
+		addrs, err := d.Directory.Addresses(st)
+		if err != nil || len(addrs) != 2 {
+			t.Fatalf("%s variants = %v err=%v", st, addrs, err)
+		}
+	}
+}
+
+// TestBaseProcessEndToEnd runs the full Fig. 2 composition through the
+// MASC stack (E5): order verified, analyzed, decided, compliance
+// checked, executed, and settled in parallel.
+func TestBaseProcessEndToEnd(t *testing.T) {
+	net := transport.NewNetwork()
+	d, err := Deploy(net, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewStack(net)
+	defer s.Close()
+	def, err := workflow.ParseDefinitionString(BaseProcessXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Engine.Deploy(def)
+
+	order, err := xmltree.ParseString(NewOrderPayload("domestic", "Australia", "personal", 2500, "buy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Engine.Start("TradingProcess", map[string]*xmltree.Element{"order": order})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := inst.Wait(5 * time.Second)
+	if err != nil || st != workflow.StateCompleted {
+		t.Fatalf("state=%s err=%v", st, err)
+	}
+
+	trade, ok := inst.GetVar("trade")
+	if !ok || trade.ChildText("", "status") != "settled" {
+		t.Fatalf("trade = %v", trade)
+	}
+	// Both settlement legs recorded the same trade.
+	if len(d.Registry.Records()) != 1 || len(d.Payment.Records()) != 1 {
+		t.Fatalf("settlement: registry=%v payment=%v", d.Registry.Records(), d.Payment.Records())
+	}
+	// The decision picked the top-trending stock.
+	decision, _ := inst.GetVar("decision")
+	if decision.ChildText("", "symbol") != "HOOLI" {
+		t.Fatalf("decision = %v", decision)
+	}
+}

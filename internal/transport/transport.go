@@ -1,0 +1,76 @@
+// Package transport carries SOAP envelopes between clients and
+// services. It defines the Handler (service-side) and Invoker
+// (client-side) interfaces used by every layer above, an in-process
+// network with simulated link/processing delays and fault injection
+// (the experiment substrate), and an HTTP binding (transport_http.go)
+// for real deployments.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/masc-project/masc/internal/soap"
+)
+
+// Errors reported by transports. wsBus fault classification matches on
+// these ("Service Unavailable Fault ... Timeout Fault", paper §3.1(2)).
+var (
+	// ErrEndpointNotFound reports an invocation of an unknown address.
+	ErrEndpointNotFound = errors.New("transport: endpoint not found")
+	// ErrUnavailable reports that the target service could not be
+	// reached or refused the connection.
+	ErrUnavailable = errors.New("transport: service unavailable")
+	// ErrTimeout reports that the service did not respond within the
+	// invoker's timeout interval.
+	ErrTimeout = errors.New("transport: invocation timed out")
+)
+
+// Handler is the service-side message endpoint. Implementations return
+// either a response envelope (which may carry a SOAP fault) or a
+// transport-level error.
+type Handler interface {
+	Serve(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error)
+
+var _ Handler = HandlerFunc(nil)
+
+// Serve implements Handler.
+func (f HandlerFunc) Serve(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error) {
+	return f(ctx, req)
+}
+
+// Invoker is the client-side interface: deliver a request to the named
+// endpoint and return its response.
+type Invoker interface {
+	Invoke(ctx context.Context, endpoint string, req *soap.Envelope) (*soap.Envelope, error)
+}
+
+// InvokerFunc adapts a function to the Invoker interface.
+type InvokerFunc func(ctx context.Context, endpoint string, req *soap.Envelope) (*soap.Envelope, error)
+
+var _ Invoker = InvokerFunc(nil)
+
+// Invoke implements Invoker.
+func (f InvokerFunc) Invoke(ctx context.Context, endpoint string, req *soap.Envelope) (*soap.Envelope, error) {
+	return f(ctx, endpoint, req)
+}
+
+// UnavailableError wraps ErrUnavailable with the injected or observed
+// reason, so monitoring can report why a service was down.
+type UnavailableError struct {
+	Endpoint string
+	Reason   string
+}
+
+// Error implements error.
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("transport: service unavailable: %s (%s)", e.Endpoint, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrUnavailable) work.
+func (e *UnavailableError) Unwrap() error { return ErrUnavailable }

@@ -1,0 +1,316 @@
+package workflow
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrActivityNotFound reports an edit referencing an unknown activity.
+var ErrActivityNotFound = errors.New("workflow: activity not found")
+
+// TreeCopy returns a transient deep copy of the instance's current
+// activity tree — "a transient copy of the process' object
+// representation" (§2.1) for inspection and update validation.
+func (in *Instance) TreeCopy() Activity {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.root.Clone()
+}
+
+// FindActivity locates an activity by name in a tree, or nil.
+func FindActivity(root Activity, name string) Activity {
+	var found Activity
+	walkActivities(root, func(a Activity) {
+		if found == nil && a.Name() == name {
+			found = a
+		}
+	})
+	return found
+}
+
+// TreeUpdate is an ordered change set for dynamic instance update:
+// the MASCAdaptationService builds one from policy actions and the
+// runtime applies it "using built-in algorithms" — first to a transient
+// copy (validation), then to the live tree.
+type TreeUpdate struct {
+	ops []treeOp
+}
+
+// NewTreeUpdate builds an empty update.
+func NewTreeUpdate() *TreeUpdate { return &TreeUpdate{} }
+
+// Empty reports whether the update contains no operations.
+func (u *TreeUpdate) Empty() bool { return len(u.ops) == 0 }
+
+// Insert schedules insertion of act at the given position relative to
+// anchor (anchor is ignored for AtStart/AtEnd, which apply to the root
+// sequence).
+func (u *TreeUpdate) Insert(pos Position, anchor string, act Activity) *TreeUpdate {
+	u.ops = append(u.ops, &insertOp{pos: pos, anchor: anchor, act: act})
+	return u
+}
+
+// Remove schedules removal of an activity, or of the consecutive
+// sibling block from activity through blockEnd when blockEnd is
+// non-empty ("an activity block is specified using beginning and
+// ending points", §2).
+func (u *TreeUpdate) Remove(activity, blockEnd string) *TreeUpdate {
+	u.ops = append(u.ops, &removeOp{name: activity, blockEnd: blockEnd})
+	return u
+}
+
+// Replace schedules replacement of an activity with act.
+func (u *TreeUpdate) Replace(activity string, act Activity) *TreeUpdate {
+	u.ops = append(u.ops, &replaceOp{name: activity, act: act})
+	return u
+}
+
+// Position re-exported values (mirrors policy positions but kept local
+// so workflow does not depend on the policy package).
+type Position string
+
+// Insertion positions.
+const (
+	Before  Position = "before"
+	After   Position = "after"
+	AtStart Position = "atStart"
+	AtEnd   Position = "atEnd"
+)
+
+type treeOp interface {
+	apply(root Activity) error
+}
+
+type insertOp struct {
+	pos    Position
+	anchor string
+	act    Activity
+}
+
+func (op *insertOp) apply(root Activity) error {
+	act := op.act.Clone()
+	switch op.pos {
+	case AtStart, AtEnd:
+		seq, ok := root.(*Sequence)
+		if !ok {
+			return fmt.Errorf("workflow: %s insertion requires the root to be a sequence, got %s", op.pos, root.Kind())
+		}
+		if op.pos == AtStart {
+			seq.children = append([]Activity{act}, seq.children...)
+		} else {
+			seq.children = append(seq.children, act)
+		}
+		return nil
+	case Before, After:
+		loc := locate(root, op.anchor)
+		if loc == nil {
+			return fmt.Errorf("%w: anchor %q", ErrActivityNotFound, op.anchor)
+		}
+		if loc.slice == nil {
+			return fmt.Errorf("workflow: anchor %q is not inside a sequence or parallel; cannot insert siblings", op.anchor)
+		}
+		idx := loc.index
+		if op.pos == After {
+			idx++
+		}
+		s := *loc.slice
+		s = append(s, nil)
+		copy(s[idx+1:], s[idx:])
+		s[idx] = act
+		*loc.slice = s
+		return nil
+	default:
+		return fmt.Errorf("workflow: unknown insert position %q", op.pos)
+	}
+}
+
+type removeOp struct {
+	name     string
+	blockEnd string
+}
+
+func (op *removeOp) apply(root Activity) error {
+	loc := locate(root, op.name)
+	if loc == nil {
+		return fmt.Errorf("%w: %q", ErrActivityNotFound, op.name)
+	}
+	if loc.slice == nil {
+		return fmt.Errorf("workflow: activity %q is not inside a sequence or parallel; cannot remove", op.name)
+	}
+	end := loc.index
+	if op.blockEnd != "" {
+		end = -1
+		for i := loc.index; i < len(*loc.slice); i++ {
+			if (*loc.slice)[i].Name() == op.blockEnd {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("%w: block end %q after %q", ErrActivityNotFound, op.blockEnd, op.name)
+		}
+	}
+	s := *loc.slice
+	*loc.slice = append(s[:loc.index], s[end+1:]...)
+	return nil
+}
+
+type replaceOp struct {
+	name string
+	act  Activity
+}
+
+func (op *replaceOp) apply(root Activity) error {
+	act := op.act.Clone()
+	if loc := locate(root, op.name); loc != nil && loc.slice != nil {
+		(*loc.slice)[loc.index] = act
+		return nil
+	}
+	// Not in a slice container: try structural positions.
+	replaced := false
+	walkActivities(root, func(a Activity) {
+		if replaced {
+			return
+		}
+		switch t := a.(type) {
+		case *If:
+			if t.then != nil && t.then.Name() == op.name {
+				t.then = act
+				replaced = true
+			} else if t.els != nil && t.els.Name() == op.name {
+				t.els = act
+				replaced = true
+			}
+		case *While:
+			if t.body.Name() == op.name {
+				t.body = act
+				replaced = true
+			}
+		case *Scope:
+			if t.body != nil && t.body.Name() == op.name {
+				t.body = act
+				replaced = true
+			} else if t.catch != nil && t.catch.Name() == op.name {
+				t.catch = act
+				replaced = true
+			}
+		}
+	})
+	if !replaced {
+		return fmt.Errorf("%w: %q", ErrActivityNotFound, op.name)
+	}
+	return nil
+}
+
+// location identifies an activity inside a slice-backed container.
+type location struct {
+	slice *[]Activity
+	index int
+}
+
+// locate finds the slice container holding the named activity.
+func locate(root Activity, name string) *location {
+	var found *location
+	var search func(a Activity)
+	search = func(a Activity) {
+		if found != nil || a == nil {
+			return
+		}
+		switch t := a.(type) {
+		case *Sequence:
+			for i, c := range t.children {
+				if c.Name() == name {
+					found = &location{slice: &t.children, index: i}
+					return
+				}
+			}
+			for _, c := range t.children {
+				search(c)
+			}
+		case *Parallel:
+			for i, b := range t.branches {
+				if b.Name() == name {
+					found = &location{slice: &t.branches, index: i}
+					return
+				}
+			}
+			for _, b := range t.branches {
+				search(b)
+			}
+		case *If:
+			search(t.then)
+			search(t.els)
+		case *While:
+			search(t.body)
+		case *Scope:
+			search(t.body)
+			search(t.catch)
+		}
+	}
+	// The root itself cannot be located inside a container.
+	if root.Name() == name {
+		return nil
+	}
+	search(root)
+	return found
+}
+
+// ApplyUpdate performs dynamic instance update: the operations are
+// first applied to a transient copy of the tree and the result
+// validated (unique names); only then are they applied to the live
+// tree. The instance must be newly created, suspended, or have a
+// pending suspension request — dynamic changes to a free-running
+// instance are refused, matching the paper's suspend-adapt-resume
+// protocol (§2.1).
+func (in *Instance) ApplyUpdate(u *TreeUpdate) error {
+	if u.Empty() {
+		return nil
+	}
+
+	// Validate on a transient copy.
+	copyRoot := in.TreeCopy()
+	for _, op := range u.ops {
+		if err := op.apply(copyRoot); err != nil {
+			return err
+		}
+	}
+	if err := checkUniqueNames(copyRoot); err != nil {
+		return err
+	}
+
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	editable := in.state == StateCreated || in.state == StateSuspended || in.control == controlSuspend
+	if !editable {
+		return fmt.Errorf("%w: instance %s is %s; suspend before updating", ErrBadState, in.id, in.state)
+	}
+	for _, op := range u.ops {
+		if err := op.apply(in.root); err != nil {
+			// Validation passed on the copy, so a live failure indicates
+			// a concurrent edit race; surface it.
+			return fmt.Errorf("workflow: live update failed after validation: %w", err)
+		}
+	}
+	return nil
+}
+
+// AdjustInvokeTimeout raises (or changes) the timeout of the named
+// invoke activity on the live tree. Unlike structural updates this is
+// allowed while the instance runs — it exists precisely to protect an
+// in-flight invocation from timing out while the messaging layer
+// retries (§3.1(3)).
+func (in *Instance) AdjustInvokeTimeout(activity string, d time.Duration) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	a := FindActivity(in.root, activity)
+	if a == nil {
+		return fmt.Errorf("%w: %q", ErrActivityNotFound, activity)
+	}
+	inv, ok := a.(*Invoke)
+	if !ok {
+		return fmt.Errorf("workflow: activity %q is a %s, not an invoke", activity, a.Kind())
+	}
+	inv.SetTimeout(d)
+	return nil
+}

@@ -1,0 +1,294 @@
+package workflow
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func editTestEngine(t *testing.T) (*Engine, *recordingInvoker) {
+	t.Helper()
+	ri := newRecordingInvoker()
+	return NewEngine(ri), ri
+}
+
+func threeStepDef(t *testing.T) *Definition {
+	t.Helper()
+	def, err := NewDefinition("P",
+		NewSequence("main",
+			NewInvoke("a", InvokeSpec{Endpoint: "ea", Operation: "opA"}),
+			NewInvoke("b", InvokeSpec{Endpoint: "eb", Operation: "opB"}),
+			NewInvoke("c", InvokeSpec{Endpoint: "ec", Operation: "opC"}),
+		))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return def
+}
+
+// staticCustomize edits a created (not yet running) instance — the
+// paper's static customization.
+func TestStaticCustomizationInsert(t *testing.T) {
+	e, ri := editTestEngine(t)
+	e.Deploy(threeStepDef(t))
+	inst, err := e.CreateInstance("P", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := NewTreeUpdate().
+		Insert(After, "a", NewInvoke("cc", InvokeSpec{Endpoint: "ecc", Operation: "convert"})).
+		Insert(Before, "a", NewInvoke("pre", InvokeSpec{Endpoint: "ep", Operation: "prepare"}))
+	if err := inst.ApplyUpdate(u); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := waitDone(t, inst)
+	if err != nil || st != StateCompleted {
+		t.Fatalf("state=%s err=%v", st, err)
+	}
+	want := []string{"ep prepare", "ea opA", "ecc convert", "eb opB", "ec opC"}
+	if got := strings.Join(ri.callList(), ","); got != strings.Join(want, ",") {
+		t.Fatalf("calls = %v, want %v", ri.callList(), want)
+	}
+}
+
+func TestStaticCustomizationRemoveAndReplace(t *testing.T) {
+	e, ri := editTestEngine(t)
+	e.Deploy(threeStepDef(t))
+	inst, _ := e.CreateInstance("P", nil)
+	u := NewTreeUpdate().
+		Remove("b", "").
+		Replace("c", NewInvoke("c2", InvokeSpec{Endpoint: "ec2", Operation: "opC2"}))
+	if err := inst.ApplyUpdate(u); err != nil {
+		t.Fatal(err)
+	}
+	inst.Run()
+	waitDone(t, inst)
+	want := "ea opA,ec2 opC2"
+	if got := strings.Join(ri.callList(), ","); got != want {
+		t.Fatalf("calls = %q, want %q", got, want)
+	}
+}
+
+func TestRemoveBlock(t *testing.T) {
+	e, ri := editTestEngine(t)
+	e.Deploy(threeStepDef(t))
+	inst, _ := e.CreateInstance("P", nil)
+	// Remove the consecutive block a..b ("beginning and ending points").
+	if err := inst.ApplyUpdate(NewTreeUpdate().Remove("a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	inst.Run()
+	waitDone(t, inst)
+	if got := strings.Join(ri.callList(), ","); got != "ec opC" {
+		t.Fatalf("calls = %q", got)
+	}
+}
+
+func TestRemoveBlockEndMissing(t *testing.T) {
+	e, _ := editTestEngine(t)
+	e.Deploy(threeStepDef(t))
+	inst, _ := e.CreateInstance("P", nil)
+	err := inst.ApplyUpdate(NewTreeUpdate().Remove("b", "zz"))
+	if !errors.Is(err, ErrActivityNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	inst.Terminate()
+}
+
+func TestInsertAtStartAndEnd(t *testing.T) {
+	e, ri := editTestEngine(t)
+	e.Deploy(threeStepDef(t))
+	inst, _ := e.CreateInstance("P", nil)
+	u := NewTreeUpdate().
+		Insert(AtStart, "", NewInvoke("first", InvokeSpec{Endpoint: "e0", Operation: "op0"})).
+		Insert(AtEnd, "", NewInvoke("last", InvokeSpec{Endpoint: "e9", Operation: "op9"}))
+	if err := inst.ApplyUpdate(u); err != nil {
+		t.Fatal(err)
+	}
+	inst.Run()
+	waitDone(t, inst)
+	calls := ri.callList()
+	if calls[0] != "e0 op0" || calls[len(calls)-1] != "e9 op9" {
+		t.Fatalf("calls = %v", calls)
+	}
+}
+
+// TestDynamicCustomization is the paper's core §2 scenario: suspend a
+// RUNNING instance, edit its remaining activities, resume.
+func TestDynamicCustomization(t *testing.T) {
+	e, ri := editTestEngine(t)
+	holdA := make(chan struct{})
+	ri.respond["opA"] = func(req *soapEnvAlias) (*soapEnvAlias, error) {
+		<-holdA
+		return okResp("opA"), nil
+	}
+	e.Deploy(threeStepDef(t))
+	inst, err := e.Start("P", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let activity a start, then request suspension while it runs.
+	waitForCalls(t, ri, 1)
+	if err := inst.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	close(holdA) // a completes; instance parks before b
+	if !inst.AwaitState(StateSuspended, 2*time.Second) {
+		t.Fatalf("did not park; state=%s", inst.State())
+	}
+
+	// Insert a new activity after b and remove c — on the fly.
+	u := NewTreeUpdate().
+		Insert(After, "b", NewInvoke("cc", InvokeSpec{Endpoint: "ecc", Operation: "convert"})).
+		Remove("c", "")
+	if err := inst.ApplyUpdate(u); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := waitDone(t, inst)
+	if err != nil || st != StateCompleted {
+		t.Fatalf("state=%s err=%v", st, err)
+	}
+	want := "ea opA,eb opB,ecc convert"
+	if got := strings.Join(ri.callList(), ","); got != want {
+		t.Fatalf("calls = %q, want %q", got, want)
+	}
+}
+
+func TestUpdateRunningInstanceRejected(t *testing.T) {
+	e, ri := editTestEngine(t)
+	hold := make(chan struct{})
+	ri.respond["opA"] = func(*soapEnvAlias) (*soapEnvAlias, error) {
+		<-hold
+		return okResp("opA"), nil
+	}
+	e.Deploy(threeStepDef(t))
+	inst, _ := e.Start("P", nil)
+	waitForCalls(t, ri, 1)
+	err := inst.ApplyUpdate(NewTreeUpdate().Remove("c", ""))
+	if !errors.Is(err, ErrBadState) {
+		t.Fatalf("err = %v, want ErrBadState", err)
+	}
+	close(hold)
+	waitDone(t, inst)
+}
+
+func TestUpdateValidatesOnCopyFirst(t *testing.T) {
+	e, _ := editTestEngine(t)
+	e.Deploy(threeStepDef(t))
+	inst, _ := e.CreateInstance("P", nil)
+
+	// Duplicate name must be rejected without touching the live tree.
+	err := inst.ApplyUpdate(NewTreeUpdate().
+		Insert(After, "a", NewInvoke("b", InvokeSpec{Endpoint: "x", Operation: "op"})))
+	if !errors.Is(err, ErrDuplicateActivity) {
+		t.Fatalf("err = %v", err)
+	}
+	// Unknown anchor rejected.
+	err = inst.ApplyUpdate(NewTreeUpdate().
+		Insert(Before, "ghost", NewNoOp("n")))
+	if !errors.Is(err, ErrActivityNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	// Live tree unchanged: running it executes the original three steps.
+	inst.Run()
+	waitDone(t, inst)
+}
+
+func TestUpdateEmptyIsNoop(t *testing.T) {
+	e, _ := editTestEngine(t)
+	e.Deploy(threeStepDef(t))
+	inst, _ := e.CreateInstance("P", nil)
+	if err := inst.ApplyUpdate(NewTreeUpdate()); err != nil {
+		t.Fatal(err)
+	}
+	inst.Terminate()
+}
+
+func TestTreeCopyIsDetached(t *testing.T) {
+	e, _ := editTestEngine(t)
+	e.Deploy(threeStepDef(t))
+	inst, _ := e.CreateInstance("P", nil)
+	cp := inst.TreeCopy()
+	seq := cp.(*Sequence)
+	seq.children = nil // mutate the copy
+	if len(inst.TreeCopy().(*Sequence).Children()) != 3 {
+		t.Fatal("TreeCopy shared structure with live tree")
+	}
+	inst.Terminate()
+}
+
+func TestReplaceInsideIfBranch(t *testing.T) {
+	e, ri := editTestEngine(t)
+	def, _ := NewDefinition("P",
+		NewIf("cond", mustXPath("true()"),
+			NewInvoke("thenInv", InvokeSpec{Endpoint: "e1", Operation: "op1"}),
+			NewInvoke("elseInv", InvokeSpec{Endpoint: "e2", Operation: "op2"}),
+		))
+	e.Deploy(def)
+	inst, _ := e.CreateInstance("P", nil)
+	err := inst.ApplyUpdate(NewTreeUpdate().
+		Replace("thenInv", NewInvoke("thenInv2", InvokeSpec{Endpoint: "e3", Operation: "op3"})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Run()
+	waitDone(t, inst)
+	if got := strings.Join(ri.callList(), ","); got != "e3 op3" {
+		t.Fatalf("calls = %q", got)
+	}
+}
+
+func TestInsertIntoParallel(t *testing.T) {
+	e, ri := editTestEngine(t)
+	def, _ := NewDefinition("P",
+		NewParallel("par",
+			NewInvoke("b1", InvokeSpec{Endpoint: "e1", Operation: "op1"}),
+		))
+	e.Deploy(def)
+	inst, _ := e.CreateInstance("P", nil)
+	err := inst.ApplyUpdate(NewTreeUpdate().
+		Insert(After, "b1", NewInvoke("b2", InvokeSpec{Endpoint: "e2", Operation: "op2"})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Run()
+	waitDone(t, inst)
+	if len(ri.callList()) != 2 {
+		t.Fatalf("calls = %v", ri.callList())
+	}
+}
+
+func TestAdjustTimeoutUnknownActivity(t *testing.T) {
+	e, _ := editTestEngine(t)
+	e.Deploy(threeStepDef(t))
+	inst, _ := e.CreateInstance("P", nil)
+	if err := inst.AdjustInvokeTimeout("ghost", time.Second); !errors.Is(err, ErrActivityNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	// Non-invoke activity rejected.
+	def2, _ := NewDefinition("P2", NewSequence("main", NewNoOp("n")))
+	e.Deploy(def2)
+	inst2, _ := e.CreateInstance("P2", nil)
+	if err := inst2.AdjustInvokeTimeout("n", time.Second); err == nil {
+		t.Fatal("adjusting a noop's timeout succeeded")
+	}
+	inst.Terminate()
+	inst2.Terminate()
+}
+
+func TestFindActivity(t *testing.T) {
+	def := threeStepDef(t)
+	if a := FindActivity(def.Root(), "b"); a == nil || a.Name() != "b" {
+		t.Fatalf("FindActivity = %v", a)
+	}
+	if a := FindActivity(def.Root(), "ghost"); a != nil {
+		t.Fatalf("ghost found: %v", a)
+	}
+}

@@ -1,0 +1,77 @@
+package workflow_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/transport"
+	"github.com/masc-project/masc/internal/workflow"
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+// ExampleEngine runs a two-step process against an in-memory invoker.
+func ExampleEngine() {
+	invoker := transport.InvokerFunc(func(_ context.Context, endpoint string, req *soap.Envelope) (*soap.Envelope, error) {
+		fmt.Println("invoked", endpoint, soap.ReadAddressing(req).Action)
+		return soap.NewRequest(xmltree.New("urn:x", "ok")), nil
+	})
+	engine := workflow.NewEngine(invoker)
+
+	def, err := workflow.ParseDefinitionString(`
+<process xmlns="urn:masc:workflow" name="Hello">
+  <sequence name="main">
+    <invoke name="First" endpoint="inproc://a" operation="greet"/>
+    <invoke name="Second" endpoint="inproc://b" operation="farewell"/>
+  </sequence>
+</process>`)
+	if err != nil {
+		fmt.Println("parse:", err)
+		return
+	}
+	engine.Deploy(def)
+
+	inst, err := engine.Start("Hello", nil)
+	if err != nil {
+		fmt.Println("start:", err)
+		return
+	}
+	state, err := inst.Wait(5 * time.Second)
+	fmt.Println(state, err)
+	// Output:
+	// invoked inproc://a greet
+	// invoked inproc://b farewell
+	// completed <nil>
+}
+
+// ExampleInstance_ApplyUpdate customizes a created instance before it
+// runs — the static-customization primitive policies build on.
+func ExampleInstance_ApplyUpdate() {
+	invoker := transport.InvokerFunc(func(_ context.Context, endpoint string, _ *soap.Envelope) (*soap.Envelope, error) {
+		fmt.Println("invoked", endpoint)
+		return soap.NewRequest(xmltree.New("urn:x", "ok")), nil
+	})
+	engine := workflow.NewEngine(invoker)
+	def, _ := workflow.NewDefinition("P",
+		workflow.NewSequence("main",
+			workflow.NewInvoke("base", workflow.InvokeSpec{Endpoint: "inproc://base", Operation: "op"}),
+		))
+	engine.Deploy(def)
+
+	inst, _ := engine.CreateInstance("P", nil)
+	update := workflow.NewTreeUpdate().
+		Insert(workflow.After, "base",
+			workflow.NewInvoke("added", workflow.InvokeSpec{Endpoint: "inproc://added", Operation: "op"}))
+	if err := inst.ApplyUpdate(update); err != nil {
+		fmt.Println("update:", err)
+		return
+	}
+	inst.Run() //nolint:errcheck
+	state, _ := inst.Wait(5 * time.Second)
+	fmt.Println(state)
+	// Output:
+	// invoked inproc://base
+	// invoked inproc://added
+	// completed
+}

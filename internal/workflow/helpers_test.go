@@ -1,0 +1,34 @@
+package workflow
+
+import (
+	"testing"
+	"time"
+
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/xmltree"
+	"github.com/masc-project/masc/internal/xpath"
+)
+
+// soapEnvAlias keeps handler signatures in tests short.
+type soapEnvAlias = soap.Envelope
+
+func okResp(op string) *soap.Envelope {
+	return soap.NewRequest(xmltree.New("urn:t", op+"Response"))
+}
+
+func mustXPath(src string) *xpath.Compiled { return xpath.MustCompile(src) }
+
+// waitForCalls polls until the invoker has recorded at least n calls.
+func waitForCalls(t *testing.T, ri *recordingInvoker, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if len(ri.callList()) >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("invoker saw %d calls, want >= %d", len(ri.callList()), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

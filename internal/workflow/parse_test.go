@@ -1,0 +1,190 @@
+package workflow
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+const tradingXML = `
+<process xmlns="urn:masc:workflow" name="TradingProcess">
+  <variables>
+    <variable name="order"/>
+    <variable name="analysis"/>
+    <variable name="trade"/>
+  </variables>
+  <sequence name="main">
+    <invoke name="VerifyOrder" endpoint="inproc://fundmanager" operation="verifyOrder"
+            input="order" output="verified" timeout="5s"/>
+    <if name="CheckAmount" test="number(//order/placeOrder/Amount) > 10000">
+      <then>
+        <invoke name="CreditRating" serviceType="CreditRating" operation="rate" input="order"/>
+        <noop name="Logged"/>
+      </then>
+      <else>
+        <noop name="SmallTrade"/>
+      </else>
+    </if>
+    <while name="RetryLoop" test="//trade/status = 'pending'">
+      <invoke name="PollTrade" endpoint="inproc://market" operation="pollTrade" input="trade" output="trade"/>
+    </while>
+    <parallel name="Settle">
+      <invoke name="TransferOwnership" endpoint="inproc://registry" operation="transferOwnership" input="trade"/>
+      <invoke name="TransferFunds" endpoint="inproc://payment" operation="transferFunds" input="trade"/>
+    </parallel>
+    <assign name="Summarize">
+      <copy to="summary" from="//trade"/>
+      <set to="flag"><done>yes</done></set>
+    </assign>
+    <delay name="Cooldown" duration="100ms"/>
+    <scope name="Guarded">
+      <body>
+        <invoke name="Risky" endpoint="inproc://x" operation="risky"/>
+      </body>
+      <catch faultVariable="oops">
+        <noop name="Recovered"/>
+      </catch>
+    </scope>
+    <terminate name="Halt"/>
+  </sequence>
+</process>`
+
+func TestParseDefinitionFull(t *testing.T) {
+	def, err := ParseDefinitionString(tradingXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Name() != "TradingProcess" {
+		t.Fatalf("name = %q", def.Name())
+	}
+	if vars := def.Variables(); len(vars) != 3 || vars[0] != "order" {
+		t.Fatalf("variables = %v", vars)
+	}
+	root, ok := def.Root().(*Sequence)
+	if !ok {
+		t.Fatalf("root = %T", def.Root())
+	}
+	kids := root.Children()
+	if len(kids) != 8 {
+		t.Fatalf("root children = %d", len(kids))
+	}
+
+	inv, ok := kids[0].(*Invoke)
+	if !ok || inv.Operation() != "verifyOrder" || inv.Endpoint() != "inproc://fundmanager" {
+		t.Fatalf("invoke = %+v", kids[0])
+	}
+	if inv.Timeout() != 5*time.Second {
+		t.Fatalf("timeout = %v", inv.Timeout())
+	}
+
+	iff, ok := kids[1].(*If)
+	if !ok {
+		t.Fatalf("kids[1] = %T", kids[1])
+	}
+	// then branch has two activities → implicit sequence.
+	thenSeq, ok := iff.then.(*Sequence)
+	if !ok || thenSeq.Name() != "CheckAmount/then" {
+		t.Fatalf("then = %T %q", iff.then, iff.then.Name())
+	}
+	// else branch has one activity → no wrapper.
+	if _, ok := iff.els.(*NoOp); !ok {
+		t.Fatalf("else = %T", iff.els)
+	}
+
+	if _, ok := kids[2].(*While); !ok {
+		t.Fatalf("kids[2] = %T", kids[2])
+	}
+	if _, ok := kids[3].(*Parallel); !ok {
+		t.Fatalf("kids[3] = %T", kids[3])
+	}
+	asn, ok := kids[4].(*Assign)
+	if !ok || len(asn.assignments) != 2 {
+		t.Fatalf("assign = %+v", kids[4])
+	}
+	if _, ok := kids[5].(*Delay); !ok {
+		t.Fatalf("kids[5] = %T", kids[5])
+	}
+	sc, ok := kids[6].(*Scope)
+	if !ok || sc.faultVariable != "oops" {
+		t.Fatalf("scope = %+v", kids[6])
+	}
+	if _, ok := kids[7].(*Terminate); !ok {
+		t.Fatalf("kids[7] = %T", kids[7])
+	}
+
+	// Dynamic-selection invoke inside the then-branch.
+	cr := FindActivity(def.Root(), "CreditRating")
+	if cr == nil || cr.(*Invoke).serviceType != "CreditRating" {
+		t.Fatalf("CreditRating = %+v", cr)
+	}
+}
+
+func TestParseDefinitionErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		doc  string
+	}{
+		{"not xml", "nope"},
+		{"wrong root", `<notprocess name="p"><noop name="n"/></notprocess>`},
+		{"no name", `<process xmlns="urn:masc:workflow"><noop name="n"/></process>`},
+		{"no activity", `<process xmlns="urn:masc:workflow" name="p"/>`},
+		{"two roots", `<process xmlns="urn:masc:workflow" name="p"><noop name="a"/><noop name="b"/></process>`},
+		{"unnamed variable", `<process xmlns="urn:masc:workflow" name="p"><variables><variable/></variables><noop name="n"/></process>`},
+		{"unknown activity", `<process xmlns="urn:masc:workflow" name="p"><sing name="s"/></process>`},
+		{"activity no name", `<process xmlns="urn:masc:workflow" name="p"><noop/></process>`},
+		{"invoke no operation", `<process xmlns="urn:masc:workflow" name="p"><invoke name="i" endpoint="x"/></process>`},
+		{"invoke no target", `<process xmlns="urn:masc:workflow" name="p"><invoke name="i" operation="op"/></process>`},
+		{"invoke bad timeout", `<process xmlns="urn:masc:workflow" name="p"><invoke name="i" endpoint="x" operation="op" timeout="soon"/></process>`},
+		{"if no test", `<process xmlns="urn:masc:workflow" name="p"><if name="i"><then><noop name="n"/></then></if></process>`},
+		{"if bad test", `<process xmlns="urn:masc:workflow" name="p"><if name="i" test="//["><then><noop name="n"/></then></if></process>`},
+		{"if no then", `<process xmlns="urn:masc:workflow" name="p"><if name="i" test="true()"/></process>`},
+		{"empty then", `<process xmlns="urn:masc:workflow" name="p"><if name="i" test="true()"><then/></if></process>`},
+		{"assign empty", `<process xmlns="urn:masc:workflow" name="p"><assign name="a"/></process>`},
+		{"assign copy no to", `<process xmlns="urn:masc:workflow" name="p"><assign name="a"><copy from="//x"/></assign></process>`},
+		{"delay bad duration", `<process xmlns="urn:masc:workflow" name="p"><delay name="d" duration="whenever"/></process>`},
+		{"scope no body", `<process xmlns="urn:masc:workflow" name="p"><scope name="s"><catch><noop name="n"/></catch></scope></process>`},
+		{"duplicate names", `<process xmlns="urn:masc:workflow" name="p"><sequence name="s"><noop name="x"/><noop name="x"/></sequence></process>`},
+		{"inline input multiple", `<process xmlns="urn:masc:workflow" name="p"><invoke name="i" endpoint="x" operation="op"><input><a/><b/></input></invoke></process>`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseDefinitionString(tt.doc); !errors.Is(err, ErrParseDefinition) {
+				t.Fatalf("err = %v, want ErrParseDefinition", err)
+			}
+		})
+	}
+}
+
+func TestParsedDefinitionExecutes(t *testing.T) {
+	// A small, parseable process must actually run end to end.
+	src := `
+<process xmlns="urn:masc:workflow" name="Mini">
+  <variables><variable name="n"/></variables>
+  <sequence name="main">
+    <assign name="init"><set to="n"><v>0</v></set></assign>
+    <while name="loop" test="number(//n/v) &lt; 2">
+      <assign name="inc"><copy to="n" from="//n/v"/></assign>
+      <assign name="fix"><set to="n"><v>2</v></set></assign>
+    </while>
+    <invoke name="call" endpoint="inproc://svc" operation="ping"/>
+  </sequence>
+</process>`
+	def, err := ParseDefinitionString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := newRecordingInvoker()
+	e := NewEngine(ri)
+	e.Deploy(def)
+	inst, err := e.Start("Mini", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := waitDone(t, inst)
+	if err != nil || st != StateCompleted {
+		t.Fatalf("state=%s err=%v", st, err)
+	}
+	if calls := ri.callList(); len(calls) != 1 {
+		t.Fatalf("calls = %v", calls)
+	}
+}

@@ -1,0 +1,141 @@
+package workflow
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genTree builds a random activity tree with unique names and returns
+// it with the list of activity names in sequences (valid anchors).
+func genTree(rng *rand.Rand) (*Sequence, []string) {
+	var anchors []string
+	id := 0
+	fresh := func(kind string) string {
+		id++
+		return fmt.Sprintf("%s%d", kind, id)
+	}
+	var genSeq func(depth int) *Sequence
+	genSeq = func(depth int) *Sequence {
+		name := fresh("seq")
+		n := 1 + rng.Intn(4)
+		children := make([]Activity, 0, n)
+		for i := 0; i < n; i++ {
+			switch k := rng.Intn(6); {
+			case k < 3 || depth >= 2:
+				a := NewNoOp(fresh("act"))
+				anchors = append(anchors, a.Name())
+				children = append(children, a)
+			case k == 3:
+				children = append(children, genSeq(depth+1))
+			case k == 4:
+				children = append(children, NewParallel(fresh("par"),
+					NewNoOp(fresh("act")), NewNoOp(fresh("act"))))
+			default:
+				children = append(children, NewInvoke(fresh("inv"),
+					InvokeSpec{Endpoint: "x", Operation: "op"}))
+			}
+		}
+		// Children of this sequence are anchors too.
+		for _, c := range children {
+			anchors = append(anchors, c.Name())
+		}
+		return NewSequence(name, children...)
+	}
+	return genSeq(0), anchors
+}
+
+// TestQuickUpdatesPreserveUniqueNames property-tests the dynamic-update
+// invariant: any random sequence of insert/remove/replace operations
+// either fails cleanly or leaves the tree with unique activity names,
+// and never corrupts a tree when validation rejects the update.
+func TestQuickUpdatesPreserveUniqueNames(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		root, anchors := genTree(rng)
+		def, err := NewDefinition("P", root)
+		if err != nil {
+			t.Logf("seed %d: generated invalid tree: %v", seed, err)
+			return false
+		}
+		e := NewEngine(newRecordingInvoker())
+		e.Deploy(def)
+		inst, err := e.CreateInstance("P", nil)
+		if err != nil {
+			return false
+		}
+		defer inst.Terminate()
+
+		for op := 0; op < 5; op++ {
+			u := NewTreeUpdate()
+			anchor := anchors[rng.Intn(len(anchors))]
+			newName := fmt.Sprintf("new%d-%d", seed&0xff, op)
+			switch rng.Intn(4) {
+			case 0:
+				u.Insert(Before, anchor, NewNoOp(newName))
+			case 1:
+				u.Insert(After, anchor, NewNoOp(newName))
+			case 2:
+				u.Remove(anchor, "")
+			default:
+				u.Replace(anchor, NewNoOp(newName))
+			}
+			// Sometimes craft a deliberately conflicting update.
+			if rng.Intn(4) == 0 {
+				u.Insert(AtEnd, "", NewNoOp(anchor)) // duplicate name
+			}
+			beforeTree := inst.TreeCopy()
+			err := inst.ApplyUpdate(u)
+			afterTree := inst.TreeCopy()
+			if err != nil {
+				// Rejected updates must not have touched the tree.
+				var a, b []string
+				walkActivities(beforeTree, func(x Activity) { a = append(a, x.Name()) })
+				walkActivities(afterTree, func(x Activity) { b = append(b, x.Name()) })
+				if len(a) != len(b) {
+					t.Logf("seed %d: rejected update mutated tree", seed)
+					return false
+				}
+				continue
+			}
+			if err := checkUniqueNames(afterTree); err != nil {
+				t.Logf("seed %d: accepted update broke uniqueness: %v", seed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSerializationRoundTrip property-tests that any generated
+// tree survives ActivityToXML → ParseActivity structurally.
+func TestQuickSerializationRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		root, _ := genTree(rng)
+		back, err := ParseActivity(ActivityToXML(root))
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		var a, b []string
+		walkActivities(root, func(x Activity) { a = append(a, x.Kind()+":"+x.Name()) })
+		walkActivities(back, func(x Activity) { b = append(b, x.Kind()+":"+x.Name()) })
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+package workflow
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+func TestDefinitionXMLRoundTrip(t *testing.T) {
+	def, err := ParseDefinitionString(tradingXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := xmltree.MarshalString(DefinitionToXML(def))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDefinitionString(out)
+	if err != nil {
+		t.Fatalf("re-parse serialized definition: %v\n%s", err, out)
+	}
+	if back.Name() != def.Name() {
+		t.Fatalf("name changed: %q", back.Name())
+	}
+	if strings.Join(back.Variables(), ",") != strings.Join(def.Variables(), ",") {
+		t.Fatalf("variables changed: %v", back.Variables())
+	}
+
+	// Structural equality: same activity names and kinds in walk order.
+	var orig, rt []string
+	walkActivities(def.Root(), func(a Activity) { orig = append(orig, a.Kind()+":"+a.Name()) })
+	walkActivities(back.Root(), func(a Activity) { rt = append(rt, a.Kind()+":"+a.Name()) })
+	if strings.Join(orig, ",") != strings.Join(rt, ",") {
+		t.Fatalf("structure changed:\norig %v\nback %v", orig, rt)
+	}
+
+	// Deep attributes survive.
+	inv := FindActivity(back.Root(), "VerifyOrder").(*Invoke)
+	if inv.Endpoint() != "inproc://fundmanager" || inv.Timeout() != 5*time.Second {
+		t.Fatalf("invoke attrs lost: %+v", inv)
+	}
+	iff := FindActivity(back.Root(), "CheckAmount").(*If)
+	if iff.cond.Source() != "number(//order/placeOrder/Amount) > 10000" {
+		t.Fatalf("condition source lost: %q", iff.cond.Source())
+	}
+	sc := FindActivity(back.Root(), "Guarded").(*Scope)
+	if sc.faultVariable != "oops" {
+		t.Fatalf("fault variable lost: %q", sc.faultVariable)
+	}
+}
+
+func TestSnapshotRequiresQuiescence(t *testing.T) {
+	ri := newRecordingInvoker()
+	hold := make(chan struct{})
+	ri.respond["opA"] = func(*soapEnvAlias) (*soapEnvAlias, error) {
+		<-hold
+		return okResp("opA"), nil
+	}
+	e := NewEngine(ri)
+	def, _ := NewDefinition("P",
+		NewSequence("main",
+			NewInvoke("a", InvokeSpec{Endpoint: "x", Operation: "opA"}),
+			NewInvoke("b", InvokeSpec{Endpoint: "y", Operation: "opB"}),
+		))
+	e.Deploy(def)
+	inst, _ := e.Start("P", nil)
+	waitForCalls(t, ri, 1)
+	if _, err := inst.Snapshot(); !errors.Is(err, ErrBadState) {
+		t.Fatalf("running snapshot err = %v", err)
+	}
+	close(hold)
+	waitDone(t, inst)
+	if _, err := inst.Snapshot(); err != nil {
+		t.Fatalf("terminal snapshot err = %v", err)
+	}
+}
+
+// TestSnapshotRestoreResumesMidProcess is the persistence round trip:
+// run half a process, suspend, snapshot, restore into a fresh engine,
+// and finish execution there — completed activities are not re-run.
+func TestSnapshotRestoreResumesMidProcess(t *testing.T) {
+	ri := newRecordingInvoker()
+	hold := make(chan struct{})
+	ri.respond["opA"] = func(*soapEnvAlias) (*soapEnvAlias, error) {
+		<-hold
+		return okResp("opA"), nil
+	}
+	e := NewEngine(ri)
+	def, _ := NewDefinition("P",
+		NewSequence("main",
+			NewInvoke("a", InvokeSpec{Endpoint: "ea", Operation: "opA"}),
+			NewInvoke("b", InvokeSpec{Endpoint: "eb", Operation: "opB"}),
+			NewInvoke("c", InvokeSpec{Endpoint: "ec", Operation: "opC"}),
+		), "order")
+	e.Deploy(def)
+
+	inst, err := e.Start("P", map[string]*xmltree.Element{
+		"order": xmltree.MustParseString(`<o><v>7</v></o>`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForCalls(t, ri, 1)
+	if err := inst.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	close(hold) // activity a completes, instance parks before b
+	if !inst.AwaitState(StateSuspended, 2*time.Second) {
+		t.Fatalf("never parked: %s", inst.State())
+	}
+
+	snap, err := inst.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Terminate() // old engine's instance dies with the "host"
+
+	// Serialize to text and back, as a persistence store would.
+	text, err := xmltree.MarshalString(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := xmltree.ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a fresh engine and invoker.
+	ri2 := newRecordingInvoker()
+	e2 := NewEngine(ri2)
+	restored, err := e2.Restore(reloaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.State() != StateCreated {
+		t.Fatalf("restored state = %s", restored.State())
+	}
+	if v, ok := restored.GetVar("order"); !ok || v.ChildText("", "v") != "7" {
+		t.Fatalf("variable lost: %v", v)
+	}
+	if restored.AdaptationState() != inst.AdaptationState() {
+		t.Fatal("adaptation state lost")
+	}
+
+	if err := restored.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := restored.Wait(5 * time.Second)
+	if err != nil || st != StateCompleted {
+		t.Fatalf("state=%s err=%v", st, err)
+	}
+	// Only b and c ran on the new engine; a was already completed.
+	calls := strings.Join(ri2.callList(), ",")
+	if calls != "eb opB,ec opC" {
+		t.Fatalf("restored calls = %q", calls)
+	}
+}
+
+func TestSnapshotCapturesDynamicCustomization(t *testing.T) {
+	// A customized instance snapshot carries the edited tree, not the
+	// original definition.
+	ri := newRecordingInvoker()
+	e := NewEngine(ri)
+	def, _ := NewDefinition("P", NewSequence("main",
+		NewInvoke("a", InvokeSpec{Endpoint: "ea", Operation: "opA"})))
+	e.Deploy(def)
+	inst, _ := e.CreateInstance("P", nil)
+	err := inst.ApplyUpdate(NewTreeUpdate().
+		Insert(After, "a", NewInvoke("added", InvokeSpec{Endpoint: "ex", Operation: "opX"})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := inst.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Terminate()
+
+	e2 := NewEngine(ri)
+	restored, err := e2.Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FindActivity(restored.TreeCopy(), "added") == nil {
+		t.Fatal("customized activity lost in snapshot")
+	}
+	restored.Terminate()
+}
+
+func TestRestoreErrors(t *testing.T) {
+	e := NewEngine(newRecordingInvoker())
+	if _, err := e.Restore(xmltree.MustParseString(`<wrong/>`)); err == nil {
+		t.Fatal("wrong root accepted")
+	}
+	if _, err := e.Restore(xmltree.MustParseString(
+		`<instanceSnapshot xmlns="urn:masc:workflow" id="x" definition="P"/>`)); err == nil {
+		t.Fatal("treeless snapshot accepted")
+	}
+	bad := `<instanceSnapshot xmlns="urn:masc:workflow" id="x" definition="P">
+		<tree><sequence name="s"><noop name="n"/><noop name="n"/></sequence></tree></instanceSnapshot>`
+	if _, err := e.Restore(xmltree.MustParseString(bad)); !errors.Is(err, ErrDuplicateActivity) {
+		t.Fatalf("duplicate-name snapshot err = %v", err)
+	}
+}
+
+func TestRestoreAvoidsIDCollision(t *testing.T) {
+	ri := newRecordingInvoker()
+	e := NewEngine(ri)
+	def, _ := NewDefinition("P", NewNoOp("n"))
+	e.Deploy(def)
+	inst, _ := e.CreateInstance("P", nil)
+	snap, err := inst.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restoring into the SAME engine while the original lives must not
+	// clobber it.
+	restored, err := e.Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.ID() == inst.ID() {
+		t.Fatalf("restored instance reused live ID %s", inst.ID())
+	}
+	inst.Terminate()
+	restored.Terminate()
+}

@@ -1,0 +1,85 @@
+package wsdl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestContractXMLRoundTrip(t *testing.T) {
+	orig := retailerContract()
+	text, err := orig.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseContractString(text)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	if back.Name != orig.Name || back.TargetNamespace != orig.TargetNamespace {
+		t.Fatalf("metadata changed: %+v", back)
+	}
+	origOps := orig.Operations()
+	backOps := back.Operations()
+	if len(backOps) != len(origOps) {
+		t.Fatalf("operation count changed: %d", len(backOps))
+	}
+	for i := range origOps {
+		o, b := origOps[i], backOps[i]
+		if o.Name != b.Name || o.InputElement != b.InputElement || o.OutputElement != b.OutputElement {
+			t.Fatalf("op %d changed: %+v vs %+v", i, o, b)
+		}
+		if strings.Join(o.RequiredInputParts, ",") != strings.Join(b.RequiredInputParts, ",") {
+			t.Fatalf("op %s input parts changed", o.Name)
+		}
+		if strings.Join(o.RequiredOutputParts, ",") != strings.Join(b.RequiredOutputParts, ",") {
+			t.Fatalf("op %s output parts changed", o.Name)
+		}
+		if strings.Join(o.Faults, ",") != strings.Join(b.Faults, ",") {
+			t.Fatalf("op %s faults changed", o.Name)
+		}
+	}
+}
+
+func TestContractDocPreserved(t *testing.T) {
+	c := NewContract("Doc", "urn:d")
+	c.AddOperation(Operation{Name: "op", Doc: "does the thing"})
+	text, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseContractString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Operation("op").Doc != "does the thing" {
+		t.Fatalf("doc lost: %+v", back.Operation("op"))
+	}
+}
+
+func TestContractCustomElementsPreserved(t *testing.T) {
+	c := NewContract("Custom", "urn:c")
+	c.AddOperation(Operation{Name: "op", InputElement: "customIn", OutputElement: "customOut"})
+	text, _ := c.Encode()
+	back, err := ParseContractString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := back.Operation("op")
+	if op.InputElement != "customIn" || op.OutputElement != "customOut" {
+		t.Fatalf("custom elements lost: %+v", op)
+	}
+}
+
+func TestParseContractErrors(t *testing.T) {
+	bad := []string{
+		"junk",
+		`<notContract/>`,
+		`<contract xmlns="urn:masc:wsdl"/>`, // no name
+		`<contract xmlns="urn:masc:wsdl" name="x"><operation/></contract>`, // unnamed op
+	}
+	for _, doc := range bad {
+		if _, err := ParseContractString(doc); err == nil {
+			t.Errorf("ParseContractString(%q) succeeded", doc)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package wsdl
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+func retailerContract() *Contract {
+	c := NewContract("Retailer", "urn:scm:retailer")
+	c.AddOperation(Operation{
+		Name:               "getCatalog",
+		RequiredInputParts: []string{"category"},
+	})
+	c.AddOperation(Operation{
+		Name:                "submitOrder",
+		RequiredInputParts:  []string{"customerID", "items"},
+		RequiredOutputParts: []string{"orderID"},
+		Faults:              []string{"InvalidOrderFault", "OutOfStockFault"},
+	})
+	return c
+}
+
+func envWith(t *testing.T, doc string) *soap.Envelope {
+	t.Helper()
+	p, err := xmltree.ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return soap.NewRequest(p)
+}
+
+func TestOperationDefaults(t *testing.T) {
+	c := retailerContract()
+	op := c.Operation("getCatalog")
+	if op == nil {
+		t.Fatal("missing operation")
+	}
+	if op.InputElement != "getCatalog" || op.OutputElement != "getCatalogResponse" {
+		t.Fatalf("defaults = %q/%q", op.InputElement, op.OutputElement)
+	}
+	if c.Operation("nope") != nil {
+		t.Fatal("unknown operation should be nil")
+	}
+}
+
+func TestOperationsSorted(t *testing.T) {
+	c := retailerContract()
+	ops := c.Operations()
+	if len(ops) != 2 || ops[0].Name != "getCatalog" || ops[1].Name != "submitOrder" {
+		t.Fatalf("Operations() = %v", ops)
+	}
+}
+
+func TestOperationForMessage(t *testing.T) {
+	c := retailerContract()
+
+	req := envWith(t, `<getCatalog xmlns="urn:scm:retailer"><category>tv</category></getCatalog>`)
+	op, dir, err := c.OperationForMessage(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Name != "getCatalog" || dir != Request {
+		t.Fatalf("got %s/%s", op.Name, dir)
+	}
+
+	resp := envWith(t, `<submitOrderResponse xmlns="urn:scm:retailer"><orderID>o1</orderID></submitOrderResponse>`)
+	op, dir, err = c.OperationForMessage(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Name != "submitOrder" || dir != Response {
+		t.Fatalf("got %s/%s", op.Name, dir)
+	}
+
+	unknown := envWith(t, `<transferFunds xmlns="urn:scm:retailer"/>`)
+	if _, _, err := c.OperationForMessage(unknown); !errors.Is(err, ErrUnknownOperation) {
+		t.Fatalf("err = %v", err)
+	}
+
+	wrongNS := envWith(t, `<getCatalog xmlns="urn:other"/>`)
+	if _, _, err := c.OperationForMessage(wrongNS); !errors.Is(err, ErrUnknownOperation) {
+		t.Fatalf("wrong namespace err = %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := retailerContract()
+	tests := []struct {
+		name    string
+		doc     string
+		dir     Direction
+		wantErr error
+	}{
+		{
+			name: "valid request",
+			doc:  `<getCatalog xmlns="urn:scm:retailer"><category>tv</category></getCatalog>`,
+			dir:  Request,
+		},
+		{
+			name:    "missing part",
+			doc:     `<getCatalog xmlns="urn:scm:retailer"/>`,
+			dir:     Request,
+			wantErr: ErrMissingPart,
+		},
+		{
+			name:    "response element as request",
+			doc:     `<getCatalogResponse xmlns="urn:scm:retailer"/>`,
+			dir:     Request,
+			wantErr: ErrUnknownOperation,
+		},
+		{
+			name: "valid response",
+			doc:  `<submitOrderResponse xmlns="urn:scm:retailer"><orderID>1</orderID></submitOrderResponse>`,
+			dir:  Response,
+		},
+		{
+			name:    "response missing part",
+			doc:     `<submitOrderResponse xmlns="urn:scm:retailer"/>`,
+			dir:     Response,
+			wantErr: ErrMissingPart,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := c.Validate(envWith(t, tt.doc), tt.dir)
+			if tt.wantErr == nil && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if tt.wantErr != nil && !errors.Is(err, tt.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateFaults(t *testing.T) {
+	c := retailerContract()
+	fault := soap.NewFaultEnvelope(soap.FaultServer, "boom")
+	if err := c.Validate(fault, Response); err != nil {
+		t.Fatalf("fault response should validate: %v", err)
+	}
+	if err := c.Validate(fault, Request); err == nil {
+		t.Fatal("fault request should not validate")
+	}
+}
+
+func TestNewInputOutput(t *testing.T) {
+	c := retailerContract()
+	in, err := c.NewInput("getCatalog", map[string]string{"category": "tv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := soap.NewRequest(in)
+	if err := c.Validate(env, Request); err != nil {
+		t.Fatalf("generated input does not validate: %v", err)
+	}
+
+	out, err := c.NewOutput("submitOrder", map[string]string{"orderID": "o-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(soap.NewRequest(out), Response); err != nil {
+		t.Fatalf("generated output does not validate: %v", err)
+	}
+
+	if _, err := c.NewInput("nope", nil); !errors.Is(err, ErrUnknownOperation) {
+		t.Fatalf("NewInput unknown = %v", err)
+	}
+	if _, err := c.NewOutput("nope", nil); !errors.Is(err, ErrUnknownOperation) {
+		t.Fatalf("NewOutput unknown = %v", err)
+	}
+}
+
+func TestNewInputPartsDeterministicOrder(t *testing.T) {
+	c := retailerContract()
+	a, _ := c.NewInput("submitOrder", map[string]string{"customerID": "c", "items": "i"})
+	b, _ := c.NewInput("submitOrder", map[string]string{"items": "i", "customerID": "c"})
+	if !xmltree.Equal(a, b) {
+		t.Fatal("part order not deterministic")
+	}
+}
+
+func TestDeclaresFault(t *testing.T) {
+	c := retailerContract()
+	if !c.DeclaresFault("submitOrder", "OutOfStockFault") {
+		t.Fatal("declared fault not found")
+	}
+	if c.DeclaresFault("submitOrder", "Nope") {
+		t.Fatal("undeclared fault found")
+	}
+	if c.DeclaresFault("nope", "OutOfStockFault") {
+		t.Fatal("unknown operation declared fault")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Request.String() != "request" || Response.String() != "response" {
+		t.Fatal("Direction.String broken")
+	}
+}

@@ -1,0 +1,60 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRoundTrip checks that anything Parse accepts survives a
+// marshal/re-parse round trip unchanged, and that Parse never panics
+// on arbitrary input.
+func FuzzParseRoundTrip(f *testing.F) {
+	seeds := []string{
+		`<a/>`,
+		`<a b="c">text</a>`,
+		`<ns:a xmlns:ns="urn:x"><b/><c d="e&amp;f"/></ns:a>`,
+		`<a><b>one</b><b>two</b></a>`,
+		`<a xmlns="urn:d"><b xmlns="urn:e"/></a>`,
+		`not xml at all`,
+		`<a>`,
+		`<a></b>`,
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		root, err := ParseString(doc)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		out, err := MarshalString(root)
+		if err != nil {
+			t.Fatalf("marshal of parsed tree failed: %v", err)
+		}
+		back, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("re-parse of marshaled tree failed: %v\n%s", err, out)
+		}
+		if !Equal(root, back) {
+			t.Fatalf("round trip changed tree:\nin:  %s\nout: %s", doc, out)
+		}
+	})
+}
+
+// FuzzPathOperations checks that tree navigation never panics for
+// arbitrary path segments.
+func FuzzPathOperations(f *testing.F) {
+	f.Add("a/b/c", "x")
+	f.Add("", "")
+	f.Fuzz(func(t *testing.T, path, attr string) {
+		root := MustParseString(`<r><a><b><c v="1">t</c></b></a></r>`)
+		segs := strings.Split(path, "/")
+		el := root.Path(segs...)
+		if el != nil {
+			_ = el.AttrValue("", attr)
+			_ = el.DeepText()
+		}
+		_ = root.Find(func(e *Element) bool { return e.Name.Local == attr })
+	})
+}

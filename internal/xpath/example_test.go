@@ -1,0 +1,39 @@
+package xpath_test
+
+import (
+	"fmt"
+
+	"github.com/masc-project/masc/internal/xmltree"
+	"github.com/masc-project/masc/internal/xpath"
+)
+
+// ExampleCompile evaluates a policy-style condition over a message.
+func ExampleCompile() {
+	msg := xmltree.MustParseString(`
+<placeOrder xmlns="urn:trade">
+  <Amount>15000</Amount>
+  <Profile>corporate</Profile>
+</placeOrder>`)
+
+	cond, err := xpath.Compile("number(//Amount) > 10000 or //Profile = 'corporate'")
+	if err != nil {
+		fmt.Println("compile:", err)
+		return
+	}
+	ok, err := cond.EvalBool(msg, xpath.Context{})
+	fmt.Println(ok, err)
+	// Output:
+	// true <nil>
+}
+
+// ExampleCompiled_EvalContext shows variable bindings in conditions.
+func ExampleCompiled_EvalContext() {
+	doc := xmltree.MustParseString(`<order><total>120</total></order>`)
+	cond := xpath.MustCompile("number(//total) > $threshold")
+	v, err := cond.EvalContext(doc, xpath.Context{
+		Vars: map[string]xpath.Value{"threshold": xpath.Number(100)},
+	})
+	fmt.Println(v.Bool(), err)
+	// Output:
+	// true <nil>
+}

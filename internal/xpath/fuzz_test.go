@@ -1,0 +1,48 @@
+package xpath
+
+import (
+	"testing"
+
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+// FuzzCompileEval checks that Compile never panics and that anything
+// it accepts evaluates (or errors) without panicking.
+func FuzzCompileEval(f *testing.F) {
+	seeds := []string{
+		"//a/b[@c='d']",
+		"count(//x) > 3 and starts-with(//y, 'z')",
+		"1 + 2 * (3 div 4) mod 5",
+		"//a | //b | //c",
+		"substring(//a, 2, 3)",
+		"not($var)",
+		"-(-5)",
+		"/",
+		"..",
+		"@*",
+		"a[b[c[d]]]",
+		"((((1))))",
+		"'unterminated",
+		"]][[",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	doc := xmltree.MustParseString(`<r><a><b c="d">x</b></a><y>zebra</y></r>`)
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Compile(src)
+		if err != nil {
+			return
+		}
+		env := Context{Vars: map[string]Value{"var": Bool(false)}}
+		v, err := c.EvalContext(doc, env)
+		if err != nil {
+			return
+		}
+		// Conversions must not panic either.
+		_ = v.Bool()
+		_ = v.Number()
+		_ = v.String()
+	})
+}

@@ -1,0 +1,217 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF  tokKind = iota + 1
+	tokName         // NCName (possibly later combined with ':' into qname)
+	tokNumber
+	tokLiteral // quoted string
+	tokSlash
+	tokDblSlash
+	tokLBracket
+	tokRBracket
+	tokLParen
+	tokRParen
+	tokAt
+	tokDot
+	tokDotDot
+	tokComma
+	tokPipe
+	tokStar
+	tokColon
+	tokDblColon
+	tokDollar
+	tokEq
+	tokNeq
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokPlus
+	tokMinus
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	pos  int
+}
+
+type lexError struct {
+	pos int
+	msg string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("position %d: %s", e.pos, e.msg)
+}
+
+// lex tokenizes the whole expression up front; XPath expressions are
+// short, so a token slice is simpler than a streaming lexer.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/':
+			if i+1 < n && src[i+1] == '/' {
+				toks = append(toks, token{kind: tokDblSlash, text: "//", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokSlash, text: "/", pos: i})
+				i++
+			}
+		case c == '[':
+			toks = append(toks, token{kind: tokLBracket, text: "[", pos: i})
+			i++
+		case c == ']':
+			toks = append(toks, token{kind: tokRBracket, text: "]", pos: i})
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, text: "(", pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")", pos: i})
+			i++
+		case c == '@':
+			toks = append(toks, token{kind: tokAt, text: "@", pos: i})
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tokComma, text: ",", pos: i})
+			i++
+		case c == '|':
+			toks = append(toks, token{kind: tokPipe, text: "|", pos: i})
+			i++
+		case c == '*':
+			toks = append(toks, token{kind: tokStar, text: "*", pos: i})
+			i++
+		case c == '$':
+			toks = append(toks, token{kind: tokDollar, text: "$", pos: i})
+			i++
+		case c == '+':
+			toks = append(toks, token{kind: tokPlus, text: "+", pos: i})
+			i++
+		case c == '-':
+			toks = append(toks, token{kind: tokMinus, text: "-", pos: i})
+			i++
+		case c == '=':
+			toks = append(toks, token{kind: tokEq, text: "=", pos: i})
+			i++
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{kind: tokNeq, text: "!=", pos: i})
+				i += 2
+			} else {
+				return nil, &lexError{pos: i, msg: "unexpected '!'"}
+			}
+		case c == '<':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{kind: tokLe, text: "<=", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokLt, text: "<", pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{kind: tokGe, text: ">=", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokGt, text: ">", pos: i})
+				i++
+			}
+		case c == ':':
+			if i+1 < n && src[i+1] == ':' {
+				toks = append(toks, token{kind: tokDblColon, text: "::", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokColon, text: ":", pos: i})
+				i++
+			}
+		case c == '.':
+			if i+1 < n && src[i+1] == '.' {
+				toks = append(toks, token{kind: tokDotDot, text: "..", pos: i})
+				i += 2
+			} else if i+1 < n && isDigit(src[i+1]) {
+				j := i + 1
+				for j < n && isDigit(src[j]) {
+					j++
+				}
+				num, err := parseNum(src[i:j])
+				if err != nil {
+					return nil, &lexError{pos: i, msg: err.Error()}
+				}
+				toks = append(toks, token{kind: tokNumber, text: src[i:j], num: num, pos: i})
+				i = j
+			} else {
+				toks = append(toks, token{kind: tokDot, text: ".", pos: i})
+				i++
+			}
+		case c == '\'' || c == '"':
+			j := strings.IndexByte(src[i+1:], c)
+			if j < 0 {
+				return nil, &lexError{pos: i, msg: "unterminated string literal"}
+			}
+			toks = append(toks, token{kind: tokLiteral, text: src[i+1 : i+1+j], pos: i})
+			i += j + 2
+		case isDigit(c):
+			j := i
+			for j < n && isDigit(src[j]) {
+				j++
+			}
+			if j < n && src[j] == '.' {
+				j++
+				for j < n && isDigit(src[j]) {
+					j++
+				}
+			}
+			num, err := parseNum(src[i:j])
+			if err != nil {
+				return nil, &lexError{pos: i, msg: err.Error()}
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i:j], num: num, pos: i})
+			i = j
+		case isNameStart(rune(c)):
+			j := i + 1
+			for j < n && isNameChar(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: tokName, text: src[i:j], pos: i})
+			i = j
+		default:
+			return nil, &lexError{pos: i, msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNameChar(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func parseNum(s string) (float64, error) {
+	var f float64
+	if _, err := fmt.Sscanf(s, "%g", &f); err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return f, nil
+}

@@ -1,0 +1,572 @@
+package xpath
+
+import (
+	"fmt"
+)
+
+// --- AST ---
+
+type expr interface{ isExpr() }
+
+type binaryExpr struct {
+	op       string // "or","and","=","!=","<","<=",">",">=","+","-","*","div","mod"
+	lhs, rhs expr
+}
+
+type negExpr struct{ operand expr }
+
+type unionExpr struct{ parts []expr }
+
+type literalExpr struct{ s string }
+
+type numberExpr struct{ f float64 }
+
+type varExpr struct{ name string }
+
+type funcExpr struct {
+	name string
+	args []expr
+}
+
+// pathExpr is a location path, optionally rooted at a filter expression
+// (e.g. a function call returning a node-set).
+type pathExpr struct {
+	absolute bool
+	filter   expr // optional; when set, steps apply to its result
+	steps    []step
+}
+
+// filterExpr is a primary expression with predicates applied.
+type filterExpr struct {
+	primary expr
+	preds   []expr
+}
+
+type axisKind int
+
+const (
+	axisChild axisKind = iota + 1
+	axisAttribute
+	axisDescendant
+	axisDescendantOrSelf
+	axisSelf
+	axisParent
+)
+
+type nodeTest struct {
+	anyName  bool   // "*" or "prefix:*" (prefix set)
+	nodeType string // "node" or "text"; empty for name tests
+	prefix   string
+	local    string
+}
+
+type step struct {
+	axis axisKind
+	test nodeTest
+	// fromDescendant marks a step preceded by "//": expand
+	// descendant-or-self::node() before applying the step axis.
+	fromDescendant bool
+	preds          []expr
+}
+
+func (binaryExpr) isExpr()  {}
+func (negExpr) isExpr()     {}
+func (unionExpr) isExpr()   {}
+func (literalExpr) isExpr() {}
+func (numberExpr) isExpr()  {}
+func (varExpr) isExpr()     {}
+func (funcExpr) isExpr()    {}
+func (pathExpr) isExpr()    {}
+func (filterExpr) isExpr()  {}
+
+// --- Parser ---
+
+type parser struct {
+	toks []token
+	i    int
+	err  error
+}
+
+func newParser(src string) *parser {
+	toks, err := lex(src)
+	if err != nil {
+		return &parser{toks: []token{{kind: tokEOF}}, err: err}
+	}
+	return &parser{toks: toks}
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) peek2() token {
+	if p.i+1 < len(p.toks) {
+		return p.toks[p.i+1]
+	}
+	return token{kind: tokEOF}
+}
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("expected %s at position %d, got %q", what, t.pos, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) parseExpr() (expr, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (expr, error) {
+	lhs, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokName && p.peek().text == "or" {
+		p.next()
+		rhs, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		lhs = binaryExpr{op: "or", lhs: lhs, rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseAnd() (expr, error) {
+	lhs, err := p.parseEquality()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokName && p.peek().text == "and" {
+		p.next()
+		rhs, err := p.parseEquality()
+		if err != nil {
+			return nil, err
+		}
+		lhs = binaryExpr{op: "and", lhs: lhs, rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseEquality() (expr, error) {
+	lhs, err := p.parseRelational()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.peek().kind
+		if k != tokEq && k != tokNeq {
+			return lhs, nil
+		}
+		op := p.next().text
+		rhs, err := p.parseRelational()
+		if err != nil {
+			return nil, err
+		}
+		lhs = binaryExpr{op: op, lhs: lhs, rhs: rhs}
+	}
+}
+
+func (p *parser) parseRelational() (expr, error) {
+	lhs, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.peek().kind
+		if k != tokLt && k != tokLe && k != tokGt && k != tokGe {
+			return lhs, nil
+		}
+		op := p.next().text
+		rhs, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		lhs = binaryExpr{op: op, lhs: lhs, rhs: rhs}
+	}
+}
+
+func (p *parser) parseAdditive() (expr, error) {
+	lhs, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.peek().kind
+		if k != tokPlus && k != tokMinus {
+			return lhs, nil
+		}
+		op := p.next().text
+		rhs, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		lhs = binaryExpr{op: op, lhs: lhs, rhs: rhs}
+	}
+}
+
+func (p *parser) parseMultiplicative() (expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		var op string
+		switch {
+		case t.kind == tokStar:
+			op = "*"
+		case t.kind == tokName && (t.text == "div" || t.text == "mod"):
+			op = t.text
+		default:
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		lhs = binaryExpr{op: op, lhs: lhs, rhs: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	neg := false
+	for p.peek().kind == tokMinus {
+		p.next()
+		neg = !neg
+	}
+	e, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	if neg {
+		return negExpr{operand: e}, nil
+	}
+	return e, nil
+}
+
+func (p *parser) parseUnion() (expr, error) {
+	first, err := p.parsePathExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokPipe {
+		return first, nil
+	}
+	parts := []expr{first}
+	for p.peek().kind == tokPipe {
+		p.next()
+		e, err := p.parsePathExpr()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, e)
+	}
+	return unionExpr{parts: parts}, nil
+}
+
+// parsePathExpr handles LocationPath | FilterExpr (('/'|'//') RelativePath)?
+func (p *parser) parsePathExpr() (expr, error) {
+	t := p.peek()
+
+	// Primary expressions that can root a path: literal, number, var,
+	// '(' expr ')', or a function call (name followed by '(' — but NOT
+	// node-type tests node()/text(), which belong to location paths).
+	isPrimary := false
+	switch t.kind {
+	case tokLiteral, tokNumber, tokDollar, tokLParen:
+		isPrimary = true
+	case tokName:
+		if p.peek2().kind == tokLParen && t.text != "node" && t.text != "text" {
+			isPrimary = true
+		}
+	}
+
+	if isPrimary {
+		prim, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		var preds []expr
+		for p.peek().kind == tokLBracket {
+			pe, err := p.parsePredicate()
+			if err != nil {
+				return nil, err
+			}
+			preds = append(preds, pe)
+		}
+		base := expr(prim)
+		if len(preds) > 0 {
+			base = filterExpr{primary: prim, preds: preds}
+		}
+		if p.peek().kind == tokSlash || p.peek().kind == tokDblSlash {
+			steps, err := p.parseRelativeSteps()
+			if err != nil {
+				return nil, err
+			}
+			return pathExpr{filter: base, steps: steps}, nil
+		}
+		return base, nil
+	}
+
+	// Location path.
+	var pe pathExpr
+	switch t.kind {
+	case tokSlash:
+		p.next()
+		pe.absolute = true
+		// Bare "/" selects the root.
+		if !p.startsStep() {
+			return pe, nil
+		}
+		steps, err := p.parseStepsAfterSeparator(false)
+		if err != nil {
+			return nil, err
+		}
+		pe.steps = steps
+	case tokDblSlash:
+		p.next()
+		pe.absolute = true
+		steps, err := p.parseStepsAfterSeparator(true)
+		if err != nil {
+			return nil, err
+		}
+		pe.steps = steps
+	default:
+		if !p.startsStep() {
+			return nil, fmt.Errorf("unexpected token %q at position %d", t.text, t.pos)
+		}
+		steps, err := p.parseStepsAfterSeparator(false)
+		if err != nil {
+			return nil, err
+		}
+		pe.steps = steps
+	}
+	return pe, nil
+}
+
+func (p *parser) startsStep() bool {
+	switch p.peek().kind {
+	case tokName, tokStar, tokAt, tokDot, tokDotDot:
+		return true
+	}
+	return false
+}
+
+// parseRelativeSteps parses (('/'|'//') Step)+ after a filter expression.
+func (p *parser) parseRelativeSteps() ([]step, error) {
+	var steps []step
+	for {
+		var fromDesc bool
+		switch p.peek().kind {
+		case tokSlash:
+			p.next()
+		case tokDblSlash:
+			p.next()
+			fromDesc = true
+		default:
+			return steps, nil
+		}
+		s, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		s.fromDescendant = fromDesc
+		steps = append(steps, s)
+	}
+}
+
+// parseStepsAfterSeparator parses Step (('/'|'//') Step)*, with the first
+// step's fromDescendant given.
+func (p *parser) parseStepsAfterSeparator(firstFromDesc bool) ([]step, error) {
+	first, err := p.parseStep()
+	if err != nil {
+		return nil, err
+	}
+	first.fromDescendant = firstFromDesc
+	steps := []step{first}
+	rest, err := p.parseRelativeSteps()
+	if err != nil {
+		return nil, err
+	}
+	return append(steps, rest...), nil
+}
+
+func (p *parser) parseStep() (step, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokDot:
+		p.next()
+		return step{axis: axisSelf, test: nodeTest{nodeType: "node"}}, nil
+	case tokDotDot:
+		p.next()
+		return step{axis: axisParent, test: nodeTest{nodeType: "node"}}, nil
+	case tokAt:
+		p.next()
+		nt, err := p.parseNodeTest()
+		if err != nil {
+			return step{}, err
+		}
+		s := step{axis: axisAttribute, test: nt}
+		return p.parsePredicates(s)
+	case tokName:
+		// Explicit axis?
+		if p.peek2().kind == tokDblColon {
+			axis, ok := axisByName(t.text)
+			if !ok {
+				return step{}, fmt.Errorf("unsupported axis %q at position %d", t.text, t.pos)
+			}
+			p.next()
+			p.next()
+			nt, err := p.parseNodeTest()
+			if err != nil {
+				return step{}, err
+			}
+			return p.parsePredicates(step{axis: axis, test: nt})
+		}
+		nt, err := p.parseNodeTest()
+		if err != nil {
+			return step{}, err
+		}
+		return p.parsePredicates(step{axis: axisChild, test: nt})
+	case tokStar:
+		nt, err := p.parseNodeTest()
+		if err != nil {
+			return step{}, err
+		}
+		return p.parsePredicates(step{axis: axisChild, test: nt})
+	default:
+		return step{}, fmt.Errorf("expected step at position %d, got %q", t.pos, t.text)
+	}
+}
+
+func axisByName(name string) (axisKind, bool) {
+	switch name {
+	case "child":
+		return axisChild, true
+	case "attribute":
+		return axisAttribute, true
+	case "descendant":
+		return axisDescendant, true
+	case "descendant-or-self":
+		return axisDescendantOrSelf, true
+	case "self":
+		return axisSelf, true
+	case "parent":
+		return axisParent, true
+	}
+	return 0, false
+}
+
+func (p *parser) parsePredicates(s step) (step, error) {
+	for p.peek().kind == tokLBracket {
+		pe, err := p.parsePredicate()
+		if err != nil {
+			return step{}, err
+		}
+		s.preds = append(s.preds, pe)
+	}
+	return s, nil
+}
+
+func (p *parser) parsePredicate() (expr, error) {
+	if _, err := p.expect(tokLBracket, "'['"); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRBracket, "']'"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *parser) parseNodeTest() (nodeTest, error) {
+	t := p.next()
+	switch t.kind {
+	case tokStar:
+		return nodeTest{anyName: true}, nil
+	case tokName:
+		// node() / text()
+		if p.peek().kind == tokLParen && (t.text == "node" || t.text == "text") {
+			p.next()
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return nodeTest{}, err
+			}
+			return nodeTest{nodeType: t.text}, nil
+		}
+		if p.peek().kind == tokColon {
+			p.next()
+			nt := p.next()
+			switch nt.kind {
+			case tokStar:
+				return nodeTest{anyName: true, prefix: t.text}, nil
+			case tokName:
+				return nodeTest{prefix: t.text, local: nt.text}, nil
+			default:
+				return nodeTest{}, fmt.Errorf("expected name after %q: at position %d", t.text, nt.pos)
+			}
+		}
+		return nodeTest{local: t.text}, nil
+	default:
+		return nodeTest{}, fmt.Errorf("expected node test at position %d, got %q", t.pos, t.text)
+	}
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokLiteral:
+		return literalExpr{s: t.text}, nil
+	case tokNumber:
+		return numberExpr{f: t.num}, nil
+	case tokDollar:
+		name, err := p.expect(tokName, "variable name")
+		if err != nil {
+			return nil, err
+		}
+		return varExpr{name: name.text}, nil
+	case tokLParen:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokName:
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		fe := funcExpr{name: t.text}
+		if p.peek().kind == tokRParen {
+			p.next()
+			return fe, nil
+		}
+		for {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fe.args = append(fe.args, arg)
+			switch p.peek().kind {
+			case tokComma:
+				p.next()
+			case tokRParen:
+				p.next()
+				return fe, nil
+			default:
+				return nil, fmt.Errorf("expected ',' or ')' in %s() at position %d", t.text, p.peek().pos)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("unexpected token %q at position %d", t.text, t.pos)
+	}
+}
