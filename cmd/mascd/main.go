@@ -6,23 +6,39 @@
 //
 //	mascd -listen :8080
 //	curl -s -X POST --data '<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"><e:Body><getCatalog xmlns="urn:wsi:scm"><category>tv</category></getCatalog></e:Body></e:Envelope>' http://localhost:8080/vep/Retailer
+//
+// Observability endpoints (see docs/observability.md):
+//
+//	/metrics     Prometheus text exposition of all middleware metrics
+//	/traces      JSON list of recent gateway traces
+//	/traces/{id} one trace as a correlated span tree
+//	/healthz     JSON liveness (uptime, VEP and policy counts)
+//	/readyz      per-backend VEP health from the QoS tracker (503 when
+//	             a VEP has no healthy backend)
+//	/debug/pprof only with -debug
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"github.com/masc-project/masc/internal/bus"
+	"github.com/masc-project/masc/internal/event"
 	"github.com/masc-project/masc/internal/policy"
 	"github.com/masc-project/masc/internal/scm"
 	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/transport"
 )
 
@@ -47,6 +63,7 @@ func main() {
 func run(args []string) error {
 	listen := ":8080"
 	policyPath := ""
+	debug := false
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
 		case "-listen":
@@ -61,6 +78,8 @@ func run(args []string) error {
 				return fmt.Errorf("-policies needs a file")
 			}
 			policyPath = args[i]
+		case "-debug":
+			debug = true
 		default:
 			return fmt.Errorf("unknown flag %q", args[i])
 		}
@@ -87,7 +106,15 @@ func run(args []string) error {
 		return err
 	}
 
-	gateway := bus.New(network, bus.WithPolicyRepository(repo))
+	tel := telemetry.New(0)
+	events := event.NewBus()
+	gateway := bus.New(network,
+		bus.WithPolicyRepository(repo),
+		bus.WithEventBus(events),
+		bus.WithTelemetry(tel),
+	)
+	unTap := tel.Tracer.TapEventBus(events)
+	defer unTap()
 	if _, err := gateway.CreateVEP(bus.VEPConfig{
 		Name:      "Retailer",
 		Services:  deployment.RetailerAddrs,
@@ -97,14 +124,14 @@ func run(args []string) error {
 		return err
 	}
 
-	mux := http.NewServeMux()
-	// Gateway endpoints: /vep/<name> mediates through the named VEP.
-	mux.Handle("/vep/", http.StripPrefix("/vep/", vepHandler(gateway)))
-	// Direct endpoints: /svc/<address suffix>, e.g. /svc/scm/retailer-a.
-	mux.Handle("/svc/", directHandler(network))
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	d := &daemon{
+		gateway: gateway,
+		network: network,
+		repo:    repo,
+		tel:     tel,
+		start:   time.Now(),
+	}
+	mux := d.routes(debug)
 
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
@@ -124,21 +151,193 @@ func run(args []string) error {
 	case <-sigc:
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		return server.Shutdown(ctx)
+		// Shutdown stops the listener and waits for open connections;
+		// draining additionally waits for gateway requests accepted
+		// before the signal, so recoveries in progress can complete.
+		shutdownErr := server.Shutdown(ctx)
+		if err := d.drain(ctx); err != nil {
+			return err
+		}
+		return shutdownErr
 	}
+}
+
+// daemon holds the running gateway's shared state for HTTP handlers.
+type daemon struct {
+	gateway *bus.Bus
+	network *transport.Network
+	repo    *policy.Repository
+	tel     *telemetry.Telemetry
+	start   time.Time
+
+	inflight  sync.WaitGroup
+	inflightN atomic.Int64
+}
+
+// routes assembles the daemon's HTTP mux. With debug, the pprof
+// handlers are mounted under /debug/pprof/.
+func (d *daemon) routes(debug bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	// Gateway endpoints: /vep/<name> mediates through the named VEP.
+	mux.Handle("/vep/", http.StripPrefix("/vep/", d.track(vepHandler(d.gateway, d.tel))))
+	// Direct endpoints: /svc/<address suffix>, e.g. /svc/scm/retailer-a.
+	mux.Handle("/svc/", directHandler(d.network))
+	mux.Handle("/metrics", telemetry.MetricsHandler(d.tel.Registry()))
+	mux.Handle("/traces", telemetry.TracesHandler(d.tel.Traces()))
+	mux.Handle("/traces/", telemetry.TracesHandler(d.tel.Traces()))
+	mux.HandleFunc("/healthz", d.healthz)
+	mux.HandleFunc("/readyz", d.readyz)
+	if debug {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// track counts in-flight gateway requests for graceful draining.
+func (d *daemon) track(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d.inflight.Add(1)
+		d.inflightN.Add(1)
+		defer func() {
+			d.inflightN.Add(-1)
+			d.inflight.Done()
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// drain waits for in-flight gateway requests to finish or ctx to
+// expire.
+func (d *daemon) drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		d.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("shutdown: %d gateway request(s) still in flight", d.inflightN.Load())
+	}
+}
+
+// healthz reports liveness as JSON: the process is up, for how long,
+// and what is deployed.
+func (d *daemon) healthz(w http.ResponseWriter, _ *http.Request) {
+	mon, adapt := d.repo.Counts()
+	status := struct {
+		Status             string   `json:"status"`
+		UptimeSeconds      float64  `json:"uptime_seconds"`
+		VEPs               []string `json:"veps"`
+		PolicyDocuments    []string `json:"policy_documents"`
+		MonitoringPolicies int      `json:"monitoring_policies"`
+		AdaptationPolicies int      `json:"adaptation_policies"`
+		InflightRequests   int64    `json:"inflight_requests"`
+	}{
+		Status:             "ok",
+		UptimeSeconds:      time.Since(d.start).Seconds(),
+		VEPs:               d.gateway.VEPs(),
+		PolicyDocuments:    d.repo.Documents(),
+		MonitoringPolicies: mon,
+		AdaptationPolicies: adapt,
+		InflightRequests:   d.inflightN.Load(),
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+// backendHealth is one target's QoS summary in the readiness report.
+type backendHealth struct {
+	Target         string  `json:"target"`
+	Measured       bool    `json:"measured"`
+	Invocations    int     `json:"invocations"`
+	Failures       int     `json:"failures"`
+	Reliability    float64 `json:"reliability"`
+	MeanResponseMS float64 `json:"mean_response_ms"`
+}
+
+// vepReadiness is one VEP's readiness: it is ready when at least one
+// backend is healthy (unmeasured backends get the benefit of the
+// doubt; measured ones must have succeeded at least once).
+type vepReadiness struct {
+	VEP      string          `json:"vep"`
+	Ready    bool            `json:"ready"`
+	Backends []backendHealth `json:"backends"`
+}
+
+// readyz reports readiness from real per-backend QoS measurements:
+// 200 when every VEP has a healthy backend, 503 otherwise.
+func (d *daemon) readyz(w http.ResponseWriter, _ *http.Request) {
+	tracker := d.gateway.Tracker()
+	ready := true
+	var veps []vepReadiness
+	for _, name := range d.gateway.VEPs() {
+		vep, err := d.gateway.VEP(name)
+		if err != nil {
+			continue
+		}
+		vr := vepReadiness{VEP: name}
+		for _, addr := range vep.Services() {
+			snap := tracker.Snapshot(addr)
+			bh := backendHealth{
+				Target:         addr,
+				Measured:       snap.Known(),
+				Invocations:    snap.Invocations,
+				Failures:       snap.Failures,
+				Reliability:    snap.Reliability,
+				MeanResponseMS: float64(snap.MeanResponse) / float64(time.Millisecond),
+			}
+			vr.Backends = append(vr.Backends, bh)
+			if !bh.Measured || bh.Reliability > 0 {
+				vr.Ready = true
+			}
+		}
+		if !vr.Ready {
+			ready = false
+		}
+		veps = append(veps, vr)
+	}
+	code := http.StatusOK
+	status := "ready"
+	if !ready {
+		code = http.StatusServiceUnavailable
+		status = "degraded"
+	}
+	writeJSON(w, code, struct {
+		Status string         `json:"status"`
+		VEPs   []vepReadiness `json:"veps"`
+	}{Status: status, VEPs: veps})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
 }
 
 // vepHandler serves SOAP posts addressed to /vep/<name> through the
 // bus, and publishes each VEP's abstract contract on GET ?wsdl ("a VEP
 // ... exposes an abstract WSDL for accessing the configured services").
-func vepHandler(gateway *bus.Bus) http.Handler {
+// Every mediated request starts a trace, so /traces shows the gateway →
+// VEP → attempt span tree with recovery annotations.
+func vepHandler(gateway *bus.Bus, tel *telemetry.Telemetry) http.Handler {
 	soapHandler := &transport.HTTPHandler{Service: transport.HandlerFunc(
 		func(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error) {
 			name := soap.ReadAddressing(req).To
 			if name == "" {
 				name = "vep:Retailer"
 			}
-			return gateway.Invoke(ctx, name, req)
+			ctx, span := tel.Traces().StartTrace(ctx, "gateway "+name)
+			span.SetAttr("route", name)
+			resp, err := gateway.Invoke(ctx, name, req)
+			span.EndErr(err)
+			return resp, err
 		})}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method == http.MethodGet && r.URL.Query().Has("wsdl") {

@@ -2,20 +2,29 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/masc-project/masc/internal/bus"
 	"github.com/masc-project/masc/internal/policy"
 	"github.com/masc-project/masc/internal/scm"
 	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/transport"
 	"github.com/masc-project/masc/internal/wsdl"
 )
 
 func testGateway(t *testing.T) (*bus.Bus, *transport.Network) {
+	d := testDaemon(t)
+	return d.gateway, d.network
+}
+
+func testDaemon(t *testing.T) *daemon {
 	t.Helper()
 	network := transport.NewNetwork()
 	deployment, err := scm.Deploy(network, nil, scm.DeployConfig{Retailers: 2})
@@ -26,7 +35,8 @@ func testGateway(t *testing.T) (*bus.Bus, *transport.Network) {
 	if _, err := repo.LoadXML(defaultPolicies); err != nil {
 		t.Fatal(err)
 	}
-	gateway := bus.New(network, bus.WithPolicyRepository(repo))
+	tel := telemetry.New(0)
+	gateway := bus.New(network, bus.WithPolicyRepository(repo), bus.WithTelemetry(tel))
 	if _, err := gateway.CreateVEP(bus.VEPConfig{
 		Name:     "Retailer",
 		Services: deployment.RetailerAddrs,
@@ -34,7 +44,13 @@ func testGateway(t *testing.T) (*bus.Bus, *transport.Network) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	return gateway, network
+	return &daemon{
+		gateway: gateway,
+		network: network,
+		repo:    repo,
+		tel:     tel,
+		start:   time.Now(),
+	}
 }
 
 func TestDefaultPoliciesValid(t *testing.T) {
@@ -49,7 +65,7 @@ func TestDefaultPoliciesValid(t *testing.T) {
 
 func TestVEPHandlerOverHTTP(t *testing.T) {
 	gateway, _ := testGateway(t)
-	srv := httptest.NewServer(vepHandler(gateway))
+	srv := httptest.NewServer(vepHandler(gateway, nil))
 	defer srv.Close()
 
 	inv := &transport.HTTPInvoker{}
@@ -66,7 +82,7 @@ func TestVEPHandlerOverHTTP(t *testing.T) {
 
 func TestVEPHandlerDefaultsToRetailer(t *testing.T) {
 	gateway, _ := testGateway(t)
-	srv := httptest.NewServer(vepHandler(gateway))
+	srv := httptest.NewServer(vepHandler(gateway, nil))
 	defer srv.Close()
 
 	inv := &transport.HTTPInvoker{}
@@ -122,7 +138,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 
 func TestVEPHandlerPublishesWSDL(t *testing.T) {
 	gateway, _ := testGateway(t)
-	srv := httptest.NewServer(vepHandler(gateway))
+	srv := httptest.NewServer(vepHandler(gateway, nil))
 	defer srv.Close()
 
 	resp, err := srv.Client().Get(srv.URL + "/Retailer?wsdl")
@@ -153,5 +169,238 @@ func TestVEPHandlerPublishesWSDL(t *testing.T) {
 	resp2.Body.Close()
 	if resp2.StatusCode != 404 {
 		t.Fatalf("ghost status = %d", resp2.StatusCode)
+	}
+}
+
+func postCatalog(t *testing.T, srv *httptest.Server) *soap.Envelope {
+	t.Helper()
+	inv := &transport.HTTPInvoker{}
+	req := soap.NewRequest(scm.NewGetCatalogRequest("tv", 0))
+	soap.Addressing{To: "vep:Retailer", Action: "getCatalog"}.Apply(req)
+	resp, err := inv.Invoke(context.Background(), srv.URL+"/vep/Retailer", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestMetricsEndpointAfterTraffic(t *testing.T) {
+	d := testDaemon(t)
+	srv := httptest.NewServer(d.routes(false))
+	defer srv.Close()
+
+	if resp := postCatalog(t, srv); resp.IsFault() {
+		t.Fatalf("fault: %v", resp.Fault)
+	}
+
+	hr, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	body, _ := io.ReadAll(hr.Body)
+	if hr.StatusCode != 200 {
+		t.Fatalf("status = %d", hr.StatusCode)
+	}
+	if ct := hr.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`masc_vep_invocations_total{vep="Retailer",operation="getCatalog",outcome="ok"} 1`,
+		`masc_bus_invocations_total{route="vep"} 1`,
+		`masc_vep_invocation_seconds_count{vep="Retailer"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestTracesEndpointShowsSpanTree(t *testing.T) {
+	d := testDaemon(t)
+	srv := httptest.NewServer(d.routes(false))
+	defer srv.Close()
+	postCatalog(t, srv)
+
+	hr, err := srv.Client().Get(srv.URL + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var summaries []telemetry.TraceSummary
+	if err := json.NewDecoder(hr.Body).Decode(&summaries); err != nil {
+		t.Fatal(err)
+	}
+	if len(summaries) != 1 {
+		t.Fatalf("summaries = %+v", summaries)
+	}
+
+	hr2, err := srv.Client().Get(srv.URL + "/traces/" + summaries[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr2.Body.Close()
+	var view telemetry.TraceView
+	if err := json.NewDecoder(hr2.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Root.Name != "gateway vep:Retailer" {
+		t.Fatalf("root = %q", view.Root.Name)
+	}
+	if len(view.Root.Children) != 1 || view.Root.Children[0].Name != "vep Retailer" {
+		t.Fatalf("children = %+v", view.Root.Children)
+	}
+	vep := view.Root.Children[0]
+	if len(vep.Children) == 0 || !strings.HasPrefix(vep.Children[0].Name, "attempt ") {
+		t.Fatalf("attempt spans = %+v", vep.Children)
+	}
+
+	// Unknown trace → 404.
+	hr3, err := srv.Client().Get(srv.URL + "/traces/trace-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr3.Body.Close()
+	if hr3.StatusCode != 404 {
+		t.Fatalf("unknown trace status = %d", hr3.StatusCode)
+	}
+}
+
+func TestHealthzJSON(t *testing.T) {
+	d := testDaemon(t)
+	srv := httptest.NewServer(d.routes(false))
+	defer srv.Close()
+
+	hr, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != 200 {
+		t.Fatalf("status = %d", hr.StatusCode)
+	}
+	var h struct {
+		Status             string   `json:"status"`
+		UptimeSeconds      float64  `json:"uptime_seconds"`
+		VEPs               []string `json:"veps"`
+		PolicyDocuments    []string `json:"policy_documents"`
+		AdaptationPolicies int      `json:"adaptation_policies"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.UptimeSeconds < 0 {
+		t.Fatalf("health = %+v", h)
+	}
+	if len(h.VEPs) != 1 || h.VEPs[0] != "Retailer" {
+		t.Fatalf("veps = %v", h.VEPs)
+	}
+	if h.AdaptationPolicies != 1 || len(h.PolicyDocuments) != 1 {
+		t.Fatalf("policies = %+v", h)
+	}
+}
+
+func TestReadyzReflectsBackendQoS(t *testing.T) {
+	d := testDaemon(t)
+	srv := httptest.NewServer(d.routes(false))
+	defer srv.Close()
+
+	// Before traffic: unmeasured backends are assumed healthy.
+	hr, err := srv.Client().Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != 200 {
+		t.Fatalf("pre-traffic status = %d", hr.StatusCode)
+	}
+
+	postCatalog(t, srv)
+	hr2, err := srv.Client().Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr2.Body.Close()
+	var r struct {
+		Status string `json:"status"`
+		VEPs   []struct {
+			VEP      string `json:"vep"`
+			Ready    bool   `json:"ready"`
+			Backends []struct {
+				Target      string `json:"target"`
+				Measured    bool   `json:"measured"`
+				Invocations int    `json:"invocations"`
+			} `json:"backends"`
+		} `json:"veps"`
+	}
+	if err := json.NewDecoder(hr2.Body).Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != "ready" || len(r.VEPs) != 1 || !r.VEPs[0].Ready {
+		t.Fatalf("readiness = %+v", r)
+	}
+	measured := 0
+	for _, b := range r.VEPs[0].Backends {
+		if b.Measured {
+			measured += b.Invocations
+		}
+	}
+	if measured != 1 {
+		t.Fatalf("measured invocations = %d, want 1", measured)
+	}
+}
+
+func TestPprofGatedByDebugFlag(t *testing.T) {
+	d := testDaemon(t)
+	plain := httptest.NewServer(d.routes(false))
+	defer plain.Close()
+	hr, err := plain.Client().Get(plain.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != 404 {
+		t.Fatalf("pprof without -debug: status = %d, want 404", hr.StatusCode)
+	}
+
+	dbg := httptest.NewServer(d.routes(true))
+	defer dbg.Close()
+	hr2, err := dbg.Client().Get(dbg.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr2.Body.Close()
+	if hr2.StatusCode != 200 {
+		t.Fatalf("pprof with -debug: status = %d, want 200", hr2.StatusCode)
+	}
+}
+
+func TestDrainWaitsForInflight(t *testing.T) {
+	d := testDaemon(t)
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	h := d.track(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		close(entered)
+		<-release
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	go srv.Client().Get(srv.URL)
+	<-entered
+
+	// While the request is parked, a short drain times out.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := d.drain(ctx); err == nil {
+		t.Fatal("drain succeeded with a request in flight")
+	}
+
+	close(release)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := d.drain(ctx2); err != nil {
+		t.Fatalf("drain after release: %v", err)
 	}
 }

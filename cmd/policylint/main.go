@@ -5,8 +5,10 @@
 // For each file it reports parse errors, consistency violations (the
 // checks the paper claims over RobustBPEL: layer coverage, action
 // ordering, trigger/kind coherence), and on success a summary of the
-// policies the document defines. Exit status is non-zero if any file
-// fails.
+// policies the document defines. It also warns — without failing — on
+// adaptation policies whose OnEvent type no middleware component ever
+// publishes, since such a policy can never fire. Exit status is
+// non-zero if any file fails.
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/masc-project/masc/internal/event"
 	"github.com/masc-project/masc/internal/policy"
 )
 
@@ -29,7 +32,11 @@ func main() {
 	}
 	failed := 0
 	for _, path := range flag.Args() {
-		if err := lint(path); err != nil {
+		warnings, err := lint(path)
+		for _, w := range warnings {
+			fmt.Fprintf(os.Stderr, "policylint: %s: warning: %s\n", path, w)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "policylint: %s: %v\n", path, err)
 			failed++
 		}
@@ -39,20 +46,21 @@ func main() {
 	}
 }
 
-func lint(path string) error {
+func lint(path string) (warnings []string, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer f.Close()
 
 	doc, err := policy.Parse(f)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := policy.Validate(doc); err != nil {
-		return err
+		return nil, err
 	}
+	warnings = deadTriggers(doc)
 	fmt.Printf("%s: document %q OK — %d monitoring, %d adaptation\n",
 		path, doc.Name, len(doc.Monitoring), len(doc.Adaptation))
 	for _, mp := range doc.Monitoring {
@@ -64,5 +72,20 @@ func lint(path string) error {
 		fmt.Printf("  adaptation %-28s subject=%q kind=%s layer=%s priority=%d trigger=%s actions=%d\n",
 			ap.Name, ap.Subject, ap.Kind, ap.Layer, ap.Priority, ap.Trigger.EventType, len(ap.Actions))
 	}
-	return nil
+	return warnings, nil
+}
+
+// deadTriggers flags adaptation policies whose OnEvent type is never
+// published by any middleware component: the policy is syntactically
+// valid but can never fire.
+func deadTriggers(doc *policy.Document) []string {
+	var out []string
+	for _, ap := range doc.Adaptation {
+		if t := ap.Trigger.EventType; t != "" && !event.IsPublished(t) {
+			out = append(out, fmt.Sprintf(
+				"adaptation policy %q triggers on %q, which no component publishes — the policy can never fire (published types: %v)",
+				ap.Name, t, event.PublishedTypes()))
+		}
+	}
+	return out
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -26,14 +27,18 @@ func TestLintValidDocument(t *testing.T) {
     <Actions><Retry maxAttempts="1"/></Actions>
   </AdaptationPolicy>
 </PolicyDocument>`)
-	if err := lint(path); err != nil {
+	warnings, err := lint(path)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("unexpected warnings: %v", warnings)
 	}
 }
 
 func TestLintParseError(t *testing.T) {
 	path := write(t, "bad.xml", "not xml")
-	if err := lint(path); err == nil {
+	if _, err := lint(path); err == nil {
 		t.Fatal("parse error not reported")
 	}
 }
@@ -46,20 +51,51 @@ func TestLintConsistencyError(t *testing.T) {
     <Actions><Skip/><Retry maxAttempts="1"/></Actions>
   </AdaptationPolicy>
 </PolicyDocument>`)
-	if err := lint(path); err == nil {
+	if _, err := lint(path); err == nil {
 		t.Fatal("consistency violation not reported")
 	}
 }
 
+func TestLintWarnsOnDeadTrigger(t *testing.T) {
+	// adaptation.requested is declared in the event vocabulary but no
+	// middleware component publishes it, so this policy can never fire.
+	path := write(t, "dead.xml", `
+<PolicyDocument xmlns="urn:masc:ws-policy4masc" name="dead">
+  <AdaptationPolicy name="never-fires" subject="vep:S" priority="1">
+    <OnEvent type="adaptation.requested"/>
+    <Actions><Retry maxAttempts="1"/></Actions>
+  </AdaptationPolicy>
+  <AdaptationPolicy name="fires" subject="vep:S" priority="1">
+    <OnEvent type="fault.detected"/>
+    <Actions><Retry maxAttempts="1"/></Actions>
+  </AdaptationPolicy>
+</PolicyDocument>`)
+	warnings, err := lint(path)
+	if err != nil {
+		t.Fatalf("dead trigger must warn, not fail: %v", err)
+	}
+	if len(warnings) != 1 {
+		t.Fatalf("warnings = %v, want exactly one", warnings)
+	}
+	if !strings.Contains(warnings[0], "never-fires") ||
+		!strings.Contains(warnings[0], "adaptation.requested") {
+		t.Fatalf("warning does not name the policy and type: %q", warnings[0])
+	}
+}
+
 func TestLintMissingFile(t *testing.T) {
-	if err := lint(filepath.Join(t.TempDir(), "ghost.xml")); err == nil {
+	if _, err := lint(filepath.Join(t.TempDir(), "ghost.xml")); err == nil {
 		t.Fatal("missing file not reported")
 	}
 }
 
 func TestLintShippedPolicies(t *testing.T) {
-	// The sample document in policies/ must stay valid.
-	if err := lint("../../policies/scm-recovery.xml"); err != nil {
+	// The sample document in policies/ must stay valid and warning-free.
+	warnings, err := lint("../../policies/scm-recovery.xml")
+	if err != nil {
 		t.Fatal(err)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("shipped policies produce warnings: %v", warnings)
 	}
 }

@@ -7,10 +7,16 @@
 //	scmbench -ablations   # retry budget, strategy, policy-reparse, listener
 //	scmbench -all         # everything
 //
+// Results print as formatted tables; -csv additionally writes per-
+// experiment CSV files and -bench-json (or the MASC_BENCH_JSON
+// environment variable) writes one machine-readable JSON document with
+// every result from the run, for CI trend tracking.
+//
 // See EXPERIMENTS.md for how each output maps onto the paper.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,19 +36,43 @@ func main() {
 		requests   = flag.Int("requests", 0, "requests per configuration (0 = default)")
 		seed       = flag.Int64("seed", 42, "fault-injection and jitter seed")
 		csvDir     = flag.String("csv", "", "also write results as CSV files into this directory")
+		benchJSON  = flag.String("bench-json", "", "write all results as one JSON file (default $MASC_BENCH_JSON)")
 	)
 	flag.Parse()
 	if !*table1 && !*figure5 && !*throughput && !*ablations && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*table1 || *all, *figure5 || *all, *throughput || *all, *ablations || *all, *requests, *seed, *csvDir); err != nil {
+	jsonPath := *benchJSON
+	if jsonPath == "" {
+		jsonPath = os.Getenv("MASC_BENCH_JSON")
+	}
+	if err := run(*table1 || *all, *figure5 || *all, *throughput || *all, *ablations || *all, *requests, *seed, *csvDir, jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "scmbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table1, figure5, throughput, ablations bool, requests int, seed int64, csvDir string) error {
+// benchReport is the machine-readable shape written by -bench-json.
+// Sections are present only for the experiments that ran; durations
+// serialize as nanoseconds (time.Duration's JSON form).
+type benchReport struct {
+	Requests   int                           `json:"requests"`
+	Seed       int64                         `json:"seed"`
+	Table1     []experiments.Table1Row       `json:"table1,omitempty"`
+	Figure5    []experiments.Figure5Point    `json:"figure5,omitempty"`
+	Throughput []experiments.ThroughputPoint `json:"throughput,omitempty"`
+	Ablations  *ablationReport               `json:"ablations,omitempty"`
+}
+
+type ablationReport struct {
+	RetrySweep []experiments.RetrySweepPoint `json:"retry_sweep"`
+	Selection  []experiments.SelectionPoint  `json:"selection"`
+	Reparse    []experiments.ReparsePoint    `json:"reparse"`
+	Listener   []experiments.ListenerPoint   `json:"listener"`
+}
+
+func run(table1, figure5, throughput, ablations bool, requests int, seed int64, csvDir, jsonPath string) error {
 	writeCSV := func(name string, write func(io.Writer) error) error {
 		if csvDir == "" {
 			return nil
@@ -58,12 +88,15 @@ func run(table1, figure5, throughput, ablations bool, requests int, seed int64, 
 		return write(f)
 	}
 
+	report := benchReport{Requests: requests, Seed: seed}
+
 	if table1 {
 		rows, err := experiments.RunTable1(experiments.Table1Config{Requests: requests, Seed: seed})
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiments.FormatTable1(rows))
+		report.Table1 = rows
 		if err := writeCSV("table1.csv", func(w io.Writer) error {
 			return experiments.WriteTable1CSV(w, rows)
 		}); err != nil {
@@ -76,6 +109,7 @@ func run(table1, figure5, throughput, ablations bool, requests int, seed int64, 
 			return err
 		}
 		fmt.Println(experiments.FormatFigure5(points))
+		report.Figure5 = points
 		if err := writeCSV("figure5.csv", func(w io.Writer) error {
 			return experiments.WriteFigure5CSV(w, points)
 		}); err != nil {
@@ -88,6 +122,7 @@ func run(table1, figure5, throughput, ablations bool, requests int, seed int64, 
 			return err
 		}
 		fmt.Println(experiments.FormatThroughput(points))
+		report.Throughput = points
 		if err := writeCSV("throughput.csv", func(w io.Writer) error {
 			return experiments.WriteThroughputCSV(w, points)
 		}); err != nil {
@@ -118,6 +153,21 @@ func run(table1, figure5, throughput, ablations bool, requests int, seed int64, 
 			return err
 		}
 		fmt.Println(experiments.FormatListener(lis))
+		report.Ablations = &ablationReport{
+			RetrySweep: sweep,
+			Selection:  sel,
+			Reparse:    rep,
+			Listener:   lis,
+		}
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 	"github.com/masc-project/masc/internal/policy"
 	"github.com/masc-project/masc/internal/qos"
 	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/transport"
 )
 
@@ -62,6 +63,8 @@ type Bus struct {
 	clk          clock.Clock
 	procAdapter  ProcessAdapter
 	seed         int64
+	tel          *telemetry.Telemetry
+	met          busMetrics
 
 	mu      sync.RWMutex
 	veps    map[string]*VEP
@@ -110,6 +113,14 @@ func WithSeed(seed int64) Option {
 	return func(b *Bus) { b.seed = seed }
 }
 
+// WithTelemetry wires the observability layer: invocation metrics are
+// recorded into its registry and VEP/attempt spans are added to traces
+// propagated through invocation contexts. Without this option (or with
+// a nil hub) instrumentation is disabled.
+func WithTelemetry(tel *telemetry.Telemetry) Option {
+	return func(b *Bus) { b.tel = tel }
+}
+
 // WithPolicySource overrides how the adaptation manager obtains
 // policies per decision (ablation hook; see DESIGN.md §5.1).
 func WithPolicySource(src func() *policy.Repository) Option {
@@ -149,8 +160,12 @@ func New(downstream transport.Invoker, opts ...Option) *Bus {
 		repo := b.repo
 		b.policySource = func() *policy.Repository { return repo }
 	}
+	b.met = newBusMetrics(b.tel.Registry())
 	return b
 }
+
+// Telemetry returns the bus's telemetry hub (nil when not wired).
+func (b *Bus) Telemetry() *telemetry.Telemetry { return b.tel }
 
 // Policies returns the bus's policy repository.
 func (b *Bus) Policies() *policy.Repository { return b.repo }
@@ -252,6 +267,7 @@ func (b *Bus) Invoke(ctx context.Context, addr string, req *soap.Envelope) (*soa
 		if err != nil {
 			return nil, err
 		}
+		b.met.routes.With("vep").Inc()
 		return v.Invoke(ctx, addr, req)
 	}
 	b.mu.RLock()
@@ -262,8 +278,10 @@ func (b *Bus) Invoke(ctx context.Context, addr string, req *soap.Envelope) (*soa
 		if err != nil {
 			return nil, err
 		}
+		b.met.routes.With("proxy").Inc()
 		return v.Invoke(ctx, addr, req)
 	}
+	b.met.routes.With("passthrough").Inc()
 	return b.downstream.Invoke(ctx, addr, req)
 }
 
@@ -276,6 +294,7 @@ func (b *Bus) NewRetryQueueFor(pol policy.RetryAction, pollInterval time.Duratio
 		Invoker:      b,
 		Policy:       pol,
 		PollInterval: pollInterval,
+		Metrics:      b.tel.Registry(),
 	})
 }
 

@@ -1,0 +1,70 @@
+package bus
+
+import (
+	"github.com/masc-project/masc/internal/telemetry"
+)
+
+// busMetrics holds the pre-registered instrument handles for the
+// messaging layer's hot paths. Every field is nil-safe: with no
+// telemetry wired in the handles are nil and their methods no-op.
+type busMetrics struct {
+	// routes counts Bus.Invoke dispatches by resolution path.
+	routes *telemetry.CounterVec
+	// invocations counts completed VEP invocations by outcome.
+	invocations *telemetry.CounterVec
+	// latency measures end-to-end VEP invocation time (including
+	// recovery) in seconds.
+	latency *telemetry.HistogramVec
+	// attempts counts individual backend attempts by outcome.
+	attempts *telemetry.CounterVec
+	// attemptSeconds measures single backend attempt time.
+	attemptSeconds *telemetry.HistogramVec
+	// faults counts classified invocation faults.
+	faults *telemetry.CounterVec
+	// retries counts recovery retry attempts.
+	retries *telemetry.CounterVec
+	// failovers counts substitution attempts to alternate targets.
+	failovers *telemetry.CounterVec
+	// broadcasts counts concurrent-invocation recoveries.
+	broadcasts *telemetry.CounterVec
+	// skips counts Skip-action synthetic responses.
+	skips *telemetry.CounterVec
+	// adaptations counts adaptation policies that handled a fault.
+	adaptations *telemetry.CounterVec
+	// selections counts which target each selection strategy ranked
+	// first.
+	selections *telemetry.CounterVec
+	// demotions counts preventive target demotions.
+	demotions *telemetry.CounterVec
+}
+
+func newBusMetrics(r *telemetry.Registry) busMetrics {
+	return busMetrics{
+		routes: r.Counter("masc_bus_invocations_total",
+			"Bus.Invoke dispatches by route (vep, proxy, passthrough).", "route"),
+		invocations: r.Counter("masc_vep_invocations_total",
+			"Completed VEP invocations by outcome (ok, fault).", "vep", "operation", "outcome"),
+		latency: r.Histogram("masc_vep_invocation_seconds",
+			"End-to-end VEP invocation latency including recovery.", nil, "vep"),
+		attempts: r.Counter("masc_vep_attempts_total",
+			"Individual backend attempts by outcome (ok, fault, error).", "vep", "target", "outcome"),
+		attemptSeconds: r.Histogram("masc_vep_attempt_seconds",
+			"Single backend attempt latency.", nil, "vep", "target"),
+		faults: r.Counter("masc_vep_faults_total",
+			"Classified invocation faults.", "vep", "fault_type"),
+		retries: r.Counter("masc_vep_retries_total",
+			"Recovery retry attempts.", "vep"),
+		failovers: r.Counter("masc_vep_failovers_total",
+			"Substitution (failover) attempts to alternate targets.", "vep"),
+		broadcasts: r.Counter("masc_vep_broadcasts_total",
+			"Concurrent-invocation recoveries.", "vep"),
+		skips: r.Counter("masc_vep_skips_total",
+			"Skip-action synthetic responses.", "vep"),
+		adaptations: r.Counter("masc_vep_adaptations_total",
+			"Adaptation policies that handled a fault.", "vep", "policy"),
+		selections: r.Counter("masc_vep_selections_total",
+			"First-ranked target per selection decision.", "vep", "strategy", "target"),
+		demotions: r.Counter("masc_vep_demotions_total",
+			"Preventive target demotions.", "vep", "target"),
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"github.com/masc-project/masc/internal/clock"
 	"github.com/masc-project/masc/internal/policy"
 	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/transport"
 )
 
@@ -76,6 +77,9 @@ type RetryQueue struct {
 	dlq      *DeadLetterQueue
 	pollTick time.Duration
 
+	pendingGauge *telemetry.Gauge
+	deliveries   *telemetry.CounterVec
+
 	mu      sync.Mutex
 	pending []*queuedMessage
 
@@ -97,6 +101,8 @@ type RetryQueueConfig struct {
 	// PollInterval is the queue reader's wakeup period (defaults to
 	// 10ms; with a fake clock, advance in multiples of it).
 	PollInterval time.Duration
+	// Metrics optionally records queue depth and delivery outcomes.
+	Metrics *telemetry.Registry
 }
 
 // NewRetryQueue builds and starts a retry queue.
@@ -119,6 +125,10 @@ func NewRetryQueue(cfg RetryQueueConfig) *RetryQueue {
 	if q.pollTick <= 0 {
 		q.pollTick = 10 * time.Millisecond
 	}
+	q.pendingGauge = cfg.Metrics.Gauge("masc_retryqueue_pending",
+		"Messages awaiting (re)delivery in the retry queue.").With()
+	q.deliveries = cfg.Metrics.Counter("masc_retryqueue_deliveries_total",
+		"Retry-queue delivery outcomes (delivered, requeued, dead).", "outcome")
 	go q.reader()
 	return q
 }
@@ -146,6 +156,7 @@ func (q *RetryQueue) Enqueue(endpoint string, env *soap.Envelope) <-chan error {
 	}
 	q.mu.Lock()
 	q.pending = append(q.pending, m)
+	q.pendingGauge.Set(float64(len(q.pending)))
 	q.mu.Unlock()
 	return done
 }
@@ -186,6 +197,7 @@ func (q *RetryQueue) drainDue() {
 		}
 	}
 	q.pending = kept
+	q.pendingGauge.Set(float64(len(q.pending)))
 	q.mu.Unlock()
 
 	for _, m := range due {
@@ -199,6 +211,7 @@ func (q *RetryQueue) deliver(m *queuedMessage) {
 		err = resp.Fault
 	}
 	if err == nil {
+		q.deliveries.With("delivered").Inc()
 		m.done <- nil
 		close(m.done)
 		return
@@ -207,6 +220,7 @@ func (q *RetryQueue) deliver(m *queuedMessage) {
 	m.attempts++
 	m.lastErr = err.Error()
 	if m.attempts > q.retry.MaxAttempts {
+		q.deliveries.With("dead").Inc()
 		q.dlq.Add(DeadLetter{
 			Endpoint: m.endpoint,
 			Envelope: m.envelope,
@@ -226,7 +240,9 @@ func (q *RetryQueue) deliver(m *queuedMessage) {
 		}
 	}
 	m.due = q.clk.Now().Add(delay)
+	q.deliveries.With("requeued").Inc()
 	q.mu.Lock()
 	q.pending = append(q.pending, m)
+	q.pendingGauge.Set(float64(len(q.pending)))
 	q.mu.Unlock()
 }

@@ -23,6 +23,8 @@ type selector interface {
 	// order returns the candidates in preference order (most preferred
 	// first). The returned slice is freshly allocated.
 	order(candidates []string) []string
+	// kind names the strategy for selection-outcome telemetry.
+	kind() policy.SelectionKind
 }
 
 // newSelector builds the strategy for a selection kind ("a VEP can be
@@ -44,6 +46,8 @@ func newSelector(kind policy.SelectionKind, tracker *qos.Tracker, minSamples int
 // firstSelector preserves registration order.
 type firstSelector struct{}
 
+func (firstSelector) kind() policy.SelectionKind { return policy.SelectFirst }
+
 func (firstSelector) order(candidates []string) []string {
 	out := make([]string, len(candidates))
 	copy(out, candidates)
@@ -55,6 +59,8 @@ type roundRobinSelector struct {
 	mu   sync.Mutex
 	next int
 }
+
+func (*roundRobinSelector) kind() policy.SelectionKind { return policy.SelectRoundRobin }
 
 func (r *roundRobinSelector) order(candidates []string) []string {
 	n := len(candidates)
@@ -80,6 +86,8 @@ type bestQoSSelector struct {
 	tracker    *qos.Tracker
 	minSamples int
 }
+
+func (*bestQoSSelector) kind() policy.SelectionKind { return policy.SelectBestResponseTime }
 
 func (b *bestQoSSelector) order(candidates []string) []string {
 	type scored struct {
@@ -126,6 +134,8 @@ type randomSelector struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 }
+
+func (*randomSelector) kind() policy.SelectionKind { return policy.SelectRandom }
 
 func (r *randomSelector) order(candidates []string) []string {
 	out := make([]string, len(candidates))

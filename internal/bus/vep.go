@@ -11,6 +11,7 @@ import (
 	"github.com/masc-project/masc/internal/monitor"
 	"github.com/masc-project/masc/internal/policy"
 	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/transport"
 	"github.com/masc-project/masc/internal/wsdl"
 	"github.com/masc-project/masc/internal/xmltree"
@@ -137,6 +138,7 @@ func (v *VEP) activeServices() []string {
 // Demote preventively avoids a target for the demotion period — the
 // enactment of a preventive/optimizing SLA-violation policy.
 func (v *VEP) Demote(target string, period time.Duration) {
+	v.bus.met.demotions.With(v.name, target).Inc()
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	v.demoted[target] = v.bus.clk.Now().Add(period)
@@ -169,9 +171,30 @@ func (v *VEP) operationOf(env *soap.Envelope) string {
 }
 
 // Invoke implements transport.Invoker: the endpoint argument is
-// ignored (the VEP itself selects the concrete target).
+// ignored (the VEP itself selects the concrete target). It wraps the
+// mediation in telemetry: a span (child of any trace carried by ctx)
+// covering selection, attempts, and recovery, plus invocation counters
+// and the end-to-end latency histogram.
 func (v *VEP) Invoke(ctx context.Context, _ string, req *soap.Envelope) (*soap.Envelope, error) {
 	op := v.operationOf(req)
+	ctx, span := telemetry.StartSpan(ctx, "vep "+v.name)
+	span.SetAttr("operation", op)
+
+	clk := v.bus.clk
+	start := clk.Now()
+	resp, err := v.invoke(ctx, op, req)
+	v.bus.met.latency.With(v.name).Observe(clk.Since(start).Seconds())
+	outcome := "ok"
+	if !healthy(resp, err) {
+		outcome = "fault"
+	}
+	v.bus.met.invocations.With(v.name, op, outcome).Inc()
+	span.EndErr(err)
+	return resp, err
+}
+
+// invoke is the uninstrumented mediation path.
+func (v *VEP) invoke(ctx context.Context, op string, req *soap.Envelope) (*soap.Envelope, error) {
 	mc := &MessageContext{VEP: v.name, Operation: op, Request: req, Meta: map[string]string{}}
 	if err := v.pipeline.RunRequest(mc); err != nil {
 		return nil, err
@@ -191,11 +214,14 @@ func (v *VEP) Invoke(ctx context.Context, _ string, req *soap.Envelope) (*soap.E
 		return nil, fmt.Errorf("%w: VEP %s has no registered services", transport.ErrEndpointNotFound, v.name)
 	}
 	target := order[0]
+	v.bus.met.selections.With(v.name, string(v.selKind()), target).Inc()
 	resp, err := v.attempt(ctx, target, req, op)
 
 	adapted := false
 	if !healthy(resp, err) {
 		faultType := v.reportFault(op, target, req, resp, err)
+		v.bus.met.faults.With(v.name, faultType).Inc()
+		telemetry.SpanFromContext(ctx).Annotate("fault %s classified on %s", faultType, target)
 		resp, target, err = v.correct(ctx, req, op, target, faultType, resp, err)
 		adapted = true
 	}
@@ -213,6 +239,8 @@ func (v *VEP) Invoke(ctx context.Context, _ string, req *soap.Envelope) (*soap.E
 			if adapted {
 				return nil, viol
 			}
+			v.bus.met.faults.With(v.name, viol.FaultType).Inc()
+			telemetry.SpanFromContext(ctx).Annotate("response violation %s on %s", viol.FaultType, target)
 			resp, target, err = v.correct(ctx, req, op, target, viol.FaultType, nil, viol)
 			if err != nil {
 				return resp, err
@@ -248,12 +276,20 @@ func (v *VEP) order() []string {
 	return sel.order(v.activeServices())
 }
 
+// selKind names the current default selection strategy.
+func (v *VEP) selKind() policy.SelectionKind {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.sel.kind()
+}
+
 // attempt performs one measured downstream invocation.
 func (v *VEP) attempt(ctx context.Context, target string, req *soap.Envelope, op string) (*soap.Envelope, error) {
-	actx := ctx
+	actx, span := telemetry.StartSpan(ctx, "attempt "+target)
+	span.SetAttr("operation", op)
 	var cancel context.CancelFunc
 	if v.invokeTimeout > 0 {
-		actx, cancel = context.WithTimeout(ctx, v.invokeTimeout)
+		actx, cancel = context.WithTimeout(actx, v.invokeTimeout)
 		defer cancel()
 	}
 	clk := v.bus.clk
@@ -263,6 +299,17 @@ func (v *VEP) attempt(ctx context.Context, target string, req *soap.Envelope, op
 	if v.bus.tracker != nil {
 		v.bus.tracker.Record(target, dur, healthy(resp, err))
 	}
+	outcome := "ok"
+	switch {
+	case err != nil:
+		outcome = "error"
+	case resp != nil && resp.IsFault():
+		outcome = "fault"
+	}
+	v.bus.met.attempts.With(v.name, target, outcome).Inc()
+	v.bus.met.attemptSeconds.With(v.name, target).Observe(dur.Seconds())
+	span.SetAttr("outcome", outcome)
+	span.EndErr(err)
 	return resp, err
 }
 
@@ -315,6 +362,9 @@ func (v *VEP) correct(ctx context.Context, req *soap.Envelope, op, failedTarget,
 		if pol.StateAfter != "" && v.bus.procAdapter != nil && instanceID != "" {
 			v.bus.procAdapter.SetAdaptationState(instanceID, pol.StateAfter)
 		}
+		v.bus.met.adaptations.With(v.name, pol.Name).Inc()
+		telemetry.SpanFromContext(ctx).Annotate("adaptation policy %s handled %s (served by %s)",
+			pol.Name, faultType, target)
 		v.publishAdaptation(pol, op, faultType, instanceID)
 		return resp, target, nil
 	}
@@ -390,6 +440,8 @@ func (v *VEP) executePolicy(ctx context.Context, pol *policy.AdaptationPolicy,
 			if recovered {
 				continue
 			}
+			v.bus.met.skips.With(v.name).Inc()
+			telemetry.SpanFromContext(ctx).Annotate("skip: synthesized empty %sResponse", op)
 			resp, recovered = v.skipResponse(op), true
 		default:
 			// Process-layer action: delegate across layers.
@@ -415,6 +467,7 @@ func (v *VEP) executePolicy(ctx context.Context, pol *policy.AdaptationPolicy,
 }
 
 func (v *VEP) doRetry(ctx context.Context, a policy.RetryAction, req *soap.Envelope, op, target string) (*soap.Envelope, string, bool) {
+	span := telemetry.SpanFromContext(ctx)
 	delay := a.Delay
 	for i := 0; i < a.MaxAttempts; i++ {
 		if delay > 0 {
@@ -427,6 +480,8 @@ func (v *VEP) doRetry(ctx context.Context, a policy.RetryAction, req *soap.Envel
 				delay *= 2
 			}
 		}
+		v.bus.met.retries.With(v.name).Inc()
+		span.Annotate("retry %d/%d on %s", i+1, a.MaxAttempts, target)
 		resp, err := v.attempt(ctx, target, req, op)
 		if healthy(resp, err) {
 			return resp, target, true
@@ -447,7 +502,10 @@ func (v *VEP) doSubstitute(ctx context.Context, a policy.SubstituteAction, req *
 	if a.MaxAlternatives > 0 && len(ordered) > a.MaxAlternatives {
 		ordered = ordered[:a.MaxAlternatives]
 	}
+	span := telemetry.SpanFromContext(ctx)
 	for _, target := range ordered {
+		v.bus.met.failovers.With(v.name).Inc()
+		span.Annotate("failover %s -> %s", failedTarget, target)
 		resp, err := v.attempt(ctx, target, req, op)
 		if healthy(resp, err) {
 			return resp, target, true
@@ -468,6 +526,8 @@ func (v *VEP) doBroadcast(ctx context.Context, a policy.ConcurrentAction, req *s
 	if len(targets) == 0 {
 		return nil, "", false
 	}
+	v.bus.met.broadcasts.With(v.name).Inc()
+	telemetry.SpanFromContext(ctx).Annotate("concurrent invocation of %d targets", len(targets))
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 

@@ -27,6 +27,7 @@ import (
 	"github.com/masc-project/masc/internal/clock"
 	"github.com/masc-project/masc/internal/event"
 	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/workflow"
 	"github.com/masc-project/masc/internal/xmltree"
 )
@@ -46,10 +47,28 @@ type AdaptationService struct {
 	events *event.Bus
 	clk    clock.Clock
 
+	tel *telemetry.Telemetry
+	// procActions counts cross-layer process actions by outcome.
+	procActions *telemetry.CounterVec
+	// customizations counts applied customization policies by mode.
+	customizations *telemetry.CounterVec
+
 	mu         sync.Mutex
 	variations map[string]workflow.Activity
 
 	wg sync.WaitGroup // delayed-resume goroutines
+}
+
+// SetTelemetry wires the observability layer: process-action and
+// customization counters plus trace annotations on the adapted
+// instance's span. Nil disables instrumentation.
+func (s *AdaptationService) SetTelemetry(tel *telemetry.Telemetry) {
+	s.tel = tel
+	r := tel.Registry()
+	s.procActions = r.Counter("masc_process_actions_total",
+		"Cross-layer process actions executed by outcome (ok, error).", "action", "outcome")
+	s.customizations = r.Counter("masc_customizations_total",
+		"Customization policies applied to instances by mode (static, dynamic).", "policy", "mode")
 }
 
 // NewAdaptationService builds the adaptation service. Register it with
@@ -127,6 +146,7 @@ func (s *AdaptationService) InstanceCreated(inst *workflow.Instance) {
 			s.publishAdaptation(inst.ID(), pol, "static customization failed: "+err.Error())
 			continue
 		}
+		s.customizations.With(pol.Name, "static").Inc()
 		s.publishAdaptation(inst.ID(), pol, "static customization applied")
 	}
 }
@@ -262,7 +282,24 @@ func (s *AdaptationService) materialize(spec *xmltree.Element, variationRef stri
 // ExecuteProcessAction implements bus.ProcessAdapter: the messaging
 // layer delegates process-layer actions here, correlated by the
 // ProcessInstanceID carried in SOAP headers.
-func (s *AdaptationService) ExecuteProcessAction(_ context.Context, instanceID string, act policy.Action) error {
+func (s *AdaptationService) ExecuteProcessAction(ctx context.Context, instanceID string, act policy.Action) error {
+	err := s.executeProcessAction(ctx, instanceID, act)
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	s.procActions.With(act.ActionName(), outcome).Inc()
+	if span := s.tel.Traces().InstanceSpan(instanceID); span != nil {
+		if err != nil {
+			span.Annotate("process action %s failed: %v", act.ActionName(), err)
+		} else {
+			span.Annotate("process action %s applied", act.ActionName())
+		}
+	}
+	return err
+}
+
+func (s *AdaptationService) executeProcessAction(_ context.Context, instanceID string, act policy.Action) error {
 	if instanceID == "" {
 		return errors.New("core: process action without instance correlation")
 	}

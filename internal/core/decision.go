@@ -7,6 +7,7 @@ import (
 	"github.com/masc-project/masc/internal/event"
 	"github.com/masc-project/masc/internal/monitor"
 	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/workflow"
 	"github.com/masc-project/masc/internal/xpath"
 )
@@ -50,6 +51,22 @@ type DecisionMaker struct {
 	adapt  *AdaptationService
 	events *event.Bus
 	store  *monitor.Store
+
+	// evaluations counts decision rounds by trigger event type;
+	// dispatches counts dispatched policies by outcome. Both are
+	// nil-safe no-ops until SetTelemetry wires a registry.
+	evaluations *telemetry.CounterVec
+	dispatches  *telemetry.CounterVec
+}
+
+// SetTelemetry wires the observability layer: policy-evaluation and
+// dispatch counters. Nil disables instrumentation.
+func (d *DecisionMaker) SetTelemetry(tel *telemetry.Telemetry) {
+	r := tel.Registry()
+	d.evaluations = r.Counter("masc_policy_evaluations_total",
+		"Decision-maker evaluation rounds by trigger event type.", "trigger")
+	d.dispatches = r.Counter("masc_policy_dispatches_total",
+		"Adaptation policies dispatched by the decision maker by outcome (ok, error).", "policy", "outcome")
 }
 
 // NewDecisionMaker builds a decision maker.
@@ -84,6 +101,7 @@ func (d *DecisionMaker) onEvent(ev event.Event) {
 	if err != nil {
 		return
 	}
+	d.evaluations.With(string(ev.Type)).Inc()
 	// Policies scoped to the process definition (the bus enforces
 	// VEP-scoped ones itself).
 	for _, pol := range d.repo.AdaptationFor(ev, inst.Definition()) {
@@ -91,9 +109,11 @@ func (d *DecisionMaker) onEvent(ev event.Event) {
 			continue
 		}
 		if err := d.dispatch(pol, inst, ev); err != nil {
+			d.dispatches.With(pol.Name, "error").Inc()
 			d.adapt.publishAdaptation(inst.ID(), pol, "adaptation failed: "+err.Error())
 			continue
 		}
+		d.dispatches.With(pol.Name, "ok").Inc()
 		if pol.StateAfter != "" {
 			inst.SetAdaptationState(pol.StateAfter)
 		}

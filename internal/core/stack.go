@@ -8,6 +8,7 @@ import (
 	"github.com/masc-project/masc/internal/policy"
 	"github.com/masc-project/masc/internal/qos"
 	"github.com/masc-project/masc/internal/registry"
+	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/transport"
 	"github.com/masc-project/masc/internal/workflow"
 )
@@ -37,6 +38,8 @@ type Stack struct {
 	Ledger *Ledger
 	// Registry is the service directory backing dynamic selection.
 	Registry *registry.Registry
+	// Telemetry is the observability hub (nil unless WithTelemetry).
+	Telemetry *telemetry.Telemetry
 
 	clk         clock.Clock
 	unsubscribe []func()
@@ -50,6 +53,7 @@ type stackConfig struct {
 	repo     *policy.Repository
 	seed     int64
 	registry *registry.Registry
+	tel      *telemetry.Telemetry
 }
 
 // WithClock injects the time source used by every component.
@@ -70,6 +74,14 @@ func WithSeed(seed int64) StackOption {
 // WithRegistry supplies a service directory.
 func WithRegistry(r *registry.Registry) StackOption {
 	return func(c *stackConfig) { c.registry = r }
+}
+
+// WithTelemetry wires one observability hub through every layer:
+// messaging metrics and spans (bus), process metrics and per-instance
+// traces (engine), adaptation counters (core services), and an event-
+// bus tap turning cross-layer events into trace annotations.
+func WithTelemetry(tel *telemetry.Telemetry) StackOption {
+	return func(c *stackConfig) { c.tel = tel }
 }
 
 // NewStack assembles the middleware over a downstream transport
@@ -102,6 +114,7 @@ func NewStack(downstream transport.Invoker, opts ...StackOption) *Stack {
 		bus.WithQoSTracker(tracker),
 		bus.WithMonitor(mon),
 		bus.WithSeed(cfg.seed),
+		bus.WithTelemetry(cfg.tel),
 	)
 
 	reg := cfg.registry
@@ -122,18 +135,24 @@ func NewStack(downstream transport.Invoker, opts ...StackOption) *Stack {
 		workflow.WithClock(cfg.clk),
 		workflow.WithEventBus(events),
 		workflow.WithResolver(resolver),
+		workflow.WithTelemetry(cfg.tel),
 	)
 
 	adapt := NewAdaptationService(engine, cfg.repo, events, cfg.clk)
+	adapt.SetTelemetry(cfg.tel)
 	engine.AddRuntimeService(adapt)
 	b.SetProcessAdapter(adapt)
 
 	decisions := NewDecisionMaker(engine, cfg.repo, adapt, events)
+	decisions.SetTelemetry(cfg.tel)
 	decisions.SetStore(mon.Store())
 	unDecide := decisions.Subscribe()
 
 	ledger := NewLedger()
 	unLedger := ledger.Attach(events)
+
+	unTap := cfg.tel.Traces().TapEventBus(events)
+	unsubs := []func(){unDecide, unLedger, unTap}
 
 	return &Stack{
 		Events:      events,
@@ -146,8 +165,9 @@ func NewStack(downstream transport.Invoker, opts ...StackOption) *Stack {
 		Decisions:   decisions,
 		Ledger:      ledger,
 		Registry:    reg,
+		Telemetry:   cfg.tel,
 		clk:         cfg.clk,
-		unsubscribe: []func(){unDecide, unLedger},
+		unsubscribe: unsubs,
 	}
 }
 

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/masc-project/masc/internal/bus"
+	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/telemetry"
+	"github.com/masc-project/masc/internal/transport"
+	"github.com/masc-project/masc/internal/workflow"
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+// orderProcessXML invokes through a VEP so the trace crosses both
+// layers: process -> activity -> VEP -> attempt.
+const orderProcessXML = `
+<process xmlns="urn:masc:workflow" name="OrderProcess">
+  <variables><variable name="order"/></variables>
+  <sequence name="main">
+    <invoke name="PlaceOrder" endpoint="vep:Retailer" operation="getCatalog" input="order"/>
+  </sequence>
+</process>`
+
+const vepRecoveryPolicyXML = `
+<PolicyDocument xmlns="urn:masc:ws-policy4masc" name="recovery">
+  <AdaptationPolicy name="retry-then-failover" subject="vep:Retailer" priority="5">
+    <OnEvent type="fault.detected"/>
+    <Actions>
+      <Retry maxAttempts="2" delay="1ms"/>
+      <Substitute selection="first"/>
+    </Actions>
+  </AdaptationPolicy>
+</PolicyDocument>`
+
+// spanNames flattens a span tree depth-first.
+func spanNames(v telemetry.SpanView) []string {
+	out := []string{v.Name}
+	for _, c := range v.Children {
+		out = append(out, spanNames(c)...)
+	}
+	return out
+}
+
+// treeNotes flattens all annotations of a span tree.
+func treeNotes(v telemetry.SpanView) []string {
+	var out []string
+	for _, n := range v.Notes {
+		out = append(out, n.Text)
+	}
+	for _, c := range v.Children {
+		out = append(out, treeNotes(c)...)
+	}
+	return out
+}
+
+// findSpan returns the first span with the given name, depth-first.
+func findSpan(v telemetry.SpanView, name string) (telemetry.SpanView, bool) {
+	if v.Name == name {
+		return v, true
+	}
+	for _, c := range v.Children {
+		if found, ok := findSpan(c, name); ok {
+			return found, true
+		}
+	}
+	return telemetry.SpanView{}, false
+}
+
+func TestStackTelemetryCrossLayerTrace(t *testing.T) {
+	f := newFakeServices()
+	f.add("inproc://good", nil)
+	f.net.Register("inproc://bad", transport.HandlerFunc(
+		func(context.Context, *soap.Envelope) (*soap.Envelope, error) {
+			return nil, &transport.UnavailableError{Endpoint: "inproc://bad", Reason: "scripted outage"}
+		}))
+
+	tel := telemetry.New(0)
+	s := NewStack(f.net, WithTelemetry(tel))
+	t.Cleanup(s.Close)
+	if err := s.LoadPolicies(vepRecoveryPolicyXML); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Bus.CreateVEP(bus.VEPConfig{
+		Name:      "Retailer",
+		Services:  []string{"inproc://bad", "inproc://good"},
+		Selection: policy.SelectFirst,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	def, err := workflow.ParseDefinitionString(orderProcessXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Engine.Deploy(def)
+
+	inputs := map[string]*xmltree.Element{
+		"order": el(t, `<getCatalog xmlns="urn:scm"><category>tv</category></getCatalog>`),
+	}
+	inst, err := s.Engine.Start("OrderProcess", inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := inst.Wait(5 * time.Second); err != nil || st != workflow.StateCompleted {
+		t.Fatalf("state=%s err=%v", st, err)
+	}
+
+	// The committed trace must show the correlated span tree.
+	summaries := tel.Tracer.Traces()
+	if len(summaries) != 1 {
+		t.Fatalf("traces = %d, want 1", len(summaries))
+	}
+	view, ok := tel.Tracer.Trace(summaries[0].ID)
+	if !ok {
+		t.Fatal("trace not found by ID")
+	}
+	if view.Root.Name != "process OrderProcess" {
+		t.Fatalf("root span = %q", view.Root.Name)
+	}
+	names := spanNames(view.Root)
+	for _, want := range []string{
+		"process OrderProcess",
+		"activity main",
+		"activity PlaceOrder",
+		"vep Retailer",
+		"attempt inproc://bad",
+		"attempt inproc://good",
+	} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("span %q missing from tree %v", want, names)
+		}
+	}
+	// Nesting: the VEP span hangs under the invoke activity, attempts
+	// under the VEP span.
+	invoke, ok := findSpan(view.Root, "activity PlaceOrder")
+	if !ok {
+		t.Fatal("invoke span missing")
+	}
+	vep, ok := findSpan(invoke, "vep Retailer")
+	if !ok {
+		t.Fatal("vep span not nested under invoke span")
+	}
+	if len(vep.Children) != 4 { // initial + 2 retries on bad, failover on good
+		t.Fatalf("attempt spans = %d, want 4", len(vep.Children))
+	}
+
+	notes := strings.Join(treeNotes(view.Root), "\n")
+	for _, want := range []string{
+		"retry 1/2 on inproc://bad",
+		"failover inproc://bad -> inproc://good",
+		"adaptation policy retry-then-failover handled",
+	} {
+		if !strings.Contains(notes, want) {
+			t.Errorf("trace notes missing %q\nnotes:\n%s", want, notes)
+		}
+	}
+
+	// Process- and messaging-layer metrics land in the one registry.
+	reg := tel.Metrics
+	if got := reg.Counter("masc_process_instances_total", "", "definition", "state").
+		With("OrderProcess", "completed").Value(); got != 1 {
+		t.Errorf("completed instances = %v, want 1", got)
+	}
+	if got := reg.Counter("masc_activities_total", "", "definition", "kind", "outcome").
+		With("OrderProcess", "invoke", "ok").Value(); got != 1 {
+		t.Errorf("ok invoke activities = %v, want 1", got)
+	}
+	if got := reg.Counter("masc_vep_retries_total", "", "vep").With("Retailer").Value(); got != 2 {
+		t.Errorf("retries = %v, want 2", got)
+	}
+	if got := reg.Counter("masc_vep_failovers_total", "", "vep").With("Retailer").Value(); got != 1 {
+		t.Errorf("failovers = %v, want 1", got)
+	}
+}
+
+func TestStackTelemetryDisabledIsHarmless(t *testing.T) {
+	// Without WithTelemetry the stack must behave identically.
+	f := newFakeServices()
+	f.add("inproc://good", nil)
+	s := NewStack(f.net)
+	t.Cleanup(s.Close)
+	if _, err := s.Bus.CreateVEP(bus.VEPConfig{
+		Name:     "Retailer",
+		Services: []string{"inproc://good"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	def, err := workflow.ParseDefinitionString(orderProcessXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Engine.Deploy(def)
+	inst, err := s.Engine.Start("OrderProcess", map[string]*xmltree.Element{
+		"order": el(t, `<getCatalog xmlns="urn:scm"><category>tv</category></getCatalog>`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := inst.Wait(5 * time.Second); err != nil || st != workflow.StateCompleted {
+		t.Fatalf("state=%s err=%v", st, err)
+	}
+	if s.Telemetry != nil {
+		t.Fatal("telemetry should be nil when not wired")
+	}
+}

@@ -44,6 +44,44 @@ const (
 	TypeAdaptationCompleted Type = "adaptation.completed"
 )
 
+// publishedTypes lists the event types middleware components actually
+// emit. TypeAdaptationRequested is deliberately absent: it is part of
+// the paper's vocabulary (a decision maker MAY delegate through it) but
+// the in-process decision maker calls the adaptation service directly,
+// so no component publishes it today. Tools such as policylint use this
+// set to flag adaptation policies whose trigger can never fire.
+var publishedTypes = []Type{
+	TypeProcessStarted,
+	TypeProcessCompleted,
+	TypeActivityStarted,
+	TypeActivityCompleted,
+	TypeMessageIntercepted,
+	TypeFaultDetected,
+	TypeSLAViolation,
+	TypeAdaptationCompleted,
+}
+
+// PublishedTypes returns the event types that at least one middleware
+// component publishes, in declaration order. The returned slice is a
+// copy.
+func PublishedTypes() []Type {
+	out := make([]Type, len(publishedTypes))
+	copy(out, publishedTypes)
+	return out
+}
+
+// IsPublished reports whether some middleware component publishes
+// events of type t. A policy triggering on an unpublished type is dead:
+// its OnEvent clause can never match.
+func IsPublished(t Type) bool {
+	for _, p := range publishedTypes {
+		if p == t {
+			return true
+		}
+	}
+	return false
+}
+
 // Event is a cross-layer notification. Fields irrelevant to a given
 // type are left zero.
 type Event struct {

@@ -1,0 +1,115 @@
+package event
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBusConcurrentPublishSubscribe hammers one bus from many
+// goroutines mixing Publish, Subscribe, SubscribeAll, unsubscribe, and
+// Recorder reads. It exists to be run under -race: the assertions are
+// deliberately weak (no deadlock, no lost self-delivery), the detector
+// does the real checking.
+func TestBusConcurrentPublishSubscribe(t *testing.T) {
+	b := NewBus()
+	types := []Type{TypeFaultDetected, TypeSLAViolation, TypeMessageIntercepted}
+
+	var rec Recorder
+	detach := rec.Attach(b)
+	defer detach()
+
+	var delivered atomic.Int64
+	var wg sync.WaitGroup
+
+	// Churning subscribers: subscribe, receive some, unsubscribe.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tp := types[i%len(types)]
+			for j := 0; j < 50; j++ {
+				un := b.Subscribe(tp, func(Event) { delivered.Add(1) })
+				unAll := b.SubscribeAll(func(Event) { delivered.Add(1) })
+				b.Publish(Event{Type: tp, Source: "churn"})
+				un()
+				unAll()
+			}
+		}(i)
+	}
+
+	// Pure publishers across all types.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				b.Publish(Event{Type: types[(i+j)%len(types)], Source: "pub"})
+			}
+		}(i)
+	}
+
+	// Concurrent readers of the recorder.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_ = rec.Events()
+				_ = rec.OfType(TypeFaultDetected)
+			}
+		}()
+	}
+
+	wg.Wait()
+
+	// Each churn iteration publishes while its own two subscriptions are
+	// live, so at least 2 deliveries per iteration must have landed.
+	if got := delivered.Load(); got < 8*50*2 {
+		t.Fatalf("deliveries = %d, want >= %d", got, 8*50*2)
+	}
+	// The always-attached recorder saw every publish.
+	want := 8*50 + 8*100
+	if got := len(rec.Events()); got != want {
+		t.Fatalf("recorded events = %d, want %d", got, want)
+	}
+}
+
+// TestBusUnsubscribeDuringDispatch checks the documented snapshot
+// semantics: handlers may unsubscribe themselves (or others) while a
+// dispatch is in flight without affecting the current delivery round.
+func TestBusUnsubscribeDuringDispatch(t *testing.T) {
+	b := NewBus()
+	var calls int
+	var un func()
+	un = b.Subscribe(TypeFaultDetected, func(Event) {
+		calls++
+		un() // self-unsubscribe mid-dispatch
+	})
+	b.Publish(Event{Type: TypeFaultDetected})
+	b.Publish(Event{Type: TypeFaultDetected})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (second publish after self-unsubscribe)", calls)
+	}
+}
+
+func TestPublishedTypes(t *testing.T) {
+	if !IsPublished(TypeFaultDetected) {
+		t.Error("fault.detected must be a published type")
+	}
+	if IsPublished(TypeAdaptationRequested) {
+		t.Error("adaptation.requested is declared but never published")
+	}
+	if IsPublished(Type("no.such.event")) {
+		t.Error("unknown type reported as published")
+	}
+	got := PublishedTypes()
+	if len(got) == 0 {
+		t.Fatal("no published types")
+	}
+	// Mutating the returned slice must not affect the package state.
+	got[0] = Type("mutated")
+	if !IsPublished(publishedTypes[0]) {
+		t.Error("PublishedTypes leaked internal state")
+	}
+}

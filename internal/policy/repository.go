@@ -72,6 +72,18 @@ func (r *Repository) Documents() []string {
 	return out
 }
 
+// Counts returns the number of loaded monitoring and adaptation
+// policies across all documents (health/status reporting).
+func (r *Repository) Counts() (monitoring, adaptation int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, d := range r.docs {
+		monitoring += len(d.Monitoring)
+		adaptation += len(d.Adaptation)
+	}
+	return monitoring, adaptation
+}
+
 // MonitoringFor returns the monitoring policies whose scope covers the
 // subject and operation, in (document name, document order).
 func (r *Repository) MonitoringFor(subject, operation string) []*MonitoringPolicy {

@@ -1,0 +1,38 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// MetricsHandler serves the registry in the Prometheus text exposition
+// format (the /metrics endpoint).
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// TracesHandler serves recorded traces as JSON: the bare path lists
+// trace summaries (newest first); "<path>/{id}" returns one full span
+// tree or 404. Mount it at both "/traces" and "/traces/".
+func TracesHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		id := strings.Trim(strings.TrimPrefix(req.URL.Path, "/traces"), "/")
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if id == "" {
+			_ = enc.Encode(t.Traces())
+			return
+		}
+		view, ok := t.Trace(id)
+		if !ok {
+			http.Error(w, `{"error":"unknown trace"}`, http.StatusNotFound)
+			return
+		}
+		_ = enc.Encode(view)
+	})
+}

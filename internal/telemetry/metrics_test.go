@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests", "vep")
+	c.With("Retailer").Add(3)
+	c.With("Retailer").Inc()
+	c.With("Broker").Inc()
+	if got := c.With("Retailer").Value(); got != 4 {
+		t.Fatalf("counter = %d", got)
+	}
+
+	g := r.Gauge("pending", "pending msgs")
+	g.With().Set(7)
+	g.With().Add(-2)
+	if got := g.With().Value(); got != 5 {
+		t.Fatalf("gauge = %v", got)
+	}
+
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1}, "vep")
+	h.With("Retailer").Observe(0.005)
+	h.With("Retailer").Observe(0.05)
+	h.With("Retailer").Observe(5) // above top bucket: only +Inf
+	hs := h.With("Retailer")
+	if hs.Count() != 3 {
+		t.Fatalf("histogram count = %d", hs.Count())
+	}
+	if hs.Sum() < 5.05 || hs.Sum() > 5.06 {
+		t.Fatalf("histogram sum = %v", hs.Sum())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "bees", "kind").With("worker").Add(2)
+	r.Counter("a_total", "ays").With().Inc()
+	r.Gauge("g", "gee", "x").With(`quo"te`).Set(1.5)
+	h := r.Histogram("h_seconds", "aitch", []float64{0.5, 1}, "op")
+	h.With("get").Observe(0.25)
+	h.With("get").Observe(0.75)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE a_total counter",
+		"a_total 1",
+		`b_total{kind="worker"} 2`,
+		`g{x="quo\"te"} 1.5`,
+		"# TYPE h_seconds histogram",
+		`h_seconds_bucket{op="get",le="0.5"} 1`,
+		`h_seconds_bucket{op="get",le="1"} 2`,
+		`h_seconds_bucket{op="get",le="+Inf"} 2`,
+		`h_seconds_sum{op="get"} 1`,
+		`h_seconds_count{op="get"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families must be sorted.
+	if strings.Index(out, "a_total") > strings.Index(out, "b_total") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+}
+
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	r.Counter("x", "").With("a").Inc()
+	r.Gauge("y", "").With().Set(1)
+	r.Histogram("z", "", nil).With().Observe(1)
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryReusesFamilies(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "help", "l")
+	b := r.Counter("same_total", "help", "l")
+	a.With("v").Inc()
+	b.With("v").Inc()
+	if got := a.With("v").Value(); got != 2 {
+		t.Fatalf("family not shared: %d", got)
+	}
+}
+
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "", "i")
+	h := r.Histogram("h_seconds", "", nil, "i")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.With("a").Inc()
+				h.With("a").Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.With("a").Value(); got != 8000 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := h.With("a").Count(); got != 8000 {
+		t.Fatalf("observations = %d", got)
+	}
+}

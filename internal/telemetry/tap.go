@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"strings"
+
+	"github.com/masc-project/masc/internal/event"
+)
+
+// TapEventBus subscribes the tracer to every event on the bus and
+// converts events correlated to a bound process instance into span
+// annotations — the existing sensors (monitor, bus, engine) need no
+// rewrite to show up in traces. It returns the unsubscribe function.
+//
+// Events without a ProcessInstanceID, or for instances whose trace is
+// not bound (e.g. created before telemetry was wired), are dropped.
+func (t *Tracer) TapEventBus(b *event.Bus) (unsubscribe func()) {
+	if t == nil || b == nil {
+		return func() {}
+	}
+	return b.SubscribeAll(func(e event.Event) {
+		sp := t.InstanceSpan(e.ProcessInstanceID)
+		if sp == nil {
+			return
+		}
+		sp.Annotate("%s", formatEvent(e))
+	})
+}
+
+// formatEvent renders an event as a compact one-line annotation.
+func formatEvent(e event.Event) string {
+	parts := []string{string(e.Type)}
+	if e.Source != "" {
+		parts = append(parts, "source="+e.Source)
+	}
+	if e.Operation != "" {
+		parts = append(parts, "operation="+e.Operation)
+	}
+	if e.FaultType != "" {
+		parts = append(parts, "fault="+e.FaultType)
+	}
+	if e.PolicyName != "" {
+		parts = append(parts, "policy="+e.PolicyName)
+	}
+	if e.Detail != "" {
+		parts = append(parts, "detail="+e.Detail)
+	}
+	return strings.Join(parts, " ")
+}

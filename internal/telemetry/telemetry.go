@@ -1,0 +1,34 @@
+package telemetry
+
+// Telemetry bundles the metrics registry and the trace recorder so
+// components take one optional dependency. A nil *Telemetry (and nil
+// fields) disables instrumentation at zero cost.
+type Telemetry struct {
+	Metrics *Registry
+	Tracer  *Tracer
+}
+
+// New builds a telemetry hub with a fresh registry and a tracer of the
+// given trace capacity (DefaultTraceCapacity when <= 0).
+func New(traceCapacity int) *Telemetry {
+	return &Telemetry{
+		Metrics: NewRegistry(),
+		Tracer:  NewTracer(traceCapacity),
+	}
+}
+
+// Registry returns the metrics registry (nil on a nil hub).
+func (t *Telemetry) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.Metrics
+}
+
+// Traces returns the tracer (nil on a nil hub).
+func (t *Telemetry) Traces() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.Tracer
+}

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/xmltree"
 	"github.com/masc-project/masc/internal/xpath"
 )
@@ -59,9 +60,13 @@ type Activity interface {
 	run(ec *execCtx) error
 }
 
-// execCtx carries per-run state into activity execution.
+// execCtx carries per-run state into activity execution: the owning
+// instance plus the trace span covering the current activity (nil when
+// telemetry is unwired). runActivity derives a child execCtx per
+// activity, so containers recursing through it nest spans naturally.
 type execCtx struct {
 	inst *Instance
+	span *telemetry.Span
 }
 
 // --- Sequence ---
@@ -579,5 +584,5 @@ func (i *Invoke) Clone() Activity {
 }
 
 func (i *Invoke) run(ec *execCtx) error {
-	return ec.inst.runInvoke(i)
+	return ec.inst.runInvoke(ec, i)
 }

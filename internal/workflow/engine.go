@@ -11,6 +11,7 @@ import (
 	"github.com/masc-project/masc/internal/clock"
 	"github.com/masc-project/masc/internal/event"
 	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/transport"
 	"github.com/masc-project/masc/internal/xmltree"
 )
@@ -172,6 +173,8 @@ type Engine struct {
 	bus      *event.Bus
 	resolver Resolver
 	msgIDs   *soap.IDGenerator
+	tel      *telemetry.Telemetry
+	met      engineMetrics
 
 	mu          sync.Mutex
 	definitions map[string]*Definition
@@ -198,6 +201,14 @@ func WithResolver(r Resolver) EngineOption {
 	return func(e *Engine) { e.resolver = r }
 }
 
+// WithTelemetry wires the observability layer: instance and activity
+// metrics are recorded into its registry and every instance execution
+// is traced (process → activity → invoke spans). Without this option
+// (or with a nil hub) instrumentation is disabled.
+func WithTelemetry(tel *telemetry.Telemetry) EngineOption {
+	return func(e *Engine) { e.tel = tel }
+}
+
 // NewEngine builds an engine whose invoke activities call through
 // invoker (in MASC deployments, the wsBus client or VEP dispatcher).
 func NewEngine(invoker transport.Invoker, opts ...EngineOption) *Engine {
@@ -211,11 +222,15 @@ func NewEngine(invoker transport.Invoker, opts ...EngineOption) *Engine {
 	for _, opt := range opts {
 		opt(e)
 	}
+	e.met = newEngineMetrics(e.tel.Registry())
 	return e
 }
 
 // Clock returns the engine's time source.
 func (e *Engine) Clock() clock.Clock { return e.clk }
+
+// Telemetry returns the engine's telemetry hub (nil when not wired).
+func (e *Engine) Telemetry() *telemetry.Telemetry { return e.tel }
 
 // AddRuntimeService registers a runtime-service hook. Services added
 // after instances exist only see subsequent instances' events.

@@ -10,6 +10,7 @@ import (
 
 	"github.com/masc-project/masc/internal/event"
 	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/transport"
 	"github.com/masc-project/masc/internal/xmltree"
 	"github.com/masc-project/masc/internal/xpath"
@@ -121,10 +122,20 @@ type Instance struct {
 	termOnce  sync.Once
 	doneCh    chan struct{}
 	started   bool
+
+	// span is the trace root covering this instance's execution (nil
+	// when telemetry is unwired); created holds the engine-clock
+	// creation time for the process-duration metric.
+	span    *telemetry.Span
+	created time.Time
 }
 
 func newInstance(e *Engine, id string, def *Definition, inputs map[string]*xmltree.Element) *Instance {
-	ctx, cancel := context.WithCancel(context.Background())
+	tctx, span := e.tel.Traces().StartTrace(context.Background(), "process "+def.Name())
+	span.SetAttr("definition", def.Name())
+	span.SetAttr("instance", id)
+	e.tel.Traces().BindInstance(id, span)
+	ctx, cancel := context.WithCancel(tctx)
 	in := &Instance{
 		id:        id,
 		defName:   def.Name(),
@@ -138,6 +149,8 @@ func newInstance(e *Engine, id string, def *Definition, inputs map[string]*xmltr
 		cancelRun: cancel,
 		termCh:    make(chan struct{}),
 		doneCh:    make(chan struct{}),
+		span:      span,
+		created:   e.clk.Now(),
 	}
 	in.cond = sync.NewCond(&in.mu)
 	for _, v := range def.Variables() {
@@ -194,7 +207,7 @@ func (in *Instance) Run() error {
 	in.mu.Unlock()
 
 	go func() {
-		err := in.runActivity(&execCtx{inst: in}, in.rootActivity())
+		err := in.runActivity(&execCtx{inst: in, span: in.span}, in.rootActivity())
 		in.finish(err)
 	}()
 	return nil
@@ -222,6 +235,12 @@ func (in *Instance) finish(err error) {
 	in.mu.Unlock()
 
 	in.cancelRun()
+	eng := in.engine
+	eng.met.instances.With(in.defName, final.String()).Inc()
+	eng.met.processSeconds.With(in.defName).Observe(eng.clk.Since(in.created).Seconds())
+	in.span.SetAttr("state", final.String())
+	in.span.EndErr(err)
+	eng.tel.Traces().UnbindInstance(in.id)
 	for _, svc := range in.engine.snapshotServices() {
 		svc.InstanceFinished(in, final, err)
 	}
@@ -383,7 +402,18 @@ func (in *Instance) runActivity(ec *execCtx, a Activity) error {
 		Detail:            a.Kind(),
 	})
 
-	err := a.run(ec)
+	span := ec.span.StartChild("activity " + a.Name())
+	span.SetAttr("kind", a.Kind())
+	clk := in.engine.clk
+	start := clk.Now()
+	err := a.run(&execCtx{inst: in, span: span})
+	in.engine.met.activitySeconds.With(in.defName, a.Kind()).Observe(clk.Since(start).Seconds())
+	outcome := "ok"
+	if err != nil {
+		outcome = "fault"
+	}
+	in.engine.met.activities.With(in.defName, a.Kind(), outcome).Inc()
+	span.EndErr(err)
 	if err == nil {
 		in.markDone(a.Name())
 	}
@@ -550,7 +580,7 @@ type invokeResult struct {
 	err  error
 }
 
-func (in *Instance) runInvoke(a *Invoke) error {
+func (in *Instance) runInvoke(ec *execCtx, a *Invoke) error {
 	payload, err := in.buildInvokePayload(a)
 	if err != nil {
 		return fmt.Errorf("invoke %q: %w", a.name, err)
@@ -577,8 +607,12 @@ func (in *Instance) runInvoke(a *Invoke) error {
 		Action:    a.operation,
 	}.Apply(env)
 	soap.SetProcessInstanceID(env, in.id)
+	ec.span.SetAttr("endpoint", endpoint)
+	ec.span.SetAttr("operation", a.operation)
 
-	cctx, cancel := context.WithCancel(in.runCtx)
+	// The invocation context carries the activity span so messaging-
+	// layer spans (VEP, attempts) nest under this invoke in the trace.
+	cctx, cancel := context.WithCancel(telemetry.ContextWithSpan(in.runCtx, ec.span))
 	defer cancel()
 	resc := make(chan invokeResult, 1)
 	go func() {

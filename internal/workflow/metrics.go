@@ -1,0 +1,32 @@
+package workflow
+
+import (
+	"github.com/masc-project/masc/internal/telemetry"
+)
+
+// engineMetrics holds pre-registered instrument handles for the process
+// layer. Every field is nil-safe: with no telemetry wired the handles
+// are nil and their methods no-op.
+type engineMetrics struct {
+	// activitySeconds measures per-activity execution time.
+	activitySeconds *telemetry.HistogramVec
+	// activities counts activity executions by outcome.
+	activities *telemetry.CounterVec
+	// instances counts finished process instances by terminal state.
+	instances *telemetry.CounterVec
+	// processSeconds measures creation-to-terminal instance time.
+	processSeconds *telemetry.HistogramVec
+}
+
+func newEngineMetrics(r *telemetry.Registry) engineMetrics {
+	return engineMetrics{
+		activitySeconds: r.Histogram("masc_activity_seconds",
+			"Per-activity execution latency.", nil, "definition", "kind"),
+		activities: r.Counter("masc_activities_total",
+			"Activity executions by outcome (ok, fault).", "definition", "kind", "outcome"),
+		instances: r.Counter("masc_process_instances_total",
+			"Finished process instances by terminal state.", "definition", "state"),
+		processSeconds: r.Histogram("masc_process_duration_seconds",
+			"Process instance duration from creation to terminal state.", nil, "definition"),
+	}
+}
