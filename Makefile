@@ -1,10 +1,17 @@
 # Convenience targets for the MASC reproduction.
 
 GO ?= go
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS = -X github.com/masc-project/masc/internal/version.Version=$(VERSION)
 
-.PHONY: all test race bench experiments examples lint cover
+.PHONY: all build test race bench experiments examples lint cover
 
 all: test
+
+# Builds version-stamped binaries into ./bin (mascd -version and
+# /healthz report it).
+build:
+	$(GO) build -ldflags '$(LDFLAGS)' -o bin/ ./cmd/...
 
 test:
 	$(GO) test ./...

@@ -11,8 +11,13 @@
 //
 //	/metrics     Prometheus text exposition of all middleware metrics
 //	/traces      JSON list of recent gateway traces
-//	/traces/{id} one trace as a correlated span tree
-//	/healthz     JSON liveness (uptime, VEP and policy counts)
+//	/traces/{id} one trace as a correlated span tree, with links to its
+//	             journal entries
+//	/logs        structured log + audit entries (?conversation=, ?level=,
+//	             ?component=, ?since=, ?trace=, ?kind=, ?limit=)
+//	/messages    the gateway message journal, same filters
+//	/healthz     JSON liveness (version, uptime, VEP and policy counts,
+//	             per-VEP latency quantiles)
 //	/readyz      per-backend VEP health from the QoS tracker (503 when
 //	             a VEP has no healthy backend)
 //	/debug/pprof only with -debug
@@ -40,6 +45,7 @@ import (
 	"github.com/masc-project/masc/internal/soap"
 	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/transport"
+	"github.com/masc-project/masc/internal/version"
 )
 
 const defaultPolicies = `
@@ -80,6 +86,9 @@ func run(args []string) error {
 			policyPath = args[i]
 		case "-debug":
 			debug = true
+		case "-version":
+			fmt.Println("mascd", version.Version)
+			return nil
 		default:
 			return fmt.Errorf("unknown flag %q", args[i])
 		}
@@ -133,6 +142,12 @@ func run(args []string) error {
 	}
 	mux := d.routes(debug)
 
+	// The startup entry lands in the journal (first /logs line) and on
+	// stderr as a JSON log line.
+	tel.Logger("mascd").Output(os.Stderr).Info("mascd starting",
+		"version", version.Version, "listen", listen,
+		"veps", strings.Join(gateway.VEPs(), ","))
+
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
@@ -183,8 +198,10 @@ func (d *daemon) routes(debug bool) *http.ServeMux {
 	// Direct endpoints: /svc/<address suffix>, e.g. /svc/scm/retailer-a.
 	mux.Handle("/svc/", directHandler(d.network))
 	mux.Handle("/metrics", telemetry.MetricsHandler(d.tel.Registry()))
-	mux.Handle("/traces", telemetry.TracesHandler(d.tel.Traces()))
-	mux.Handle("/traces/", telemetry.TracesHandler(d.tel.Traces()))
+	mux.Handle("/traces", telemetry.TracesHandler(d.tel.Traces(), d.tel.Logs()))
+	mux.Handle("/traces/", telemetry.TracesHandler(d.tel.Traces(), d.tel.Logs()))
+	mux.Handle("/logs", telemetry.JournalHandler(d.tel.Logs(), telemetry.KindLog, telemetry.KindAudit))
+	mux.Handle("/messages", telemetry.JournalHandler(d.tel.Logs(), telemetry.KindMessage))
 	mux.HandleFunc("/healthz", d.healthz)
 	mux.HandleFunc("/readyz", d.readyz)
 	if debug {
@@ -226,26 +243,63 @@ func (d *daemon) drain(ctx context.Context) error {
 	}
 }
 
+// vepLatency is one VEP's invocation-latency quantile estimates (in
+// milliseconds), interpolated from the histogram buckets of
+// masc_vep_invocation_seconds.
+type vepLatency struct {
+	VEP   string  `json:"vep"`
+	Count uint64  `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// latencyQuantiles reads per-VEP p50/p95/p99 from the invocation
+// histogram (nil when no VEP has been invoked yet).
+func (d *daemon) latencyQuantiles() []vepLatency {
+	hist := d.tel.Registry().Histogram("masc_vep_invocation_seconds", "", nil, "vep")
+	var out []vepLatency
+	for _, name := range d.gateway.VEPs() {
+		h := hist.With(name)
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		out = append(out, vepLatency{
+			VEP:   name,
+			Count: n,
+			P50MS: h.Quantile(0.50) * 1e3,
+			P95MS: h.Quantile(0.95) * 1e3,
+			P99MS: h.Quantile(0.99) * 1e3,
+		})
+	}
+	return out
+}
+
 // healthz reports liveness as JSON: the process is up, for how long,
-// and what is deployed.
+// what is deployed, and how fast the VEPs are serving.
 func (d *daemon) healthz(w http.ResponseWriter, _ *http.Request) {
 	mon, adapt := d.repo.Counts()
 	status := struct {
-		Status             string   `json:"status"`
-		UptimeSeconds      float64  `json:"uptime_seconds"`
-		VEPs               []string `json:"veps"`
-		PolicyDocuments    []string `json:"policy_documents"`
-		MonitoringPolicies int      `json:"monitoring_policies"`
-		AdaptationPolicies int      `json:"adaptation_policies"`
-		InflightRequests   int64    `json:"inflight_requests"`
+		Status             string       `json:"status"`
+		Version            string       `json:"version"`
+		UptimeSeconds      float64      `json:"uptime_seconds"`
+		VEPs               []string     `json:"veps"`
+		PolicyDocuments    []string     `json:"policy_documents"`
+		MonitoringPolicies int          `json:"monitoring_policies"`
+		AdaptationPolicies int          `json:"adaptation_policies"`
+		InflightRequests   int64        `json:"inflight_requests"`
+		VEPLatency         []vepLatency `json:"vep_latency,omitempty"`
 	}{
 		Status:             "ok",
+		Version:            version.Version,
 		UptimeSeconds:      time.Since(d.start).Seconds(),
 		VEPs:               d.gateway.VEPs(),
 		PolicyDocuments:    d.repo.Documents(),
 		MonitoringPolicies: mon,
 		AdaptationPolicies: adapt,
 		InflightRequests:   d.inflightN.Load(),
+		VEPLatency:         d.latencyQuantiles(),
 	}
 	writeJSON(w, http.StatusOK, status)
 }
@@ -333,7 +387,10 @@ func vepHandler(gateway *bus.Bus, tel *telemetry.Telemetry) http.Handler {
 			if name == "" {
 				name = "vep:Retailer"
 			}
-			ctx, span := tel.Traces().StartTrace(ctx, "gateway "+name)
+			// Adopt a caller-propagated trace ID (the MASC TraceID SOAP
+			// header) so multi-hop exchanges join one trace.
+			traceID, _ := soap.TraceContext(req)
+			ctx, span := tel.Traces().StartTraceID(ctx, "gateway "+name, traceID)
 			span.SetAttr("route", name)
 			resp, err := gateway.Invoke(ctx, name, req)
 			span.EndErr(err)

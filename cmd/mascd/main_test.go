@@ -301,6 +301,48 @@ func TestHealthzJSON(t *testing.T) {
 	}
 }
 
+func TestHealthzReportsVersionAndLatency(t *testing.T) {
+	d := testDaemon(t)
+	srv := httptest.NewServer(d.routes(false))
+	defer srv.Close()
+	postCatalog(t, srv)
+
+	hr, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var h struct {
+		Version    string `json:"version"`
+		VEPLatency []struct {
+			VEP   string  `json:"vep"`
+			Count uint64  `json:"count"`
+			P50MS float64 `json:"p50_ms"`
+			P95MS float64 `json:"p95_ms"`
+			P99MS float64 `json:"p99_ms"`
+		} `json:"vep_latency"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != "dev" { // unstamped test build
+		t.Fatalf("version = %q", h.Version)
+	}
+	if len(h.VEPLatency) != 1 || h.VEPLatency[0].VEP != "Retailer" || h.VEPLatency[0].Count != 1 {
+		t.Fatalf("vep_latency = %+v", h.VEPLatency)
+	}
+	l := h.VEPLatency[0]
+	if l.P50MS <= 0 || l.P50MS > l.P95MS || l.P95MS > l.P99MS {
+		t.Fatalf("quantiles not ordered: %+v", l)
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	if err := run([]string{"-version"}); err != nil {
+		t.Fatalf("run -version: %v", err)
+	}
+}
+
 func TestReadyzReflectsBackendQoS(t *testing.T) {
 	d := testDaemon(t)
 	srv := httptest.NewServer(d.routes(false))

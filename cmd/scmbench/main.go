@@ -24,6 +24,7 @@ import (
 	"path/filepath"
 
 	"github.com/masc-project/masc/internal/experiments"
+	"github.com/masc-project/masc/internal/version"
 )
 
 func main() {
@@ -57,6 +58,7 @@ func main() {
 // Sections are present only for the experiments that ran; durations
 // serialize as nanoseconds (time.Duration's JSON form).
 type benchReport struct {
+	Version    string                        `json:"version"`
 	Requests   int                           `json:"requests"`
 	Seed       int64                         `json:"seed"`
 	Table1     []experiments.Table1Row       `json:"table1,omitempty"`
@@ -88,7 +90,7 @@ func run(table1, figure5, throughput, ablations bool, requests int, seed int64, 
 		return write(f)
 	}
 
-	report := benchReport{Requests: requests, Seed: seed}
+	report := benchReport{Version: version.Version, Requests: requests, Seed: seed}
 
 	if table1 {
 		rows, err := experiments.RunTable1(experiments.Table1Config{Requests: requests, Seed: seed})

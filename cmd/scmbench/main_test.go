@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -53,9 +54,19 @@ func TestRunWritesBenchJSON(t *testing.T) {
 	if report.Figure5 != nil || report.Ablations != nil {
 		t.Error("sections for experiments that did not run should be omitted")
 	}
+	if report.Version != "dev" { // unstamped test build
+		t.Errorf("version = %q", report.Version)
+	}
 	for _, row := range report.Table1 {
 		if row.Requests <= 0 {
 			t.Errorf("table1 row %q has no requests", row.Configuration)
+		}
+		mediated := strings.HasPrefix(row.Configuration, "wsBus")
+		if mediated != (row.Adaptation != nil) {
+			t.Errorf("table1 row %q adaptation = %+v", row.Configuration, row.Adaptation)
+		}
+		if mediated && row.Adaptation.Attempts < row.Adaptation.Invocations {
+			t.Errorf("adaptation snapshot inconsistent: %+v", row.Adaptation)
 		}
 	}
 }

@@ -65,6 +65,9 @@ type Bus struct {
 	seed         int64
 	tel          *telemetry.Telemetry
 	met          busMetrics
+	journal      *telemetry.Journal
+	log          *telemetry.Logger
+	convIDs      *soap.IDGenerator
 
 	mu      sync.RWMutex
 	veps    map[string]*VEP
@@ -150,6 +153,7 @@ func New(downstream transport.Invoker, opts ...Option) *Bus {
 			monitor.WithClock(b.clk),
 			monitor.WithQoSTracker(b.tracker),
 			monitor.WithStore(monitor.NewStore(0)),
+			monitor.WithJournal(b.tel.Logs()),
 		}
 		if b.events != nil {
 			monOpts = append(monOpts, monitor.WithEventBus(b.events))
@@ -161,6 +165,9 @@ func New(downstream transport.Invoker, opts ...Option) *Bus {
 		b.policySource = func() *policy.Repository { return repo }
 	}
 	b.met = newBusMetrics(b.tel.Registry())
+	b.journal = b.tel.Logs()
+	b.log = b.tel.Logger("bus")
+	b.convIDs = soap.NewIDGenerator("urn:masc:conv:")
 	return b
 }
 

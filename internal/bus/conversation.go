@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"github.com/masc-project/masc/internal/soap"
-	"github.com/masc-project/masc/internal/xmltree"
 )
 
 // Conversation is one tracked multi-message exchange — the VEP's
@@ -32,20 +31,17 @@ type Conversation struct {
 
 // ConversationHeader is the MASC header local name carrying an
 // explicit conversation ID.
-const ConversationHeader = "ConversationID"
+const ConversationHeader = soap.ConversationHeader
 
 // SetConversationID stamps an explicit conversation ID onto a message.
 func SetConversationID(env *soap.Envelope, id string) {
-	env.SetHeader(xmltree.NewText(soap.NamespaceMASC, ConversationHeader, id))
+	soap.SetConversationID(env, id)
 }
 
 // ConversationIDOf extracts the conversation ID: the explicit header
 // if present, else the process-instance correlation.
 func ConversationIDOf(env *soap.Envelope) string {
-	if h := env.Header(soap.NamespaceMASC, ConversationHeader); h != nil {
-		return h.Text
-	}
-	return soap.ProcessInstanceID(env)
+	return soap.ConversationID(env)
 }
 
 // ConversationManager tracks conversations flowing through a pipeline.

@@ -177,27 +177,46 @@ func (v *VEP) operationOf(env *soap.Envelope) string {
 // and the end-to-end latency histogram.
 func (v *VEP) Invoke(ctx context.Context, _ string, req *soap.Envelope) (*soap.Envelope, error) {
 	op := v.operationOf(req)
+	// Every gateway-handled exchange gets a conversation ID — the
+	// correlation key joining the message journal, log lines, audit
+	// records, and traces. Requests without one are stamped here so the
+	// ID also reaches downstream hops and the response.
+	conv := ConversationIDOf(req)
+	if conv == "" && v.bus.convIDs != nil {
+		conv = v.bus.convIDs.Next()
+		SetConversationID(req, conv)
+	}
 	ctx, span := telemetry.StartSpan(ctx, "vep "+v.name)
 	span.SetAttr("operation", op)
+	span.SetAttr("conversation", conv)
+	ex := &exchange{}
+	ctx = withExchange(ctx, ex)
 
 	clk := v.bus.clk
 	start := clk.Now()
-	resp, err := v.invoke(ctx, op, req)
-	v.bus.met.latency.With(v.name).Observe(clk.Since(start).Seconds())
+	resp, target, err := v.invoke(ctx, op, req)
+	dur := clk.Since(start)
+	v.bus.met.latency.With(v.name).Observe(dur.Seconds())
 	outcome := "ok"
 	if !healthy(resp, err) {
 		outcome = "fault"
 	}
 	v.bus.met.invocations.With(v.name, op, outcome).Inc()
+	if resp != nil && conv != "" && resp.Header(soap.NamespaceMASC, ConversationHeader) == nil {
+		SetConversationID(resp, conv)
+	}
+	v.journalExchange(span, conv, op, target, outcome, dur, ex.attempts.Load(), req, resp, err)
 	span.EndErr(err)
 	return resp, err
 }
 
-// invoke is the uninstrumented mediation path.
-func (v *VEP) invoke(ctx context.Context, op string, req *soap.Envelope) (*soap.Envelope, error) {
+// invoke is the uninstrumented mediation path. It returns the serving
+// target alongside the response so the exchange journal can name the
+// backend that actually answered.
+func (v *VEP) invoke(ctx context.Context, op string, req *soap.Envelope) (*soap.Envelope, string, error) {
 	mc := &MessageContext{VEP: v.name, Operation: op, Request: req, Meta: map[string]string{}}
 	if err := v.pipeline.RunRequest(mc); err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	req = mc.Request
 
@@ -205,13 +224,13 @@ func (v *VEP) invoke(ctx context.Context, op string, req *soap.Envelope) (*soap.
 	if mon != nil {
 		mon.ObserveMessage(v.Subject(), op, req, wsdl.Request)
 		if viol := mon.CheckRequest(v.Subject(), op, req, v.contract); viol != nil {
-			return nil, viol
+			return nil, "", viol
 		}
 	}
 
 	order := v.order()
 	if len(order) == 0 {
-		return nil, fmt.Errorf("%w: VEP %s has no registered services", transport.ErrEndpointNotFound, v.name)
+		return nil, "", fmt.Errorf("%w: VEP %s has no registered services", transport.ErrEndpointNotFound, v.name)
 	}
 	target := order[0]
 	v.bus.met.selections.With(v.name, string(v.selKind()), target).Inc()
@@ -237,31 +256,31 @@ func (v *VEP) invoke(ctx context.Context, op string, req *soap.Envelope) (*soap.
 		mon.ObserveMessage(v.Subject(), op, resp, wsdl.Response)
 		if viol := mon.CheckResponse(v.Subject(), op, resp, v.contract); viol != nil {
 			if adapted {
-				return nil, viol
+				return nil, target, viol
 			}
 			v.bus.met.faults.With(v.name, viol.FaultType).Inc()
 			telemetry.SpanFromContext(ctx).Annotate("response violation %s on %s", viol.FaultType, target)
 			resp, target, err = v.correct(ctx, req, op, target, viol.FaultType, nil, viol)
 			if err != nil {
-				return resp, err
+				return resp, target, err
 			}
 			if resp != nil {
 				if viol2 := mon.CheckResponse(v.Subject(), op, resp, v.contract); viol2 != nil {
-					return nil, viol2
+					return nil, target, viol2
 				}
 			}
 		}
 	}
 	if err != nil {
-		return resp, err
+		return resp, target, err
 	}
 
 	mc.Response = resp
 	mc.Target = target
 	if err := v.pipeline.RunResponse(mc); err != nil {
-		return nil, err
+		return nil, target, err
 	}
-	return mc.Response, nil
+	return mc.Response, target, nil
 }
 
 func healthy(resp *soap.Envelope, err error) bool {
@@ -287,6 +306,12 @@ func (v *VEP) selKind() policy.SelectionKind {
 func (v *VEP) attempt(ctx context.Context, target string, req *soap.Envelope, op string) (*soap.Envelope, error) {
 	actx, span := telemetry.StartSpan(ctx, "attempt "+target)
 	span.SetAttr("operation", op)
+	if ex := exchangeFrom(ctx); ex != nil {
+		ex.attempts.Add(1)
+	}
+	// Propagate the trace context as MASC SOAP headers so a downstream
+	// MASC gateway records this hop under the same trace ID.
+	soap.SetTraceContext(req, span.TraceID(), span.SpanID())
 	var cancel context.CancelFunc
 	if v.invokeTimeout > 0 {
 		actx, cancel = context.WithTimeout(actx, v.invokeTimeout)
@@ -309,6 +334,14 @@ func (v *VEP) attempt(ctx context.Context, target string, req *soap.Envelope, op
 	v.bus.met.attempts.With(v.name, target, outcome).Inc()
 	v.bus.met.attemptSeconds.With(v.name, target).Observe(dur.Seconds())
 	span.SetAttr("outcome", outcome)
+	level := telemetry.LevelInfo
+	if outcome != "ok" {
+		level = telemetry.LevelWarn
+	}
+	v.bus.log.Span(span).Conversation(ConversationIDOf(req)).Log(level,
+		"attempt "+target+": "+outcome,
+		"vep", v.name, "operation", op, "target", target, "outcome", outcome,
+		"latency_ms", strconv.FormatFloat(float64(dur)/float64(time.Millisecond), 'f', 3, 64))
 	span.EndErr(err)
 	return resp, err
 }
@@ -322,6 +355,11 @@ func (v *VEP) reportFault(op, target string, req, resp *soap.Envelope, err error
 			if soap.ProcessInstanceID(msg) == "" {
 				if id := soap.ProcessInstanceID(req); id != "" {
 					soap.SetProcessInstanceID(msg, id)
+				}
+			}
+			if msg.Header(soap.NamespaceMASC, ConversationHeader) == nil {
+				if id := ConversationIDOf(req); id != "" {
+					SetConversationID(msg, id)
 				}
 			}
 		}
@@ -363,8 +401,10 @@ func (v *VEP) correct(ctx context.Context, req *soap.Envelope, op, failedTarget,
 			v.bus.procAdapter.SetAdaptationState(instanceID, pol.StateAfter)
 		}
 		v.bus.met.adaptations.With(v.name, pol.Name).Inc()
-		telemetry.SpanFromContext(ctx).Annotate("adaptation policy %s handled %s (served by %s)",
+		span := telemetry.SpanFromContext(ctx)
+		span.Annotate("adaptation policy %s handled %s (served by %s)",
 			pol.Name, faultType, target)
+		v.auditAdaptation(span, ConversationIDOf(req), pol.Name, faultType, op, failedTarget, target)
 		v.publishAdaptation(pol, op, faultType, instanceID)
 		return resp, target, nil
 	}
@@ -621,8 +661,10 @@ func (v *VEP) CheckQoSAndPrevent(demotion time.Duration) []monitor.Violation {
 				// policy's selection strategy instead of (only)
 				// avoiding the violating target.
 				v.SetSelection(sub.Selection, 1)
+				v.auditPrevention(pol.Name, vs[0].FaultType, target, "reroute:"+string(sub.Selection))
 			} else {
 				v.Demote(target, demotion)
+				v.auditPrevention(pol.Name, vs[0].FaultType, target, "demote")
 			}
 			v.publishAdaptation(pol, "", vs[0].FaultType, "")
 			break

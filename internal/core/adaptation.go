@@ -52,6 +52,7 @@ type AdaptationService struct {
 	procActions *telemetry.CounterVec
 	// customizations counts applied customization policies by mode.
 	customizations *telemetry.CounterVec
+	log            *telemetry.Logger
 
 	mu         sync.Mutex
 	variations map[string]workflow.Activity
@@ -69,6 +70,7 @@ func (s *AdaptationService) SetTelemetry(tel *telemetry.Telemetry) {
 		"Cross-layer process actions executed by outcome (ok, error).", "action", "outcome")
 	s.customizations = r.Counter("masc_customizations_total",
 		"Customization policies applied to instances by mode (static, dynamic).", "policy", "mode")
+	s.log = tel.Logger("adaptation")
 }
 
 // NewAdaptationService builds the adaptation service. Register it with
@@ -295,6 +297,12 @@ func (s *AdaptationService) ExecuteProcessAction(ctx context.Context, instanceID
 		} else {
 			span.Annotate("process action %s applied", act.ActionName())
 		}
+	}
+	lg := s.log.Conversation(instanceID).With("action", act.ActionName(), "instance", instanceID)
+	if err != nil {
+		lg.Error("process action "+act.ActionName()+" failed", "error", err.Error())
+	} else {
+		lg.Info("process action " + act.ActionName() + " applied")
 	}
 	return err
 }

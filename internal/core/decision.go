@@ -57,16 +57,19 @@ type DecisionMaker struct {
 	// nil-safe no-ops until SetTelemetry wires a registry.
 	evaluations *telemetry.CounterVec
 	dispatches  *telemetry.CounterVec
+	log         *telemetry.Logger
 }
 
 // SetTelemetry wires the observability layer: policy-evaluation and
-// dispatch counters. Nil disables instrumentation.
+// dispatch counters plus audit records of every dispatched policy.
+// Nil disables instrumentation.
 func (d *DecisionMaker) SetTelemetry(tel *telemetry.Telemetry) {
 	r := tel.Registry()
 	d.evaluations = r.Counter("masc_policy_evaluations_total",
 		"Decision-maker evaluation rounds by trigger event type.", "trigger")
 	d.dispatches = r.Counter("masc_policy_dispatches_total",
 		"Adaptation policies dispatched by the decision maker by outcome (ok, error).", "policy", "outcome")
+	d.log = tel.Logger("decision")
 }
 
 // NewDecisionMaker builds a decision maker.
@@ -110,15 +113,37 @@ func (d *DecisionMaker) onEvent(ev event.Event) {
 		}
 		if err := d.dispatch(pol, inst, ev); err != nil {
 			d.dispatches.With(pol.Name, "error").Inc()
+			d.auditDispatch(pol, inst, ev, "error: "+err.Error())
 			d.adapt.publishAdaptation(inst.ID(), pol, "adaptation failed: "+err.Error())
 			continue
 		}
 		d.dispatches.With(pol.Name, "ok").Inc()
+		d.auditDispatch(pol, inst, ev, "ok")
 		if pol.StateAfter != "" {
 			inst.SetAdaptationState(pol.StateAfter)
 		}
 		d.adapt.publishAdaptation(inst.ID(), pol, "dynamic adaptation applied")
 	}
+}
+
+// auditDispatch records a process-layer policy dispatch in the audit
+// trail, correlated by the instance ID (the conversation fallback key).
+func (d *DecisionMaker) auditDispatch(pol *policy.AdaptationPolicy, inst *workflow.Instance, ev event.Event, outcome string) {
+	if d.log == nil {
+		return
+	}
+	d.log.Conversation(inst.ID()).Record(telemetry.Entry{
+		Level:   telemetry.LevelWarn,
+		Kind:    telemetry.KindAudit,
+		Message: "dispatched policy " + pol.Name + " on instance " + inst.ID() + ": " + outcome,
+		Fields: map[string]string{
+			"policy":     pol.Name,
+			"trigger":    string(ev.Type),
+			"fault_type": ev.FaultType,
+			"instance":   inst.ID(),
+			"outcome":    outcome,
+		},
+	})
 }
 
 func (d *DecisionMaker) policyApplies(pol *policy.AdaptationPolicy, inst *workflow.Instance, ev event.Event) bool {

@@ -106,6 +106,7 @@ func NewStack(downstream transport.Invoker, opts ...StackOption) *Stack {
 		monitor.WithQoSTracker(tracker),
 		monitor.WithEventBus(events),
 		monitor.WithStore(monitor.NewStore(0)),
+		monitor.WithJournal(cfg.tel.Logs()),
 	)
 	b := bus.New(downstream,
 		bus.WithClock(cfg.clk),

@@ -10,6 +10,7 @@ import (
 	"github.com/masc-project/masc/internal/loadgen"
 	"github.com/masc-project/masc/internal/policy"
 	"github.com/masc-project/masc/internal/scm"
+	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/transport"
 )
 
@@ -21,6 +22,8 @@ type RetrySweepPoint struct {
 	Failover        bool
 	FailuresPer1000 float64
 	MeanRTT         time.Duration
+	// Adaptation holds the recovery counters the run actually spent.
+	Adaptation AdaptationSnapshot
 }
 
 // RunRetrySweep sweeps the Retry action's MaxAttempts (0..4) against
@@ -55,7 +58,8 @@ func RunRetrySweep(cfg Table1Config) ([]RetrySweepPoint, error) {
 			if _, err := repo.LoadXML(doc); err != nil {
 				return nil, err
 			}
-			b := bus.New(d.Net, bus.WithPolicyRepository(repo), bus.WithSeed(cfg.Seed))
+			tel := telemetry.New(8)
+			b := bus.New(d.Net, bus.WithPolicyRepository(repo), bus.WithSeed(cfg.Seed), bus.WithTelemetry(tel))
 			if _, err := b.CreateVEP(bus.VEPConfig{
 				Name:          "Retailer",
 				Services:      d.RetailerAddrs,
@@ -72,6 +76,7 @@ func RunRetrySweep(cfg Table1Config) ([]RetrySweepPoint, error) {
 				Failover:        failover,
 				FailuresPer1000: s.FailuresPer1000,
 				MeanRTT:         s.Mean,
+				Adaptation:      snapshotAdaptation(tel),
 			})
 		}
 	}
@@ -84,6 +89,8 @@ type SelectionPoint struct {
 	Strategy        string
 	FailuresPer1000 float64
 	MeanRTT         time.Duration
+	// Adaptation holds the recovery counters the strategy spent.
+	Adaptation AdaptationSnapshot
 }
 
 // RunSelectionComparison compares recovery strategies: plain
@@ -117,7 +124,8 @@ func RunSelectionComparison(cfg Table1Config) ([]SelectionPoint, error) {
 		if _, err := repo.LoadXML(doc); err != nil {
 			return nil, err
 		}
-		b := bus.New(d.Net, bus.WithPolicyRepository(repo), bus.WithSeed(cfg.Seed))
+		tel := telemetry.New(8)
+		b := bus.New(d.Net, bus.WithPolicyRepository(repo), bus.WithSeed(cfg.Seed), bus.WithTelemetry(tel))
 		if _, err := b.CreateVEP(bus.VEPConfig{
 			Name:          "Retailer",
 			Services:      d.RetailerAddrs,
@@ -133,6 +141,7 @@ func RunSelectionComparison(cfg Table1Config) ([]SelectionPoint, error) {
 			Strategy:        st.name,
 			FailuresPer1000: s.FailuresPer1000,
 			MeanRTT:         s.Mean,
+			Adaptation:      snapshotAdaptation(tel),
 		})
 	}
 	return points, nil

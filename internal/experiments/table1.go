@@ -25,6 +25,7 @@ import (
 	"github.com/masc-project/masc/internal/scm"
 	"github.com/masc-project/masc/internal/simnet"
 	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/transport"
 )
 
@@ -81,6 +82,9 @@ type Table1Row struct {
 	// MeanRTT is the mean successful latency (not in the paper's
 	// table; reported for context).
 	MeanRTT time.Duration
+	// Adaptation holds the middleware's recovery counters; only the
+	// wsBus configuration has them (direct calls bypass the bus).
+	Adaptation *AdaptationSnapshot `json:"Adaptation,omitempty"`
 }
 
 // table1Policies is the §3.2 recovery configuration: "retry the
@@ -182,12 +186,14 @@ func RunTable1(cfg Table1Config) ([]Table1Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	b, err := mediatedBus(d, cfg.Seed)
+	tel := telemetry.New(8)
+	b, err := mediatedBus(d, cfg.Seed, tel)
 	if err != nil {
 		return nil, err
 	}
 	summary := loadgen.Run(context.Background(), lg, catalogOp(b, "vep:Retailer"))
 	_, _, avail := loadgen.Availability(summary.Outcomes)
+	snap := snapshotAdaptation(tel)
 	rows = append(rows, Table1Row{
 		Configuration:   fmt.Sprintf("wsBus: all %d Retailer services exposed as 1 VEP", len(cfg.OutageFractions)),
 		Requests:        summary.Requests,
@@ -195,19 +201,21 @@ func RunTable1(cfg Table1Config) ([]Table1Row, error) {
 		FailuresPer1000: summary.FailuresPer1000,
 		Availability:    avail,
 		MeanRTT:         summary.Mean,
+		Adaptation:      &snap,
 	})
 	return rows, nil
 }
 
 // mediatedBus builds the client-side wsBus over a deployment, with the
 // Table 1 recovery policies and a Retailer VEP grouping every
-// deployed retailer (plus the skip-guarded Logging VEP).
-func mediatedBus(d *scm.Deployment, seed int64) (*bus.Bus, error) {
+// deployed retailer (plus the skip-guarded Logging VEP). A non-nil
+// tel wires recovery counters in for the run's AdaptationSnapshot.
+func mediatedBus(d *scm.Deployment, seed int64, tel *telemetry.Telemetry) (*bus.Bus, error) {
 	repo := policy.NewRepository()
 	if _, err := repo.LoadXML(table1Policies); err != nil {
 		return nil, err
 	}
-	b := bus.New(d.Net, bus.WithPolicyRepository(repo), bus.WithSeed(seed))
+	b := bus.New(d.Net, bus.WithPolicyRepository(repo), bus.WithSeed(seed), bus.WithTelemetry(tel))
 	if _, err := b.CreateVEP(bus.VEPConfig{
 		Name:          "Retailer",
 		Services:      d.RetailerAddrs,

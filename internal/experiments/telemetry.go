@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"github.com/masc-project/masc/internal/telemetry"
+)
+
+// AdaptationSnapshot summarizes the middleware's self-adaptation
+// counters for one mediated run: how many faults the monitor
+// classified and which recovery mechanisms handled them. It rides
+// along in the -bench-json report so CI can track recovery behavior,
+// not just client-visible failure rates.
+type AdaptationSnapshot struct {
+	// Invocations is the number of completed VEP invocations.
+	Invocations uint64
+	// Attempts is the number of individual backend attempts
+	// (>= Invocations when recovery retried or failed over).
+	Attempts uint64
+	// Faults is the number of classified invocation faults.
+	Faults uint64
+	// Retries counts recovery retry attempts.
+	Retries uint64
+	// Failovers counts substitutions to alternate targets.
+	Failovers uint64
+	// Broadcasts counts concurrent-invocation recoveries.
+	Broadcasts uint64
+	// Skips counts Skip-action synthetic responses.
+	Skips uint64
+	// Adaptations counts adaptation policies that handled a fault.
+	Adaptations uint64
+}
+
+// snapshotAdaptation reads the recovery counters out of a run's
+// telemetry registry (zero value for a nil hub).
+func snapshotAdaptation(tel *telemetry.Telemetry) AdaptationSnapshot {
+	if tel == nil {
+		return AdaptationSnapshot{}
+	}
+	r := tel.Registry()
+	total := func(name string, labels ...string) uint64 {
+		return r.Counter(name, "", labels...).Total()
+	}
+	return AdaptationSnapshot{
+		Invocations: total("masc_vep_invocations_total", "vep", "operation", "outcome"),
+		Attempts:    total("masc_vep_attempts_total", "vep", "target", "outcome"),
+		Faults:      total("masc_vep_faults_total", "vep", "fault_type"),
+		Retries:     total("masc_vep_retries_total", "vep"),
+		Failovers:   total("masc_vep_failovers_total", "vep"),
+		Broadcasts:  total("masc_vep_broadcasts_total", "vep"),
+		Skips:       total("masc_vep_skips_total", "vep"),
+		Adaptations: total("masc_vep_adaptations_total", "vep", "policy"),
+	}
+}

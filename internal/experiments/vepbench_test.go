@@ -39,7 +39,7 @@ func BenchmarkMediationOverheadDirect(b *testing.B) {
 // the recovery-policy-equipped VEP.
 func BenchmarkMediationOverheadVEP(b *testing.B) {
 	d := healthySCM(b)
-	mediated, err := mediatedBus(d, 7)
+	mediated, err := mediatedBus(d, 7, nil)
 	if err != nil {
 		b.Fatal(err)
 	}

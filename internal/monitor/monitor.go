@@ -10,6 +10,7 @@ package monitor
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"github.com/masc-project/masc/internal/clock"
@@ -17,6 +18,7 @@ import (
 	"github.com/masc-project/masc/internal/policy"
 	"github.com/masc-project/masc/internal/qos"
 	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/transport"
 	"github.com/masc-project/masc/internal/wsdl"
 	"github.com/masc-project/masc/internal/xpath"
@@ -93,6 +95,7 @@ type Monitor struct {
 	bus     *event.Bus
 	store   *Store
 	clk     clock.Clock
+	journal *telemetry.Journal
 }
 
 // Option configures a Monitor.
@@ -117,6 +120,13 @@ func WithQoSTracker(t *qos.Tracker) Option {
 // for multi-message conditions.
 func WithStore(s *Store) Option {
 	return func(m *Monitor) { m.store = s }
+}
+
+// WithJournal attaches the telemetry journal: every classified fault,
+// policy violation, and SLA breach leaves an audit record (nil
+// disables auditing).
+func WithJournal(j *telemetry.Journal) Option {
+	return func(m *Monitor) { m.journal = j }
 }
 
 // New builds a monitor over a policy repository.
@@ -234,7 +244,7 @@ func (m *Monitor) CheckQoS(subject, target string) []Violation {
 				continue
 			}
 			v.Policy = mp.Name
-			m.publishSLA(subject, target, *v)
+			m.publishSLA(subject, target, *v, snap)
 			out = append(out, *v)
 		}
 	}
@@ -311,7 +321,37 @@ func (m *Monitor) ReportInvocationFault(subject, operation, target string, env *
 		Detail:            detail,
 		Data:              map[string]string{"target": target},
 	})
+	m.audit(telemetry.Entry{
+		Level:        telemetry.LevelWarn,
+		Message:      fmt.Sprintf("fault %s classified on %s/%s (target %s)", ft, subject, operation, target),
+		Conversation: conversationOf(env),
+		Fields: map[string]string{
+			"subject":    subject,
+			"operation":  operation,
+			"target":     target,
+			"fault_type": ft,
+			"detail":     detail,
+		},
+	})
 	return ft
+}
+
+// conversationOf extracts the journal correlation key from a message.
+func conversationOf(env *soap.Envelope) string {
+	if env == nil {
+		return ""
+	}
+	return soap.ConversationID(env)
+}
+
+// audit records an entry of KindAudit in the attached journal.
+func (m *Monitor) audit(e telemetry.Entry) {
+	if m.journal == nil {
+		return
+	}
+	e.Kind = telemetry.KindAudit
+	e.Component = "monitor"
+	m.journal.Record(e)
 }
 
 func (m *Monitor) violate(subject, operation string, env *soap.Envelope, v *Violation) *Violation {
@@ -331,10 +371,23 @@ func (m *Monitor) violate(subject, operation string, env *soap.Envelope, v *Viol
 		Message:           env,
 		Detail:            v.Detail,
 	})
+	m.audit(telemetry.Entry{
+		Level:        telemetry.LevelWarn,
+		Message:      fmt.Sprintf("monitoring policy %s check %s violated on %s/%s", v.Policy, v.Check, subject, operation),
+		Conversation: conversationOf(env),
+		Fields: map[string]string{
+			"subject":    subject,
+			"operation":  operation,
+			"policy":     v.Policy,
+			"check":      v.Check,
+			"fault_type": v.FaultType,
+			"detail":     v.Detail,
+		},
+	})
 	return v
 }
 
-func (m *Monitor) publishSLA(subject, target string, v Violation) {
+func (m *Monitor) publishSLA(subject, target string, v Violation, snap qos.Snapshot) {
 	m.publish(event.Event{
 		Type:       event.TypeSLAViolation,
 		Time:       m.clk.Now(),
@@ -344,6 +397,26 @@ func (m *Monitor) publishSLA(subject, target string, v Violation) {
 		PolicyName: v.Policy,
 		Detail:     v.Detail,
 		Data:       map[string]string{"target": target},
+	})
+	// The audit record carries the QoS snapshot that evidenced the
+	// breach, so operators can reconstruct the decision after the fact.
+	m.audit(telemetry.Entry{
+		Level:   telemetry.LevelWarn,
+		Message: fmt.Sprintf("SLA policy %s check %s violated by %s", v.Policy, v.Check, target),
+		Fields: map[string]string{
+			"subject":       subject,
+			"target":        target,
+			"policy":        v.Policy,
+			"check":         v.Check,
+			"fault_type":    v.FaultType,
+			"detail":        v.Detail,
+			"invocations":   strconv.Itoa(snap.Invocations),
+			"failures":      strconv.Itoa(snap.Failures),
+			"reliability":   strconv.FormatFloat(snap.Reliability, 'f', 4, 64),
+			"availability":  strconv.FormatFloat(snap.Availability, 'f', 4, 64),
+			"mean_response": snap.MeanResponse.String(),
+			"p95_response":  snap.P95Response.String(),
+		},
 	})
 }
 

@@ -93,6 +93,57 @@ func ProcessInstanceID(e *Envelope) string {
 	return ReadAddressing(e).RelatesTo
 }
 
+// ConversationHeader is the MASC header local name carrying an
+// explicit conversation ID — the master correlation key joining SOAP
+// exchanges, journal entries, log lines, audit records, and traces.
+const ConversationHeader = "ConversationID"
+
+// SetConversationID stamps an explicit conversation ID onto a message.
+func SetConversationID(e *Envelope, id string) {
+	e.SetHeader(xmltree.NewText(NamespaceMASC, ConversationHeader, id))
+}
+
+// ConversationID extracts the conversation ID: the explicit MASC
+// header when present, else the process-instance correlation (which
+// itself falls back to WS-Addressing RelatesTo).
+func ConversationID(e *Envelope) string {
+	if h := e.Header(NamespaceMASC, ConversationHeader); h != nil {
+		return h.Text
+	}
+	return ProcessInstanceID(e)
+}
+
+// TraceHeader and SpanHeader are the MASC header local names carrying
+// the trace context across hops, so a multi-hop exchange records under
+// one trace ID at every gateway it crosses.
+const (
+	TraceHeader = "TraceID"
+	SpanHeader  = "SpanID"
+)
+
+// SetTraceContext stamps the trace context onto a message. Empty
+// values leave the corresponding header untouched.
+func SetTraceContext(e *Envelope, traceID, spanID string) {
+	if traceID != "" {
+		e.SetHeader(xmltree.NewText(NamespaceMASC, TraceHeader, traceID))
+	}
+	if spanID != "" {
+		e.SetHeader(xmltree.NewText(NamespaceMASC, SpanHeader, spanID))
+	}
+}
+
+// TraceContext reads the propagated trace context from a message
+// (empty strings when absent).
+func TraceContext(e *Envelope) (traceID, spanID string) {
+	if h := e.Header(NamespaceMASC, TraceHeader); h != nil {
+		traceID = h.Text
+	}
+	if h := e.Header(NamespaceMASC, SpanHeader); h != nil {
+		spanID = h.Text
+	}
+	return traceID, spanID
+}
+
 // IDGenerator produces unique message IDs. It is safe for concurrent
 // use. A process-wide generator would be a mutable global; components
 // that need IDs own one instead.

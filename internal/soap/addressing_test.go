@@ -1,0 +1,72 @@
+package soap
+
+import "testing"
+
+func TestConversationIDPrefersExplicitHeader(t *testing.T) {
+	env := NewRequest(payload(t, `<op xmlns="urn:x"/>`))
+	SetProcessInstanceID(env, "proc-7")
+	SetConversationID(env, "conv-1")
+	if got := ConversationID(env); got != "conv-1" {
+		t.Fatalf("ConversationID = %q, want conv-1", got)
+	}
+}
+
+func TestConversationIDFallsBackToProcessInstance(t *testing.T) {
+	env := NewRequest(payload(t, `<op xmlns="urn:x"/>`))
+	SetProcessInstanceID(env, "proc-7")
+	if got := ConversationID(env); got != "proc-7" {
+		t.Fatalf("ConversationID = %q, want proc-7", got)
+	}
+}
+
+func TestConversationIDFallsBackToRelatesTo(t *testing.T) {
+	env := NewRequest(payload(t, `<op xmlns="urn:x"/>`))
+	Addressing{RelatesTo: "proc-9"}.Apply(env)
+	if got := ConversationID(env); got != "proc-9" {
+		t.Fatalf("ConversationID = %q, want proc-9", got)
+	}
+}
+
+func TestConversationIDMissingEverywhere(t *testing.T) {
+	env := NewRequest(payload(t, `<op xmlns="urn:x"/>`))
+	if got := ConversationID(env); got != "" {
+		t.Fatalf("ConversationID = %q, want empty", got)
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	env := NewRequest(payload(t, `<op xmlns="urn:x"/>`))
+	SetTraceContext(env, "trace-000001", "s3")
+
+	text, err := env.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceID, spanID := TraceContext(back)
+	if traceID != "trace-000001" || spanID != "s3" {
+		t.Fatalf("TraceContext = %q, %q", traceID, spanID)
+	}
+
+	// Re-stamping replaces, not duplicates.
+	SetTraceContext(back, "trace-000002", "s9")
+	traceID, spanID = TraceContext(back)
+	if traceID != "trace-000002" || spanID != "s9" {
+		t.Fatalf("restamped TraceContext = %q, %q", traceID, spanID)
+	}
+}
+
+func TestTraceContextEmptyValuesLeaveHeaders(t *testing.T) {
+	env := NewRequest(payload(t, `<op xmlns="urn:x"/>`))
+	if traceID, spanID := TraceContext(env); traceID != "" || spanID != "" {
+		t.Fatalf("absent TraceContext = %q, %q", traceID, spanID)
+	}
+	SetTraceContext(env, "trace-a", "s1")
+	SetTraceContext(env, "", "")
+	if traceID, spanID := TraceContext(env); traceID != "trace-a" || spanID != "s1" {
+		t.Fatalf("empty restamp clobbered headers: %q, %q", traceID, spanID)
+	}
+}

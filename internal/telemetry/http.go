@@ -3,8 +3,15 @@ package telemetry
 import (
 	"encoding/json"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
+	"time"
 )
+
+// DefaultJournalPageLimit bounds journal responses when the caller
+// sends no ?limit=.
+const DefaultJournalPageLimit = 200
 
 // MetricsHandler serves the registry in the Prometheus text exposition
 // format (the /metrics endpoint).
@@ -15,10 +22,42 @@ func MetricsHandler(r *Registry) http.Handler {
 	})
 }
 
+// TraceDetail is the trace-endpoint rendering of one trace: the span
+// tree plus links into the journal holding the trace's correlated log
+// lines, message records, and audit entries.
+type TraceDetail struct {
+	TraceView
+	// Conversation is the exchange correlation ID found on the trace's
+	// spans ("" when none was recorded).
+	Conversation string `json:"conversation,omitempty"`
+	// JournalEntries counts retained journal entries carrying this
+	// trace ID.
+	JournalEntries int `json:"journalEntries"`
+	// LogsURL and MessagesURL link to the journal endpoints filtered to
+	// this trace's correlation ID.
+	LogsURL     string `json:"logsUrl,omitempty"`
+	MessagesURL string `json:"messagesUrl,omitempty"`
+}
+
+// findConversation walks a span tree for the first "conversation"
+// attribute (the VEP stamps it on its span).
+func findConversation(v SpanView) string {
+	if c := v.Attrs["conversation"]; c != "" {
+		return c
+	}
+	for _, ch := range v.Children {
+		if c := findConversation(ch); c != "" {
+			return c
+		}
+	}
+	return ""
+}
+
 // TracesHandler serves recorded traces as JSON: the bare path lists
 // trace summaries (newest first); "<path>/{id}" returns one full span
-// tree or 404. Mount it at both "/traces" and "/traces/".
-func TracesHandler(t *Tracer) http.Handler {
+// tree plus links to the trace's journal entries (pass a nil journal
+// to omit them). Mount it at both "/traces" and "/traces/".
+func TracesHandler(t *Tracer, j *Journal) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		id := strings.Trim(strings.TrimPrefix(req.URL.Path, "/traces"), "/")
 		w.Header().Set("Content-Type", "application/json")
@@ -33,6 +72,91 @@ func TracesHandler(t *Tracer) http.Handler {
 			http.Error(w, `{"error":"unknown trace"}`, http.StatusNotFound)
 			return
 		}
-		_ = enc.Encode(view)
+		det := TraceDetail{TraceView: view}
+		if j != nil {
+			det.JournalEntries = j.CountTrace(id)
+			det.LogsURL = "/logs?trace=" + url.QueryEscape(id)
+			det.MessagesURL = "/messages?trace=" + url.QueryEscape(id)
+			// When the exchange recorded a conversation ID, link by it
+			// instead: it also matches entries that carry no trace
+			// context (e.g. the monitor's audit records).
+			if conv := findConversation(view.Root); conv != "" {
+				det.Conversation = conv
+				det.LogsURL = "/logs?conversation=" + url.QueryEscape(conv)
+				det.MessagesURL = "/messages?conversation=" + url.QueryEscape(conv)
+			}
+		}
+		_ = enc.Encode(det)
+	})
+}
+
+// JournalPage is the journal-endpoint response envelope.
+type JournalPage struct {
+	Count   int     `json:"count"`
+	Entries []Entry `json:"entries"`
+}
+
+// JournalHandler serves journal entries as JSON with the filters
+// ?conversation=, ?trace=, ?component=, ?level= (minimum severity),
+// ?since= (RFC 3339), ?kind=, and ?limit= (newest N; default
+// DefaultJournalPageLimit, 0 for all). The kinds argument restricts
+// the mount to a fixed subset (e.g. only KindMessage for /messages);
+// a ?kind= outside that subset yields an empty page.
+func JournalHandler(j *Journal, kinds ...Kind) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		p := req.URL.Query()
+		q := Query{
+			Conversation: p.Get("conversation"),
+			Trace:        p.Get("trace"),
+			Component:    p.Get("component"),
+			Kinds:        kinds,
+			Limit:        DefaultJournalPageLimit,
+		}
+		if lv := p.Get("level"); lv != "" {
+			l, ok := ParseLevel(lv)
+			if !ok {
+				http.Error(w, `{"error":"unknown level"}`, http.StatusBadRequest)
+				return
+			}
+			q.MinLevel = l
+		}
+		if s := p.Get("since"); s != "" {
+			ts, err := time.Parse(time.RFC3339, s)
+			if err != nil {
+				http.Error(w, `{"error":"since must be RFC 3339"}`, http.StatusBadRequest)
+				return
+			}
+			q.Since = ts
+		}
+		if k := p.Get("kind"); k != "" {
+			want := Kind(k)
+			allowed := len(kinds) == 0
+			for _, have := range kinds {
+				if have == want {
+					allowed = true
+				}
+			}
+			if !allowed {
+				_ = json.NewEncoder(w).Encode(JournalPage{Entries: []Entry{}})
+				return
+			}
+			q.Kinds = []Kind{want}
+		}
+		if l := p.Get("limit"); l != "" {
+			n, err := strconv.Atoi(l)
+			if err != nil || n < 0 {
+				http.Error(w, `{"error":"limit must be a non-negative integer"}`, http.StatusBadRequest)
+				return
+			}
+			q.Limit = n
+		}
+		entries := j.Entries(q)
+		if entries == nil {
+			entries = []Entry{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(JournalPage{Count: len(entries), Entries: entries})
 	})
 }

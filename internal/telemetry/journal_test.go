@@ -1,0 +1,275 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJournalRecordAssignsSeqAndTime(t *testing.T) {
+	j := NewJournal(8)
+	s1 := j.Record(Entry{Message: "first"})
+	s2 := j.Record(Entry{Message: "second"})
+	if s1 != 1 || s2 != 2 {
+		t.Fatalf("seq = %d, %d, want 1, 2", s1, s2)
+	}
+	got := j.Entries(Query{})
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2", len(got))
+	}
+	if got[0].Time.IsZero() {
+		t.Fatal("Record left Time zero")
+	}
+	if got[0].Kind != KindLog {
+		t.Fatalf("default kind = %q, want %q", got[0].Kind, KindLog)
+	}
+}
+
+func TestJournalRingEvictsOldest(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Record(Entry{Message: fmt.Sprintf("m%d", i)})
+	}
+	if j.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", j.Len())
+	}
+	got := j.Entries(Query{})
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	// Oldest surviving entry is m6 with seq 7; seq numbers survive
+	// eviction so gaps reveal dropped history.
+	if got[0].Message != "m6" || got[0].Seq != 7 {
+		t.Fatalf("oldest = %q seq %d, want m6 seq 7", got[0].Message, got[0].Seq)
+	}
+	if got[3].Message != "m9" || got[3].Seq != 10 {
+		t.Fatalf("newest = %q seq %d, want m9 seq 10", got[3].Message, got[3].Seq)
+	}
+}
+
+func TestJournalQueryFilters(t *testing.T) {
+	j := NewJournal(32)
+	base := time.Now()
+	j.Record(Entry{Time: base, Level: LevelDebug, Component: "bus", Conversation: "c1", Message: "a"})
+	j.Record(Entry{Time: base.Add(time.Second), Level: LevelWarn, Component: "monitor", Conversation: "c1", Kind: KindAudit, Message: "b"})
+	j.Record(Entry{Time: base.Add(2 * time.Second), Level: LevelError, Component: "bus", Conversation: "c2", Trace: "t9", Kind: KindMessage, Message: "c"})
+
+	if got := j.Entries(Query{Conversation: "c1"}); len(got) != 2 {
+		t.Fatalf("conversation filter: %d, want 2", len(got))
+	}
+	if got := j.Entries(Query{Component: "bus"}); len(got) != 2 {
+		t.Fatalf("component filter: %d, want 2", len(got))
+	}
+	if got := j.Entries(Query{MinLevel: LevelWarn}); len(got) != 2 {
+		t.Fatalf("level filter: %d, want 2", len(got))
+	}
+	if got := j.Entries(Query{Kinds: []Kind{KindAudit}}); len(got) != 1 || got[0].Message != "b" {
+		t.Fatalf("kind filter: %v", got)
+	}
+	if got := j.Entries(Query{Trace: "t9"}); len(got) != 1 || got[0].Message != "c" {
+		t.Fatalf("trace filter: %v", got)
+	}
+	if got := j.Entries(Query{Since: base.Add(time.Second)}); len(got) != 2 {
+		t.Fatalf("since filter: %d, want 2", len(got))
+	}
+	if got := j.Entries(Query{Limit: 2}); len(got) != 2 || got[1].Message != "c" {
+		t.Fatalf("limit keeps newest: %v", got)
+	}
+	if n := j.CountTrace("t9"); n != 1 {
+		t.Fatalf("CountTrace = %d, want 1", n)
+	}
+}
+
+func TestJournalConcurrentRecordAndRead(t *testing.T) {
+	j := NewJournal(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				j.Record(Entry{Component: "bus", Message: fmt.Sprintf("g%d-%d", g, i)})
+				if i%17 == 0 {
+					j.Entries(Query{Component: "bus", Limit: 10})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if j.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", j.Len())
+	}
+	got := j.Entries(Query{})
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq <= got[i-1].Seq {
+			t.Fatalf("entries out of order: seq %d after %d", got[i].Seq, got[i-1].Seq)
+		}
+	}
+}
+
+func TestNilJournalIsSafe(t *testing.T) {
+	var j *Journal
+	if seq := j.Record(Entry{Message: "x"}); seq != 0 {
+		t.Fatalf("nil Record = %d, want 0", seq)
+	}
+	if j.Len() != 0 || j.Entries(Query{}) != nil || j.CountTrace("t") != 0 {
+		t.Fatal("nil journal reads should be empty")
+	}
+}
+
+func TestLevelParseAndJSON(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Level
+	}{
+		{"debug", LevelDebug}, {"info", LevelInfo},
+		{"warn", LevelWarn}, {"warning", LevelWarn}, {"error", LevelError},
+	} {
+		got, ok := ParseLevel(tc.in)
+		if !ok || got != tc.want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", tc.in, got, ok)
+		}
+	}
+	if _, ok := ParseLevel("loud"); ok {
+		t.Fatal("ParseLevel accepted garbage")
+	}
+	b, err := json.Marshal(LevelWarn)
+	if err != nil || string(b) != `"warn"` {
+		t.Fatalf("Marshal = %s, %v", b, err)
+	}
+	var lv Level
+	if err := json.Unmarshal([]byte(`"error"`), &lv); err != nil || lv != LevelError {
+		t.Fatalf("Unmarshal = %v, %v", lv, err)
+	}
+	if err := json.Unmarshal([]byte(`"noise"`), &lv); err == nil {
+		t.Fatal("Unmarshal accepted unknown level")
+	}
+}
+
+func TestLoggerJournalsAndWritesJSONLines(t *testing.T) {
+	j := NewJournal(16)
+	var buf bytes.Buffer
+	log := NewLogger(j, "bus").Output(&buf).With("vep", "scm")
+	log.Conversation("conv-1").Info("invoked", "target", "inproc://a")
+	log.Warn("slow")
+
+	got := j.Entries(Query{Component: "bus"})
+	if len(got) != 2 {
+		t.Fatalf("journal entries = %d, want 2", len(got))
+	}
+	if got[0].Conversation != "conv-1" || got[0].Fields["vep"] != "scm" || got[0].Fields["target"] != "inproc://a" {
+		t.Fatalf("entry fields wrong: %+v", got[0])
+	}
+	if got[1].Conversation != "" {
+		t.Fatalf("base logger leaked conversation: %+v", got[1])
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("sink lines = %d, want 2", len(lines))
+	}
+	var e Entry
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("sink line not JSON: %v", err)
+	}
+	if e.Message != "invoked" || e.Level != LevelInfo || e.Seq == 0 {
+		t.Fatalf("sink entry = %+v", e)
+	}
+	if e.Time.IsZero() {
+		t.Fatal("sink line missing timestamp")
+	}
+}
+
+func TestLoggerSpanCorrelation(t *testing.T) {
+	tr := NewTracer(4)
+	_, root := tr.StartTrace(context.Background(), "gateway")
+	child := root.StartChild("vep")
+
+	j := NewJournal(16)
+	log := NewLogger(j, "bus").Span(child)
+	log.Info("attempt")
+	root.End()
+
+	got := j.Entries(Query{Trace: root.TraceID()})
+	if len(got) != 1 {
+		t.Fatalf("trace-correlated entries = %d, want 1", len(got))
+	}
+	if got[0].Span != child.SpanID() || got[0].Span == "" {
+		t.Fatalf("span id = %q, want %q", got[0].Span, child.SpanID())
+	}
+	if root.SpanID() == child.SpanID() {
+		t.Fatal("span ids not unique within trace")
+	}
+	if j.CountTrace(root.TraceID()) != 1 {
+		t.Fatal("CountTrace mismatch")
+	}
+}
+
+func TestNilLoggerIsSafe(t *testing.T) {
+	var log *Logger
+	log.With("k", "v").Span(nil).Conversation("c").Output(&bytes.Buffer{}).Info("ok")
+	var tel *Telemetry
+	tel.Logger("x").Error("still ok")
+}
+
+func TestStartTraceIDAdoptsExternalID(t *testing.T) {
+	tr := NewTracer(4)
+	_, root := tr.StartTraceID(context.Background(), "hop2", "trace-abc")
+	if root.TraceID() != "trace-abc" {
+		t.Fatalf("TraceID = %q, want trace-abc", root.TraceID())
+	}
+	root.End()
+	if _, ok := tr.Trace("trace-abc"); !ok {
+		t.Fatal("adopted trace not retained")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_test_seconds", "", []float64{0.01, 0.1, 1}, "vep").With("scm")
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005) // first bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5) // third bucket
+	}
+	if p50 := h.Quantile(0.50); p50 <= 0 || p50 > 0.01 {
+		t.Fatalf("p50 = %v, want within (0, 0.01]", p50)
+	}
+	if p95 := h.Quantile(0.95); p95 <= 0.1 || p95 > 1 {
+		t.Fatalf("p95 = %v, want within (0.1, 1]", p95)
+	}
+	// Overflow: observations beyond the largest bound saturate there.
+	h2 := r.Histogram("q_test_seconds", "", []float64{0.01, 0.1, 1}, "vep").With("over")
+	h2.Observe(5)
+	if q := h2.Quantile(0.99); q != 1 {
+		t.Fatalf("overflow quantile = %v, want 1", q)
+	}
+	var hnil *Histogram
+	if hnil.Quantile(0.95) != 0 {
+		t.Fatal("nil histogram quantile != 0")
+	}
+	if r.Histogram("q_empty_seconds", "", nil).With().Quantile(0.95) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+}
+
+func TestCounterVecTotal(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("total_test", "", "vep", "outcome")
+	c.With("a", "ok").Add(3)
+	c.With("a", "fault").Add(2)
+	c.With("b", "ok").Inc()
+	if got := c.Total(); got != 6 {
+		t.Fatalf("Total = %d, want 6", got)
+	}
+	var cnil *CounterVec
+	if cnil.Total() != 0 {
+		t.Fatal("nil Total != 0")
+	}
+}

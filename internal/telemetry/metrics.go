@@ -180,6 +180,23 @@ func (c *CounterVec) With(values ...string) *Counter {
 	return s.(*Counter)
 }
 
+// Total returns the sum of the counter across every label series —
+// e.g. all faults regardless of VEP and fault type. Nil-safe.
+func (c *CounterVec) Total() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.fam.mu.Lock()
+	defer c.fam.mu.Unlock()
+	var total uint64
+	for _, s := range c.fam.series {
+		if ctr, ok := s.(*Counter); ok {
+			total += ctr.v.Load()
+		}
+	}
+	return total
+}
+
 // Inc adds one.
 func (c *Counter) Inc() { c.Add(1) }
 
@@ -315,6 +332,45 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the recorded
+// observations from the bucket counts. The rank follows the same
+// nearest-rank rounding as qos.Snapshot's P95Response, and the value is
+// linearly interpolated inside the winning bucket. With no
+// observations it returns 0; ranks falling in the overflow bucket
+// return the largest finite bound (the estimate saturates there).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	pct := uint64(math.Ceil(q * 100))
+	rank := (pct*n + 99) / 100
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	lower := 0.0
+	for i, ub := range h.buckets {
+		c := h.counts[i].Load()
+		if c > 0 && cum+c >= rank {
+			frac := float64(rank-cum) / float64(c)
+			return lower + (ub-lower)*frac
+		}
+		cum += c
+		lower = ub
+	}
+	if len(h.buckets) > 0 {
+		return h.buckets[len(h.buckets)-1]
+	}
+	return 0
 }
 
 // --- exposition ---

@@ -1,19 +1,23 @@
 package telemetry
 
-// Telemetry bundles the metrics registry and the trace recorder so
-// components take one optional dependency. A nil *Telemetry (and nil
-// fields) disables instrumentation at zero cost.
+// Telemetry bundles the metrics registry, the trace recorder, and the
+// journal (message log + audit trail) so components take one optional
+// dependency. A nil *Telemetry (and nil fields) disables
+// instrumentation at zero cost.
 type Telemetry struct {
 	Metrics *Registry
 	Tracer  *Tracer
+	Journal *Journal
 }
 
-// New builds a telemetry hub with a fresh registry and a tracer of the
-// given trace capacity (DefaultTraceCapacity when <= 0).
+// New builds a telemetry hub with a fresh registry, a tracer of the
+// given trace capacity (DefaultTraceCapacity when <= 0), and a journal
+// of the default capacity.
 func New(traceCapacity int) *Telemetry {
 	return &Telemetry{
 		Metrics: NewRegistry(),
 		Tracer:  NewTracer(traceCapacity),
+		Journal: NewJournal(0),
 	}
 }
 
@@ -31,4 +35,12 @@ func (t *Telemetry) Traces() *Tracer {
 		return nil
 	}
 	return t.Tracer
+}
+
+// Logs returns the journal (nil on a nil hub).
+func (t *Telemetry) Logs() *Journal {
+	if t == nil {
+		return nil
+	}
+	return t.Journal
 }

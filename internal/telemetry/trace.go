@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -39,9 +40,14 @@ func NewTracer(capacity int) *Tracer {
 
 // Trace is one recorded span tree.
 type Trace struct {
-	id     string
-	tracer *Tracer
-	root   *Span
+	id      string
+	tracer  *Tracer
+	root    *Span
+	spanSeq atomic.Uint64
+}
+
+func (tr *Trace) nextSpanID() string {
+	return fmt.Sprintf("s%d", tr.spanSeq.Add(1))
 }
 
 // Note is a timestamped span annotation (e.g. a fault classification or
@@ -55,6 +61,7 @@ type Note struct {
 // concurrent use and nil-safe.
 type Span struct {
 	trace *Trace
+	id    string
 
 	mu       sync.Mutex
 	name     string
@@ -102,16 +109,27 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 // and returns a context carrying the root span. Ending the root span
 // completes the trace and commits it to the ring buffer.
 func (t *Tracer) StartTrace(ctx context.Context, name string) (context.Context, *Span) {
+	return t.StartTraceID(ctx, name, "")
+}
+
+// StartTraceID begins a trace under an externally supplied trace ID —
+// used to adopt the trace context propagated in MASC SOAP headers so a
+// multi-hop exchange records under one ID at every hop. An empty id
+// generates a fresh sequential one.
+func (t *Tracer) StartTraceID(ctx context.Context, name, id string) (context.Context, *Span) {
 	if t == nil {
 		return ctx, nil
 	}
-	t.mu.Lock()
-	t.seq++
-	id := fmt.Sprintf("trace-%06d", t.seq)
-	t.mu.Unlock()
+	if id == "" {
+		t.mu.Lock()
+		t.seq++
+		id = fmt.Sprintf("trace-%06d", t.seq)
+		t.mu.Unlock()
+	}
 
 	tr := &Trace{id: id, tracer: t}
 	root := &Span{trace: tr, name: name, start: time.Now()}
+	root.id = tr.nextSpanID()
 	tr.root = root
 	return ContextWithSpan(ctx, root), root
 }
@@ -124,12 +142,21 @@ func (s *Span) TraceID() string {
 	return s.trace.id
 }
 
+// SpanID returns the span's ID, unique within its trace ("" on nil).
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
 // StartChild starts and returns a child span.
 func (s *Span) StartChild(name string) *Span {
 	if s == nil {
 		return nil
 	}
 	child := &Span{trace: s.trace, parent: s, name: name, start: time.Now()}
+	child.id = s.trace.nextSpanID()
 	s.mu.Lock()
 	s.children = append(s.children, child)
 	s.mu.Unlock()

@@ -172,7 +172,7 @@ func TestHTTPHandlers(t *testing.T) {
 	}
 
 	rec = httptest.NewRecorder()
-	TracesHandler(tel.Tracer).ServeHTTP(rec, httptest.NewRequest("GET", "/traces", nil))
+	TracesHandler(tel.Tracer, tel.Journal).ServeHTTP(rec, httptest.NewRequest("GET", "/traces", nil))
 	var sums []TraceSummary
 	if err := json.Unmarshal(rec.Body.Bytes(), &sums); err != nil {
 		t.Fatalf("list: %v\n%s", err, rec.Body.String())
@@ -182,14 +182,14 @@ func TestHTTPHandlers(t *testing.T) {
 	}
 
 	rec = httptest.NewRecorder()
-	TracesHandler(tel.Tracer).ServeHTTP(rec, httptest.NewRequest("GET", "/traces/"+id, nil))
+	TracesHandler(tel.Tracer, tel.Journal).ServeHTTP(rec, httptest.NewRequest("GET", "/traces/"+id, nil))
 	var view TraceView
 	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil || view.ID != id {
 		t.Fatalf("view = %+v err = %v", view, err)
 	}
 
 	rec = httptest.NewRecorder()
-	TracesHandler(tel.Tracer).ServeHTTP(rec, httptest.NewRequest("GET", "/traces/nope", nil))
+	TracesHandler(tel.Tracer, tel.Journal).ServeHTTP(rec, httptest.NewRequest("GET", "/traces/nope", nil))
 	if rec.Code != 404 {
 		t.Fatalf("unknown trace status = %d", rec.Code)
 	}

@@ -1,0 +1,6 @@
+// Package version carries the build version stamped at link time via
+// -ldflags "-X github.com/masc-project/masc/internal/version.Version=...".
+package version
+
+// Version is the build version ("dev" for unstamped builds).
+var Version = "dev"

@@ -175,6 +175,7 @@ type Engine struct {
 	msgIDs   *soap.IDGenerator
 	tel      *telemetry.Telemetry
 	met      engineMetrics
+	log      *telemetry.Logger
 
 	mu          sync.Mutex
 	definitions map[string]*Definition
@@ -223,6 +224,7 @@ func NewEngine(invoker transport.Invoker, opts ...EngineOption) *Engine {
 		opt(e)
 	}
 	e.met = newEngineMetrics(e.tel.Registry())
+	e.log = e.tel.Logger("workflow")
 	return e
 }
 

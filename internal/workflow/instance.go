@@ -240,6 +240,17 @@ func (in *Instance) finish(err error) {
 	eng.met.processSeconds.With(in.defName).Observe(eng.clk.Since(in.created).Seconds())
 	in.span.SetAttr("state", final.String())
 	in.span.EndErr(err)
+	lg := eng.log.Span(in.span).Conversation(in.id)
+	if final == StateCompleted {
+		lg.Info("instance "+in.id+" completed", "definition", in.defName, "state", final.String())
+	} else {
+		detail := ""
+		if err != nil {
+			detail = err.Error()
+		}
+		lg.Warn("instance "+in.id+" finished "+final.String(),
+			"definition", in.defName, "state", final.String(), "error", detail)
+	}
 	eng.tel.Traces().UnbindInstance(in.id)
 	for _, svc := range in.engine.snapshotServices() {
 		svc.InstanceFinished(in, final, err)
