@@ -1,0 +1,286 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"github.com/masc-project/masc/internal/bus"
+	"github.com/masc-project/masc/internal/telemetry"
+)
+
+// apiPrefix is the versioned management API root. The unversioned
+// observability paths (/metrics, /traces, ...) remain mounted as
+// deprecated aliases of these endpoints.
+const apiPrefix = "/api/v1"
+
+// apiRoutes mounts the versioned API: the observability endpoints plus
+// the VEP management resources, every error shaped as the uniform
+// envelope {"error": {"code": ..., "message": ...}}.
+func (d *daemon) apiRoutes(mux *http.ServeMux) {
+	handle := func(path string, h http.Handler) {
+		mux.Handle(apiPrefix+path, apiErrorEnvelope(h))
+	}
+	handle("/metrics", telemetry.MetricsHandler(d.tel.Registry()))
+	traces := http.StripPrefix(apiPrefix, telemetry.TracesHandler(d.tel.Traces(), d.tel.Logs()))
+	handle("/traces", traces)
+	handle("/traces/", traces)
+	handle("/logs", telemetry.JournalHandler(d.tel.Logs(), telemetry.KindLog, telemetry.KindAudit))
+	handle("/messages", telemetry.JournalHandler(d.tel.Logs(), telemetry.KindMessage))
+	handle("/healthz", http.HandlerFunc(d.healthz))
+	handle("/readyz", http.HandlerFunc(d.readyz))
+	handle("/veps", http.HandlerFunc(d.vepsIndex))
+	handle("/veps/", http.HandlerFunc(d.vepManage))
+}
+
+// writeAPIError emits the uniform error envelope.
+func writeAPIError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorEnvelope{Error: errorBody{Code: errorCode(status), Message: msg}})
+}
+
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorCode maps an HTTP status to the envelope's stable code slug.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusInternalServerError:
+		return "internal"
+	default:
+		return fmt.Sprintf("http_%d", status)
+	}
+}
+
+// apiErrorEnvelope normalizes every error response (status >= 400)
+// from the wrapped handler into the /api/v1 JSON envelope. Handlers
+// that already emit the envelope pass through unchanged; plain-text
+// and legacy JSON errors are rewrapped.
+func apiErrorEnvelope(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ew := &envelopeWriter{rw: w}
+		h.ServeHTTP(ew, r)
+		ew.finish()
+	})
+}
+
+// envelopeWriter passes success responses straight through and buffers
+// error bodies so finish can rewrite them as the envelope.
+type envelopeWriter struct {
+	rw          http.ResponseWriter
+	status      int
+	wroteHeader bool
+	buf         bytes.Buffer
+}
+
+func (e *envelopeWriter) Header() http.Header { return e.rw.Header() }
+
+func (e *envelopeWriter) WriteHeader(code int) {
+	if e.wroteHeader {
+		return
+	}
+	e.wroteHeader = true
+	e.status = code
+	if code < 400 {
+		e.rw.WriteHeader(code)
+	}
+}
+
+func (e *envelopeWriter) Write(p []byte) (int, error) {
+	if !e.wroteHeader {
+		e.WriteHeader(http.StatusOK)
+	}
+	if e.status >= 400 {
+		return e.buf.Write(p)
+	}
+	return e.rw.Write(p)
+}
+
+func (e *envelopeWriter) finish() {
+	if !e.wroteHeader || e.status < 400 {
+		return
+	}
+	body := strings.TrimSpace(e.buf.String())
+	var probe errorEnvelope
+	if json.Unmarshal([]byte(body), &probe) == nil && probe.Error.Code != "" {
+		// Already the envelope: pass through verbatim.
+		e.rw.Header().Set("Content-Type", "application/json; charset=utf-8")
+		e.rw.WriteHeader(e.status)
+		_, _ = e.rw.Write(e.buf.Bytes())
+		return
+	}
+	writeAPIError(e.rw, e.status, errorMessage(body, e.status))
+}
+
+// errorMessage extracts a human-readable message from an error body:
+// legacy JSON errors ({"error": "..."}), or the plain text itself.
+func errorMessage(body string, status int) string {
+	var legacy struct {
+		Error any `json:"error"`
+	}
+	if json.Unmarshal([]byte(body), &legacy) == nil {
+		switch v := legacy.Error.(type) {
+		case string:
+			return v
+		case map[string]any:
+			if m, ok := v["message"].(string); ok {
+				return m
+			}
+		}
+	}
+	if body == "" {
+		return http.StatusText(status)
+	}
+	return body
+}
+
+// protectionStatus summarizes a VEP's overload protection in listings.
+type protectionStatus struct {
+	Policy    string `json:"policy"`
+	Admission bool   `json:"admission"`
+	InFlight  int    `json:"in_flight"`
+	Queued    int    `json:"queued"`
+	Breaker   bool   `json:"breaker"`
+	Hedge     bool   `json:"hedge"`
+}
+
+// vepSummary is one VEP in the management listing.
+type vepSummary struct {
+	Name       string            `json:"name"`
+	Address    string            `json:"address"`
+	Services   []string          `json:"services"`
+	Protection *protectionStatus `json:"protection,omitempty"`
+	Breakers   map[string]string `json:"breakers,omitempty"`
+}
+
+func summarizeVEP(v *bus.VEP) vepSummary {
+	s := vepSummary{
+		Name:     v.Name(),
+		Address:  v.Address(),
+		Services: v.Services(),
+		Breakers: v.BreakerStates(),
+	}
+	if pp := v.Protection(); pp != nil {
+		ps := &protectionStatus{
+			Policy:    pp.Name,
+			Admission: pp.Admission != nil,
+			Breaker:   pp.Breaker != nil,
+			Hedge:     pp.Hedge != nil,
+		}
+		if inFlight, queued, ok := v.AdmissionDepths(); ok {
+			ps.InFlight, ps.Queued = inFlight, queued
+		}
+		s.Protection = ps
+	}
+	return s
+}
+
+// vepsIndex serves GET /api/v1/veps: every VEP with its registered
+// services, protection status, and per-backend breaker states.
+func (d *daemon) vepsIndex(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeAPIError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	out := []vepSummary{}
+	for _, name := range d.gateway.VEPs() {
+		v, err := d.gateway.VEP(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, summarizeVEP(v))
+	}
+	writeJSON(w, http.StatusOK, struct {
+		VEPs []vepSummary `json:"veps"`
+	}{out})
+}
+
+// vepManage routes /api/v1/veps/{name} and
+// /api/v1/veps/{name}/services.
+func (d *daemon) vepManage(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, apiPrefix+"/veps/")
+	name, sub, _ := strings.Cut(rest, "/")
+	v, err := d.gateway.VEP(name)
+	if err != nil {
+		writeAPIError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	switch {
+	case sub == "":
+		if r.Method != http.MethodGet {
+			writeAPIError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		writeJSON(w, http.StatusOK, summarizeVEP(v))
+	case sub == "services":
+		d.manageServices(w, r, v)
+	default:
+		writeAPIError(w, http.StatusNotFound, "unknown resource "+r.URL.Path)
+	}
+}
+
+// manageServices implements runtime (de)registration of equivalent
+// services — the dynamic reconfiguration counterpart of
+// VEP.RegisterService/DeregisterService:
+//
+//	GET    /api/v1/veps/{name}/services            list
+//	POST   /api/v1/veps/{name}/services            {"address": "..."}
+//	DELETE /api/v1/veps/{name}/services?address=…  remove
+//
+// Addresses travel in a JSON body (POST) or query parameter (DELETE)
+// because they contain slashes.
+func (d *daemon) manageServices(w http.ResponseWriter, r *http.Request, v *bus.VEP) {
+	respond := func() {
+		writeJSON(w, http.StatusOK, struct {
+			VEP      string   `json:"vep"`
+			Services []string `json:"services"`
+		}{v.Name(), v.Services()})
+	}
+	switch r.Method {
+	case http.MethodGet:
+		respond()
+	case http.MethodPost:
+		var body struct {
+			Address string `json:"address"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil || strings.TrimSpace(body.Address) == "" {
+			writeAPIError(w, http.StatusBadRequest, `body must be {"address": "<endpoint>"}`)
+			return
+		}
+		v.RegisterService(body.Address)
+		d.tel.Logger("api").Info("service registered",
+			"vep", v.Name(), "address", body.Address)
+		respond()
+	case http.MethodDelete:
+		addr := r.URL.Query().Get("address")
+		if addr == "" {
+			writeAPIError(w, http.StatusBadRequest, "address query parameter required")
+			return
+		}
+		if !v.DeregisterService(addr) {
+			writeAPIError(w, http.StatusNotFound,
+				fmt.Sprintf("%s is not registered with VEP %s", addr, v.Name()))
+			return
+		}
+		d.tel.Logger("api").Info("service deregistered",
+			"vep", v.Name(), "address", addr)
+		respond()
+	default:
+		writeAPIError(w, http.StatusMethodNotAllowed, "use GET, POST, or DELETE")
+	}
+}

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/masc-project/masc/internal/policy"
+)
+
+func apiServer(t *testing.T) (*daemon, *httptest.Server) {
+	t.Helper()
+	d := testDaemon(t)
+	srv := httptest.NewServer(d.routes(false))
+	t.Cleanup(srv.Close)
+	return d, srv
+}
+
+func decodeJSON(t *testing.T, r io.Reader, v any) {
+	t.Helper()
+	if err := json.NewDecoder(r).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAPIVepsListing(t *testing.T) {
+	d, srv := apiServer(t)
+	v, err := d.gateway.VEP("Retailer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.ApplyProtection(&policy.ProtectionPolicy{
+		Name:      "guard",
+		Admission: &policy.AdmissionSpec{MaxInFlight: 8, MaxQueue: 16},
+		Breaker:   &policy.BreakerSpec{FailureThreshold: 3, Cooldown: 10 * time.Second},
+		Hedge:     &policy.HedgeSpec{AfterFactor: 1, MinSamples: 10, MaxHedges: 1},
+	})
+
+	hr, err := srv.Client().Get(srv.URL + "/api/v1/veps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", hr.StatusCode)
+	}
+	var page struct {
+		VEPs []vepSummary `json:"veps"`
+	}
+	decodeJSON(t, hr.Body, &page)
+	if len(page.VEPs) != 1 {
+		t.Fatalf("veps = %+v", page.VEPs)
+	}
+	got := page.VEPs[0]
+	if got.Name != "Retailer" || got.Address != "vep:Retailer" || len(got.Services) != 2 {
+		t.Fatalf("summary = %+v", got)
+	}
+	p := got.Protection
+	if p == nil || p.Policy != "guard" || !p.Admission || !p.Breaker || !p.Hedge {
+		t.Fatalf("protection = %+v", p)
+	}
+}
+
+func TestAPIServiceManagement(t *testing.T) {
+	_, srv := apiServer(t)
+	client := srv.Client()
+	base := srv.URL + "/api/v1/veps/Retailer/services"
+
+	// Register a third equivalent service at runtime.
+	hr, err := client.Post(base, "application/json",
+		strings.NewReader(`{"address": "inproc://scm/retailer-x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reg struct {
+		VEP      string   `json:"vep"`
+		Services []string `json:"services"`
+	}
+	decodeJSON(t, hr.Body, &reg)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK || len(reg.Services) != 3 {
+		t.Fatalf("status = %d services = %v", hr.StatusCode, reg.Services)
+	}
+
+	// Deregister it again.
+	req, _ := http.NewRequest(http.MethodDelete, base+"?address=inproc%3A%2F%2Fscm%2Fretailer-x", nil)
+	hr, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeJSON(t, hr.Body, &reg)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK || len(reg.Services) != 2 {
+		t.Fatalf("status = %d services = %v", hr.StatusCode, reg.Services)
+	}
+
+	// A second delete reports not_found in the error envelope.
+	hr, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var envl errorEnvelope
+	decodeJSON(t, hr.Body, &envl)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusNotFound || envl.Error.Code != "not_found" {
+		t.Fatalf("status = %d envelope = %+v", hr.StatusCode, envl)
+	}
+
+	// Bad request body.
+	hr, err = client.Post(base, "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeJSON(t, hr.Body, &envl)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusBadRequest || envl.Error.Code != "bad_request" {
+		t.Fatalf("status = %d envelope = %+v", hr.StatusCode, envl)
+	}
+
+	// Unknown VEP.
+	hr, err = client.Get(srv.URL + "/api/v1/veps/Nope/services")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeJSON(t, hr.Body, &envl)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusNotFound || envl.Error.Code != "not_found" {
+		t.Fatalf("status = %d envelope = %+v", hr.StatusCode, envl)
+	}
+}
+
+func TestAPIErrorEnvelopeWrapsLegacyErrors(t *testing.T) {
+	_, srv := apiServer(t)
+
+	// TracesHandler's legacy {"error": "unknown trace"} JSON is
+	// rewrapped into the uniform envelope.
+	hr, err := srv.Client().Get(srv.URL + "/api/v1/traces/no-such-trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d", hr.StatusCode)
+	}
+	var envl errorEnvelope
+	decodeJSON(t, hr.Body, &envl)
+	if envl.Error.Code != "not_found" || envl.Error.Message != "unknown trace" {
+		t.Fatalf("envelope = %+v", envl)
+	}
+
+	// Method errors use the envelope too.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/api/v1/veps", nil)
+	hr2, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr2.Body.Close()
+	decodeJSON(t, hr2.Body, &envl)
+	if hr2.StatusCode != http.StatusMethodNotAllowed || envl.Error.Code != "method_not_allowed" {
+		t.Fatalf("status = %d envelope = %+v", hr2.StatusCode, envl)
+	}
+}
+
+func TestAPIObservabilityAliases(t *testing.T) {
+	_, srv := apiServer(t)
+	postCatalog(t, srv)
+
+	// The versioned metrics endpoint serves the same exposition as the
+	// deprecated unversioned alias.
+	for _, path := range []string{"/metrics", "/api/v1/metrics"} {
+		hr, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(hr.Body)
+		hr.Body.Close()
+		if hr.StatusCode != http.StatusOK || !strings.Contains(string(body), "masc_vep_invocations_total") {
+			t.Fatalf("%s: status = %d", path, hr.StatusCode)
+		}
+	}
+
+	hr, err := srv.Client().Get(srv.URL + "/api/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var health map[string]any
+	decodeJSON(t, hr.Body, &health)
+	if _, ok := health["protection_policies"]; !ok {
+		t.Fatalf("healthz missing protection_policies: %v", health)
+	}
+}

@@ -7,20 +7,28 @@
 //	mascd -listen :8080
 //	curl -s -X POST --data '<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"><e:Body><getCatalog xmlns="urn:wsi:scm"><category>tv</category></getCatalog></e:Body></e:Envelope>' http://localhost:8080/vep/Retailer
 //
-// Observability endpoints (see docs/observability.md):
+// Management API under /api/v1 (see docs/observability.md); every
+// error response uses the envelope {"error":{"code","message"}}:
 //
-//	/metrics     Prometheus text exposition of all middleware metrics
-//	/traces      JSON list of recent gateway traces
-//	/traces/{id} one trace as a correlated span tree, with links to its
-//	             journal entries
-//	/logs        structured log + audit entries (?conversation=, ?level=,
-//	             ?component=, ?since=, ?trace=, ?kind=, ?limit=)
-//	/messages    the gateway message journal, same filters
-//	/healthz     JSON liveness (version, uptime, VEP and policy counts,
-//	             per-VEP latency quantiles)
-//	/readyz      per-backend VEP health from the QoS tracker (503 when
-//	             a VEP has no healthy backend)
-//	/debug/pprof only with -debug
+//	/api/v1/metrics        Prometheus text exposition of all metrics
+//	/api/v1/traces         JSON list of recent gateway traces
+//	/api/v1/traces/{id}    one trace as a correlated span tree
+//	/api/v1/logs           structured log + audit entries
+//	                       (?conversation=, ?level=, ?component=,
+//	                       ?since=, ?trace=, ?kind=, ?limit=)
+//	/api/v1/messages       the gateway message journal, same filters
+//	/api/v1/healthz        JSON liveness (version, uptime, VEP and
+//	                       policy counts, per-VEP latency quantiles)
+//	/api/v1/readyz         per-backend VEP health from the QoS tracker
+//	                       (503 when a VEP has no healthy backend)
+//	/api/v1/veps           VEP listing with services, protection
+//	                       status, and circuit-breaker states
+//	/api/v1/veps/{name}/services  runtime service (de)registration
+//	                       (POST {"address": ...} / DELETE ?address=)
+//	/debug/pprof           only with -debug
+//
+// The unversioned paths (/metrics, /traces, /logs, /messages,
+// /healthz, /readyz) remain as deprecated aliases.
 package main
 
 import (
@@ -204,6 +212,7 @@ func (d *daemon) routes(debug bool) *http.ServeMux {
 	mux.Handle("/messages", telemetry.JournalHandler(d.tel.Logs(), telemetry.KindMessage))
 	mux.HandleFunc("/healthz", d.healthz)
 	mux.HandleFunc("/readyz", d.readyz)
+	d.apiRoutes(mux)
 	if debug {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -288,6 +297,7 @@ func (d *daemon) healthz(w http.ResponseWriter, _ *http.Request) {
 		PolicyDocuments    []string     `json:"policy_documents"`
 		MonitoringPolicies int          `json:"monitoring_policies"`
 		AdaptationPolicies int          `json:"adaptation_policies"`
+		ProtectionPolicies int          `json:"protection_policies"`
 		InflightRequests   int64        `json:"inflight_requests"`
 		VEPLatency         []vepLatency `json:"vep_latency,omitempty"`
 	}{
@@ -298,6 +308,7 @@ func (d *daemon) healthz(w http.ResponseWriter, _ *http.Request) {
 		PolicyDocuments:    d.repo.Documents(),
 		MonitoringPolicies: mon,
 		AdaptationPolicies: adapt,
+		ProtectionPolicies: d.repo.ProtectionCount(),
 		InflightRequests:   d.inflightN.Load(),
 		VEPLatency:         d.latencyQuantiles(),
 	}

@@ -61,8 +61,8 @@ func lint(path string) (warnings []string, err error) {
 		return nil, err
 	}
 	warnings = deadTriggers(doc)
-	fmt.Printf("%s: document %q OK — %d monitoring, %d adaptation\n",
-		path, doc.Name, len(doc.Monitoring), len(doc.Adaptation))
+	fmt.Printf("%s: document %q OK — %d monitoring, %d adaptation, %d protection\n",
+		path, doc.Name, len(doc.Monitoring), len(doc.Adaptation), len(doc.Protection))
 	for _, mp := range doc.Monitoring {
 		fmt.Printf("  monitoring %-28s subject=%q operation=%q pre=%d post=%d thresholds=%d\n",
 			mp.Name, mp.Subject, mp.Operation,
@@ -71,6 +71,10 @@ func lint(path string) (warnings []string, err error) {
 	for _, ap := range doc.Adaptation {
 		fmt.Printf("  adaptation %-28s subject=%q kind=%s layer=%s priority=%d trigger=%s actions=%d\n",
 			ap.Name, ap.Subject, ap.Kind, ap.Layer, ap.Priority, ap.Trigger.EventType, len(ap.Actions))
+	}
+	for _, pp := range doc.Protection {
+		fmt.Printf("  protection %-28s subject=%q admission=%v breaker=%v hedge=%v\n",
+			pp.Name, pp.Subject, pp.Admission != nil, pp.Breaker != nil, pp.Hedge != nil)
 	}
 	return warnings, nil
 }

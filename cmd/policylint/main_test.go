@@ -90,12 +90,17 @@ func TestLintMissingFile(t *testing.T) {
 }
 
 func TestLintShippedPolicies(t *testing.T) {
-	// The sample document in policies/ must stay valid and warning-free.
-	warnings, err := lint("../../policies/scm-recovery.xml")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(warnings) != 0 {
-		t.Fatalf("shipped policies produce warnings: %v", warnings)
+	// The sample documents in policies/ must stay valid and warning-free.
+	for _, doc := range []string{
+		"../../policies/scm-recovery.xml",
+		"../../policies/overload-protection.xml",
+	} {
+		warnings, err := lint(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(warnings) != 0 {
+			t.Fatalf("%s produces warnings: %v", doc, warnings)
+		}
 	}
 }

@@ -4,6 +4,7 @@
 //	scmbench -table1      # Table 1: reliability/availability, direct vs wsBus
 //	scmbench -figure5     # Figure 5: RTT vs request size, direct vs wsBus
 //	scmbench -throughput  # throughput sweep (§3.2 metric)
+//	scmbench -hedge       # hedged invocation vs plain: tail latency under QoS degradation
 //	scmbench -ablations   # retry budget, strategy, policy-reparse, listener
 //	scmbench -all         # everything
 //
@@ -32,6 +33,7 @@ func main() {
 		table1     = flag.Bool("table1", false, "run the Table 1 reliability/availability experiment")
 		figure5    = flag.Bool("figure5", false, "run the Figure 5 RTT-vs-size experiment")
 		throughput = flag.Bool("throughput", false, "run the throughput sweep")
+		hedge      = flag.Bool("hedge", false, "run the hedged-invocation tail-latency comparison")
 		ablations  = flag.Bool("ablations", false, "run the ablation studies")
 		all        = flag.Bool("all", false, "run everything")
 		requests   = flag.Int("requests", 0, "requests per configuration (0 = default)")
@@ -40,7 +42,7 @@ func main() {
 		benchJSON  = flag.String("bench-json", "", "write all results as one JSON file (default $MASC_BENCH_JSON)")
 	)
 	flag.Parse()
-	if !*table1 && !*figure5 && !*throughput && !*ablations && !*all {
+	if !*table1 && !*figure5 && !*throughput && !*hedge && !*ablations && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -48,7 +50,7 @@ func main() {
 	if jsonPath == "" {
 		jsonPath = os.Getenv("MASC_BENCH_JSON")
 	}
-	if err := run(*table1 || *all, *figure5 || *all, *throughput || *all, *ablations || *all, *requests, *seed, *csvDir, jsonPath); err != nil {
+	if err := run(*table1 || *all, *figure5 || *all, *throughput || *all, *hedge || *all, *ablations || *all, *requests, *seed, *csvDir, jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "scmbench:", err)
 		os.Exit(1)
 	}
@@ -64,6 +66,7 @@ type benchReport struct {
 	Table1     []experiments.Table1Row       `json:"table1,omitempty"`
 	Figure5    []experiments.Figure5Point    `json:"figure5,omitempty"`
 	Throughput []experiments.ThroughputPoint `json:"throughput,omitempty"`
+	Hedge      []experiments.HedgePoint      `json:"hedge,omitempty"`
 	Ablations  *ablationReport               `json:"ablations,omitempty"`
 }
 
@@ -74,7 +77,7 @@ type ablationReport struct {
 	Listener   []experiments.ListenerPoint   `json:"listener"`
 }
 
-func run(table1, figure5, throughput, ablations bool, requests int, seed int64, csvDir, jsonPath string) error {
+func run(table1, figure5, throughput, hedge, ablations bool, requests int, seed int64, csvDir, jsonPath string) error {
 	writeCSV := func(name string, write func(io.Writer) error) error {
 		if csvDir == "" {
 			return nil
@@ -127,6 +130,19 @@ func run(table1, figure5, throughput, ablations bool, requests int, seed int64, 
 		report.Throughput = points
 		if err := writeCSV("throughput.csv", func(w io.Writer) error {
 			return experiments.WriteThroughputCSV(w, points)
+		}); err != nil {
+			return err
+		}
+	}
+	if hedge {
+		points, err := experiments.RunHedgeComparison(experiments.HedgeConfig{Requests: requests, Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatHedge(points))
+		report.Hedge = points
+		if err := writeCSV("hedge.csv", func(w io.Writer) error {
+			return experiments.WriteHedgeCSV(w, points)
 		}); err != nil {
 			return err
 		}

@@ -12,7 +12,7 @@ func TestRunSmallTable1(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment run")
 	}
-	if err := run(true, false, false, false, 200, 7, t.TempDir(), ""); err != nil {
+	if err := run(true, false, false, false, false, 200, 7, t.TempDir(), ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -21,7 +21,7 @@ func TestRunSmallFigure5AndThroughput(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment run")
 	}
-	if err := run(false, true, true, false, 40, 7, "", ""); err != nil {
+	if err := run(false, true, true, false, false, 40, 7, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -31,7 +31,7 @@ func TestRunWritesBenchJSON(t *testing.T) {
 		t.Skip("experiment run")
 	}
 	path := filepath.Join(t.TempDir(), "bench.json")
-	if err := run(true, false, true, false, 40, 7, "", path); err != nil {
+	if err := run(true, false, true, false, false, 40, 7, "", path); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -51,7 +51,7 @@ func TestRunWritesBenchJSON(t *testing.T) {
 	if len(report.Throughput) == 0 {
 		t.Error("throughput section empty")
 	}
-	if report.Figure5 != nil || report.Ablations != nil {
+	if report.Figure5 != nil || report.Hedge != nil || report.Ablations != nil {
 		t.Error("sections for experiments that did not run should be omitted")
 	}
 	if report.Version != "dev" { // unstamped test build

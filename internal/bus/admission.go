@@ -1,0 +1,151 @@
+package bus
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/masc-project/masc/internal/clock"
+	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/telemetry"
+	"github.com/masc-project/masc/internal/transport"
+)
+
+// admission is a per-VEP admission controller: at most maxInFlight
+// invocations mediate concurrently, at most maxQueue more wait for a
+// slot (FIFO), and everything beyond that is shed immediately. This is
+// the overload self-protection the paper's Java wsBus lacked — its
+// listener "does not scale well with high number of requests" (§3.2)
+// because it admitted unbounded concurrent work.
+type admission struct {
+	maxInFlight  int
+	maxQueue     int
+	queueTimeout time.Duration
+	clk          clock.Clock
+
+	// queueDepth and inFlightGauge are nil-safe telemetry handles.
+	queueDepth    *telemetry.Gauge
+	inFlightGauge *telemetry.Gauge
+
+	mu       sync.Mutex
+	inFlight int
+	waiters  []chan struct{} // FIFO; each is 1-buffered, granted a slot on send
+}
+
+// newAdmission builds a controller from a policy spec.
+func newAdmission(spec *policy.AdmissionSpec, clk clock.Clock, queueDepth, inFlight *telemetry.Gauge) *admission {
+	return &admission{
+		maxInFlight:   spec.MaxInFlight,
+		maxQueue:      spec.MaxQueue,
+		queueTimeout:  spec.QueueTimeout,
+		clk:           clk,
+		queueDepth:    queueDepth,
+		inFlightGauge: inFlight,
+	}
+}
+
+// shedErr is the ServerBusy shed error; it unwraps to
+// transport.ErrOverloaded so monitoring classifies it as a
+// ServerBusyFault. reason is a metrics label ("queue_full",
+// "queue_timeout").
+type shedErr struct {
+	vep    string
+	reason string
+}
+
+func (e *shedErr) Error() string {
+	return fmt.Sprintf("bus: VEP %s shed request (%s): %v", e.vep, e.reason, transport.ErrOverloaded)
+}
+
+func (e *shedErr) Unwrap() error { return transport.ErrOverloaded }
+
+// shedReason extracts the shed reason label from an admission error.
+func shedReason(err error) string {
+	var se *shedErr
+	if errors.As(err, &se) {
+		return se.reason
+	}
+	return "unknown"
+}
+
+// acquire obtains a mediation slot or returns a shed error. The caller
+// must release() exactly once after a nil return.
+func (a *admission) acquire(ctx context.Context, vep string) error {
+	a.mu.Lock()
+	if a.inFlight < a.maxInFlight {
+		a.inFlight++
+		a.inFlightGauge.Set(float64(a.inFlight))
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.waiters) >= a.maxQueue {
+		a.mu.Unlock()
+		return &shedErr{vep: vep, reason: "queue_full"}
+	}
+	grant := make(chan struct{}, 1)
+	a.waiters = append(a.waiters, grant)
+	a.queueDepth.Set(float64(len(a.waiters)))
+	a.mu.Unlock()
+
+	var timeout <-chan time.Time
+	if a.queueTimeout > 0 {
+		timeout = a.clk.After(a.queueTimeout)
+	}
+	select {
+	case <-grant:
+		return nil
+	case <-ctx.Done():
+		if a.abandon(grant) {
+			return fmt.Errorf("bus: VEP %s admission wait: %w", vep, ctx.Err())
+		}
+		// A grant raced the cancellation: the slot is ours to return.
+		a.release()
+		return ctx.Err()
+	case <-timeout:
+		if a.abandon(grant) {
+			return &shedErr{vep: vep, reason: "queue_timeout"}
+		}
+		// Granted just in time — proceed.
+		return nil
+	}
+}
+
+// abandon removes a waiter from the queue, reporting whether it was
+// still queued (false means a grant was already delivered).
+func (a *admission) abandon(grant chan struct{}) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, w := range a.waiters {
+		if w == grant {
+			a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+			a.queueDepth.Set(float64(len(a.waiters)))
+			return true
+		}
+	}
+	return false
+}
+
+// release returns a slot, handing it to the oldest waiter if any.
+func (a *admission) release() {
+	a.mu.Lock()
+	if len(a.waiters) > 0 {
+		grant := a.waiters[0]
+		a.waiters = a.waiters[1:]
+		a.queueDepth.Set(float64(len(a.waiters)))
+		grant <- struct{}{}
+	} else {
+		a.inFlight--
+		a.inFlightGauge.Set(float64(a.inFlight))
+	}
+	a.mu.Unlock()
+}
+
+// depths reports the current in-flight and queued counts (management
+// API reporting).
+func (a *admission) depths() (inFlight, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inFlight, len(a.waiters)
+}

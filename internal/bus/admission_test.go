@@ -1,0 +1,297 @@
+package bus
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/masc-project/masc/internal/clock"
+	"github.com/masc-project/masc/internal/event"
+	"github.com/masc-project/masc/internal/monitor"
+	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/transport"
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+// gateService blocks each call until a token arrives on release,
+// signalling entry on entered — the controllable slow backend the
+// admission and hedging tests park traffic on.
+type gateService struct {
+	entered chan struct{}
+	release chan struct{}
+	calls   atomic.Int32
+}
+
+func newGateService() *gateService {
+	return &gateService{
+		entered: make(chan struct{}, 16),
+		release: make(chan struct{}, 16),
+	}
+}
+
+func (g *gateService) handler() transport.HandlerFunc {
+	return func(_ context.Context, req *soap.Envelope) (*soap.Envelope, error) {
+		g.calls.Add(1)
+		g.entered <- struct{}{}
+		<-g.release
+		op := req.PayloadName().Local
+		return soap.NewRequest(xmltree.New("urn:scm", op+"Response")), nil
+	}
+}
+
+// protectedBus assembles a bus with an injectable clock and one
+// protected VEP.
+func protectedBus(t *testing.T, clk clock.Clock, services map[string]transport.HandlerFunc, cfg VEPConfig) (*Bus, *VEP, *event.Recorder) {
+	t.Helper()
+	net := transport.NewNetwork()
+	for addr, h := range services {
+		net.Register(addr, h)
+	}
+	ev := event.NewBus()
+	var rec event.Recorder
+	rec.Attach(ev)
+	opts := []Option{WithEventBus(ev), WithSeed(7)}
+	if clk != nil {
+		opts = append(opts, WithClock(clk))
+	}
+	b := New(net, opts...)
+	if cfg.Name == "" {
+		cfg.Name = "Retailer"
+	}
+	if cfg.Contract == nil {
+		cfg.Contract = scmContract()
+	}
+	v, err := b.CreateVEP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, v, &rec
+}
+
+func waitQueued(t *testing.T, v *VEP, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, queued, ok := v.AdmissionDepths(); ok && queued >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue never reached depth %d", want)
+}
+
+func TestAdmissionShedsWhenQueueFull(t *testing.T) {
+	gate := newGateService()
+	_, v, rec := protectedBus(t, nil,
+		map[string]transport.HandlerFunc{"inproc://a": gate.handler()},
+		VEPConfig{
+			Services: []string{"inproc://a"},
+			Protection: &policy.ProtectionPolicy{
+				Name:      "guard",
+				Admission: &policy.AdmissionSpec{MaxInFlight: 1, MaxQueue: 1},
+			},
+		})
+
+	req1, req2, req3 := catalogReq(t), catalogReq(t), catalogReq(t)
+	done := make(chan error, 2)
+	go func() {
+		_, err := v.Invoke(context.Background(), "", req1)
+		done <- err
+	}()
+	<-gate.entered
+	go func() {
+		_, err := v.Invoke(context.Background(), "", req2)
+		done <- err
+	}()
+	waitQueued(t, v, 1)
+
+	// One in flight, one queued: the third must be shed immediately.
+	resp, err := v.Invoke(context.Background(), "", req3)
+	if err != nil {
+		t.Fatalf("shed returned error, want fault envelope: %v", err)
+	}
+	if resp == nil || !resp.IsFault() {
+		t.Fatalf("resp = %v, want ServerBusy fault", resp)
+	}
+	if !strings.HasPrefix(resp.Fault.String, "ServerBusy") {
+		t.Fatalf("fault string = %q", resp.Fault.String)
+	}
+	if !strings.Contains(resp.Fault.String, "queue_full") {
+		t.Fatalf("fault string = %q, want queue_full reason", resp.Fault.String)
+	}
+
+	// The shed is classified and raised as a monitored fault.
+	var sawBusy bool
+	for _, e := range rec.OfType(event.TypeFaultDetected) {
+		if e.FaultType == monitor.FaultServerBusy {
+			sawBusy = true
+		}
+	}
+	if !sawBusy {
+		t.Fatal("no ServerBusyFault event recorded")
+	}
+
+	// Releasing the backend drains the admitted and the queued request.
+	gate.release <- struct{}{}
+	gate.release <- struct{}{}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("queued invocation failed: %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("queued invocation never completed")
+		}
+	}
+	if n := gate.calls.Load(); n != 2 {
+		t.Fatalf("backend calls = %d, want 2 (shed request must not reach it)", n)
+	}
+}
+
+func TestAdmissionQueueTimeout(t *testing.T) {
+	fc := clock.NewFakeAtZero()
+	gate := newGateService()
+	_, v, _ := protectedBus(t, fc,
+		map[string]transport.HandlerFunc{"inproc://a": gate.handler()},
+		VEPConfig{
+			Services: []string{"inproc://a"},
+			Protection: &policy.ProtectionPolicy{
+				Name: "guard",
+				Admission: &policy.AdmissionSpec{
+					MaxInFlight: 1, MaxQueue: 4, QueueTimeout: 100 * time.Millisecond,
+				},
+			},
+		})
+
+	req1, req2 := catalogReq(t), catalogReq(t)
+	first := make(chan error, 1)
+	go func() {
+		_, err := v.Invoke(context.Background(), "", req1)
+		first <- err
+	}()
+	<-gate.entered
+
+	type result struct {
+		resp *soap.Envelope
+		err  error
+	}
+	queued := make(chan result, 1)
+	go func() {
+		resp, err := v.Invoke(context.Background(), "", req2)
+		queued <- result{resp, err}
+	}()
+	waitQueued(t, v, 1)
+
+	// Advance in small steps until the queue timeout fires (the waiter
+	// may register its timer slightly after it becomes visible in the
+	// queue depth).
+	var r result
+	deadline := time.After(2 * time.Second)
+poll:
+	for {
+		select {
+		case r = <-queued:
+			break poll
+		case <-deadline:
+			t.Fatal("queued request never timed out")
+		default:
+			fc.Advance(150 * time.Millisecond)
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if r.err != nil {
+		t.Fatalf("timed-out request returned error, want fault: %v", r.err)
+	}
+	if r.resp == nil || !r.resp.IsFault() || !strings.Contains(r.resp.Fault.String, "queue_timeout") {
+		t.Fatalf("resp = %+v, want queue_timeout ServerBusy fault", r.resp)
+	}
+
+	gate.release <- struct{}{}
+	if err := <-first; err != nil {
+		t.Fatalf("admitted invocation failed: %v", err)
+	}
+	if n := gate.calls.Load(); n != 1 {
+		t.Fatalf("backend calls = %d, want 1", n)
+	}
+}
+
+func TestAdmissionHandsSlotToQueuedWaiter(t *testing.T) {
+	gate := newGateService()
+	_, v, _ := protectedBus(t, nil,
+		map[string]transport.HandlerFunc{"inproc://a": gate.handler()},
+		VEPConfig{
+			Services: []string{"inproc://a"},
+			Protection: &policy.ProtectionPolicy{
+				Name:      "guard",
+				Admission: &policy.AdmissionSpec{MaxInFlight: 1, MaxQueue: 2},
+			},
+		})
+
+	req1, req2 := catalogReq(t), catalogReq(t)
+	done := make(chan error, 2)
+	go func() {
+		_, err := v.Invoke(context.Background(), "", req1)
+		done <- err
+	}()
+	<-gate.entered
+	go func() {
+		_, err := v.Invoke(context.Background(), "", req2)
+		done <- err
+	}()
+	waitQueued(t, v, 1)
+
+	// Finishing the first request must hand its slot to the waiter.
+	gate.release <- struct{}{}
+	select {
+	case <-gate.entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued request never reached the backend")
+	}
+	gate.release <- struct{}{}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("invocation failed: %v", err)
+		}
+	}
+	if n := gate.calls.Load(); n != 2 {
+		t.Fatalf("backend calls = %d, want 2", n)
+	}
+}
+
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a := newAdmission(&policy.AdmissionSpec{MaxInFlight: 1, MaxQueue: 1}, clock.New(), nil, nil)
+	if err := a.acquire(context.Background(), "v"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- a.acquire(ctx, "v") }()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, queued := a.depths(); queued == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	err := <-errc
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if errors.Is(err, transport.ErrOverloaded) {
+		t.Fatalf("cancellation misreported as shed: %v", err)
+	}
+	// The abandoned waiter must not leak the slot.
+	a.release()
+	if err := a.acquire(context.Background(), "v"); err != nil {
+		t.Fatalf("slot leaked after cancel: %v", err)
+	}
+}

@@ -1,0 +1,153 @@
+package bus
+
+import (
+	"sync"
+	"time"
+
+	"github.com/masc-project/masc/internal/clock"
+	"github.com/masc-project/masc/internal/policy"
+)
+
+// Breaker states, exported through metrics (gauge value) and the
+// management API (names).
+const (
+	breakerClosed   = 0
+	breakerHalfOpen = 1
+	breakerOpen     = 2
+)
+
+// breakerStateName names a state for the management API.
+func breakerStateName(s int) string {
+	switch s {
+	case breakerHalfOpen:
+		return "half-open"
+	case breakerOpen:
+		return "open"
+	default:
+		return "closed"
+	}
+}
+
+// breakerState is one backend's circuit.
+type breakerState struct {
+	state       int
+	consecutive int       // consecutive classified faults while closed
+	openUntil   time.Time // when open, the end of the cooldown
+	probing     bool      // a half-open probe is outstanding
+}
+
+// breakerGroup holds per-backend circuit breakers for one VEP: after
+// FailureThreshold consecutive classified faults a backend's breaker
+// opens and selection skips it *before* the next request pays a
+// timeout discovering the same outage; after the cooldown one
+// half-open probe decides whether it closes again. This moves the
+// paper's corrective reaction (adapt after a fault is classified) in
+// front of selection, so broken backends stop absorbing traffic.
+type breakerGroup struct {
+	vep       string
+	threshold int
+	cooldown  time.Duration
+	clk       clock.Clock
+	met       *busMetrics
+
+	mu sync.Mutex
+	m  map[string]*breakerState
+}
+
+func newBreakerGroup(vep string, spec *policy.BreakerSpec, clk clock.Clock, met *busMetrics) *breakerGroup {
+	return &breakerGroup{
+		vep:       vep,
+		threshold: spec.FailureThreshold,
+		cooldown:  spec.Cooldown,
+		clk:       clk,
+		met:       met,
+		m:         make(map[string]*breakerState),
+	}
+}
+
+func (g *breakerGroup) get(target string) *breakerState {
+	s := g.m[target]
+	if s == nil {
+		s = &breakerState{}
+		g.m[target] = s
+	}
+	return s
+}
+
+// selectable reports whether the target may receive traffic right now:
+// closed breakers always, open ones only once their cooldown has
+// elapsed and no probe is outstanding.
+func (g *breakerGroup) selectable(target string) bool {
+	now := g.clk.Now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := g.m[target]
+	switch {
+	case s == nil || s.state == breakerClosed:
+		return true
+	case s.state == breakerOpen:
+		return !now.Before(s.openUntil) && !s.probing
+	default: // half-open
+		return !s.probing
+	}
+}
+
+// markAttempt notes that the target is about to be attempted; an open
+// breaker past its cooldown transitions to half-open with this attempt
+// as its probe.
+func (g *breakerGroup) markAttempt(target string) {
+	now := g.clk.Now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := g.m[target]
+	if s == nil || s.state == breakerClosed {
+		return
+	}
+	if s.state == breakerOpen && !now.Before(s.openUntil) {
+		s.state = breakerHalfOpen
+		g.met.breakerState.With(g.vep, target).Set(breakerHalfOpen)
+	}
+	if s.state == breakerHalfOpen {
+		s.probing = true
+	}
+}
+
+// record feeds one classified attempt outcome into the target's
+// breaker.
+func (g *breakerGroup) record(target string, healthy bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := g.get(target)
+	s.probing = false
+	if healthy {
+		if s.state != breakerClosed {
+			g.met.breakerState.With(g.vep, target).Set(breakerClosed)
+		}
+		s.state = breakerClosed
+		s.consecutive = 0
+		return
+	}
+	s.consecutive++
+	// A failed half-open probe re-opens immediately; a closed breaker
+	// opens once the consecutive-fault threshold is reached.
+	if s.state == breakerHalfOpen || s.consecutive >= g.threshold {
+		if s.state != breakerOpen {
+			g.met.breakerTrips.With(g.vep, target).Inc()
+		}
+		s.state = breakerOpen
+		s.openUntil = g.clk.Now().Add(g.cooldown)
+		s.consecutive = 0
+		g.met.breakerState.With(g.vep, target).Set(breakerOpen)
+	}
+}
+
+// states snapshots every tracked backend's state name (management API).
+func (g *breakerGroup) states() map[string]string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]string, len(g.m))
+	for target, s := range g.m {
+		out[target] = breakerStateName(s.state)
+	}
+	return out
+}

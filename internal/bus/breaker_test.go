@@ -1,0 +1,130 @@
+package bus
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/masc-project/masc/internal/clock"
+	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/transport"
+)
+
+func breakerVEP(t *testing.T, fc clock.Clock, a, b *scriptedService) *VEP {
+	t.Helper()
+	_, v, _ := protectedBus(t, fc,
+		map[string]transport.HandlerFunc{
+			"inproc://a": a.handler(),
+			"inproc://b": b.handler(),
+		},
+		VEPConfig{
+			Services:  []string{"inproc://a", "inproc://b"},
+			Selection: policy.SelectFirst,
+			Protection: &policy.ProtectionPolicy{
+				Name: "guard",
+				Breaker: &policy.BreakerSpec{
+					FailureThreshold: 2,
+					Cooldown:         10 * time.Second,
+				},
+			},
+		})
+	return v
+}
+
+func TestBreakerOpensAndSkipsBackend(t *testing.T) {
+	fc := clock.NewFakeAtZero()
+	a := &scriptedService{failFor: 2} // heals after two failures
+	b := &scriptedService{}
+	v := breakerVEP(t, fc, a, b)
+
+	// Two consecutive classified faults trip the breaker (no adaptation
+	// policy is loaded, so the failures propagate to the caller).
+	for i := 0; i < 2; i++ {
+		if _, err := v.Invoke(context.Background(), "", catalogReq(t)); err == nil {
+			t.Fatalf("invocation %d unexpectedly healthy", i+1)
+		}
+	}
+	if got := v.BreakerStates()["inproc://a"]; got != "open" {
+		t.Fatalf("breaker state = %q, want open", got)
+	}
+
+	// While open, selection skips a entirely: the next request is served
+	// by b without paying a's failure first.
+	resp, err := v.Invoke(context.Background(), "", catalogReq(t))
+	if err != nil || resp.IsFault() {
+		t.Fatalf("resp = %v err = %v, want healthy from b", resp, err)
+	}
+	if a.count() != 2 || b.count() != 1 {
+		t.Fatalf("calls a=%d b=%d, want a=2 b=1", a.count(), b.count())
+	}
+
+	// After the cooldown the next request probes a (half-open); a is
+	// healthy again, so the breaker closes and a serves.
+	fc.Advance(11 * time.Second)
+	resp, err = v.Invoke(context.Background(), "", catalogReq(t))
+	if err != nil || resp.IsFault() {
+		t.Fatalf("probe invocation failed: %v %v", resp, err)
+	}
+	if a.count() != 3 {
+		t.Fatalf("a calls = %d, want 3 (probe)", a.count())
+	}
+	if got := v.BreakerStates()["inproc://a"]; got != "closed" {
+		t.Fatalf("breaker state = %q, want closed after probe", got)
+	}
+}
+
+func TestBreakerReopensOnFailedProbe(t *testing.T) {
+	fc := clock.NewFakeAtZero()
+	a := &scriptedService{failFor: 1000} // never heals
+	b := &scriptedService{}
+	v := breakerVEP(t, fc, a, b)
+
+	for i := 0; i < 2; i++ {
+		if _, err := v.Invoke(context.Background(), "", catalogReq(t)); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	fc.Advance(11 * time.Second)
+
+	// The probe fails, so the breaker re-opens immediately.
+	if _, err := v.Invoke(context.Background(), "", catalogReq(t)); err == nil {
+		t.Fatal("failed probe unexpectedly healthy")
+	}
+	if got := v.BreakerStates()["inproc://a"]; got != "open" {
+		t.Fatalf("breaker state = %q, want open after failed probe", got)
+	}
+
+	// Within the fresh cooldown traffic routes around a again.
+	resp, err := v.Invoke(context.Background(), "", catalogReq(t))
+	if err != nil || resp.IsFault() {
+		t.Fatalf("resp = %v err = %v, want healthy from b", resp, err)
+	}
+	if a.count() != 3 || b.count() != 1 {
+		t.Fatalf("calls a=%d b=%d, want a=3 b=1", a.count(), b.count())
+	}
+}
+
+func TestBreakerAllOpenFallsBackToFullSet(t *testing.T) {
+	fc := clock.NewFakeAtZero()
+	a := &scriptedService{failFor: 1000}
+	b := &scriptedService{failFor: 1000}
+	v := breakerVEP(t, fc, a, b)
+
+	// Trip both breakers.
+	for i := 0; i < 6; i++ {
+		_, _ = v.Invoke(context.Background(), "", catalogReq(t))
+	}
+	states := v.BreakerStates()
+	if states["inproc://a"] != "open" || states["inproc://b"] != "open" {
+		t.Fatalf("states = %v, want both open", states)
+	}
+
+	// With every breaker open the VEP degrades to the unfiltered set
+	// instead of reporting no services.
+	if _, err := v.Invoke(context.Background(), "", catalogReq(t)); err == nil {
+		t.Fatal("expected downstream failure, not success")
+	} else if errors.Is(err, transport.ErrEndpointNotFound) {
+		t.Fatalf("all-open breakers must not empty the service set: %v", err)
+	}
+}

@@ -218,6 +218,13 @@ func (b *Bus) CreateVEP(cfg VEPConfig) (*VEP, error) {
 		demoted:       make(map[string]time.Time),
 	}
 	v.services = append(v.services, cfg.Services...)
+	pp := cfg.Protection
+	if pp == nil {
+		pp = b.repo.ProtectionFor(v.Subject())
+	}
+	if pp != nil {
+		v.ApplyProtection(pp)
+	}
 
 	b.mu.Lock()
 	defer b.mu.Unlock()

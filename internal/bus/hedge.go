@@ -1,0 +1,133 @@
+package bus
+
+import (
+	"context"
+	"time"
+
+	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/telemetry"
+)
+
+// hedgeDelay derives the hedge trigger for a target from its tracked
+// QoS: AfterFactor × p95, floored at MinDelay. It reports false until
+// the target has enough successful samples for a trustworthy p95 —
+// hedging on cold statistics would double traffic for no reason.
+func (v *VEP) hedgeDelay(h *policy.HedgeSpec, target string) (time.Duration, bool) {
+	tracker := v.bus.tracker
+	if tracker == nil {
+		return 0, false
+	}
+	snap := tracker.Snapshot(target)
+	if snap.Invocations-snap.Failures < h.MinSamples || snap.P95Response <= 0 {
+		return 0, false
+	}
+	d := time.Duration(float64(snap.P95Response) * h.AfterFactor)
+	if d < h.MinDelay {
+		d = h.MinDelay
+	}
+	return d, true
+}
+
+// attemptHedged performs the primary attempt with hedging: if the
+// primary has not answered within its hedge delay, a second attempt is
+// launched against the next-ranked healthy backend and the first
+// healthy response wins ("making a copy of the message and modifying
+// its route, then invoking multiple target services using concurrent
+// invocation threads", §3.1(4) — applied preventively to tail latency
+// rather than correctively after a fault). When hedging is disabled,
+// unconfigurable, or there is no alternative backend, it degrades to a
+// plain single attempt against order[0].
+func (v *VEP) attemptHedged(ctx context.Context, order []string, req *soap.Envelope, op string) (*soap.Envelope, string, error) {
+	primary := order[0]
+	h := v.hedgeSpec()
+	if h == nil || len(order) < 2 {
+		resp, err := v.attempt(ctx, primary, req, op)
+		return resp, primary, err
+	}
+	delay, ok := v.hedgeDelay(h, primary)
+	if !ok {
+		resp, err := v.attempt(ctx, primary, req, op)
+		return resp, primary, err
+	}
+
+	backups := order[1:]
+	if len(backups) > h.MaxHedges {
+		backups = backups[:h.MaxHedges]
+	}
+
+	type result struct {
+		resp   *soap.Envelope
+		target string
+		err    error
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan result, 1+len(backups))
+	launch := func(target string) {
+		// Each attempt stamps addressing and trace headers, so it needs
+		// its own copy of the envelope.
+		clone := req.Clone()
+		addr := soap.ReadAddressing(clone)
+		addr.To = target
+		addr.Apply(clone)
+		go func() {
+			resp, err := v.attempt(cctx, target, clone, op)
+			results <- result{resp: resp, target: target, err: err}
+		}()
+	}
+
+	launch(primary)
+	outstanding := 1
+	timer := v.bus.clk.After(delay)
+	var primaryResult *result
+	for {
+		select {
+		case r := <-results:
+			outstanding--
+			if healthy(r.resp, r.err) {
+				if r.target != primary {
+					v.bus.met.hedges.With(v.name, "won").Inc()
+					telemetry.SpanFromContext(ctx).Annotate(
+						"hedge on %s won over %s", r.target, primary)
+				}
+				return r.resp, r.target, r.err
+			}
+			if r.target == primary {
+				primaryResult = &r
+			}
+			if outstanding == 0 && len(backups) == 0 {
+				// Everything launched has failed: surface the primary's
+				// failure so corrective adaptation targets the right
+				// backend (fall back to the last hedge failure when the
+				// primary somehow never reported).
+				if primaryResult != nil {
+					return primaryResult.resp, primaryResult.target, primaryResult.err
+				}
+				return r.resp, r.target, r.err
+			}
+			if outstanding == 0 {
+				// The primary failed fast, before the hedge delay
+				// elapsed: don't burn a hedge — return and let the
+				// corrective policies (retry, substitute) handle it.
+				return r.resp, r.target, r.err
+			}
+		case <-timer:
+			timer = nil
+			if len(backups) > 0 {
+				next := backups[0]
+				backups = backups[1:]
+				v.bus.met.hedges.With(v.name, "launched").Inc()
+				telemetry.SpanFromContext(ctx).Annotate(
+					"hedging %s after %v (p95 policy) with %s", primary, delay, next)
+				launch(next)
+				outstanding++
+				if len(backups) > 0 {
+					timer = v.bus.clk.After(delay)
+				}
+			}
+		case <-ctx.Done():
+			return nil, primary, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package bus
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/masc-project/masc/internal/clock"
+	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/transport"
+)
+
+func hedgeSpecForTest() *policy.HedgeSpec {
+	return &policy.HedgeSpec{AfterFactor: 1, MinSamples: 5, MaxHedges: 1}
+}
+
+// seedTracker gives target enough healthy samples for a trusted p95.
+func seedTracker(b *Bus, target string, rtt time.Duration, n int) {
+	for i := 0; i < n; i++ {
+		b.Tracker().Record(target, rtt, true)
+	}
+}
+
+func TestHedgeWinsOverStalledPrimary(t *testing.T) {
+	fc := clock.NewFakeAtZero()
+	gate := newGateService() // primary: stalls until released
+	backup := &scriptedService{}
+	b, v, _ := protectedBus(t, fc,
+		map[string]transport.HandlerFunc{
+			"inproc://a": gate.handler(),
+			"inproc://b": backup.handler(),
+		},
+		VEPConfig{
+			Services:   []string{"inproc://a", "inproc://b"},
+			Selection:  policy.SelectFirst,
+			Protection: &policy.ProtectionPolicy{Name: "guard", Hedge: hedgeSpecForTest()},
+		})
+	seedTracker(b, "inproc://a", 50*time.Millisecond, 10)
+	t.Cleanup(func() { close(gate.release) })
+
+	type result struct {
+		resp *soap.Envelope
+		err  error
+	}
+	got := make(chan result, 1)
+	req := catalogReq(t)
+	go func() {
+		resp, err := v.Invoke(context.Background(), "", req)
+		got <- result{resp, err}
+	}()
+	<-gate.entered // primary is stalled downstream
+
+	// Advance past the hedge delay (p95 = 50ms) until the backup's
+	// response wins.
+	var r result
+	deadline := time.After(2 * time.Second)
+poll:
+	for {
+		select {
+		case r = <-got:
+			break poll
+		case <-deadline:
+			t.Fatal("hedged invocation never completed")
+		default:
+			fc.Advance(60 * time.Millisecond)
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if r.err != nil || r.resp == nil || r.resp.IsFault() {
+		t.Fatalf("resp = %v err = %v, want healthy hedge response", r.resp, r.err)
+	}
+	if backup.count() != 1 {
+		t.Fatalf("backup calls = %d, want 1", backup.count())
+	}
+	if gate.calls.Load() != 1 {
+		t.Fatalf("primary calls = %d, want 1", gate.calls.Load())
+	}
+}
+
+func TestHedgeNotLaunchedForFastPrimary(t *testing.T) {
+	fc := clock.NewFakeAtZero()
+	primary := &scriptedService{}
+	backup := &scriptedService{}
+	b, v, _ := protectedBus(t, fc,
+		map[string]transport.HandlerFunc{
+			"inproc://a": primary.handler(),
+			"inproc://b": backup.handler(),
+		},
+		VEPConfig{
+			Services:   []string{"inproc://a", "inproc://b"},
+			Selection:  policy.SelectFirst,
+			Protection: &policy.ProtectionPolicy{Name: "guard", Hedge: hedgeSpecForTest()},
+		})
+	seedTracker(b, "inproc://a", 50*time.Millisecond, 10)
+
+	resp, err := v.Invoke(context.Background(), "", catalogReq(t))
+	if err != nil || resp.IsFault() {
+		t.Fatalf("resp = %v err = %v", resp, err)
+	}
+	if primary.count() != 1 || backup.count() != 0 {
+		t.Fatalf("calls primary=%d backup=%d, want 1/0", primary.count(), backup.count())
+	}
+}
+
+func TestHedgeDelayRequiresWarmStatistics(t *testing.T) {
+	b, v, _ := protectedBus(t, nil,
+		map[string]transport.HandlerFunc{"inproc://a": (&scriptedService{}).handler()},
+		VEPConfig{
+			Services:   []string{"inproc://a"},
+			Protection: &policy.ProtectionPolicy{Name: "guard", Hedge: hedgeSpecForTest()},
+		})
+	h := v.hedgeSpec()
+	if h == nil {
+		t.Fatal("hedge spec not applied")
+	}
+	if _, ok := v.hedgeDelay(h, "inproc://a"); ok {
+		t.Fatal("cold target must not be hedged")
+	}
+	seedTracker(b, "inproc://a", 40*time.Millisecond, 10)
+	d, ok := v.hedgeDelay(h, "inproc://a")
+	if !ok || d <= 0 {
+		t.Fatalf("delay = %v ok = %v, want positive delay", d, ok)
+	}
+	// MinDelay floors the trigger.
+	h2 := &policy.HedgeSpec{AfterFactor: 1, MinSamples: 5, MinDelay: time.Second, MaxHedges: 1}
+	if d2, ok := v.hedgeDelay(h2, "inproc://a"); !ok || d2 != time.Second {
+		t.Fatalf("delay = %v ok = %v, want MinDelay floor of 1s", d2, ok)
+	}
+}
+
+func TestHedgeFastFailingPrimaryReturnsForCorrection(t *testing.T) {
+	// A primary that fails before the hedge delay must surface its
+	// failure (for the corrective policies) rather than burn a hedge.
+	fc := clock.NewFakeAtZero()
+	primary := &scriptedService{failFor: 1000}
+	backup := &scriptedService{}
+	b, v, _ := protectedBus(t, fc,
+		map[string]transport.HandlerFunc{
+			"inproc://a": primary.handler(),
+			"inproc://b": backup.handler(),
+		},
+		VEPConfig{
+			Services:   []string{"inproc://a", "inproc://b"},
+			Selection:  policy.SelectFirst,
+			Protection: &policy.ProtectionPolicy{Name: "guard", Hedge: hedgeSpecForTest()},
+		})
+	seedTracker(b, "inproc://a", 50*time.Millisecond, 10)
+
+	if _, err := v.Invoke(context.Background(), "", catalogReq(t)); err == nil {
+		t.Fatal("expected the primary's failure to propagate")
+	}
+	if backup.count() != 0 {
+		t.Fatalf("backup calls = %d, want 0 (no hedge for fast failure)", backup.count())
+	}
+	_ = b
+}

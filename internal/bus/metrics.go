@@ -36,6 +36,19 @@ type busMetrics struct {
 	selections *telemetry.CounterVec
 	// demotions counts preventive target demotions.
 	demotions *telemetry.CounterVec
+	// shed counts requests refused by admission control, by reason.
+	shed *telemetry.CounterVec
+	// queueDepth tracks the admission wait-queue depth per VEP.
+	queueDepth *telemetry.GaugeVec
+	// admitted tracks admitted in-flight mediations per VEP.
+	admitted *telemetry.GaugeVec
+	// breakerState tracks each backend's circuit state
+	// (0 closed, 1 half-open, 2 open).
+	breakerState *telemetry.GaugeVec
+	// breakerTrips counts closed/half-open -> open transitions.
+	breakerTrips *telemetry.CounterVec
+	// hedges counts hedged attempts (launched) and hedge wins (won).
+	hedges *telemetry.CounterVec
 }
 
 func newBusMetrics(r *telemetry.Registry) busMetrics {
@@ -66,5 +79,17 @@ func newBusMetrics(r *telemetry.Registry) busMetrics {
 			"First-ranked target per selection decision.", "vep", "strategy", "target"),
 		demotions: r.Counter("masc_vep_demotions_total",
 			"Preventive target demotions.", "vep", "target"),
+		shed: r.Counter("masc_vep_shed_total",
+			"Requests shed by admission control (queue full, queue timeout).", "vep", "reason"),
+		queueDepth: r.Gauge("masc_vep_admission_queue_depth",
+			"Requests waiting for an admission slot.", "vep"),
+		admitted: r.Gauge("masc_vep_admission_in_flight",
+			"Admitted in-flight mediations.", "vep"),
+		breakerState: r.Gauge("masc_vep_breaker_state",
+			"Per-backend circuit state (0 closed, 1 half-open, 2 open).", "vep", "target"),
+		breakerTrips: r.Counter("masc_vep_breaker_trips_total",
+			"Circuit-breaker open transitions.", "vep", "target"),
+		hedges: r.Counter("masc_vep_hedges_total",
+			"Hedged invocations by outcome (launched, won).", "vep", "outcome"),
 	}
 }

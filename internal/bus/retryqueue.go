@@ -24,18 +24,58 @@ type DeadLetter struct {
 	Time     time.Time
 }
 
-// DeadLetterQueue retains dead letters for inspection. It is safe for
+// DefaultDLQCapacity bounds a DeadLetterQueue built without an
+// explicit capacity. An unbounded dead-letter queue is a slow memory
+// leak under sustained failure — exactly the overload condition the
+// rest of the middleware defends against.
+const DefaultDLQCapacity = 1024
+
+// DeadLetterQueue retains the most recent dead letters for inspection,
+// dropping the oldest once its capacity is reached. It is safe for
 // concurrent use.
 type DeadLetterQueue struct {
 	mu      sync.Mutex
+	cap     int
+	dropped uint64
 	letters []DeadLetter
+
+	// droppedCounter is a nil-safe telemetry handle.
+	droppedCounter *telemetry.Counter
 }
 
-// Add appends a dead letter.
+// NewDeadLetterQueue builds a queue holding at most capacity letters;
+// capacity 0 means DefaultDLQCapacity, negative means unbounded.
+func NewDeadLetterQueue(capacity int) *DeadLetterQueue {
+	if capacity == 0 {
+		capacity = DefaultDLQCapacity
+	}
+	return &DeadLetterQueue{cap: capacity}
+}
+
+// Add appends a dead letter, evicting the oldest when full. The zero
+// DeadLetterQueue is usable and capped at DefaultDLQCapacity.
 func (q *DeadLetterQueue) Add(d DeadLetter) {
 	q.mu.Lock()
+	limit := q.cap
+	if limit == 0 {
+		limit = DefaultDLQCapacity
+	}
+	if limit > 0 && len(q.letters) >= limit {
+		drop := len(q.letters) - limit + 1
+		q.letters = append(q.letters[:0], q.letters[drop:]...)
+		q.dropped += uint64(drop)
+		q.droppedCounter.Add(uint64(drop))
+	}
 	q.letters = append(q.letters, d)
 	q.mu.Unlock()
+}
+
+// Dropped reports how many dead letters were evicted to stay within
+// the capacity bound.
+func (q *DeadLetterQueue) Dropped() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dropped
 }
 
 // Letters returns a copy of the queue contents.
@@ -98,6 +138,9 @@ type RetryQueueConfig struct {
 	Policy policy.RetryAction
 	// DLQ receives abandoned messages (one is created if nil).
 	DLQ *DeadLetterQueue
+	// DLQCapacity bounds the created DLQ when DLQ is nil: 0 means
+	// DefaultDLQCapacity, negative means unbounded.
+	DLQCapacity int
 	// PollInterval is the queue reader's wakeup period (defaults to
 	// 10ms; with a fake clock, advance in multiples of it).
 	PollInterval time.Duration
@@ -120,7 +163,7 @@ func NewRetryQueue(cfg RetryQueueConfig) *RetryQueue {
 		q.clk = clock.New()
 	}
 	if q.dlq == nil {
-		q.dlq = &DeadLetterQueue{}
+		q.dlq = NewDeadLetterQueue(cfg.DLQCapacity)
 	}
 	if q.pollTick <= 0 {
 		q.pollTick = 10 * time.Millisecond
@@ -129,6 +172,12 @@ func NewRetryQueue(cfg RetryQueueConfig) *RetryQueue {
 		"Messages awaiting (re)delivery in the retry queue.").With()
 	q.deliveries = cfg.Metrics.Counter("masc_retryqueue_deliveries_total",
 		"Retry-queue delivery outcomes (delivered, requeued, dead).", "outcome")
+	q.dlq.mu.Lock()
+	if q.dlq.droppedCounter == nil {
+		q.dlq.droppedCounter = cfg.Metrics.Counter("masc_dlq_dropped_total",
+			"Dead letters evicted to respect the DLQ capacity bound.").With()
+	}
+	q.dlq.mu.Unlock()
 	go q.reader()
 	return q
 }

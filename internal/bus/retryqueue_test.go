@@ -3,6 +3,7 @@ package bus
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -213,5 +214,43 @@ func TestBusRetryQueueIntegration(t *testing.T) {
 	}
 	if svc.count() != 2 {
 		t.Fatalf("calls = %d", svc.count())
+	}
+}
+
+func TestDeadLetterQueueBounded(t *testing.T) {
+	q := NewDeadLetterQueue(3)
+	for i := 0; i < 5; i++ {
+		q.Add(DeadLetter{Endpoint: fmt.Sprintf("inproc://%d", i)})
+	}
+	if q.Len() != 3 {
+		t.Fatalf("len = %d, want capacity 3", q.Len())
+	}
+	if q.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", q.Dropped())
+	}
+	letters := q.Letters()
+	// Drop-oldest: the three most recent survive.
+	for i, want := range []string{"inproc://2", "inproc://3", "inproc://4"} {
+		if letters[i].Endpoint != want {
+			t.Fatalf("letters[%d] = %q, want %q", i, letters[i].Endpoint, want)
+		}
+	}
+
+	// The zero value is capped at the default, not unbounded.
+	var z DeadLetterQueue
+	for i := 0; i < DefaultDLQCapacity+10; i++ {
+		z.Add(DeadLetter{})
+	}
+	if z.Len() != DefaultDLQCapacity {
+		t.Fatalf("zero-value len = %d, want %d", z.Len(), DefaultDLQCapacity)
+	}
+
+	// Negative capacity keeps the old unbounded behaviour.
+	u := NewDeadLetterQueue(-1)
+	for i := 0; i < DefaultDLQCapacity+10; i++ {
+		u.Add(DeadLetter{})
+	}
+	if u.Len() != DefaultDLQCapacity+10 || u.Dropped() != 0 {
+		t.Fatalf("unbounded len = %d dropped = %d", u.Len(), u.Dropped())
 	}
 }

@@ -2,6 +2,7 @@ package bus
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -42,6 +43,11 @@ type VEPConfig struct {
 	// DemotionPeriod is how long a target stays avoided after a
 	// preventive SLA-violation adaptation demotes it (default 30s).
 	DemotionPeriod time.Duration
+	// Protection explicitly configures overload protection (admission
+	// control, circuit breakers, hedging). When nil, CreateVEP applies
+	// the first ProtectionPolicy scoped to the VEP's subject from the
+	// bus's policy repository.
+	Protection *policy.ProtectionPolicy
 }
 
 // VEP is a Virtual End Point: "a VEP allows virtualization by grouping
@@ -58,9 +64,13 @@ type VEP struct {
 	invokeTimeout time.Duration
 	pipeline      Pipeline
 
-	mu       sync.RWMutex
-	services []string
-	demoted  map[string]time.Time // target -> avoid until
+	mu         sync.RWMutex
+	services   []string
+	demoted    map[string]time.Time // target -> avoid until
+	protection *policy.ProtectionPolicy
+	adm        *admission
+	breakers   *breakerGroup
+	hedge      *policy.HedgeSpec
 }
 
 var _ transport.Invoker = (*VEP)(nil)
@@ -115,24 +125,114 @@ func (v *VEP) Services() []string {
 	return out
 }
 
-// activeServices filters out currently demoted targets unless that
-// would leave none.
+// activeServices filters out currently demoted targets and targets
+// whose circuit breaker is open, unless that would leave none — with
+// every target demoted or broken the full set is served so probes keep
+// flowing and the VEP degrades to its pre-protection behaviour instead
+// of failing outright.
 func (v *VEP) activeServices() []string {
 	now := v.bus.clk.Now()
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.mu.RLock()
+	all := make([]string, len(v.services))
+	copy(all, v.services)
+	demotedUntil := make(map[string]time.Time, len(v.demoted))
+	for t, until := range v.demoted {
+		demotedUntil[t] = until
+	}
+	brk := v.breakers
+	v.mu.RUnlock()
+
 	var active []string
-	for _, s := range v.services {
-		if until, bad := v.demoted[s]; bad && now.Before(until) {
+	for _, s := range all {
+		if until, bad := demotedUntil[s]; bad && now.Before(until) {
+			continue
+		}
+		if brk != nil && !brk.selectable(s) {
 			continue
 		}
 		active = append(active, s)
 	}
 	if len(active) == 0 {
-		active = make([]string, len(v.services))
-		copy(active, v.services)
+		active = all
 	}
 	return active
+}
+
+// admission returns the VEP's admission controller (nil when overload
+// protection is not configured).
+func (v *VEP) admission() *admission {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.adm
+}
+
+// breakerGroup returns the VEP's circuit breakers (may be nil).
+func (v *VEP) breakerGroup() *breakerGroup {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.breakers
+}
+
+// hedgeSpec returns the VEP's hedging configuration (may be nil).
+func (v *VEP) hedgeSpec() *policy.HedgeSpec {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.hedge
+}
+
+// Protection returns the protection policy currently applied to this
+// VEP (nil when none).
+func (v *VEP) Protection() *policy.ProtectionPolicy {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.protection
+}
+
+// ApplyProtection (re)configures the VEP's overload protection —
+// admission control, per-backend circuit breakers, and hedging — from
+// a protection policy. Nil removes all protection. In-flight requests
+// admitted under the previous controller complete against it.
+func (v *VEP) ApplyProtection(pp *policy.ProtectionPolicy) {
+	var adm *admission
+	var brk *breakerGroup
+	var hedge *policy.HedgeSpec
+	if pp != nil {
+		if pp.Admission != nil {
+			adm = newAdmission(pp.Admission, v.bus.clk,
+				v.bus.met.queueDepth.With(v.name), v.bus.met.admitted.With(v.name))
+		}
+		if pp.Breaker != nil {
+			brk = newBreakerGroup(v.name, pp.Breaker, v.bus.clk, &v.bus.met)
+		}
+		hedge = pp.Hedge
+	}
+	v.mu.Lock()
+	v.protection = pp
+	v.adm = adm
+	v.breakers = brk
+	v.hedge = hedge
+	v.mu.Unlock()
+}
+
+// BreakerStates reports the circuit state name ("closed", "half-open",
+// "open") per backend that has been attempted while a breaker was
+// configured. Nil when no breaker is configured.
+func (v *VEP) BreakerStates() map[string]string {
+	if brk := v.breakerGroup(); brk != nil {
+		return brk.states()
+	}
+	return nil
+}
+
+// AdmissionDepths reports the in-flight and queued request counts; ok
+// is false when no admission controller is configured.
+func (v *VEP) AdmissionDepths() (inFlight, queued int, ok bool) {
+	adm := v.admission()
+	if adm == nil {
+		return 0, 0, false
+	}
+	inFlight, queued = adm.depths()
+	return inFlight, queued, true
 }
 
 // Demote preventively avoids a target for the demotion period — the
@@ -194,7 +294,7 @@ func (v *VEP) Invoke(ctx context.Context, _ string, req *soap.Envelope) (*soap.E
 
 	clk := v.bus.clk
 	start := clk.Now()
-	resp, target, err := v.invoke(ctx, op, req)
+	resp, target, err := v.mediate(ctx, op, req)
 	dur := clk.Since(start)
 	v.bus.met.latency.With(v.name).Observe(dur.Seconds())
 	outcome := "ok"
@@ -208,6 +308,33 @@ func (v *VEP) Invoke(ctx context.Context, _ string, req *soap.Envelope) (*soap.E
 	v.journalExchange(span, conv, op, target, outcome, dur, ex.attempts.Load(), req, resp, err)
 	span.EndErr(err)
 	return resp, err
+}
+
+// mediate gates the mediation path behind admission control. A shed
+// request is refused up front as a ServerBusy SOAP fault — classified
+// and audited by monitoring like any other invocation fault — without
+// consuming a selection or a backend attempt.
+func (v *VEP) mediate(ctx context.Context, op string, req *soap.Envelope) (*soap.Envelope, string, error) {
+	adm := v.admission()
+	if adm == nil {
+		return v.invoke(ctx, op, req)
+	}
+	if aerr := adm.acquire(ctx, v.name); aerr != nil {
+		if !errors.Is(aerr, transport.ErrOverloaded) {
+			// The caller went away while queued — not a shed.
+			return nil, "", aerr
+		}
+		reason := shedReason(aerr)
+		v.bus.met.shed.With(v.name, reason).Inc()
+		telemetry.SpanFromContext(ctx).Annotate("admission shed (%s)", reason)
+		if mon := v.bus.monitor; mon != nil {
+			mon.ReportInvocationFault(v.Subject(), op, "", req, aerr)
+		}
+		v.bus.met.faults.With(v.name, monitor.FaultServerBusy).Inc()
+		return soap.NewFaultEnvelope(soap.FaultServer, "ServerBusy: "+aerr.Error()), "", nil
+	}
+	defer adm.release()
+	return v.invoke(ctx, op, req)
 }
 
 // invoke is the uninstrumented mediation path. It returns the serving
@@ -232,9 +359,8 @@ func (v *VEP) invoke(ctx context.Context, op string, req *soap.Envelope) (*soap.
 	if len(order) == 0 {
 		return nil, "", fmt.Errorf("%w: VEP %s has no registered services", transport.ErrEndpointNotFound, v.name)
 	}
-	target := order[0]
-	v.bus.met.selections.With(v.name, string(v.selKind()), target).Inc()
-	resp, err := v.attempt(ctx, target, req, op)
+	v.bus.met.selections.With(v.name, string(v.selKind()), order[0]).Inc()
+	resp, target, err := v.attemptHedged(ctx, order, req, op)
 
 	adapted := false
 	if !healthy(resp, err) {
@@ -319,10 +445,18 @@ func (v *VEP) attempt(ctx context.Context, target string, req *soap.Envelope, op
 	}
 	clk := v.bus.clk
 	start := clk.Now()
+	brk := v.breakerGroup()
+	if brk != nil {
+		brk.markAttempt(target)
+	}
 	resp, err := v.bus.downstream.Invoke(actx, target, req)
 	dur := clk.Since(start)
+	ok := healthy(resp, err)
+	if brk != nil {
+		brk.record(target, ok)
+	}
 	if v.bus.tracker != nil {
-		v.bus.tracker.Record(target, dur, healthy(resp, err))
+		v.bus.tracker.Record(target, dur, ok)
 	}
 	outcome := "ok"
 	switch {

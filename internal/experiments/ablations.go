@@ -204,18 +204,33 @@ func RunReparseAblation(cfg Table1Config) ([]ReparsePoint, error) {
 	if _, err := objRepo.LoadXML(failoverOnly); err != nil {
 		return nil, err
 	}
-	objPoint, err := run("object-repository", bus.WithPolicyRepository(objRepo))
-	if err != nil {
-		return nil, err
-	}
 
-	reparsePoint, err := run("reparse-per-decision", bus.WithPolicySource(func() *policy.Repository {
-		r := policy.NewRepository()
-		_, _ = r.LoadXML(failoverOnly)
-		return r
-	}))
-	if err != nil {
-		return nil, err
+	// Alternate the arms over several rounds and keep each arm's best
+	// mean: a contention spike (CPU steal, GC) then penalizes one round,
+	// not a whole arm, so the reported difference is the systematic
+	// re-parse cost rather than scheduling noise.
+	const rounds = 3
+	objPoint := ReparsePoint{Mode: "object-repository"}
+	reparsePoint := ReparsePoint{Mode: "reparse-per-decision"}
+	for i := 0; i < rounds; i++ {
+		op, err := run("object-repository", bus.WithPolicyRepository(objRepo))
+		if err != nil {
+			return nil, err
+		}
+		rp, err := run("reparse-per-decision", bus.WithPolicySource(func() *policy.Repository {
+			r := policy.NewRepository()
+			_, _ = r.LoadXML(failoverOnly)
+			return r
+		}))
+		if err != nil {
+			return nil, err
+		}
+		if objPoint.MeanRTT == 0 || op.MeanRTT < objPoint.MeanRTT {
+			objPoint.MeanRTT = op.MeanRTT
+		}
+		if reparsePoint.MeanRTT == 0 || rp.MeanRTT < reparsePoint.MeanRTT {
+			reparsePoint.MeanRTT = rp.MeanRTT
+		}
 	}
 	return []ReparsePoint{objPoint, reparsePoint}, nil
 }

@@ -35,7 +35,7 @@ func TestReparseAblationShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation")
 	}
-	points, err := RunReparseAblation(Table1Config{Requests: 600, Seed: 7})
+	points, err := RunReparseAblation(Table1Config{Requests: 2500, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}

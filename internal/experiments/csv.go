@@ -53,6 +53,32 @@ func WriteFigure5CSV(w io.Writer, points []Figure5Point) error {
 	return cw.Error()
 }
 
+// WriteHedgeCSV emits the hedging comparison as CSV.
+func WriteHedgeCSV(w io.Writer, points []HedgePoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"mode", "requests", "failures", "mean_us", "p50_us", "p95_us", "p99_us", "hedges_launched", "hedges_won"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{
+			p.Mode,
+			strconv.Itoa(p.Requests),
+			strconv.Itoa(p.Failures),
+			strconv.FormatInt(p.Mean.Microseconds(), 10),
+			strconv.FormatInt(p.P50.Microseconds(), 10),
+			strconv.FormatInt(p.P95.Microseconds(), 10),
+			strconv.FormatInt(p.P99.Microseconds(), 10),
+			strconv.FormatUint(p.HedgesLaunched, 10),
+			strconv.FormatUint(p.HedgesWon, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteThroughputCSV emits the throughput sweep as CSV.
 func WriteThroughputCSV(w io.Writer, points []ThroughputPoint) error {
 	cw := csv.NewWriter(w)

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHedgeComparisonShape asserts the hedging experiment's qualitative
+// result: with slow outliers injected, the hedged VEP launches hedges,
+// some of them win, and the client-observed p99 improves over the
+// unhedged baseline.
+func TestHedgeComparisonShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tail-latency run")
+	}
+	points, err := RunHedgeComparison(HedgeConfig{Requests: 2000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	unhedged, hedged := points[0], points[1]
+	if unhedged.Mode != "unhedged" || hedged.Mode != "hedged" {
+		t.Fatalf("modes = %q, %q", unhedged.Mode, hedged.Mode)
+	}
+	if unhedged.HedgesLaunched != 0 {
+		t.Errorf("unhedged mode launched %d hedges", unhedged.HedgesLaunched)
+	}
+	if hedged.HedgesLaunched == 0 || hedged.HedgesWon == 0 {
+		t.Errorf("hedged mode launched = %d won = %d, want both > 0",
+			hedged.HedgesLaunched, hedged.HedgesWon)
+	}
+	if raceEnabled {
+		// The race detector multiplies the hedged mode's extra
+		// concurrency cost ~10x, drowning the tail-latency win; only
+		// the counters are meaningful there.
+		t.Logf("race build: skipping p99 comparison (hedged %v vs unhedged %v)",
+			hedged.P99, unhedged.P99)
+	} else if hedged.P99 >= unhedged.P99 {
+		t.Errorf("hedged p99 = %v, want below unhedged p99 = %v", hedged.P99, unhedged.P99)
+	}
+
+	out := FormatHedge(points)
+	for _, want := range []string{"unhedged", "hedged", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatHedge output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/masc-project/masc/internal/clock"
@@ -30,6 +31,10 @@ const (
 	FaultSLAViolation       = "SLAViolationFault"
 	FaultServiceFailure     = "ServiceFailureFault"
 	FaultTimeout            = "TimeoutFault"
+	// FaultServerBusy classifies load shed by wsBus admission control:
+	// the middleware itself refused the request before any backend was
+	// attempted, so retrying elsewhere is pointless until load drops.
+	FaultServerBusy = "ServerBusyFault"
 )
 
 // ClassifyError maps an invocation error to a fault type.
@@ -39,6 +44,8 @@ func ClassifyError(err error) string {
 		return ""
 	case errors.Is(err, transport.ErrTimeout):
 		return FaultTimeout
+	case errors.Is(err, transport.ErrOverloaded):
+		return FaultServerBusy
 	case errors.Is(err, transport.ErrUnavailable),
 		errors.Is(err, transport.ErrEndpointNotFound):
 		return FaultServiceUnavailable
@@ -61,6 +68,11 @@ func ClassifyResponse(env *soap.Envelope) string {
 }
 
 func classifyFault(f *soap.Fault) string {
+	// A MASC intermediary downstream signals load shedding with a
+	// "ServerBusy:" fault string; keep the classification across hops.
+	if strings.HasPrefix(f.String, "ServerBusy") {
+		return FaultServerBusy
+	}
 	if f.Code == soap.FaultServer {
 		return FaultServiceFailure
 	}

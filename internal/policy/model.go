@@ -28,7 +28,7 @@ import (
 const Namespace = "urn:masc:ws-policy4masc"
 
 // Document is a parsed WS-Policy4MASC file: a named collection of
-// monitoring and adaptation policies.
+// monitoring, adaptation, and protection policies.
 type Document struct {
 	// Name identifies the document (unique within a repository).
 	Name string
@@ -36,6 +36,8 @@ type Document struct {
 	Monitoring []*MonitoringPolicy
 	// Adaptation lists the adaptation policies in document order.
 	Adaptation []*AdaptationPolicy
+	// Protection lists the protection policies in document order.
+	Protection []*ProtectionPolicy
 }
 
 // Scope attaches a policy to its subject, the WS-PolicyAttachment
@@ -122,6 +124,75 @@ type QoSThreshold struct {
 	MinSamples int
 	// FaultType is raised on violation; defaults to "SLAViolationFault".
 	FaultType string
+}
+
+// ProtectionPolicy configures wsBus self-protection for its subject
+// VEP — the resource-level preventive adaptation the paper leaves as
+// future work (§3.2 notes the Java listener "does not scale well with
+// high number of requests"). Unlike adaptation policies, which react
+// to classified faults, protection policies shape how the VEP admits
+// and dispatches load *before* anything fails: admission control sheds
+// excess requests, the circuit breaker skips backends that keep
+// faulting, and hedging races a second backend when the first one
+// stalls past its measured p95.
+type ProtectionPolicy struct {
+	Name string
+	Scope
+	// Admission bounds concurrent work per VEP (nil = unlimited).
+	Admission *AdmissionSpec
+	// Breaker opens per-backend circuit breakers (nil = disabled).
+	Breaker *BreakerSpec
+	// Hedge enables latency-triggered hedged invocation (nil =
+	// disabled).
+	Hedge *HedgeSpec
+}
+
+// AdmissionSpec bounds a VEP's concurrent work: at most MaxInFlight
+// requests mediate at once, at most MaxQueue more wait for a slot, and
+// everything beyond that is shed immediately as a ServerBusy fault.
+type AdmissionSpec struct {
+	// MaxInFlight is the in-flight mediation limit (> 0).
+	MaxInFlight int
+	// MaxQueue bounds the wait queue; 0 sheds as soon as MaxInFlight
+	// is reached.
+	MaxQueue int
+	// QueueTimeout sheds a queued request that has not obtained a slot
+	// within this interval (0 = wait as long as the caller's context
+	// allows).
+	QueueTimeout time.Duration
+}
+
+// BreakerSpec configures per-backend circuit breakers: after
+// FailureThreshold consecutive classified faults the backend is
+// skipped by selection for Cooldown, then a single half-open probe
+// decides whether it closes again.
+type BreakerSpec struct {
+	// FailureThreshold is the consecutive-fault count that opens the
+	// breaker (> 0).
+	FailureThreshold int
+	// Cooldown is how long an open breaker blocks the backend before
+	// allowing a half-open probe.
+	Cooldown time.Duration
+}
+
+// HedgeSpec configures hedged invocation: when a request's first
+// attempt has run longer than AfterFactor × the backend's tracked p95
+// response time, a second attempt is launched against the next-ranked
+// healthy backend and the first healthy response wins — the paper's
+// concurrent-invocation corrective action generalized into a
+// preventive tail-latency policy.
+type HedgeSpec struct {
+	// AfterFactor scales the tracked p95 into the hedge delay
+	// (default 1.0).
+	AfterFactor float64
+	// MinSamples is how many successful observations a backend needs
+	// before its p95 is trusted for hedging (default 10).
+	MinSamples int
+	// MinDelay is a lower bound on the hedge delay, so cold or very
+	// fast backends don't hedge on every request.
+	MinDelay time.Duration
+	// MaxHedges bounds extra attempts per request (default 1).
+	MaxHedges int
 }
 
 // AdaptationKind is the paper's third classification dimension: why

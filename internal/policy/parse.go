@@ -65,6 +65,12 @@ func FromXML(root *xmltree.Element) (*Document, error) {
 				return nil, fmt.Errorf("%w: document %q: %v", ErrParse, doc.Name, err)
 			}
 			doc.Adaptation = append(doc.Adaptation, ap)
+		case "ProtectionPolicy":
+			pp, err := parseProtection(child)
+			if err != nil {
+				return nil, fmt.Errorf("%w: document %q: %v", ErrParse, doc.Name, err)
+			}
+			doc.Protection = append(doc.Protection, pp)
 		default:
 			return nil, fmt.Errorf("%w: document %q: unknown element %q", ErrParse, doc.Name, child.Name.Local)
 		}
@@ -283,6 +289,108 @@ func inferLayer(actions []Action) Layer {
 	default:
 		return LayerMessaging
 	}
+}
+
+func parseProtection(e *xmltree.Element) (*ProtectionPolicy, error) {
+	pp := &ProtectionPolicy{
+		Name:  e.AttrValue("", "name"),
+		Scope: parseScope(e),
+	}
+	if pp.Name == "" {
+		return nil, errors.New("ProtectionPolicy lacks name attribute")
+	}
+	for _, child := range e.Children {
+		switch child.Name.Local {
+		case "Admission":
+			a := &AdmissionSpec{}
+			var err error
+			if a.MaxInFlight, err = parseIntAttr(child, "maxInFlight", 0); err != nil {
+				return nil, fmt.Errorf("policy %q: Admission: %v", pp.Name, err)
+			}
+			if a.MaxInFlight <= 0 {
+				return nil, fmt.Errorf("policy %q: Admission needs maxInFlight > 0", pp.Name)
+			}
+			if a.MaxQueue, err = parseIntAttr(child, "maxQueue", 0); err != nil {
+				return nil, fmt.Errorf("policy %q: Admission: %v", pp.Name, err)
+			}
+			if a.QueueTimeout, err = parseDurationAttr(child, "queueTimeout", 0); err != nil {
+				return nil, fmt.Errorf("policy %q: Admission: %v", pp.Name, err)
+			}
+			pp.Admission = a
+		case "CircuitBreaker":
+			b := &BreakerSpec{}
+			var err error
+			if b.FailureThreshold, err = parseIntAttr(child, "failureThreshold", 0); err != nil {
+				return nil, fmt.Errorf("policy %q: CircuitBreaker: %v", pp.Name, err)
+			}
+			if b.FailureThreshold <= 0 {
+				return nil, fmt.Errorf("policy %q: CircuitBreaker needs failureThreshold > 0", pp.Name)
+			}
+			if b.Cooldown, err = parseDurationAttr(child, "cooldown", 0); err != nil {
+				return nil, fmt.Errorf("policy %q: CircuitBreaker: %v", pp.Name, err)
+			}
+			if b.Cooldown <= 0 {
+				return nil, fmt.Errorf("policy %q: CircuitBreaker needs cooldown > 0", pp.Name)
+			}
+			pp.Breaker = b
+		case "Hedge":
+			h := &HedgeSpec{AfterFactor: 1, MinSamples: 10, MaxHedges: 1}
+			if raw := child.AttrValue("", "afterFactor"); raw != "" {
+				f, err := strconv.ParseFloat(raw, 64)
+				if err != nil || f <= 0 {
+					return nil, fmt.Errorf("policy %q: Hedge: afterFactor must be > 0, got %q", pp.Name, raw)
+				}
+				h.AfterFactor = f
+			}
+			var err error
+			if h.MinSamples, err = parseIntAttr(child, "minSamples", h.MinSamples); err != nil {
+				return nil, fmt.Errorf("policy %q: Hedge: %v", pp.Name, err)
+			}
+			if h.MinDelay, err = parseDurationAttr(child, "minDelay", 0); err != nil {
+				return nil, fmt.Errorf("policy %q: Hedge: %v", pp.Name, err)
+			}
+			if h.MaxHedges, err = parseIntAttr(child, "maxHedges", h.MaxHedges); err != nil {
+				return nil, fmt.Errorf("policy %q: Hedge: %v", pp.Name, err)
+			}
+			if h.MaxHedges <= 0 {
+				return nil, fmt.Errorf("policy %q: Hedge needs maxHedges > 0", pp.Name)
+			}
+			pp.Hedge = h
+		default:
+			return nil, fmt.Errorf("policy %q: unknown element %q", pp.Name, child.Name.Local)
+		}
+	}
+	if pp.Admission == nil && pp.Breaker == nil && pp.Hedge == nil {
+		return nil, fmt.Errorf("policy %q: protection policy protects nothing", pp.Name)
+	}
+	return pp, nil
+}
+
+// parseIntAttr reads a non-negative integer attribute with a default.
+func parseIntAttr(e *xmltree.Element, name string, def int) (int, error) {
+	raw := e.AttrValue("", name)
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad %s attribute %q", name, raw)
+	}
+	return n, nil
+}
+
+// parseDurationAttr reads a non-negative duration attribute with a
+// default.
+func parseDurationAttr(e *xmltree.Element, name string, def time.Duration) (time.Duration, error) {
+	raw := e.AttrValue("", name)
+	if raw == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("bad %s attribute %q", name, raw)
+	}
+	return d, nil
 }
 
 func parseBusinessValue(e *xmltree.Element) (*BusinessValue, error) {

@@ -84,6 +84,34 @@ func (r *Repository) Counts() (monitoring, adaptation int) {
 	return monitoring, adaptation
 }
 
+// ProtectionFor returns the first protection policy whose scope covers
+// the subject, in (document name, document order); nil when none
+// applies. Protection policies configure a whole VEP, so unlike
+// monitoring and adaptation policies they do not stack.
+func (r *Repository) ProtectionFor(subject string) *ProtectionPolicy {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.docNamesLocked() {
+		for _, pp := range r.docs[name].Protection {
+			if pp.Scope.Matches(subject, "") {
+				return pp
+			}
+		}
+	}
+	return nil
+}
+
+// ProtectionCount returns the number of loaded protection policies.
+func (r *Repository) ProtectionCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, d := range r.docs {
+		n += len(d.Protection)
+	}
+	return n
+}
+
 // MonitoringFor returns the monitoring policies whose scope covers the
 // subject and operation, in (document name, document order).
 func (r *Repository) MonitoringFor(subject, operation string) []*MonitoringPolicy {

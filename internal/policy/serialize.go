@@ -17,6 +17,9 @@ func (d *Document) ToXML() *xmltree.Element {
 	for _, ap := range d.Adaptation {
 		root.Append(adaptationToXML(ap))
 	}
+	for _, pp := range d.Protection {
+		root.Append(protectionToXML(pp))
+	}
 	return root
 }
 
@@ -114,6 +117,40 @@ func adaptationToXML(ap *AdaptationPolicy) *xmltree.Element {
 			bv.SetAttr("", "reason", ap.BusinessValue.Reason)
 		}
 		e.Append(bv)
+	}
+	return e
+}
+
+func protectionToXML(pp *ProtectionPolicy) *xmltree.Element {
+	e := xmltree.New(Namespace, "ProtectionPolicy")
+	e.SetAttr("", "name", pp.Name)
+	scopeAttrs(e, pp.Scope)
+	if a := pp.Admission; a != nil {
+		c := xmltree.New(Namespace, "Admission")
+		c.SetAttr("", "maxInFlight", strconv.Itoa(a.MaxInFlight))
+		if a.MaxQueue > 0 {
+			c.SetAttr("", "maxQueue", strconv.Itoa(a.MaxQueue))
+		}
+		if a.QueueTimeout > 0 {
+			c.SetAttr("", "queueTimeout", a.QueueTimeout.String())
+		}
+		e.Append(c)
+	}
+	if b := pp.Breaker; b != nil {
+		c := xmltree.New(Namespace, "CircuitBreaker")
+		c.SetAttr("", "failureThreshold", strconv.Itoa(b.FailureThreshold))
+		c.SetAttr("", "cooldown", b.Cooldown.String())
+		e.Append(c)
+	}
+	if h := pp.Hedge; h != nil {
+		c := xmltree.New(Namespace, "Hedge")
+		c.SetAttr("", "afterFactor", strconv.FormatFloat(h.AfterFactor, 'g', -1, 64))
+		c.SetAttr("", "minSamples", strconv.Itoa(h.MinSamples))
+		if h.MinDelay > 0 {
+			c.SetAttr("", "minDelay", h.MinDelay.String())
+		}
+		c.SetAttr("", "maxHedges", strconv.Itoa(h.MaxHedges))
+		e.Append(c)
 	}
 	return e
 }

@@ -45,6 +45,49 @@ func Validate(d *Document) error {
 			return fmt.Errorf("%w: policy %q: %v", ErrInvalid, ap.Name, err)
 		}
 	}
+	for _, pp := range d.Protection {
+		if names[pp.Name] {
+			return fmt.Errorf("%w: duplicate policy name %q", ErrInvalid, pp.Name)
+		}
+		names[pp.Name] = true
+		if err := validateProtection(pp); err != nil {
+			return fmt.Errorf("%w: policy %q: %v", ErrInvalid, pp.Name, err)
+		}
+	}
+	return nil
+}
+
+func validateProtection(pp *ProtectionPolicy) error {
+	if pp.Admission == nil && pp.Breaker == nil && pp.Hedge == nil {
+		return errors.New("protection policy protects nothing")
+	}
+	if a := pp.Admission; a != nil {
+		if a.MaxInFlight <= 0 {
+			return errors.New("Admission maxInFlight must be > 0")
+		}
+		if a.MaxQueue < 0 || a.QueueTimeout < 0 {
+			return errors.New("Admission bounds must be non-negative")
+		}
+	}
+	if b := pp.Breaker; b != nil {
+		if b.FailureThreshold <= 0 {
+			return errors.New("CircuitBreaker failureThreshold must be > 0")
+		}
+		if b.Cooldown <= 0 {
+			return errors.New("CircuitBreaker cooldown must be > 0")
+		}
+	}
+	if h := pp.Hedge; h != nil {
+		if h.AfterFactor <= 0 {
+			return errors.New("Hedge afterFactor must be > 0")
+		}
+		if h.MinSamples < 0 || h.MinDelay < 0 {
+			return errors.New("Hedge bounds must be non-negative")
+		}
+		if h.MaxHedges <= 0 {
+			return errors.New("Hedge maxHedges must be > 0")
+		}
+	}
 	return nil
 }
 

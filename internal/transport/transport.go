@@ -25,6 +25,10 @@ var (
 	// ErrTimeout reports that the service did not respond within the
 	// invoker's timeout interval.
 	ErrTimeout = errors.New("transport: invocation timed out")
+	// ErrOverloaded reports that an intermediary shed the request
+	// because its admission limits were exhausted (wsBus overload
+	// protection). Monitoring classifies it as a ServerBusyFault.
+	ErrOverloaded = errors.New("transport: server overloaded")
 )
 
 // Handler is the service-side message endpoint. Implementations return
