@@ -33,6 +33,8 @@ func (d *daemon) apiRoutes(mux *http.ServeMux) {
 	handle("/readyz", http.HandlerFunc(d.readyz))
 	handle("/veps", http.HandlerFunc(d.vepsIndex))
 	handle("/veps/", http.HandlerFunc(d.vepManage))
+	handle("/instances", http.HandlerFunc(d.instancesIndex))
+	handle("/instances/", http.HandlerFunc(d.instanceManage))
 }
 
 // writeAPIError emits the uniform error envelope.

@@ -16,6 +16,7 @@ import (
 	"github.com/masc-project/masc/internal/soap"
 	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/transport"
+	"github.com/masc-project/masc/internal/workflow"
 )
 
 // e2ePolicies is the Table 1 recovery policy with test-speed delays:
@@ -55,13 +56,18 @@ func e2eDaemon(t *testing.T) *daemon {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	return &daemon{
+	d := &daemon{
 		gateway: gateway,
 		network: network,
 		repo:    repo,
 		tel:     tel,
 		start:   time.Now(),
+		engine:  workflow.NewEngine(gateway, workflow.WithTelemetry(tel)),
 	}
+	if err := d.setupWorkflow(); err != nil {
+		t.Fatal(err)
+	}
+	return d
 }
 
 // journalEntry mirrors the telemetry.Entry JSON shape the endpoints

@@ -25,7 +25,24 @@
 //	                       status, and circuit-breaker states
 //	/api/v1/veps/{name}/services  runtime service (de)registration
 //	                       (POST {"address": ...} / DELETE ?address=)
+//	/api/v1/instances      process instances: GET lists them, POST
+//	                       starts one ({"definition","inputs"} both
+//	                       optional)
+//	/api/v1/instances/{id}         one instance's state
+//	/api/v1/instances/{id}/suspend park at the next activity boundary
+//	/api/v1/instances/{id}/resume  release (incl. boot-recovered
+//	                       instances, which continue from their last
+//	                       durable checkpoint)
 //	/debug/pprof           only with -debug
+//
+// The OrderingProcess composition is deployed and hosted at
+// /process/OrderingProcess. With -data-dir <dir> the daemon opens a
+// WAL+snapshot store there (-sync always|batched|off picks the fsync
+// policy): instance checkpoints, pending retry-queue entries, and the
+// DLQ become durable, and on startup interrupted instances are rebuilt
+// in suspended state, listed under /api/v1/instances, and resumable
+// via POST .../resume. Store health appears in /api/v1/healthz and as
+// masc_store_* metrics.
 //
 // The unversioned paths (/metrics, /traces, /logs, /messages,
 // /healthz, /readyz) remain as deprecated aliases.
@@ -51,9 +68,11 @@ import (
 	"github.com/masc-project/masc/internal/policy"
 	"github.com/masc-project/masc/internal/scm"
 	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/store"
 	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/transport"
 	"github.com/masc-project/masc/internal/version"
+	"github.com/masc-project/masc/internal/workflow"
 )
 
 const defaultPolicies = `
@@ -77,6 +96,8 @@ func main() {
 func run(args []string) error {
 	listen := ":8080"
 	policyPath := ""
+	dataDir := ""
+	syncMode := "batched"
 	debug := false
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
@@ -92,6 +113,18 @@ func run(args []string) error {
 				return fmt.Errorf("-policies needs a file")
 			}
 			policyPath = args[i]
+		case "-data-dir":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-data-dir needs a directory")
+			}
+			dataDir = args[i]
+		case "-sync":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-sync needs a mode (always, batched, off)")
+			}
+			syncMode = args[i]
 		case "-debug":
 			debug = true
 		case "-version":
@@ -125,11 +158,32 @@ func run(args []string) error {
 
 	tel := telemetry.New(0)
 	events := event.NewBus()
-	gateway := bus.New(network,
+
+	d := &daemon{
+		network: network,
+		repo:    repo,
+		tel:     tel,
+		start:   time.Now(),
+	}
+	if dataDir != "" {
+		st, err := openDataDir(dataDir, syncMode, d)
+		if err != nil {
+			return err
+		}
+		d.st = st
+		defer d.st.Close()
+	}
+
+	busOpts := []bus.Option{
 		bus.WithPolicyRepository(repo),
 		bus.WithEventBus(events),
 		bus.WithTelemetry(tel),
-	)
+	}
+	if d.st != nil {
+		busOpts = append(busOpts, bus.WithStore(d.st))
+	}
+	gateway := bus.New(network, busOpts...)
+	d.gateway = gateway
 	unTap := tel.Tracer.TapEventBus(events)
 	defer unTap()
 	if _, err := gateway.CreateVEP(bus.VEPConfig{
@@ -141,12 +195,14 @@ func run(args []string) error {
 		return err
 	}
 
-	d := &daemon{
-		gateway: gateway,
-		network: network,
-		repo:    repo,
-		tel:     tel,
-		start:   time.Now(),
+	// Process layer: the OrderingProcess composition runs over the
+	// gateway; with -data-dir its instances (and the retry queue / DLQ)
+	// survive restarts, and interrupted instances are rebuilt here.
+	d.engine = workflow.NewEngine(gateway,
+		workflow.WithEventBus(events),
+		workflow.WithTelemetry(tel))
+	if err := d.setupWorkflow(); err != nil {
+		return err
 	}
 	mux := d.routes(debug)
 
@@ -187,11 +243,15 @@ func run(args []string) error {
 
 // daemon holds the running gateway's shared state for HTTP handlers.
 type daemon struct {
-	gateway *bus.Bus
-	network *transport.Network
-	repo    *policy.Repository
-	tel     *telemetry.Telemetry
-	start   time.Time
+	gateway  *bus.Bus
+	network  *transport.Network
+	repo     *policy.Repository
+	tel      *telemetry.Telemetry
+	start    time.Time
+	engine   *workflow.Engine
+	st       *store.Store
+	persist  *workflow.PersistenceService
+	recovery workflow.RecoveryReport
 
 	inflight  sync.WaitGroup
 	inflightN atomic.Int64
@@ -205,6 +265,9 @@ func (d *daemon) routes(debug bool) *http.ServeMux {
 	mux.Handle("/vep/", http.StripPrefix("/vep/", d.track(vepHandler(d.gateway, d.tel))))
 	// Direct endpoints: /svc/<address suffix>, e.g. /svc/scm/retailer-a.
 	mux.Handle("/svc/", directHandler(d.network))
+	// Hosted compositions: /process/<definition> starts one instance
+	// per SOAP request and answers with its output.
+	mux.Handle("/process/", http.StripPrefix("/process/", d.track(processHandler(d.engine))))
 	mux.Handle("/metrics", telemetry.MetricsHandler(d.tel.Registry()))
 	mux.Handle("/traces", telemetry.TracesHandler(d.tel.Traces(), d.tel.Logs()))
 	mux.Handle("/traces/", telemetry.TracesHandler(d.tel.Traces(), d.tel.Logs()))
@@ -299,6 +362,8 @@ func (d *daemon) healthz(w http.ResponseWriter, _ *http.Request) {
 		AdaptationPolicies int          `json:"adaptation_policies"`
 		ProtectionPolicies int          `json:"protection_policies"`
 		InflightRequests   int64        `json:"inflight_requests"`
+		Instances          int          `json:"instances"`
+		Store              *storeStatus `json:"store,omitempty"`
 		VEPLatency         []vepLatency `json:"vep_latency,omitempty"`
 	}{
 		Status:             "ok",
@@ -310,6 +375,8 @@ func (d *daemon) healthz(w http.ResponseWriter, _ *http.Request) {
 		AdaptationPolicies: adapt,
 		ProtectionPolicies: d.repo.ProtectionCount(),
 		InflightRequests:   d.inflightN.Load(),
+		Instances:          len(d.engine.Instances()),
+		Store:              d.storeStatus(),
 		VEPLatency:         d.latencyQuantiles(),
 	}
 	writeJSON(w, http.StatusOK, status)

@@ -16,6 +16,7 @@ import (
 	"github.com/masc-project/masc/internal/soap"
 	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/transport"
+	"github.com/masc-project/masc/internal/workflow"
 	"github.com/masc-project/masc/internal/wsdl"
 )
 
@@ -44,13 +45,18 @@ func testDaemon(t *testing.T) *daemon {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	return &daemon{
+	d := &daemon{
 		gateway: gateway,
 		network: network,
 		repo:    repo,
 		tel:     tel,
 		start:   time.Now(),
+		engine:  workflow.NewEngine(gateway, workflow.WithTelemetry(tel)),
 	}
+	if err := d.setupWorkflow(); err != nil {
+		t.Fatal(err)
+	}
+	return d
 }
 
 func TestDefaultPoliciesValid(t *testing.T) {

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/masc-project/masc/internal/bus"
+	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/scm"
+	"github.com/masc-project/masc/internal/store"
+	"github.com/masc-project/masc/internal/telemetry"
+	"github.com/masc-project/masc/internal/transport"
+	"github.com/masc-project/masc/internal/workflow"
+)
+
+// persistentDaemon builds a daemon over a durable store in dir, as
+// `mascd -data-dir dir -sync always` would.
+func persistentDaemon(t *testing.T, dir string) *daemon {
+	t.Helper()
+	network := transport.NewNetwork()
+	deployment, err := scm.Deploy(network, nil, scm.DeployConfig{Retailers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := policy.NewRepository()
+	if _, err := repo.LoadXML(defaultPolicies); err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New(0)
+	d := &daemon{
+		network: network,
+		repo:    repo,
+		tel:     tel,
+		start:   time.Now(),
+	}
+	st, err := store.Open(dir, store.Options{Sync: store.SyncAlways, Metrics: tel.Registry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.st = st
+	gateway := bus.New(network,
+		bus.WithPolicyRepository(repo),
+		bus.WithTelemetry(tel),
+		bus.WithStore(st))
+	if _, err := gateway.CreateVEP(bus.VEPConfig{
+		Name:     "Retailer",
+		Services: deployment.RetailerAddrs,
+		Contract: scm.RetailerContract(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d.gateway = gateway
+	d.engine = workflow.NewEngine(gateway, workflow.WithTelemetry(tel))
+	if err := d.setupWorkflow(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func getInstances(t *testing.T, srv *httptest.Server) []instanceSummary {
+	t.Helper()
+	hr, err := srv.Client().Get(srv.URL + "/api/v1/instances")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != 200 {
+		t.Fatalf("GET /api/v1/instances status = %d", hr.StatusCode)
+	}
+	var page struct {
+		Instances []instanceSummary `json:"instances"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	return page.Instances
+}
+
+// TestDaemonCrashRecoveryEndToEnd is the PR's acceptance scenario at
+// daemon level: an OrderingProcess instance suspended mid-run survives
+// a simulated crash (store abandoned without flush) and — after the
+// daemon is rebuilt over the same data dir — appears in
+// /api/v1/instances as recovered, resumes via the API, and completes.
+func TestDaemonCrashRecoveryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	d1 := persistentDaemon(t, dir)
+
+	inst, err := d1.engine.CreateInstance("OrderingProcess", defaultProcessInputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !inst.AwaitState(workflow.StateSuspended, 2*time.Second) {
+		t.Fatalf("instance did not park; state = %s", inst.State())
+	}
+	d1.st.Abandon() // crash: no clean close
+
+	d2 := persistentDaemon(t, dir)
+	defer d2.st.Close()
+	srv := httptest.NewServer(d2.routes(false))
+	defer srv.Close()
+
+	list := getInstances(t, srv)
+	if len(list) != 1 || list[0].ID != inst.ID() || !list[0].Recovered || list[0].State != "suspended" {
+		t.Fatalf("instances after recovery = %+v", list)
+	}
+	if d2.storeStatus().RecoveredInstances != 1 {
+		t.Fatalf("store status = %+v", d2.storeStatus())
+	}
+
+	hr, err := srv.Client().Post(srv.URL+"/api/v1/instances/"+inst.ID()+"/resume",
+		"application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != 200 {
+		t.Fatalf("resume status = %d", hr.StatusCode)
+	}
+
+	rec, err := d2.engine.Instance(inst.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := rec.Wait(5 * time.Second); err != nil || st != workflow.StateCompleted {
+		t.Fatalf("recovered instance state = %s err = %v", st, err)
+	}
+	// The confirmation came from a real retailer through the VEP.
+	if out, ok := rec.GetVar("confirmation"); !ok || out == nil {
+		t.Fatal("recovered instance has no confirmation output")
+	}
+	// The completion checkpoint is durable.
+	if raw, ok := d2.st.Get(workflow.SpaceInstances, inst.ID()); !ok ||
+		!bytes.Contains(raw, []byte(`state="completed"`)) {
+		t.Fatalf("terminal checkpoint missing: %s", raw)
+	}
+}
+
+// TestInstancesAPIStartAndList covers POST /api/v1/instances with the
+// default demo inputs and the listing/detail endpoints.
+func TestInstancesAPIStartAndList(t *testing.T) {
+	d := testDaemon(t)
+	srv := httptest.NewServer(d.routes(false))
+	defer srv.Close()
+
+	hr, err := srv.Client().Post(srv.URL+"/api/v1/instances", "application/json",
+		bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var started instanceSummary
+	err = json.NewDecoder(hr.Body).Decode(&started)
+	hr.Body.Close()
+	if err != nil || hr.StatusCode != 202 {
+		t.Fatalf("status = %d err = %v", hr.StatusCode, err)
+	}
+	if started.Definition != "OrderingProcess" || started.ID == "" {
+		t.Fatalf("started = %+v", started)
+	}
+
+	inst, err := d.engine.Instance(started.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := inst.Wait(5 * time.Second); err != nil || st != workflow.StateCompleted {
+		t.Fatalf("state = %s err = %v", st, err)
+	}
+
+	list := getInstances(t, srv)
+	if len(list) != 1 || list[0].State != "completed" {
+		t.Fatalf("instances = %+v", list)
+	}
+
+	// Unknown definition → 404 envelope.
+	hr2, err := srv.Client().Post(srv.URL+"/api/v1/instances", "application/json",
+		bytes.NewReader([]byte(`{"definition":"Ghost"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr2.Body.Close()
+	if hr2.StatusCode != 404 {
+		t.Fatalf("ghost status = %d", hr2.StatusCode)
+	}
+}

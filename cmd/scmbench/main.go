@@ -5,6 +5,7 @@
 //	scmbench -figure5     # Figure 5: RTT vs request size, direct vs wsBus
 //	scmbench -throughput  # throughput sweep (§3.2 metric)
 //	scmbench -hedge       # hedged invocation vs plain: tail latency under QoS degradation
+//	scmbench -persist     # durable checkpointing: throughput vs store fsync policy
 //	scmbench -ablations   # retry budget, strategy, policy-reparse, listener
 //	scmbench -all         # everything
 //
@@ -34,6 +35,7 @@ func main() {
 		figure5    = flag.Bool("figure5", false, "run the Figure 5 RTT-vs-size experiment")
 		throughput = flag.Bool("throughput", false, "run the throughput sweep")
 		hedge      = flag.Bool("hedge", false, "run the hedged-invocation tail-latency comparison")
+		persist    = flag.Bool("persist", false, "run the durable-store fsync overhead comparison")
 		ablations  = flag.Bool("ablations", false, "run the ablation studies")
 		all        = flag.Bool("all", false, "run everything")
 		requests   = flag.Int("requests", 0, "requests per configuration (0 = default)")
@@ -42,7 +44,7 @@ func main() {
 		benchJSON  = flag.String("bench-json", "", "write all results as one JSON file (default $MASC_BENCH_JSON)")
 	)
 	flag.Parse()
-	if !*table1 && !*figure5 && !*throughput && !*hedge && !*ablations && !*all {
+	if !*table1 && !*figure5 && !*throughput && !*hedge && !*persist && !*ablations && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -50,7 +52,7 @@ func main() {
 	if jsonPath == "" {
 		jsonPath = os.Getenv("MASC_BENCH_JSON")
 	}
-	if err := run(*table1 || *all, *figure5 || *all, *throughput || *all, *hedge || *all, *ablations || *all, *requests, *seed, *csvDir, jsonPath); err != nil {
+	if err := run(*table1 || *all, *figure5 || *all, *throughput || *all, *hedge || *all, *persist || *all, *ablations || *all, *requests, *seed, *csvDir, jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "scmbench:", err)
 		os.Exit(1)
 	}
@@ -67,6 +69,7 @@ type benchReport struct {
 	Figure5    []experiments.Figure5Point    `json:"figure5,omitempty"`
 	Throughput []experiments.ThroughputPoint `json:"throughput,omitempty"`
 	Hedge      []experiments.HedgePoint      `json:"hedge,omitempty"`
+	Persist    []experiments.PersistPoint    `json:"persist,omitempty"`
 	Ablations  *ablationReport               `json:"ablations,omitempty"`
 }
 
@@ -77,7 +80,7 @@ type ablationReport struct {
 	Listener   []experiments.ListenerPoint   `json:"listener"`
 }
 
-func run(table1, figure5, throughput, hedge, ablations bool, requests int, seed int64, csvDir, jsonPath string) error {
+func run(table1, figure5, throughput, hedge, persist, ablations bool, requests int, seed int64, csvDir, jsonPath string) error {
 	writeCSV := func(name string, write func(io.Writer) error) error {
 		if csvDir == "" {
 			return nil
@@ -143,6 +146,19 @@ func run(table1, figure5, throughput, hedge, ablations bool, requests int, seed 
 		report.Hedge = points
 		if err := writeCSV("hedge.csv", func(w io.Writer) error {
 			return experiments.WriteHedgeCSV(w, points)
+		}); err != nil {
+			return err
+		}
+	}
+	if persist {
+		points, err := experiments.RunPersistComparison(experiments.PersistConfig{Instances: requests, Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatPersist(points))
+		report.Persist = points
+		if err := writeCSV("persist.csv", func(w io.Writer) error {
+			return experiments.WritePersistCSV(w, points)
 		}); err != nil {
 			return err
 		}

@@ -15,6 +15,7 @@ import (
 	"github.com/masc-project/masc/internal/policy"
 	"github.com/masc-project/masc/internal/qos"
 	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/store"
 	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/transport"
 )
@@ -63,6 +64,7 @@ type Bus struct {
 	clk          clock.Clock
 	procAdapter  ProcessAdapter
 	seed         int64
+	store        *store.Store
 	tel          *telemetry.Telemetry
 	met          busMetrics
 	journal      *telemetry.Journal
@@ -128,6 +130,13 @@ func WithTelemetry(tel *telemetry.Telemetry) Option {
 // policies per decision (ablation hook; see DESIGN.md §5.1).
 func WithPolicySource(src func() *policy.Repository) Option {
 	return func(b *Bus) { b.policySource = src }
+}
+
+// WithStore attaches the durable state store: retry queues built via
+// NewRetryQueueFor persist their pending entries and DLQ, so
+// undelivered one-way messages survive a middleware restart.
+func WithStore(st *store.Store) Option {
+	return func(b *Bus) { b.store = st }
 }
 
 // New builds a bus over a downstream transport.
@@ -309,6 +318,8 @@ func (b *Bus) NewRetryQueueFor(pol policy.RetryAction, pollInterval time.Duratio
 		Policy:       pol,
 		PollInterval: pollInterval,
 		Metrics:      b.tel.Registry(),
+		Store:        b.store,
+		Journal:      b.journal,
 	})
 }
 

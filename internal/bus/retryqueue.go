@@ -2,12 +2,15 @@ package bus
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"github.com/masc-project/masc/internal/clock"
 	"github.com/masc-project/masc/internal/policy"
 	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/store"
 	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/transport"
 )
@@ -39,6 +42,12 @@ type DeadLetterQueue struct {
 	dropped uint64
 	letters []DeadLetter
 
+	// st, when bound, write-throughs every letter to SpaceDLQ; keys
+	// parallels letters (persist key per letter) for eviction deletes.
+	st   *store.Store
+	seq  uint64
+	keys []string
+
 	// droppedCounter is a nil-safe telemetry handle.
 	droppedCounter *telemetry.Counter
 }
@@ -53,21 +62,39 @@ func NewDeadLetterQueue(capacity int) *DeadLetterQueue {
 }
 
 // Add appends a dead letter, evicting the oldest when full. The zero
-// DeadLetterQueue is usable and capped at DefaultDLQCapacity.
+// DeadLetterQueue is usable and capped at DefaultDLQCapacity. When a
+// store is bound the letter is journaled durably and evictions delete
+// their records.
 func (q *DeadLetterQueue) Add(d DeadLetter) {
 	q.mu.Lock()
+	if q.st != nil {
+		q.persistLetterLocked(d)
+	}
+	q.letters = append(q.letters, d)
+	q.enforceCapLocked()
+	q.mu.Unlock()
+}
+
+// enforceCapLocked evicts the oldest letters (and their durable
+// records) down to the capacity bound. Caller holds q.mu.
+func (q *DeadLetterQueue) enforceCapLocked() {
 	limit := q.cap
 	if limit == 0 {
 		limit = DefaultDLQCapacity
 	}
-	if limit > 0 && len(q.letters) >= limit {
-		drop := len(q.letters) - limit + 1
-		q.letters = append(q.letters[:0], q.letters[drop:]...)
-		q.dropped += uint64(drop)
-		q.droppedCounter.Add(uint64(drop))
+	if limit <= 0 || len(q.letters) <= limit {
+		return
 	}
-	q.letters = append(q.letters, d)
-	q.mu.Unlock()
+	drop := len(q.letters) - limit
+	if q.st != nil {
+		for _, k := range q.keys[:drop] {
+			_ = q.st.Delete(SpaceDLQ, k)
+		}
+		q.keys = append(q.keys[:0], q.keys[drop:]...)
+	}
+	q.letters = append(q.letters[:0], q.letters[drop:]...)
+	q.dropped += uint64(drop)
+	q.droppedCounter.Add(uint64(drop))
 }
 
 // Dropped reports how many dead letters were evicted to stay within
@@ -101,6 +128,7 @@ type queuedMessage struct {
 	attempts int
 	due      time.Time
 	lastErr  string
+	key      string     // durable record key; empty without a store
 	done     chan error // closed with final outcome; may be nil
 }
 
@@ -120,7 +148,11 @@ type RetryQueue struct {
 	pendingGauge *telemetry.Gauge
 	deliveries   *telemetry.CounterVec
 
+	st      *store.Store
+	journal *telemetry.Journal
+
 	mu      sync.Mutex
+	seq     uint64 // next durable record key
 	pending []*queuedMessage
 
 	stop chan struct{}
@@ -146,6 +178,14 @@ type RetryQueueConfig struct {
 	PollInterval time.Duration
 	// Metrics optionally records queue depth and delivery outcomes.
 	Metrics *telemetry.Registry
+	// Store optionally persists pending entries (SpaceRetry) and dead
+	// letters (SpaceDLQ): after a crash, pending messages re-enqueue
+	// and the DLQ reloads on the next NewRetryQueue over the same
+	// store.
+	Store *store.Store
+	// Journal optionally receives audit records (e.g. messages drained
+	// to the DLQ at shutdown).
+	Journal *telemetry.Journal
 }
 
 // NewRetryQueue builds and starts a retry queue.
@@ -178,6 +218,12 @@ func NewRetryQueue(cfg RetryQueueConfig) *RetryQueue {
 			"Dead letters evicted to respect the DLQ capacity bound.").With()
 	}
 	q.dlq.mu.Unlock()
+	q.st = cfg.Store
+	q.journal = cfg.Journal
+	if q.st != nil {
+		q.dlq.bindStore(q.st)
+		q.seq = q.loadPersisted()
+	}
 	go q.reader()
 	return q
 }
@@ -204,14 +250,31 @@ func (q *RetryQueue) Enqueue(endpoint string, env *soap.Envelope) <-chan error {
 		done:     done,
 	}
 	q.mu.Lock()
+	if q.st != nil {
+		m.key = persistSeqKey(q.seq)
+		q.seq++
+		// Journal before publishing to the reader, so a record always
+		// exists by the time the message can settle (and be deleted).
+		q.persistMessage(m)
+	}
 	q.pending = append(q.pending, m)
 	q.pendingGauge.Set(float64(len(q.pending)))
 	q.mu.Unlock()
 	return done
 }
 
-// Stop shuts down the queue reader and waits for it to exit. Pending
-// messages stay queued (not dead-lettered).
+// ErrDrained is delivered to an Enqueue caller's outcome channel when
+// the queue is stopped before the message could be delivered.
+var ErrDrained = errors.New("bus: retry queue stopped before delivery; message moved to the dead-letter queue")
+
+// Stop shuts down the queue reader, waits for it to exit, then drains
+// every still-pending message into the dead-letter queue: a clean
+// shutdown must not silently drop undelivered one-way messages. Each
+// drained message is counted (outcome "drained"), audited, and its
+// outcome channel receives ErrDrained. With a bound store the DLQ
+// records are durable, so the messages remain inspectable after
+// restart; after a crash (no Stop) the pending entries instead
+// re-enqueue from the store.
 func (q *RetryQueue) Stop() {
 	select {
 	case <-q.stop:
@@ -219,6 +282,50 @@ func (q *RetryQueue) Stop() {
 		close(q.stop)
 	}
 	<-q.done
+	q.drainToDLQ()
+}
+
+// drainToDLQ moves all pending messages to the DLQ. Idempotent; runs
+// after the reader goroutine has exited.
+func (q *RetryQueue) drainToDLQ() {
+	q.mu.Lock()
+	drained := q.pending
+	q.pending = nil
+	q.pendingGauge.Set(0)
+	q.mu.Unlock()
+	if len(drained) == 0 {
+		return
+	}
+	now := q.clk.Now()
+	for _, m := range drained {
+		lastErr := m.lastErr
+		if lastErr == "" {
+			lastErr = "queue stopped before first delivery attempt"
+		}
+		q.deliveries.With("drained").Inc()
+		q.dlq.Add(DeadLetter{
+			Endpoint: m.endpoint,
+			Envelope: m.envelope,
+			Attempts: m.attempts,
+			LastErr:  lastErr,
+			Time:     now,
+		})
+		q.unpersistMessage(m)
+		if m.done != nil {
+			m.done <- ErrDrained
+			close(m.done)
+		}
+	}
+	if q.journal != nil {
+		q.journal.Record(telemetry.Entry{
+			Level:     telemetry.LevelWarn,
+			Kind:      telemetry.KindAudit,
+			Component: "bus",
+			Message: fmt.Sprintf("retry queue stopped: %d undelivered message(s) drained to the dead-letter queue",
+				len(drained)),
+			Fields: map[string]string{"drained": fmt.Sprint(len(drained))},
+		})
+	}
 }
 
 func (q *RetryQueue) reader() {
@@ -261,8 +368,11 @@ func (q *RetryQueue) deliver(m *queuedMessage) {
 	}
 	if err == nil {
 		q.deliveries.With("delivered").Inc()
-		m.done <- nil
-		close(m.done)
+		q.unpersistMessage(m)
+		if m.done != nil {
+			m.done <- nil
+			close(m.done)
+		}
 		return
 	}
 
@@ -277,8 +387,11 @@ func (q *RetryQueue) deliver(m *queuedMessage) {
 			LastErr:  m.lastErr,
 			Time:     q.clk.Now(),
 		})
-		m.done <- err
-		close(m.done)
+		q.unpersistMessage(m)
+		if m.done != nil {
+			m.done <- err
+			close(m.done)
+		}
 		return
 	}
 
@@ -290,6 +403,7 @@ func (q *RetryQueue) deliver(m *queuedMessage) {
 	}
 	m.due = q.clk.Now().Add(delay)
 	q.deliveries.With("requeued").Inc()
+	q.persistMessage(m)
 	q.mu.Lock()
 	q.pending = append(q.pending, m)
 	q.pendingGauge.Set(float64(len(q.pending)))

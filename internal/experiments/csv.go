@@ -79,6 +79,34 @@ func WriteHedgeCSV(w io.Writer, points []HedgePoint) error {
 	return cw.Error()
 }
 
+// WritePersistCSV emits the durability-overhead comparison as CSV.
+func WritePersistCSV(w io.Writer, points []PersistPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"mode", "instances", "failures", "throughput_ips", "overhead_pct", "mean_us", "p50_us", "p95_us", "wal_bytes", "records", "fsyncs"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{
+			p.Mode,
+			strconv.Itoa(p.Instances),
+			strconv.Itoa(p.Failures),
+			fmt.Sprintf("%.1f", p.Throughput),
+			fmt.Sprintf("%.2f", p.OverheadPct),
+			strconv.FormatInt(p.Mean.Microseconds(), 10),
+			strconv.FormatInt(p.P50.Microseconds(), 10),
+			strconv.FormatInt(p.P95.Microseconds(), 10),
+			strconv.FormatInt(p.WALBytes, 10),
+			strconv.FormatUint(p.Records, 10),
+			strconv.FormatUint(p.Fsyncs, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteThroughputCSV emits the throughput sweep as CSV.
 func WriteThroughputCSV(w io.Writer, points []ThroughputPoint) error {
 	cw := csv.NewWriter(w)

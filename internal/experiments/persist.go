@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/masc-project/masc/internal/bus"
+	"github.com/masc-project/masc/internal/loadgen"
+	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/scm"
+	"github.com/masc-project/masc/internal/simnet"
+	"github.com/masc-project/masc/internal/store"
+	"github.com/masc-project/masc/internal/telemetry"
+	"github.com/masc-project/masc/internal/transport"
+	"github.com/masc-project/masc/internal/workflow"
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+// PersistConfig shapes the durability-overhead experiment (E10): the
+// same two-invoke SCM composition run end to end with instance
+// checkpointing disabled, then against each fsync policy of the
+// durable store.
+type PersistConfig struct {
+	// Instances is the measured instance count per mode.
+	Instances int
+	// Clients is the concurrent client count.
+	Clients int
+	// Seed drives link jitter.
+	Seed int64
+	// Retailers behind the VEP (default 2).
+	Retailers int
+	// SyncInterval is the batched mode's group-commit gather window
+	// (default 200µs). Longer windows trade checkpoint latency for
+	// fewer fsyncs.
+	SyncInterval time.Duration
+	// Dir is the parent directory for the per-mode stores (default:
+	// a fresh temp directory, removed afterwards).
+	Dir string
+}
+
+func (c *PersistConfig) fill() {
+	if c.Instances <= 0 {
+		c.Instances = 400
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Retailers <= 0 {
+		c.Retailers = 2
+	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = 200 * time.Microsecond
+	}
+}
+
+// PersistPoint is one durability mode's result.
+type PersistPoint struct {
+	// Mode is "none" (no store) or a store sync mode: "off",
+	// "batched", "always".
+	Mode string
+	// Instances and Failures are client-observed process runs.
+	Instances int
+	Failures  int
+	// Throughput is completed instances per second.
+	Throughput float64
+	// Mean, P50, P95 summarize per-instance end-to-end latency.
+	Mean, P50, P95 time.Duration
+	// OverheadPct is the throughput loss relative to the "none"
+	// baseline (zero for the baseline itself).
+	OverheadPct float64
+	// WALBytes, Records, Fsyncs are the store's counters after the
+	// run (zero in mode "none").
+	WALBytes int64
+	Records  uint64
+	Fsyncs   uint64
+}
+
+// persistProcessXML is the measured composition: browse then order
+// through the Retailer VEP. With the persistence service attached,
+// each run writes a checkpoint at every activity boundary — created,
+// two invokes, the containing sequence, and the terminal state.
+const persistProcessXML = `
+<process xmlns="urn:masc:workflow" name="PersistBench">
+  <variables>
+    <variable name="catalogReq"/>
+    <variable name="catalog"/>
+    <variable name="orderReq"/>
+    <variable name="confirmation"/>
+  </variables>
+  <sequence name="main">
+    <invoke name="BrowseCatalog" endpoint="vep:Retailer" operation="getCatalog"
+            input="catalogReq" output="catalog" timeout="10s"/>
+    <invoke name="PlaceOrder" endpoint="vep:Retailer" operation="submitOrder"
+            input="orderReq" output="confirmation" timeout="10s"/>
+  </sequence>
+</process>`
+
+// RunPersistComparison measures the durable-store write path on the
+// workflow engine's checkpoint stream: mode "none" runs without a
+// store, the other modes attach a PersistenceService over a store
+// opened with that fsync policy. The headline numbers are the
+// throughput cost of fsync=always versus the batched group commit.
+func RunPersistComparison(cfg PersistConfig) ([]PersistPoint, error) {
+	cfg.fill()
+	parent := cfg.Dir
+	if parent == "" {
+		dir, err := os.MkdirTemp("", "masc-persist-bench-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		parent = dir
+	}
+
+	var points []PersistPoint
+	for _, mode := range []string{"none", "off", "batched", "always"} {
+		p, err := runPersistMode(cfg, mode, parent)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	base := points[0].Throughput
+	for i := range points {
+		if base > 0 && i > 0 {
+			points[i].OverheadPct = 100 * (base - points[i].Throughput) / base
+		}
+	}
+	return points, nil
+}
+
+func runPersistMode(cfg PersistConfig, mode, parent string) (PersistPoint, error) {
+	net := transport.NewNetwork()
+	d, err := scm.Deploy(net, nil, scm.DeployConfig{
+		Retailers: cfg.Retailers,
+		Link:      simnet.NewLinkProfile(50*time.Microsecond, 8*time.Microsecond, 0.05, cfg.Seed),
+		Service:   simnet.ServiceProfile{Base: 100 * time.Microsecond, PerKB: 10 * time.Microsecond},
+	})
+	if err != nil {
+		return PersistPoint{}, err
+	}
+
+	tel := telemetry.New(0)
+	b := bus.New(d.Net, bus.WithSeed(cfg.Seed), bus.WithTelemetry(tel))
+	if _, err := b.CreateVEP(bus.VEPConfig{
+		Name:          "Retailer",
+		Services:      d.RetailerAddrs,
+		Contract:      scm.RetailerContract(),
+		Selection:     policy.SelectRoundRobin,
+		InvokeTimeout: 10 * time.Second,
+	}); err != nil {
+		return PersistPoint{}, err
+	}
+
+	e := workflow.NewEngine(b, workflow.WithTelemetry(tel))
+	def, err := workflow.ParseDefinitionString(persistProcessXML)
+	if err != nil {
+		return PersistPoint{}, err
+	}
+	e.Deploy(def)
+
+	var st *store.Store
+	if mode != "none" {
+		sync, err := store.ParseSyncMode(mode)
+		if err != nil {
+			return PersistPoint{}, err
+		}
+		opts := store.Options{Sync: sync, Metrics: tel.Registry()}
+		if sync == store.SyncBatched {
+			// The group-commit gather window is the knob under test:
+			// writers landing inside it share one fsync.
+			opts.SyncInterval = cfg.SyncInterval
+		}
+		st, err = store.Open(parent+"/"+mode, opts)
+		if err != nil {
+			return PersistPoint{}, err
+		}
+		defer st.Close()
+		workflow.NewPersistenceService(st, tel).Attach(e)
+	}
+
+	op := func(ctx context.Context, client, seq int) error {
+		inst, err := e.Start("PersistBench", map[string]*xmltree.Element{
+			"catalogReq": scm.NewGetCatalogRequest("tv", 0),
+			"orderReq": scm.NewSubmitOrderRequest("bench", []scm.OrderItem{
+				{SKU: "605002", Qty: 1},
+			}, 0),
+		})
+		if err != nil {
+			return err
+		}
+		state, err := inst.Wait(10 * time.Second)
+		if err != nil {
+			return err
+		}
+		if state != workflow.StateCompleted {
+			return fmt.Errorf("instance ended %s", state)
+		}
+		return nil
+	}
+	summary := loadgen.Run(context.Background(), loadgen.Config{
+		Clients:           cfg.Clients,
+		RequestsPerClient: cfg.Instances / cfg.Clients,
+		WarmupPerClient:   5,
+	}, op)
+
+	p := PersistPoint{
+		Mode:       mode,
+		Instances:  summary.Requests,
+		Failures:   summary.Failures,
+		Throughput: summary.Throughput,
+		Mean:       summary.Mean,
+		P50:        summary.P50,
+		P95:        summary.P95,
+	}
+	if st != nil {
+		stats := st.Stats()
+		p.WALBytes = stats.WALBytes
+		p.Records = stats.Records
+		p.Fsyncs = stats.Fsyncs
+	}
+	return p, nil
+}
+
+// FormatPersist renders the durability-overhead comparison.
+func FormatPersist(points []PersistPoint) string {
+	var sb strings.Builder
+	sb.WriteString("Durable checkpointing: process throughput vs store fsync policy\n")
+	sb.WriteString(fmt.Sprintf("  %-9s %-10s %-10s %-12s %-12s %-9s %-12s %-10s %s\n",
+		"mode", "inst/s", "loss", "mean", "p95", "fsyncs", "wal_bytes", "records", "failures"))
+	for _, p := range points {
+		sb.WriteString(fmt.Sprintf("  %-9s %-10.1f %-10s %-12v %-12v %-9d %-12d %-10d %d\n",
+			p.Mode, p.Throughput, fmt.Sprintf("%.1f%%", p.OverheadPct),
+			p.Mean.Round(1000), p.P95.Round(1000), p.Fsyncs, p.WALBytes,
+			p.Records, p.Failures))
+	}
+	return sb.String()
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPersistComparisonShape asserts the durability experiment's
+// qualitative result: every mode completes its instances, the store
+// modes write WAL records, and fsync=always issues (far) more fsyncs
+// than the batched group commit.
+func TestPersistComparisonShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full durability run")
+	}
+	points, err := RunPersistComparison(PersistConfig{
+		Instances: 80,
+		Clients:   4,
+		Seed:      7,
+		Dir:       t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	byMode := map[string]PersistPoint{}
+	for _, p := range points {
+		byMode[p.Mode] = p
+		if p.Failures != 0 {
+			t.Errorf("mode %s: %d failures", p.Mode, p.Failures)
+		}
+		if p.Instances == 0 || p.Throughput <= 0 {
+			t.Errorf("mode %s: instances = %d throughput = %.1f", p.Mode, p.Instances, p.Throughput)
+		}
+	}
+	none, always, batched := byMode["none"], byMode["always"], byMode["batched"]
+	if none.WALBytes != 0 || none.Records != 0 {
+		t.Errorf("baseline wrote to a store: %+v", none)
+	}
+	// Five checkpoints per instance (created, two invokes, the
+	// sequence, the terminal state) plus warmup instances.
+	for _, mode := range []string{"off", "batched", "always"} {
+		p := byMode[mode]
+		if p.Records < uint64(5*p.Instances) || p.WALBytes == 0 {
+			t.Errorf("mode %s: records = %d wal_bytes = %d", mode, p.Records, p.WALBytes)
+		}
+	}
+	if always.Fsyncs < always.Records {
+		t.Errorf("fsync=always: %d fsyncs for %d records", always.Fsyncs, always.Records)
+	}
+	if batched.Fsyncs >= always.Fsyncs {
+		t.Errorf("batched fsyncs = %d, want below always = %d", batched.Fsyncs, always.Fsyncs)
+	}
+	if byMode["off"].Fsyncs != 0 {
+		t.Errorf("fsync=off issued %d fsyncs", byMode["off"].Fsyncs)
+	}
+
+	out := FormatPersist(points)
+	for _, want := range []string{"none", "batched", "always", "fsyncs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatPersist output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package store is MASC's durable state subsystem: an append-only
+// write-ahead log with periodic snapshots and segment compaction. The
+// workflow host journals process-instance checkpoints through it, the
+// wsBus persists retry-queue entries and dead letters, and mascd
+// recovers all of them on startup — realizing the WF built-in
+// Persistence runtime service (§2.1) as a real on-disk subsystem so
+// that suspended and running compositions survive middleware restarts.
+//
+// The store is a durable keyed byte-value journal partitioned into
+// spaces ("instance", "retry", "dlq", ...). Every mutation appends a
+// CRC-checked record to the WAL; Open replays the newest valid
+// snapshot plus the WAL tail, truncating any torn record left by a
+// crash. See docs/persistence.md for the on-disk format and the
+// recovery semantics.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Record operations.
+const (
+	// opPut sets a key in a space to a value.
+	opPut = byte(1)
+	// opDelete removes a key from a space.
+	opDelete = byte(2)
+	// opCommit is a snapshot trailer: its value encodes the index of
+	// the first WAL segment NOT covered by the snapshot. A snapshot
+	// file without a trailing commit record is incomplete (a crash hit
+	// mid-write) and is ignored on open.
+	opCommit = byte(3)
+)
+
+// maxRecordBytes bounds a single record so a corrupt length prefix
+// cannot trigger an absurd allocation during replay.
+const maxRecordBytes = 64 << 20
+
+// Errors reported by the codec.
+var (
+	// errTornRecord reports a record cut short or failing its CRC —
+	// the expected shape of a crash mid-append. Replay truncates the
+	// log here.
+	errTornRecord = errors.New("store: torn or corrupt record")
+)
+
+// record is one WAL (or snapshot) entry.
+type record struct {
+	op    byte
+	space string
+	key   string
+	value []byte
+}
+
+// encodedLen returns the payload length of the record.
+func (r record) encodedLen() int {
+	return 1 +
+		uvarintLen(uint64(len(r.space))) + len(r.space) +
+		uvarintLen(uint64(len(r.key))) + len(r.key) +
+		uvarintLen(uint64(len(r.value))) + len(r.value)
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// appendRecord appends the framed record to buf:
+//
+//	u32 payload length | u32 CRC-32C(payload) | payload
+//	payload := op | len(space) space | len(key) key | len(value) value
+//
+// and returns the extended buffer.
+func appendRecord(buf []byte, r record) []byte {
+	payloadLen := r.encodedLen()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payloadLen))
+
+	start := len(buf)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, r.op)
+	buf = binary.AppendUvarint(buf, uint64(len(r.space)))
+	buf = append(buf, r.space...)
+	buf = binary.AppendUvarint(buf, uint64(len(r.key)))
+	buf = append(buf, r.key...)
+	buf = binary.AppendUvarint(buf, uint64(len(r.value)))
+	buf = append(buf, r.value...)
+
+	payload := buf[start+8:]
+	binary.LittleEndian.PutUint32(buf[start+4:start+8], crc32.Checksum(payload, crcTable))
+	return buf
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// readRecord reads one framed record. It returns errTornRecord (or
+// wraps it) when the stream ends mid-record or the CRC fails, and
+// io.EOF cleanly at a record boundary.
+func readRecord(br *bufio.Reader) (record, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return record{}, io.EOF
+		}
+		return record{}, fmt.Errorf("%w: %v", errTornRecord, err)
+	}
+	if _, err := io.ReadFull(br, hdr[1:]); err != nil {
+		return record{}, fmt.Errorf("%w: short header: %v", errTornRecord, err)
+	}
+	payloadLen := binary.LittleEndian.Uint32(hdr[0:4])
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+	if payloadLen == 0 || payloadLen > maxRecordBytes {
+		return record{}, fmt.Errorf("%w: implausible length %d", errTornRecord, payloadLen)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return record{}, fmt.Errorf("%w: short payload: %v", errTornRecord, err)
+	}
+	if crc32.Checksum(payload, crcTable) != wantCRC {
+		return record{}, fmt.Errorf("%w: checksum mismatch", errTornRecord)
+	}
+	return decodePayload(payload)
+}
+
+func decodePayload(payload []byte) (record, error) {
+	r := record{op: payload[0]}
+	rest := payload[1:]
+	var err error
+	if r.space, rest, err = takeString(rest); err != nil {
+		return record{}, err
+	}
+	if r.key, rest, err = takeString(rest); err != nil {
+		return record{}, err
+	}
+	n, sz := binary.Uvarint(rest)
+	if sz <= 0 || uint64(len(rest)-sz) < n {
+		return record{}, fmt.Errorf("%w: bad value length", errTornRecord)
+	}
+	r.value = append([]byte(nil), rest[sz:sz+int(n)]...)
+	return r, nil
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b)-sz) < n {
+		return "", nil, fmt.Errorf("%w: bad string length", errTornRecord)
+	}
+	return string(b[sz : sz+int(n)]), b[sz+int(n):], nil
+}

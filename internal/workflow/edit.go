@@ -280,19 +280,40 @@ func (in *Instance) ApplyUpdate(u *TreeUpdate) error {
 	}
 
 	in.mu.Lock()
-	defer in.mu.Unlock()
 	editable := in.state == StateCreated || in.state == StateSuspended || in.control == controlSuspend
 	if !editable {
+		in.mu.Unlock()
 		return fmt.Errorf("%w: instance %s is %s; suspend before updating", ErrBadState, in.id, in.state)
 	}
 	for _, op := range u.ops {
 		if err := op.apply(in.root); err != nil {
 			// Validation passed on the copy, so a live failure indicates
 			// a concurrent edit race; surface it.
+			in.mu.Unlock()
 			return fmt.Errorf("workflow: live update failed after validation: %w", err)
 		}
 	}
+	in.mu.Unlock()
+	in.notifyUpdated()
 	return nil
+}
+
+// InstanceUpdateObserver is an optional RuntimeService extension:
+// services implementing it are told when an instance's live tree is
+// customized, so e.g. the persistence service can journal applied
+// customizations durably.
+type InstanceUpdateObserver interface {
+	InstanceUpdated(inst *Instance)
+}
+
+// notifyUpdated tells update-observing runtime services about a
+// dynamic customization of this instance.
+func (in *Instance) notifyUpdated() {
+	for _, svc := range in.engine.snapshotServices() {
+		if o, ok := svc.(InstanceUpdateObserver); ok {
+			o.InstanceUpdated(in)
+		}
+	}
 }
 
 // AdjustInvokeTimeout raises (or changes) the timeout of the named
@@ -302,15 +323,18 @@ func (in *Instance) ApplyUpdate(u *TreeUpdate) error {
 // retries (§3.1(3)).
 func (in *Instance) AdjustInvokeTimeout(activity string, d time.Duration) error {
 	in.mu.Lock()
-	defer in.mu.Unlock()
 	a := FindActivity(in.root, activity)
 	if a == nil {
+		in.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrActivityNotFound, activity)
 	}
 	inv, ok := a.(*Invoke)
 	if !ok {
+		in.mu.Unlock()
 		return fmt.Errorf("workflow: activity %q is a %s, not an invoke", activity, a.Kind())
 	}
 	inv.SetTimeout(d)
+	in.mu.Unlock()
+	in.notifyUpdated()
 	return nil
 }

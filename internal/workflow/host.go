@@ -24,6 +24,10 @@ type ProcessHost struct {
 	Definition string
 	// InputVar receives the request payload.
 	InputVar string
+	// Defaults seeds additional variables before InputVar is bound —
+	// for processes whose later activities need inputs the initiating
+	// request does not carry.
+	Defaults map[string]*xmltree.Element
 	// OutputVar supplies the response payload; empty returns an
 	// acknowledgement element instead.
 	OutputVar string
@@ -39,6 +43,9 @@ func (h *ProcessHost) Serve(ctx context.Context, req *soap.Envelope) (*soap.Enve
 		return soap.NewFaultEnvelope(soap.FaultClient, "process host: empty request"), nil
 	}
 	inputs := map[string]*xmltree.Element{}
+	for name, val := range h.Defaults {
+		inputs[name] = val.Copy()
+	}
 	if h.InputVar != "" {
 		inputs[h.InputVar] = req.Payload
 	}

@@ -1,0 +1,150 @@
+package workflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/masc-project/masc/internal/store"
+	"github.com/masc-project/masc/internal/telemetry"
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+// SpaceInstances is the store space holding one checkpoint document
+// per process instance, keyed by instance ID.
+const SpaceInstances = "instance"
+
+// PersistenceService is the durable realization of the WF built-in
+// Persistence runtime service (§2.1): it journals every instance's
+// lifecycle through the store — creation, each activity-boundary
+// checkpoint, applied dynamic customizations, and the terminal state
+// — as the instanceSnapshot XML round-trip (ActivityToXML /
+// ParseActivity), so suspended and running instances can be rebuilt
+// after a middleware crash.
+type PersistenceService struct {
+	NopRuntimeService
+	st  *store.Store
+	log *telemetry.Logger
+
+	recovered *telemetry.Gauge
+	saves     *telemetry.CounterVec
+}
+
+var _ RuntimeService = (*PersistenceService)(nil)
+var _ InstanceUpdateObserver = (*PersistenceService)(nil)
+
+// NewPersistenceService builds a persistence service journaling into
+// st. Telemetry (optional) records checkpoint outcomes and the
+// recovered-instance gauge.
+func NewPersistenceService(st *store.Store, tel *telemetry.Telemetry) *PersistenceService {
+	reg := tel.Registry()
+	return &PersistenceService{
+		st:  st,
+		log: tel.Logger("persistence"),
+		recovered: reg.Gauge("masc_store_recovered_instances",
+			"Process instances rebuilt from the store at the last recovery.").With(),
+		saves: reg.Counter("masc_store_instance_checkpoints_total",
+			"Instance checkpoints journaled to the store.", "outcome"),
+	}
+}
+
+// Attach registers the service with an engine so every subsequent
+// instance is journaled.
+func (p *PersistenceService) Attach(e *Engine) { e.AddRuntimeService(p) }
+
+// InstanceCreated journals the initial checkpoint (after static
+// customization).
+func (p *PersistenceService) InstanceCreated(inst *Instance) { p.save(inst) }
+
+// ActivityCompleted journals a checkpoint at every activity boundary
+// — the finest-grained resumable position.
+func (p *PersistenceService) ActivityCompleted(inst *Instance, _ Activity, _ error) { p.save(inst) }
+
+// InstanceUpdated journals applied dynamic customizations so a
+// recovered instance resumes with its adapted tree, not the deployed
+// definition.
+func (p *PersistenceService) InstanceUpdated(inst *Instance) { p.save(inst) }
+
+// InstanceFinished journals the terminal state. The record is kept
+// (not deleted) so operators can audit completed instances across
+// restarts; compaction folds it into the next snapshot.
+func (p *PersistenceService) InstanceFinished(inst *Instance, _ State, _ error) { p.save(inst) }
+
+func (p *PersistenceService) save(inst *Instance) {
+	doc := inst.CheckpointXML()
+	text, err := xmltree.MarshalString(doc)
+	if err == nil {
+		err = p.st.Put(SpaceInstances, inst.ID(), []byte(text))
+	}
+	if err != nil {
+		p.saves.With("error").Inc()
+		p.log.Conversation(inst.ID()).Warn("instance checkpoint failed",
+			"instance", inst.ID(), "error", err.Error())
+		return
+	}
+	p.saves.With("ok").Inc()
+}
+
+// Forget removes an instance's durable record (e.g. after an operator
+// acknowledges a completed instance).
+func (p *PersistenceService) Forget(id string) error {
+	return p.st.Delete(SpaceInstances, id)
+}
+
+// RecoveryReport summarizes what Recover rebuilt.
+type RecoveryReport struct {
+	// Recovered lists non-terminal instances restored into the engine
+	// (suspended; Resume + Run continues them), sorted by ID.
+	Recovered []string `json:"recovered"`
+	// Terminal counts records of already-finished instances.
+	Terminal int `json:"terminal"`
+	// Failed counts undecodable records that were skipped.
+	Failed int `json:"failed"`
+}
+
+// Recover rebuilds every non-terminal journaled instance into the
+// engine. Restored instances come back suspended at their last
+// checkpoint; the caller (or the mascd resume API) releases them.
+func (p *PersistenceService) Recover(e *Engine) (RecoveryReport, error) {
+	var rep RecoveryReport
+	for id, raw := range p.st.List(SpaceInstances) {
+		doc, err := xmltree.Parse(strings.NewReader(string(raw)))
+		if err != nil {
+			rep.Failed++
+			p.log.Warn("skipping undecodable instance record",
+				"instance", id, "error", err.Error())
+			continue
+		}
+		if stateTerminal(doc.AttrValue("", "state")) {
+			// Kept as the audit trail, not restored — but still claim
+			// the ID so a post-recovery instance cannot reuse it and
+			// overwrite the terminal record.
+			e.reserveInstanceID(id)
+			rep.Terminal++
+			continue
+		}
+		inst, err := e.Restore(doc)
+		if err != nil {
+			rep.Failed++
+			p.log.Warn("instance restore failed",
+				"instance", id, "error", err.Error())
+			continue
+		}
+		rep.Recovered = append(rep.Recovered, inst.ID())
+	}
+	sort.Strings(rep.Recovered)
+	p.recovered.Set(float64(len(rep.Recovered)))
+	if len(rep.Recovered) > 0 || rep.Terminal > 0 || rep.Failed > 0 {
+		p.log.Info(fmt.Sprintf("recovered %d instance(s) from %s", len(rep.Recovered), p.st.Dir()),
+			"recovered", fmt.Sprint(len(rep.Recovered)),
+			"terminal", fmt.Sprint(rep.Terminal),
+			"failed", fmt.Sprint(rep.Failed))
+	}
+	return rep, nil
+}
+
+// stateTerminal maps a persisted state label onto State.Terminal
+// without requiring a parse round-trip.
+func stateTerminal(s string) bool {
+	return s == StateCompleted.String() || s == StateFaulted.String() || s == StateTerminated.String()
+}

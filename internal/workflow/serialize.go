@@ -3,6 +3,7 @@ package workflow
 import (
 	"fmt"
 	"strconv"
+	"strings"
 
 	"github.com/masc-project/masc/internal/xmltree"
 )
@@ -152,11 +153,27 @@ func (in *Instance) Snapshot() (*xmltree.Element, error) {
 	if !quiescent {
 		return nil, fmt.Errorf("%w: instance %s is %s; suspend before snapshotting", ErrBadState, in.id, in.state)
 	}
+	return in.snapshotLocked(), nil
+}
 
+// CheckpointXML captures the instance's state without requiring
+// quiescence. Unlike Snapshot it may run while the instance executes;
+// the result is consistent as of the moment the instance lock is held
+// — the persistence runtime service calls it from activity-boundary
+// hooks, where the captured completion marks always describe a
+// resumable position.
+func (in *Instance) CheckpointXML() *xmltree.Element {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.snapshotLocked()
+}
+
+func (in *Instance) snapshotLocked() *xmltree.Element {
 	root := xmltree.New(Namespace, "instanceSnapshot")
 	root.SetAttr("", "id", in.id)
 	root.SetAttr("", "definition", in.defName)
 	root.SetAttr("", "adaptationState", in.adaptState)
+	root.SetAttr("", "state", in.state.String())
 
 	tree := xmltree.New(Namespace, "tree")
 	tree.Append(ActivityToXML(in.root))
@@ -181,7 +198,7 @@ func (in *Instance) Snapshot() (*xmltree.Element, error) {
 		vars.Append(ve)
 	}
 	root.Append(vars)
-	return root, nil
+	return root
 }
 
 // Restore rebuilds a suspended instance from a snapshot. The restored
@@ -213,11 +230,15 @@ func (e *Engine) Restore(snapshot *xmltree.Element) (*Instance, error) {
 		e.mu.Lock()
 	}
 	e.mu.Unlock()
+	e.reserveInstanceID(id)
 
 	def := &Definition{name: defName, root: root}
 	inst := newInstance(e, id, def, nil)
 	inst.adaptState = snapshot.AttrValue("", "adaptationState")
-	inst.control = controlSuspend // restored instances start suspended
+	// Restored instances start suspended: they hold at the first
+	// activity boundary until an explicit Resume releases them.
+	inst.control = controlSuspend
+	inst.state = StateSuspended
 
 	if done := snapshot.Child("", "completed"); done != nil {
 		for _, a := range done.ChildrenNamed("", "activity") {
@@ -236,4 +257,37 @@ func (e *Engine) Restore(snapshot *xmltree.Element) (*Instance, error) {
 	e.instances[id] = inst
 	e.mu.Unlock()
 	return inst, nil
+}
+
+// reserveInstanceID advances the engine's ID sequence past an
+// engine-generated ID seen in durable state, so instances created
+// after recovery cannot collide with recovered ones — or overwrite
+// the terminal records kept as the audit trail.
+func (e *Engine) reserveInstanceID(id string) {
+	if n, ok := numericIDSuffix(id); ok {
+		for {
+			cur := e.instSeq.Load()
+			if cur >= n || e.instSeq.CompareAndSwap(cur, n) {
+				break
+			}
+		}
+	}
+}
+
+// numericIDSuffix extracts the numeric part of an engine-generated
+// instance ID ("proc-17" or "proc-17r" → 17).
+func numericIDSuffix(id string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(id, "proc-")
+	if !ok {
+		return 0, false
+	}
+	end := 0
+	for end < len(rest) && rest[end] >= '0' && rest[end] <= '9' {
+		end++
+	}
+	if end == 0 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest[:end], 10, 64)
+	return n, err == nil
 }

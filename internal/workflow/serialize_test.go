@@ -135,7 +135,7 @@ func TestSnapshotRestoreResumesMidProcess(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if restored.State() != StateCreated {
+	if restored.State() != StateSuspended {
 		t.Fatalf("restored state = %s", restored.State())
 	}
 	if v, ok := restored.GetVar("order"); !ok || v.ChildText("", "v") != "7" {
