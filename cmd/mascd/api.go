@@ -9,6 +9,7 @@ import (
 
 	"github.com/masc-project/masc/internal/bus"
 	"github.com/masc-project/masc/internal/telemetry"
+	"github.com/masc-project/masc/internal/telemetry/flightrec"
 )
 
 // apiPrefix is the versioned management API root. The unversioned
@@ -30,11 +31,63 @@ func (d *daemon) apiRoutes(mux *http.ServeMux) {
 	handle("/logs", telemetry.JournalHandler(d.tel.Logs(), telemetry.KindLog, telemetry.KindAudit))
 	handle("/messages", telemetry.JournalHandler(d.tel.Logs(), telemetry.KindMessage))
 	handle("/healthz", http.HandlerFunc(d.healthz))
-	handle("/readyz", http.HandlerFunc(d.readyz))
+	// readyz is mounted without the error envelope: its 503 carries a
+	// structured readiness report ({status, reasons, veps}), not an
+	// error, and probes parse that body.
+	mux.Handle(apiPrefix+"/readyz", http.HandlerFunc(d.readyz))
 	handle("/veps", http.HandlerFunc(d.vepsIndex))
 	handle("/veps/", http.HandlerFunc(d.vepManage))
 	handle("/instances", http.HandlerFunc(d.instancesIndex))
 	handle("/instances/", http.HandlerFunc(d.instanceManage))
+	handle("/slo", http.HandlerFunc(d.sloReport))
+	handle("/flightrec", http.HandlerFunc(d.flightrecIndex))
+	handle("/flightrec/", http.HandlerFunc(d.flightrecGet))
+}
+
+// sloReport serves GET /api/v1/slo: derived objectives, per-window
+// burn rates, and remaining error budget for every tracked VEP.
+func (d *daemon) sloReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeAPIError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, d.slo.Status())
+}
+
+// flightrecIndex serves GET /api/v1/flightrec: stored fault bundles,
+// newest first (empty when no flight recorder is attached, i.e. the
+// daemon runs without -data-dir).
+func (d *daemon) flightrecIndex(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeAPIError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	summaries := d.flight.List()
+	if summaries == nil {
+		summaries = []flightrec.Summary{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Bundles []flightrec.Summary `json:"bundles"`
+	}{summaries})
+}
+
+// flightrecGet serves GET /api/v1/flightrec/{id}: one full bundle.
+func (d *daemon) flightrecGet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeAPIError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, apiPrefix+"/flightrec/")
+	if id == "" {
+		d.flightrecIndex(w, r)
+		return
+	}
+	bundle, ok := d.flight.Get(id)
+	if !ok {
+		writeAPIError(w, http.StatusNotFound, "no such bundle: "+id)
+		return
+	}
+	writeJSON(w, http.StatusOK, bundle)
 }
 
 // writeAPIError emits the uniform error envelope.

@@ -20,7 +20,17 @@
 //	/api/v1/healthz        JSON liveness (version, uptime, VEP and
 //	                       policy counts, per-VEP latency quantiles)
 //	/api/v1/readyz         per-backend VEP health from the QoS tracker
-//	                       (503 when a VEP has no healthy backend)
+//	                       (503 with JSON reasons when a VEP has no
+//	                       healthy backend, every backend of a VEP has
+//	                       an open circuit breaker, or an SLO is
+//	                       burning its error budget)
+//	/api/v1/slo            SLO report: objectives derived from the
+//	                       monitoring policies, rolling error budgets,
+//	                       and 5m/1h burn rates per VEP
+//	/api/v1/flightrec      flight-recorder bundles captured on
+//	                       classified faults / SLA violations (requires
+//	                       -data-dir); /api/v1/flightrec/{id} fetches
+//	                       one correlated bundle
 //	/api/v1/veps           VEP listing with services, protection
 //	                       status, and circuit-breaker states
 //	/api/v1/veps/{name}/services  runtime service (de)registration
@@ -57,6 +67,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -70,6 +81,8 @@ import (
 	"github.com/masc-project/masc/internal/soap"
 	"github.com/masc-project/masc/internal/store"
 	"github.com/masc-project/masc/internal/telemetry"
+	"github.com/masc-project/masc/internal/telemetry/flightrec"
+	"github.com/masc-project/masc/internal/telemetry/slo"
 	"github.com/masc-project/masc/internal/transport"
 	"github.com/masc-project/masc/internal/version"
 	"github.com/masc-project/masc/internal/workflow"
@@ -98,6 +111,8 @@ func run(args []string) error {
 	policyPath := ""
 	dataDir := ""
 	syncMode := "batched"
+	exportURL := ""
+	exportInterval := 15 * time.Second
 	debug := false
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
@@ -125,6 +140,22 @@ func run(args []string) error {
 				return fmt.Errorf("-sync needs a mode (always, batched, off)")
 			}
 			syncMode = args[i]
+		case "-export-url":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-export-url needs a URL")
+			}
+			exportURL = args[i]
+		case "-export-interval":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-export-interval needs a duration")
+			}
+			iv, err := time.ParseDuration(args[i])
+			if err != nil {
+				return fmt.Errorf("-export-interval: %w", err)
+			}
+			exportInterval = iv
 		case "-debug":
 			debug = true
 		case "-version":
@@ -195,6 +226,63 @@ func run(args []string) error {
 		return err
 	}
 
+	// Self-observation plane: SLO targets derived from the monitoring
+	// policies (falling back to 99% availability per VEP), runtime
+	// metrics for allocation pressure, and — with -data-dir — the fault
+	// flight recorder.
+	telemetry.NewRuntimeCollector(tel.Registry())
+	var subjects []string
+	for _, name := range gateway.VEPs() {
+		subjects = append(subjects, bus.SubjectPrefix+name)
+	}
+	d.slo = slo.NewEngine(
+		slo.DeriveObjectives(repo, subjects, slo.Objective{Availability: 0.99}),
+		slo.Options{Registry: tel.Registry(), Journal: tel.Logs()})
+	gateway.SetInvocationObserver(d.slo)
+	sloStop := make(chan struct{})
+	defer close(sloStop)
+	go func() {
+		t := time.NewTicker(10 * time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-sloStop:
+				return
+			case <-t.C:
+				d.slo.Tick()
+			}
+		}
+	}()
+
+	if dataDir != "" {
+		rec, err := flightrec.New(flightrec.Options{
+			Dir:       filepath.Join(dataDir, "flightrec"),
+			Telemetry: tel,
+			SLOState:  func() interface{} { return d.slo.Status() },
+		})
+		if err != nil {
+			return err
+		}
+		rec.Attach(events)
+		d.flight = rec
+		defer rec.Close()
+	}
+
+	if exportURL != "" {
+		exp := telemetry.NewExporter(tel.Registry(), telemetry.ExporterOptions{
+			URL:      exportURL,
+			Interval: exportInterval,
+			Node:     listen,
+			Version:  version.Version,
+			Extra: func() map[string]interface{} {
+				return map[string]interface{}{"slo": d.slo.Status()}
+			},
+			Logger: tel.Logger("export"),
+		})
+		exp.Start()
+		defer exp.Stop()
+	}
+
 	// Process layer: the OrderingProcess composition runs over the
 	// gateway; with -data-dir its instances (and the retry queue / DLQ)
 	// survive restarts, and interrupted instances are rebuilt here.
@@ -252,6 +340,8 @@ type daemon struct {
 	st       *store.Store
 	persist  *workflow.PersistenceService
 	recovery workflow.RecoveryReport
+	slo      *slo.Engine
+	flight   *flightrec.Recorder
 
 	inflight  sync.WaitGroup
 	inflightN atomic.Int64
@@ -394,25 +484,30 @@ type backendHealth struct {
 
 // vepReadiness is one VEP's readiness: it is ready when at least one
 // backend is healthy (unmeasured backends get the benefit of the
-// doubt; measured ones must have succeeded at least once).
+// doubt; measured ones must have succeeded at least once) and at
+// least one backend's circuit breaker admits traffic.
 type vepReadiness struct {
-	VEP      string          `json:"vep"`
-	Ready    bool            `json:"ready"`
-	Backends []backendHealth `json:"backends"`
+	VEP      string            `json:"vep"`
+	Ready    bool              `json:"ready"`
+	Backends []backendHealth   `json:"backends"`
+	Breakers map[string]string `json:"breakers,omitempty"`
 }
 
-// readyz reports readiness from real per-backend QoS measurements:
-// 200 when every VEP has a healthy backend, 503 otherwise.
+// readyz reports readiness from real per-backend QoS measurements,
+// circuit-breaker state, and the SLO engine: 200 when every VEP has a
+// healthy, admitting backend and no SLO is burning its error budget;
+// 503 with the JSON reasons otherwise.
 func (d *daemon) readyz(w http.ResponseWriter, _ *http.Request) {
 	tracker := d.gateway.Tracker()
-	ready := true
+	var reasons []string
 	var veps []vepReadiness
 	for _, name := range d.gateway.VEPs() {
 		vep, err := d.gateway.VEP(name)
 		if err != nil {
 			continue
 		}
-		vr := vepReadiness{VEP: name}
+		vr := vepReadiness{VEP: name, Breakers: vep.BreakerStates()}
+		healthy := false
 		for _, addr := range vep.Services() {
 			snap := tracker.Snapshot(addr)
 			bh := backendHealth{
@@ -425,24 +520,43 @@ func (d *daemon) readyz(w http.ResponseWriter, _ *http.Request) {
 			}
 			vr.Backends = append(vr.Backends, bh)
 			if !bh.Measured || bh.Reliability > 0 {
-				vr.Ready = true
+				healthy = true
 			}
 		}
-		if !vr.Ready {
-			ready = false
+		if !healthy {
+			reasons = append(reasons, fmt.Sprintf("vep %s: no healthy backend", name))
 		}
+		// Every backend behind an open breaker means selection has
+		// nothing to route to, regardless of measured QoS.
+		admitting := len(vr.Breakers) == 0
+		for _, state := range vr.Breakers {
+			if state != "open" {
+				admitting = true
+				break
+			}
+		}
+		if !admitting {
+			reasons = append(reasons, fmt.Sprintf("vep %s: every backend's circuit breaker is open", name))
+		}
+		vr.Ready = healthy && admitting
 		veps = append(veps, vr)
+	}
+	burning := d.slo.Burning()
+	for _, subject := range burning {
+		reasons = append(reasons, fmt.Sprintf("slo %s: error budget burning", subject))
 	}
 	code := http.StatusOK
 	status := "ready"
-	if !ready {
+	if len(reasons) > 0 {
 		code = http.StatusServiceUnavailable
 		status = "degraded"
 	}
 	writeJSON(w, code, struct {
-		Status string         `json:"status"`
-		VEPs   []vepReadiness `json:"veps"`
-	}{Status: status, VEPs: veps})
+		Status     string         `json:"status"`
+		Reasons    []string       `json:"reasons,omitempty"`
+		SLOBurning []string       `json:"slo_burning,omitempty"`
+		VEPs       []vepReadiness `json:"veps"`
+	}{Status: status, Reasons: reasons, SLOBurning: burning, VEPs: veps})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {

@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 
 	"github.com/masc-project/masc/internal/experiments"
+	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/version"
 )
 
@@ -71,6 +72,17 @@ type benchReport struct {
 	Hedge      []experiments.HedgePoint      `json:"hedge,omitempty"`
 	Persist    []experiments.PersistPoint    `json:"persist,omitempty"`
 	Ablations  *ablationReport               `json:"ablations,omitempty"`
+	// Runtime captures the bench process's allocation and GC pressure
+	// across the whole run, so BENCH_*.json tracks hot-path allocation
+	// regressions alongside throughput.
+	Runtime *runtimeReport `json:"runtime,omitempty"`
+}
+
+// runtimeReport is the allocation-pressure section of -bench-json.
+type runtimeReport struct {
+	Before telemetry.RuntimeSnapshot `json:"before"`
+	After  telemetry.RuntimeSnapshot `json:"after"`
+	Delta  telemetry.RuntimeDelta    `json:"delta"`
 }
 
 type ablationReport struct {
@@ -97,6 +109,7 @@ func run(table1, figure5, throughput, hedge, persist, ablations bool, requests i
 	}
 
 	report := benchReport{Version: version.Version, Requests: requests, Seed: seed}
+	runtimeBefore := telemetry.CaptureRuntime()
 
 	if table1 {
 		rows, err := experiments.RunTable1(experiments.Table1Config{Requests: requests, Seed: seed})
@@ -193,6 +206,12 @@ func run(table1, figure5, throughput, hedge, persist, ablations bool, requests i
 			Reparse:    rep,
 			Listener:   lis,
 		}
+	}
+	runtimeAfter := telemetry.CaptureRuntime()
+	report.Runtime = &runtimeReport{
+		Before: runtimeBefore,
+		After:  runtimeAfter,
+		Delta:  runtimeAfter.DeltaSince(runtimeBefore),
 	}
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

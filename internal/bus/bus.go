@@ -28,6 +28,16 @@ var (
 	ErrDuplicateVEP = errors.New("bus: duplicate virtual endpoint")
 )
 
+// InvocationObserver receives the outcome of every mediated VEP
+// invocation — subject ("vep:Name"), success per the monitor's fault
+// classification, and end-to-end latency. It is the hook the SLO
+// engine attaches through; defined here so the bus stays decoupled
+// from the SLO layer. Implementations must be cheap and non-blocking:
+// they run on the invocation hot path.
+type InvocationObserver interface {
+	Observe(subject string, ok bool, latency time.Duration)
+}
+
 // ProcessAdapter is the bridge wsBus uses to enact process-layer
 // actions and consult process state — implemented by the MASC core's
 // adaptation service. It realizes the cross-layer coordination of
@@ -70,6 +80,7 @@ type Bus struct {
 	journal      *telemetry.Journal
 	log          *telemetry.Logger
 	convIDs      *soap.IDGenerator
+	observer     InvocationObserver
 
 	mu      sync.RWMutex
 	veps    map[string]*VEP
@@ -130,6 +141,12 @@ func WithTelemetry(tel *telemetry.Telemetry) Option {
 // policies per decision (ablation hook; see DESIGN.md §5.1).
 func WithPolicySource(src func() *policy.Repository) Option {
 	return func(b *Bus) { b.policySource = src }
+}
+
+// WithInvocationObserver attaches an observer notified of every
+// mediated invocation's outcome (the SLO engine's feed).
+func WithInvocationObserver(o InvocationObserver) Option {
+	return func(b *Bus) { b.observer = o }
 }
 
 // WithStore attaches the durable state store: retry queues built via
@@ -199,6 +216,13 @@ func (b *Bus) Clock() clock.Clock { return b.clk }
 // construction (the core wires itself in once the engine exists).
 func (b *Bus) SetProcessAdapter(pa ProcessAdapter) {
 	b.procAdapter = pa
+}
+
+// SetInvocationObserver installs the invocation observer after
+// construction — the SLO engine is typically derived from the policy
+// repository once the VEPs exist. Call before serving traffic.
+func (b *Bus) SetInvocationObserver(o InvocationObserver) {
+	b.observer = o
 }
 
 // CreateVEP creates and registers a virtual endpoint.

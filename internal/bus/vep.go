@@ -302,6 +302,9 @@ func (v *VEP) Invoke(ctx context.Context, _ string, req *soap.Envelope) (*soap.E
 		outcome = "fault"
 	}
 	v.bus.met.invocations.With(v.name, op, outcome).Inc()
+	if obs := v.bus.observer; obs != nil {
+		obs.Observe(v.Subject(), outcome == "ok", dur)
+	}
 	if resp != nil && conv != "" && resp.Header(soap.NamespaceMASC, ConversationHeader) == nil {
 		SetConversationID(resp, conv)
 	}

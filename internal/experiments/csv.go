@@ -82,7 +82,7 @@ func WriteHedgeCSV(w io.Writer, points []HedgePoint) error {
 // WritePersistCSV emits the durability-overhead comparison as CSV.
 func WritePersistCSV(w io.Writer, points []PersistPoint) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"mode", "instances", "failures", "throughput_ips", "overhead_pct", "mean_us", "p50_us", "p95_us", "wal_bytes", "records", "fsyncs"}); err != nil {
+	if err := cw.Write([]string{"mode", "instances", "failures", "throughput_ips", "overhead_pct", "mean_us", "p50_us", "p95_us", "wal_bytes", "records", "fsyncs", "fsync_p50_us", "fsync_p99_us", "commit_batch_mean", "checkpoints", "checkpoint_bytes_mean", "alloc_bytes", "gc_pause_ns"}); err != nil {
 		return err
 	}
 	for _, p := range points {
@@ -98,6 +98,13 @@ func WritePersistCSV(w io.Writer, points []PersistPoint) error {
 			strconv.FormatInt(p.WALBytes, 10),
 			strconv.FormatUint(p.Records, 10),
 			strconv.FormatUint(p.Fsyncs, 10),
+			strconv.FormatInt(p.FsyncP50.Microseconds(), 10),
+			strconv.FormatInt(p.FsyncP99.Microseconds(), 10),
+			fmt.Sprintf("%.1f", p.CommitBatchMean),
+			strconv.FormatUint(p.Checkpoints, 10),
+			fmt.Sprintf("%.0f", p.CheckpointBytesMean),
+			strconv.FormatUint(p.Runtime.AllocBytes, 10),
+			strconv.FormatUint(p.Runtime.GCPauseNS, 10),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -79,6 +79,20 @@ type PersistPoint struct {
 	WALBytes int64
 	Records  uint64
 	Fsyncs   uint64
+	// FsyncP50 and FsyncP99 summarize the masc_store_fsync_seconds
+	// histogram — the per-flush disk latency the checkpoint fast path
+	// must beat (zero in mode "none").
+	FsyncP50, FsyncP99 time.Duration
+	// CommitBatchMean is the mean group-commit batch size (records per
+	// durability point) from masc_store_commit_batch_records.
+	CommitBatchMean float64
+	// Checkpoints and CheckpointBytesMean summarize the
+	// masc_store_checkpoint_bytes histogram: how many instance
+	// checkpoints were serialized and their mean size.
+	Checkpoints         uint64
+	CheckpointBytesMean float64
+	// Runtime is the allocation/GC cost of the measured run.
+	Runtime telemetry.RuntimeDelta
 }
 
 // persistProcessXML is the measured composition: browse then order
@@ -204,11 +218,13 @@ func runPersistMode(cfg PersistConfig, mode, parent string) (PersistPoint, error
 		}
 		return nil
 	}
+	before := telemetry.CaptureRuntime()
 	summary := loadgen.Run(context.Background(), loadgen.Config{
 		Clients:           cfg.Clients,
 		RequestsPerClient: cfg.Instances / cfg.Clients,
 		WarmupPerClient:   5,
 	}, op)
+	runtimeDelta := telemetry.CaptureRuntime().DeltaSince(before)
 
 	p := PersistPoint{
 		Mode:       mode,
@@ -219,11 +235,27 @@ func runPersistMode(cfg PersistConfig, mode, parent string) (PersistPoint, error
 		P50:        summary.P50,
 		P95:        summary.P95,
 	}
+	p.Runtime = runtimeDelta
 	if st != nil {
 		stats := st.Stats()
 		p.WALBytes = stats.WALBytes
 		p.Records = stats.Records
 		p.Fsyncs = stats.Fsyncs
+		// Registering a family again returns the same series, so the
+		// run's histograms can be read back without new registry API.
+		reg := tel.Registry()
+		fsyncH := reg.Histogram("masc_store_fsync_seconds", "", telemetry.DefSyncBuckets).With()
+		p.FsyncP50 = time.Duration(fsyncH.Quantile(0.50) * float64(time.Second))
+		p.FsyncP99 = time.Duration(fsyncH.Quantile(0.99) * float64(time.Second))
+		batchH := reg.Histogram("masc_store_commit_batch_records", "", telemetry.DefCountBuckets).With()
+		if n := batchH.Count(); n > 0 {
+			p.CommitBatchMean = batchH.Sum() / float64(n)
+		}
+		ckptH := reg.Histogram("masc_store_checkpoint_bytes", "", telemetry.DefByteBuckets).With()
+		p.Checkpoints = ckptH.Count()
+		if p.Checkpoints > 0 {
+			p.CheckpointBytesMean = ckptH.Sum() / float64(p.Checkpoints)
+		}
 	}
 	return p, nil
 }
@@ -232,13 +264,13 @@ func runPersistMode(cfg PersistConfig, mode, parent string) (PersistPoint, error
 func FormatPersist(points []PersistPoint) string {
 	var sb strings.Builder
 	sb.WriteString("Durable checkpointing: process throughput vs store fsync policy\n")
-	sb.WriteString(fmt.Sprintf("  %-9s %-10s %-10s %-12s %-12s %-9s %-12s %-10s %s\n",
-		"mode", "inst/s", "loss", "mean", "p95", "fsyncs", "wal_bytes", "records", "failures"))
+	sb.WriteString(fmt.Sprintf("  %-9s %-10s %-10s %-12s %-12s %-9s %-12s %-10s %-10s %-8s %s\n",
+		"mode", "inst/s", "loss", "mean", "p95", "fsyncs", "wal_bytes", "records", "fsync_p99", "batch", "failures"))
 	for _, p := range points {
-		sb.WriteString(fmt.Sprintf("  %-9s %-10.1f %-10s %-12v %-12v %-9d %-12d %-10d %d\n",
+		sb.WriteString(fmt.Sprintf("  %-9s %-10.1f %-10s %-12v %-12v %-9d %-12d %-10d %-10v %-8.1f %d\n",
 			p.Mode, p.Throughput, fmt.Sprintf("%.1f%%", p.OverheadPct),
 			p.Mean.Round(1000), p.P95.Round(1000), p.Fsyncs, p.WALBytes,
-			p.Records, p.Failures))
+			p.Records, p.FsyncP99.Round(1000), p.CommitBatchMean, p.Failures))
 	}
 	return sb.String()
 }

@@ -1,0 +1,109 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/masc-project/masc/internal/telemetry"
+)
+
+// readHistogram reads back a registered histogram series; registering
+// the same family again returns the same series.
+func readHistogram(reg *telemetry.Registry, name string, buckets []float64) *telemetry.Histogram {
+	return reg.Histogram(name, "", buckets).With()
+}
+
+func TestStoreInstrumentationHistograms(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := mustOpen(t, t.TempDir(), Options{Sync: SyncAlways, Metrics: reg})
+	payload := bytes.Repeat([]byte("x"), 512)
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := s.Put("bench", fmt.Sprintf("k%03d", i), payload); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	fsync := readHistogram(reg, "masc_store_fsync_seconds", telemetry.DefSyncBuckets)
+	if fsync.Count() == 0 {
+		t.Fatal("masc_store_fsync_seconds unpopulated under SyncAlways")
+	}
+	// Real wall-clock latency: positive sum, sane magnitude (< 1s/flush).
+	if fsync.Sum() <= 0 || fsync.Sum() > float64(fsync.Count()) {
+		t.Fatalf("fsync sum = %v over %d flushes", fsync.Sum(), fsync.Count())
+	}
+
+	batch := readHistogram(reg, "masc_store_commit_batch_records", telemetry.DefCountBuckets)
+	if batch.Count() == 0 {
+		t.Fatal("masc_store_commit_batch_records unpopulated")
+	}
+	// SyncAlways commits each record individually, so the total batched
+	// record count equals the records written.
+	if got := batch.Sum(); got < n {
+		t.Fatalf("batched records = %v, want >= %d", got, n)
+	}
+
+	rb := readHistogram(reg, "masc_store_record_bytes", telemetry.DefByteBuckets)
+	if rb.Count() < n {
+		t.Fatalf("masc_store_record_bytes count = %d, want >= %d", rb.Count(), n)
+	}
+	if rb.Sum() < float64(n*len(payload)) {
+		t.Fatalf("record bytes sum = %v, want >= %d", rb.Sum(), n*len(payload))
+	}
+}
+
+func TestSegmentRotationCounter(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	// Tiny segments force rotation almost immediately.
+	s := mustOpen(t, t.TempDir(), Options{
+		Sync:          SyncNever,
+		SegmentBytes:  1024,
+		SnapshotEvery: -1,
+		Metrics:       reg,
+	})
+	payload := bytes.Repeat([]byte("y"), 256)
+	for i := 0; i < 40; i++ {
+		if err := s.Put("bench", fmt.Sprintf("k%03d", i), payload); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	var rotations float64
+	for _, f := range reg.Snapshot() {
+		if f.Name == "masc_store_segment_rotations_total" {
+			for _, smp := range f.Samples {
+				rotations += smp.Value
+			}
+		}
+	}
+	if rotations == 0 {
+		t.Fatal("masc_store_segment_rotations_total = 0 after forced rotations")
+	}
+}
+
+func TestBatchedCommitObservesBatchSizes(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := mustOpen(t, t.TempDir(), Options{Sync: SyncBatched, Metrics: reg})
+	for i := 0; i < 10; i++ {
+		if err := s.Put("bench", fmt.Sprintf("k%03d", i), []byte("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	batch := readHistogram(reg, "masc_store_commit_batch_records", telemetry.DefCountBuckets)
+	if batch.Count() == 0 || batch.Sum() < 10 {
+		t.Fatalf("batch histogram: count=%d sum=%v, want all 10 records batched",
+			batch.Count(), batch.Sum())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

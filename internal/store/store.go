@@ -167,12 +167,16 @@ type Store struct {
 
 // storeMetrics are the telemetry handles (nil-safe when unwired).
 type storeMetrics struct {
-	walBytes    *telemetry.Gauge
-	fsyncsTotal *telemetry.Counter
-	records     *telemetry.CounterVec
-	snapshots   *telemetry.Counter
-	snapshotAge *telemetry.Gauge
-	segments    *telemetry.Gauge
+	walBytes     *telemetry.Gauge
+	fsyncsTotal  *telemetry.Counter
+	records      *telemetry.CounterVec
+	snapshots    *telemetry.Counter
+	snapshotAge  *telemetry.Gauge
+	segments     *telemetry.Gauge
+	fsyncSeconds *telemetry.Histogram
+	commitBatch  *telemetry.Histogram
+	recordBytes  *telemetry.Histogram
+	rotations    *telemetry.Counter
 }
 
 func newStoreMetrics(reg *telemetry.Registry) storeMetrics {
@@ -189,6 +193,14 @@ func newStoreMetrics(reg *telemetry.Registry) storeMetrics {
 			"Seconds since the newest snapshot was written (updated on store activity).").With(),
 		segments: reg.Gauge("masc_store_segments",
 			"Live WAL segment files.").With(),
+		fsyncSeconds: reg.Histogram("masc_store_fsync_seconds",
+			"Latency of WAL segment fsync calls.", telemetry.DefSyncBuckets).With(),
+		commitBatch: reg.Histogram("masc_store_commit_batch_records",
+			"Records covered by one durability point (group-commit batch size).", telemetry.DefCountBuckets).With(),
+		recordBytes: reg.Histogram("masc_store_record_bytes",
+			"Encoded size of records appended to the write-ahead log.", telemetry.DefByteBuckets).With(),
+		rotations: reg.Counter("masc_store_segment_rotations_total",
+			"WAL segment rotations (size-triggered seals of the active segment).").With(),
 	}
 }
 
@@ -393,7 +405,7 @@ func (s *Store) mutate(rec record) error {
 	switch s.opts.Sync {
 	case SyncAlways:
 		err := s.fsyncLocked()
-		s.syncedSeq = s.writeSeq
+		s.markSyncedLocked()
 		s.mu.Unlock()
 		return err
 	case SyncNever:
@@ -420,6 +432,7 @@ func (s *Store) mutate(rec record) error {
 // rotating it when full. Callers hold s.mu.
 func (s *Store) appendLocked(rec record) error {
 	s.buf = appendRecord(s.buf[:0], rec)
+	s.met.recordBytes.Observe(float64(len(s.buf)))
 	n, err := s.seg.Write(s.buf)
 	s.segBytes += int64(n)
 	s.walBytes += int64(n)
@@ -442,11 +455,11 @@ func (s *Store) rotateLocked() error {
 	if err := s.fsyncLocked(); err != nil {
 		return err
 	}
-	s.syncedSeq = s.writeSeq
-	s.syncCond.Broadcast()
+	s.markSyncedLocked()
 	if err := s.seg.Close(); err != nil {
 		return err
 	}
+	s.met.rotations.Inc()
 	s.segIndex++
 	f, err := os.OpenFile(segmentPath(s.dir, s.segIndex), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -461,10 +474,24 @@ func (s *Store) rotateLocked() error {
 
 // fsyncLocked flushes the active segment to stable storage.
 func (s *Store) fsyncLocked() error {
+	start := time.Now()
 	err := s.seg.Sync()
+	s.met.fsyncSeconds.Observe(time.Since(start).Seconds())
 	s.fsyncs++
 	s.met.fsyncsTotal.Inc()
 	return err
+}
+
+// markSyncedLocked advances the durability point to the last written
+// record, recording how many records the flush covered (the
+// group-commit batch size) and waking every waiter it covered.
+// Callers hold s.mu.
+func (s *Store) markSyncedLocked() {
+	if batch := s.writeSeq - s.syncedSeq; batch > 0 {
+		s.met.commitBatch.Observe(float64(batch))
+	}
+	s.syncedSeq = s.writeSeq
+	s.syncCond.Broadcast()
 }
 
 // syncer is the batched-mode group-commit goroutine: it coalesces all
@@ -491,8 +518,7 @@ func (s *Store) syncer() {
 			if err := s.fsyncLocked(); err != nil && s.syncErr == nil {
 				s.syncErr = err
 			}
-			s.syncedSeq = s.writeSeq
-			s.syncCond.Broadcast()
+			s.markSyncedLocked()
 		}
 		s.mu.Unlock()
 	}
@@ -506,8 +532,7 @@ func (s *Store) Sync() error {
 		return ErrClosed
 	}
 	err := s.fsyncLocked()
-	s.syncedSeq = s.writeSeq
-	s.syncCond.Broadcast()
+	s.markSyncedLocked()
 	return err
 }
 
@@ -536,8 +561,7 @@ func (s *Store) snapshotLocked() error {
 	if err := s.fsyncLocked(); err != nil {
 		return err
 	}
-	s.syncedSeq = s.writeSeq
-	s.syncCond.Broadcast()
+	s.markSyncedLocked()
 	newMin := s.segIndex + 1
 	if err := writeSnapshotFile(s.dir, newMin, s.mem); err != nil {
 		return err
@@ -596,7 +620,7 @@ func (s *Store) close(flush bool) error {
 	var err error
 	if flush {
 		err = s.fsyncLocked()
-		s.syncedSeq = s.writeSeq
+		s.markSyncedLocked()
 	}
 	cerr := s.seg.Close()
 	if err == nil {

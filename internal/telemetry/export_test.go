@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotRendersAllKinds(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("masc_test_total", "A counter.", "outcome").With("ok").Add(3)
+	reg.Gauge("masc_test_gauge", "A gauge.").With().Set(1.5)
+	h := reg.Histogram("masc_test_seconds", "A histogram.", []float64{0.1, 1}).With()
+	h.Observe(0.05)
+	h.Observe(0.5)
+
+	byName := map[string]FamilySnapshot{}
+	for _, f := range reg.Snapshot() {
+		byName[f.Name] = f
+	}
+	c := byName["masc_test_total"]
+	if c.Kind != "counter" || len(c.Samples) != 1 || c.Samples[0].Value != 3 ||
+		c.Samples[0].Labels["outcome"] != "ok" {
+		t.Fatalf("counter snapshot = %+v", c)
+	}
+	g := byName["masc_test_gauge"]
+	if g.Kind != "gauge" || g.Samples[0].Value != 1.5 {
+		t.Fatalf("gauge snapshot = %+v", g)
+	}
+	hs := byName["masc_test_seconds"]
+	if hs.Kind != "histogram" || hs.Samples[0].Count != 2 || hs.Samples[0].Sum != 0.55 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+	// Buckets are cumulative: 0.05 lands in le=0.1, both in le=1.
+	b := hs.Samples[0].Buckets
+	if len(b) != 2 || b[0].Count != 1 || b[1].Count != 2 {
+		t.Fatalf("histogram buckets = %+v", b)
+	}
+}
+
+func TestSnapshotRunsCollectHooks(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("masc_test_hooked", "Hook-published gauge.").With()
+	reg.OnCollect(func() { g.Set(7) })
+	for _, f := range reg.Snapshot() {
+		if f.Name == "masc_test_hooked" && f.Samples[0].Value == 7 {
+			return
+		}
+	}
+	t.Fatal("collect hook did not run before snapshot")
+}
+
+func TestExporterPushesNDJSON(t *testing.T) {
+	var (
+		got  ExportPayload
+		ct   string
+		body string
+	)
+	done := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer close(done)
+		ct = r.Header.Get("Content-Type")
+		raw, _ := io.ReadAll(r.Body)
+		body = string(raw)
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Errorf("payload is not one JSON value: %v", err)
+		}
+	}))
+	defer srv.Close()
+
+	reg := NewRegistry()
+	reg.Counter("masc_test_total", "A counter.").With().Add(5)
+	exp := NewExporter(reg, ExporterOptions{
+		URL:     srv.URL,
+		Node:    "node-1:8080",
+		Version: "v-test",
+		Extra:   func() map[string]interface{} { return map[string]interface{}{"slo": "ok"} },
+	})
+	if err := exp.Push(); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("collector never received the push")
+	}
+
+	if ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.HasSuffix(body, "\n") || strings.Count(body, "\n") != 1 {
+		t.Fatalf("body is not one JSON line: %q", body)
+	}
+	if got.Node != "node-1:8080" || got.Version != "v-test" {
+		t.Fatalf("payload identity = %+v", got)
+	}
+	if got.Extra["slo"] != "ok" {
+		t.Fatalf("payload extra = %+v", got.Extra)
+	}
+	found := false
+	for _, f := range got.Metrics {
+		if f.Name == "masc_test_total" && f.Samples[0].Value == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pushed metrics missing the counter: %+v", got.Metrics)
+	}
+}
+
+func TestExporterCountsFailedPushes(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+
+	reg := NewRegistry()
+	exp := NewExporter(reg, ExporterOptions{URL: srv.URL})
+	if err := exp.Push(); err != nil {
+		t.Fatalf("Push on HTTP error should not error: %v", err)
+	}
+	var errors float64
+	for _, f := range reg.Snapshot() {
+		if f.Name != "masc_export_pushes_total" {
+			continue
+		}
+		for _, s := range f.Samples {
+			if s.Labels["outcome"] == "error" {
+				errors = s.Value
+			}
+		}
+	}
+	if errors != 1 {
+		t.Fatalf("masc_export_pushes_total{outcome=error} = %v, want 1", errors)
+	}
+}
+
+func TestExporterStartStop(t *testing.T) {
+	var hits int
+	mu := make(chan struct{}, 100)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu <- struct{}{}
+	}))
+	defer srv.Close()
+
+	exp := NewExporter(NewRegistry(), ExporterOptions{URL: srv.URL, Interval: 10 * time.Millisecond})
+	exp.Start()
+	deadline := time.After(5 * time.Second)
+	for hits < 2 {
+		select {
+		case <-mu:
+			hits++
+		case <-deadline:
+			t.Fatal("push loop never fired")
+		}
+	}
+	exp.Stop() // must not deadlock or panic
+}
+
+func TestRuntimeCollectorPublishesGauges(t *testing.T) {
+	runtime.GC() // ensure at least one GC cycle has been recorded
+	reg := NewRegistry()
+	NewRuntimeCollector(reg)
+	want := map[string]bool{
+		"masc_go_goroutines":         false,
+		"masc_go_heap_objects_bytes": false,
+		"masc_go_alloc_bytes_total":  false,
+		"masc_go_gc_cycles_total":    false,
+	}
+	for _, f := range reg.Snapshot() {
+		if _, tracked := want[f.Name]; !tracked {
+			continue
+		}
+		if len(f.Samples) > 0 && f.Samples[0].Value > 0 {
+			want[f.Name] = true
+		}
+	}
+	for name, ok := range want {
+		if !ok {
+			t.Errorf("%s not populated after snapshot", name)
+		}
+	}
+}
+
+func TestCaptureRuntimeDelta(t *testing.T) {
+	before := CaptureRuntime()
+	sink := make([][]byte, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		sink = append(sink, make([]byte, 1024))
+	}
+	_ = sink
+	d := CaptureRuntime().DeltaSince(before)
+	if d.AllocBytes < 1000*1024 {
+		t.Fatalf("AllocBytes = %d, want >= 1MiB", d.AllocBytes)
+	}
+	if d.Mallocs == 0 {
+		t.Fatal("Mallocs = 0")
+	}
+}
+
+func TestLintExpositionFindsMissingHelp(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("masc_documented_total", "Documented.").With().Inc()
+	reg.Counter("masc_undocumented_total", "").With().Inc()
+	missing := reg.LintExposition()
+	if len(missing) != 1 || missing[0] != "masc_undocumented_total" {
+		t.Fatalf("LintExposition() = %v", missing)
+	}
+}

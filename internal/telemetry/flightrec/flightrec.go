@@ -1,0 +1,435 @@
+// Package flightrec is the fault flight recorder: when monitoring
+// classifies a fault or detects an SLA violation, it snapshots a
+// correlated evidence bundle — the trace span tree, the journal slice
+// for the conversation, a full goroutine dump, and the SLO state at the
+// moment of failure — into one JSON file under the data directory.
+// Bundles are bounded by count and age, and served by
+// GET /api/v1/flightrec, so an operator diagnosing "why did policy X
+// fire at 03:12" gets the whole correlated picture from one artifact
+// instead of four separately-scrolled endpoints.
+//
+// Capture runs on a dedicated worker goroutine: event-bus handlers
+// execute synchronously on the publisher's goroutine, and a fault on
+// the invocation hot path must not wait for disk writes or a
+// multi-megabyte goroutine dump. A short settle delay before capture
+// lets the gateway finish and commit the trace that the triggering
+// fault belongs to.
+package flightrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/masc-project/masc/internal/event"
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/telemetry"
+)
+
+// Options configures a Recorder.
+type Options struct {
+	// Dir is where bundles are written (required; created if missing).
+	Dir string
+	// MaxBundles bounds retained bundles by count (default 32).
+	MaxBundles int
+	// MaxAge prunes bundles older than this (default 24h; 0 keeps the
+	// default, negative disables age pruning).
+	MaxAge time.Duration
+	// MinInterval rate-limits capture: triggers arriving within this
+	// interval of the previous capture are counted but dropped
+	// (default 1s — a fault storm yields one representative bundle per
+	// second, not thousands).
+	MinInterval time.Duration
+	// SettleDelay is how long the worker waits after a trigger before
+	// capturing, so the in-flight trace can complete (default 250ms).
+	SettleDelay time.Duration
+	// JournalSlice bounds how many journal entries a bundle embeds
+	// (default 200).
+	JournalSlice int
+	// Telemetry supplies the tracer, journal, and metrics registry.
+	Telemetry *telemetry.Telemetry
+	// SLOState, when set, is invoked at capture time and embedded as
+	// the bundle's SLO section.
+	SLOState func() interface{}
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBundles <= 0 {
+		o.MaxBundles = 32
+	}
+	if o.MaxAge == 0 {
+		o.MaxAge = 24 * time.Hour
+	}
+	if o.MinInterval <= 0 {
+		o.MinInterval = time.Second
+	}
+	if o.SettleDelay <= 0 {
+		o.SettleDelay = 250 * time.Millisecond
+	}
+	if o.JournalSlice <= 0 {
+		o.JournalSlice = 200
+	}
+	return o
+}
+
+// Trigger is the captured context of the event that tripped the
+// recorder.
+type Trigger struct {
+	Event        string    `json:"event"`
+	Time         time.Time `json:"time"`
+	Source       string    `json:"source,omitempty"`
+	Service      string    `json:"service,omitempty"`
+	Operation    string    `json:"operation,omitempty"`
+	FaultType    string    `json:"fault_type,omitempty"`
+	PolicyName   string    `json:"policy,omitempty"`
+	Conversation string    `json:"conversation,omitempty"`
+	Instance     string    `json:"instance,omitempty"`
+	Detail       string    `json:"detail,omitempty"`
+}
+
+// Bundle is one flight-recorder capture: the trigger plus every
+// correlated view of the middleware at that moment. Trace, journal, and
+// conversation IDs inside cross-reference each other.
+type Bundle struct {
+	ID      string               `json:"id"`
+	Time    time.Time            `json:"time"`
+	Trigger Trigger              `json:"trigger"`
+	TraceID string               `json:"trace_id,omitempty"`
+	Trace   *telemetry.TraceView `json:"trace,omitempty"`
+	Journal []telemetry.Entry    `json:"journal,omitempty"`
+	SLO     interface{}          `json:"slo,omitempty"`
+	// Goroutines is the full runtime.Stack dump at capture time.
+	Goroutines string `json:"goroutines,omitempty"`
+}
+
+// Summary is the list-endpoint rendering of a bundle.
+type Summary struct {
+	ID           string    `json:"id"`
+	Time         time.Time `json:"time"`
+	Event        string    `json:"event"`
+	FaultType    string    `json:"fault_type,omitempty"`
+	Service      string    `json:"service,omitempty"`
+	Conversation string    `json:"conversation,omitempty"`
+	TraceID      string    `json:"trace_id,omitempty"`
+	SizeBytes    int64     `json:"size_bytes"`
+}
+
+// Recorder captures bundles asynchronously. A nil *Recorder no-ops.
+type Recorder struct {
+	opts Options
+
+	captures *telemetry.CounterVec // outcome: ok, error, dropped
+	pending  chan Trigger
+	inflight atomic.Int64 // enqueued triggers not yet fully captured
+
+	mu      sync.Mutex
+	seq     uint64
+	last    time.Time
+	unsub   []func()
+	stopped bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// New builds a recorder writing into opts.Dir and starts its capture
+// worker. Existing bundles in the directory are adopted (and pruned)
+// so listings survive restarts.
+func New(opts Options) (*Recorder, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("flightrec: Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	reg := opts.Telemetry.Registry()
+	r := &Recorder{
+		opts: opts,
+		captures: reg.Counter("masc_flightrec_captures_total",
+			"Flight-recorder capture attempts by outcome (ok, error, dropped).", "outcome"),
+		pending: make(chan Trigger, 16),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	// Resume the bundle sequence past what's already on disk so new IDs
+	// never collide with adopted ones.
+	for _, s := range r.List() {
+		var seq uint64
+		if _, err := fmt.Sscanf(s.ID, "fr-%06d-", &seq); err == nil && seq > r.seq {
+			r.seq = seq
+		}
+	}
+	r.prune()
+	go r.worker()
+	return r, nil
+}
+
+// Attach subscribes the recorder to the fault and SLA-violation events
+// on the bus — the classified triggers the paper's monitoring loop
+// emits.
+func (r *Recorder) Attach(bus *event.Bus) {
+	if r == nil || bus == nil {
+		return
+	}
+	h := func(e event.Event) { r.TriggerEvent(e) }
+	r.mu.Lock()
+	r.unsub = append(r.unsub,
+		bus.Subscribe(event.TypeFaultDetected, h),
+		bus.Subscribe(event.TypeSLAViolation, h))
+	r.mu.Unlock()
+}
+
+// TriggerEvent enqueues a capture for the event. It never blocks: when
+// the worker is saturated or the rate limit is hot, the trigger is
+// counted as dropped.
+func (r *Recorder) TriggerEvent(e event.Event) {
+	if r == nil {
+		return
+	}
+	t := Trigger{
+		Event:      string(e.Type),
+		Time:       e.Time,
+		Source:     e.Source,
+		Service:    e.Service,
+		Operation:  e.Operation,
+		FaultType:  e.FaultType,
+		PolicyName: e.PolicyName,
+		Instance:   e.ProcessInstanceID,
+		Detail:     e.Detail,
+	}
+	if t.Time.IsZero() {
+		t.Time = time.Now()
+	}
+	if e.Message != nil {
+		t.Conversation = soap.ConversationID(e.Message)
+	}
+	if t.Conversation == "" {
+		t.Conversation = e.ProcessInstanceID
+	}
+
+	r.mu.Lock()
+	if r.stopped || (!r.last.IsZero() && time.Since(r.last) < r.opts.MinInterval) {
+		r.mu.Unlock()
+		r.captures.With("dropped").Inc()
+		return
+	}
+	r.last = time.Now()
+	r.mu.Unlock()
+
+	select {
+	case r.pending <- t:
+		r.inflight.Add(1)
+	default:
+		r.captures.With("dropped").Inc()
+	}
+}
+
+// Close unsubscribes and stops the worker, waiting for an in-flight
+// capture to finish.
+func (r *Recorder) Close() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.stopped = true
+	unsub := r.unsub
+	r.unsub = nil
+	r.mu.Unlock()
+	for _, u := range unsub {
+		u()
+	}
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+func (r *Recorder) worker() {
+	defer close(r.done)
+	for {
+		select {
+		case <-r.stop:
+			return
+		case t := <-r.pending:
+			// Let the triggering exchange finish so its trace commits.
+			select {
+			case <-r.stop:
+				return
+			case <-time.After(r.opts.SettleDelay):
+			}
+			if err := r.capture(t); err != nil {
+				r.captures.With("error").Inc()
+			} else {
+				r.captures.With("ok").Inc()
+			}
+			r.inflight.Add(-1)
+		}
+	}
+}
+
+// capture assembles and writes one bundle.
+func (r *Recorder) capture(t Trigger) error {
+	r.mu.Lock()
+	r.seq++
+	id := fmt.Sprintf("fr-%06d-%s", r.seq, t.Time.UTC().Format("20060102T150405"))
+	r.mu.Unlock()
+
+	b := Bundle{ID: id, Time: time.Now(), Trigger: t}
+
+	// Journal slice for the conversation (fall back to the recent tail
+	// when the trigger carries no correlation ID) — this is where the
+	// trace ID is recovered from, joining the bundle's views together.
+	j := r.opts.Telemetry.Logs()
+	q := telemetry.Query{Conversation: t.Conversation, Limit: r.opts.JournalSlice}
+	b.Journal = j.Entries(q)
+	if len(b.Journal) == 0 && t.Conversation != "" {
+		b.Journal = j.Entries(telemetry.Query{Limit: r.opts.JournalSlice})
+	}
+	for i := len(b.Journal) - 1; i >= 0; i-- {
+		if b.Journal[i].Trace != "" {
+			b.TraceID = b.Journal[i].Trace
+			break
+		}
+	}
+
+	// The correlated trace. Traces commit when their root span ends;
+	// retry briefly in case the settle delay wasn't enough.
+	tracer := r.opts.Telemetry.Traces()
+	if b.TraceID != "" {
+		for attempt := 0; attempt < 5; attempt++ {
+			if tv, ok := tracer.Trace(b.TraceID); ok {
+				b.Trace = &tv
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	if r.opts.SLOState != nil {
+		b.SLO = r.opts.SLOState()
+	}
+
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	b.Goroutines = string(buf[:n])
+
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(r.opts.Dir, id+".json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	r.prune()
+	return nil
+}
+
+// bundleFiles lists the bundle files on disk, oldest first.
+func (r *Recorder) bundleFiles() []string {
+	entries, err := os.ReadDir(r.opts.Dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "fr-") && strings.HasSuffix(name, ".json") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// prune enforces the count and age bounds.
+func (r *Recorder) prune() {
+	names := r.bundleFiles()
+	excess := len(names) - r.opts.MaxBundles
+	for i, name := range names {
+		path := filepath.Join(r.opts.Dir, name)
+		if i < excess {
+			os.Remove(path)
+			continue
+		}
+		if r.opts.MaxAge > 0 {
+			if info, err := os.Stat(path); err == nil && time.Since(info.ModTime()) > r.opts.MaxAge {
+				os.Remove(path)
+			}
+		}
+	}
+}
+
+// List returns summaries of the retained bundles, newest first.
+func (r *Recorder) List() []Summary {
+	if r == nil {
+		return nil
+	}
+	names := r.bundleFiles()
+	out := make([]Summary, 0, len(names))
+	for i := len(names) - 1; i >= 0; i-- {
+		path := filepath.Join(r.opts.Dir, names[i])
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		var b Bundle
+		if err := json.Unmarshal(data, &b); err != nil {
+			continue
+		}
+		out = append(out, Summary{
+			ID:           b.ID,
+			Time:         b.Time,
+			Event:        b.Trigger.Event,
+			FaultType:    b.Trigger.FaultType,
+			Service:      b.Trigger.Service,
+			Conversation: b.Trigger.Conversation,
+			TraceID:      b.TraceID,
+			SizeBytes:    int64(len(data)),
+		})
+	}
+	return out
+}
+
+// Get loads one bundle by ID.
+func (r *Recorder) Get(id string) (Bundle, bool) {
+	var b Bundle
+	if r == nil || strings.ContainsAny(id, "/\\") {
+		return b, false
+	}
+	data, err := os.ReadFile(filepath.Join(r.opts.Dir, id+".json"))
+	if err != nil {
+		return b, false
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, false
+	}
+	return b, true
+}
+
+// WaitIdle blocks until no capture is pending or in flight, up to the
+// timeout — a test hook so e2e assertions don't race the worker.
+func (r *Recorder) WaitIdle(timeout time.Duration) bool {
+	if r == nil {
+		return true
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if r.inflight.Load() == 0 {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return false
+}

@@ -1,0 +1,213 @@
+package flightrec
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/masc-project/masc/internal/event"
+	"github.com/masc-project/masc/internal/telemetry"
+)
+
+// fastOptions returns recorder options tuned for tests: no settle
+// delay, no rate limiting.
+func fastOptions(t *testing.T) Options {
+	t.Helper()
+	return Options{
+		Dir:         t.TempDir(),
+		Telemetry:   telemetry.New(16),
+		SettleDelay: time.Nanosecond,
+		MinInterval: time.Nanosecond,
+	}
+}
+
+func mustRecorder(t *testing.T, opts Options) *Recorder {
+	t.Helper()
+	r, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+func TestCapturesBundleOnFaultEvent(t *testing.T) {
+	opts := fastOptions(t)
+	tel := opts.Telemetry
+	r := mustRecorder(t, opts)
+
+	bus := event.NewBus()
+	r.Attach(bus)
+
+	// Journal context for the conversation, carrying the trace ID the
+	// bundle must recover.
+	tel.Logs().Record(telemetry.Entry{
+		Level:        telemetry.LevelError,
+		Kind:         telemetry.KindLog,
+		Component:    "bus",
+		Message:      "invocation failed",
+		Conversation: "conv-42",
+		Trace:        "trace-abc",
+	})
+
+	bus.Publish(event.Event{
+		Type:              event.TypeFaultDetected,
+		Time:              time.Now(),
+		Source:            "monitor",
+		Service:           "vep:Retailer",
+		Operation:         "submitOrder",
+		FaultType:         "ServiceFailureFault",
+		ProcessInstanceID: "conv-42",
+		Detail:            "backend timed out",
+	})
+	if !r.WaitIdle(5 * time.Second) {
+		t.Fatal("capture did not finish")
+	}
+
+	list := r.List()
+	if len(list) != 1 {
+		t.Fatalf("List() = %d bundles, want 1", len(list))
+	}
+	s := list[0]
+	if s.Event != string(event.TypeFaultDetected) || s.FaultType != "ServiceFailureFault" {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Conversation != "conv-42" || s.TraceID != "trace-abc" {
+		t.Fatalf("correlation: conversation=%q trace=%q", s.Conversation, s.TraceID)
+	}
+
+	b, ok := r.Get(s.ID)
+	if !ok {
+		t.Fatalf("Get(%q) missed", s.ID)
+	}
+	if b.TraceID != "trace-abc" {
+		t.Fatalf("bundle trace = %q", b.TraceID)
+	}
+	if len(b.Journal) == 0 || b.Journal[0].Conversation != "conv-42" {
+		t.Fatalf("bundle journal = %+v", b.Journal)
+	}
+	if !strings.Contains(b.Goroutines, "goroutine") {
+		t.Fatal("bundle has no goroutine dump")
+	}
+}
+
+func TestSLOStateEmbedded(t *testing.T) {
+	opts := fastOptions(t)
+	opts.SLOState = func() interface{} {
+		return map[string]string{"state": "burning"}
+	}
+	r := mustRecorder(t, opts)
+	r.TriggerEvent(event.Event{Type: event.TypeSLAViolation, Time: time.Now()})
+	if !r.WaitIdle(5 * time.Second) {
+		t.Fatal("capture did not finish")
+	}
+	list := r.List()
+	if len(list) != 1 {
+		t.Fatalf("List() = %d bundles", len(list))
+	}
+	b, _ := r.Get(list[0].ID)
+	m, ok := b.SLO.(map[string]interface{})
+	if !ok || m["state"] != "burning" {
+		t.Fatalf("bundle SLO = %#v", b.SLO)
+	}
+}
+
+func TestPruneByCount(t *testing.T) {
+	opts := fastOptions(t)
+	opts.MaxBundles = 3
+	r := mustRecorder(t, opts)
+	for i := 0; i < 6; i++ {
+		r.TriggerEvent(event.Event{Type: event.TypeFaultDetected, Time: time.Now()})
+		if !r.WaitIdle(5 * time.Second) {
+			t.Fatal("capture did not finish")
+		}
+	}
+	list := r.List()
+	if len(list) != 3 {
+		t.Fatalf("List() = %d bundles, want 3 after pruning", len(list))
+	}
+	// Newest first: the surviving bundles are the last three captured.
+	if !strings.HasPrefix(list[0].ID, "fr-000006-") {
+		t.Fatalf("newest bundle = %q", list[0].ID)
+	}
+}
+
+func TestRateLimitDropsStorm(t *testing.T) {
+	opts := fastOptions(t)
+	opts.MinInterval = time.Hour
+	r := mustRecorder(t, opts)
+	for i := 0; i < 5; i++ {
+		r.TriggerEvent(event.Event{Type: event.TypeFaultDetected, Time: time.Now()})
+	}
+	if !r.WaitIdle(5 * time.Second) {
+		t.Fatal("capture did not finish")
+	}
+	if got := len(r.List()); got != 1 {
+		t.Fatalf("List() = %d bundles, want 1 (storm rate-limited)", got)
+	}
+}
+
+func TestAdoptsExistingBundlesAcrossRestart(t *testing.T) {
+	opts := fastOptions(t)
+	r1, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	r1.TriggerEvent(event.Event{Type: event.TypeFaultDetected, Time: time.Now()})
+	if !r1.WaitIdle(5 * time.Second) {
+		t.Fatal("capture did not finish")
+	}
+	r1.Close()
+
+	r2 := mustRecorder(t, opts)
+	list := r2.List()
+	if len(list) != 1 {
+		t.Fatalf("adopted List() = %d bundles, want 1", len(list))
+	}
+	// The sequence resumes past adopted bundles, so new IDs don't collide.
+	r2.TriggerEvent(event.Event{Type: event.TypeFaultDetected, Time: time.Now()})
+	if !r2.WaitIdle(5 * time.Second) {
+		t.Fatal("capture did not finish")
+	}
+	list = r2.List()
+	if len(list) != 2 {
+		t.Fatalf("List() after restart capture = %d bundles, want 2", len(list))
+	}
+	if !strings.HasPrefix(list[0].ID, "fr-000002-") {
+		t.Fatalf("post-restart bundle = %q, want sequence 2", list[0].ID)
+	}
+}
+
+func TestGetRejectsPathTraversal(t *testing.T) {
+	opts := fastOptions(t)
+	// A file outside the bundle dir that a traversal would reach.
+	secret := filepath.Join(filepath.Dir(opts.Dir), "secret.json")
+	if err := os.WriteFile(secret, []byte(`{"id":"x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := mustRecorder(t, opts)
+	if _, ok := r.Get("../secret"); ok {
+		t.Fatal("Get followed a path traversal")
+	}
+	if _, ok := r.Get(`..\secret`); ok {
+		t.Fatal("Get followed a backslash traversal")
+	}
+}
+
+func TestNilRecorderNoOps(t *testing.T) {
+	var r *Recorder
+	r.Attach(event.NewBus())
+	r.TriggerEvent(event.Event{Type: event.TypeFaultDetected})
+	r.Close()
+	if got := r.List(); got != nil {
+		t.Fatalf("nil List() = %v", got)
+	}
+	if _, ok := r.Get("fr-000001-x"); ok {
+		t.Fatal("nil Get() succeeded")
+	}
+	if !r.WaitIdle(time.Millisecond) {
+		t.Fatal("nil WaitIdle() = false")
+	}
+}

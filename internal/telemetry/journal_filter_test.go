@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+)
+
+// seedFilterJournal records a deliberately mixed population: two
+// conversations, three levels, two kinds, and a time split — the axes
+// the /logs and /messages query parameters filter on.
+func seedFilterJournal(t *testing.T) (*Journal, time.Time) {
+	t.Helper()
+	j := NewJournal(64)
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	rec := func(offset time.Duration, conv string, level Level, kind Kind) {
+		j.Record(Entry{
+			Time:         base.Add(offset),
+			Level:        level,
+			Kind:         kind,
+			Component:    "bus",
+			Message:      fmt.Sprintf("%s/%s/%s", conv, level, kind),
+			Conversation: conv,
+		})
+	}
+	rec(0, "conv-a", LevelInfo, KindLog)
+	rec(1*time.Minute, "conv-a", LevelError, KindLog)
+	rec(2*time.Minute, "conv-a", LevelInfo, KindMessage)
+	rec(3*time.Minute, "conv-b", LevelWarn, KindLog)
+	rec(4*time.Minute, "conv-b", LevelError, KindMessage)
+	rec(5*time.Minute, "conv-b", LevelInfo, KindAudit)
+	return j, base
+}
+
+// queryJournal drives JournalHandler with the given query string and
+// returns the served page.
+func queryJournal(t *testing.T, j *Journal, kinds []Kind, params url.Values) JournalPage {
+	t.Helper()
+	h := JournalHandler(j, kinds...)
+	req := httptest.NewRequest("GET", "/logs?"+params.Encode(), nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != 200 {
+		t.Fatalf("status = %d body %s", rr.Code, rr.Body.String())
+	}
+	var page JournalPage
+	if err := json.Unmarshal(rr.Body.Bytes(), &page); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return page
+}
+
+func TestJournalHandlerFilterCombinations(t *testing.T) {
+	j, base := seedFilterJournal(t)
+	logsKinds := []Kind{KindLog, KindAudit} // the /logs mount
+	msgKinds := []Kind{KindMessage}         // the /messages mount
+
+	cases := []struct {
+		name   string
+		kinds  []Kind
+		params url.Values
+		want   int
+	}{
+		{"logs unfiltered", logsKinds, url.Values{}, 4},
+		{"messages unfiltered", msgKinds, url.Values{}, 2},
+		{"conversation", logsKinds, url.Values{"conversation": {"conv-a"}}, 2},
+		{"conversation+level", logsKinds,
+			url.Values{"conversation": {"conv-a"}, "level": {"error"}}, 1},
+		{"level alone", logsKinds, url.Values{"level": {"warn"}}, 2},
+		{"since splits the stream", logsKinds,
+			url.Values{"since": {base.Add(3 * time.Minute).Format(time.RFC3339)}}, 2},
+		{"conversation+since", logsKinds,
+			url.Values{"conversation": {"conv-b"}, "since": {base.Add(4 * time.Minute).Format(time.RFC3339)}}, 1},
+		{"kind narrows within mount", logsKinds, url.Values{"kind": {"audit"}}, 1},
+		{"kind outside mount is empty", msgKinds, url.Values{"kind": {"audit"}}, 0},
+		{"conversation+level+since+kind", logsKinds, url.Values{
+			"conversation": {"conv-b"},
+			"level":        {"info"},
+			"since":        {base.Format(time.RFC3339)},
+			"kind":         {"audit"},
+		}, 1},
+		{"messages by conversation+level", msgKinds,
+			url.Values{"conversation": {"conv-b"}, "level": {"error"}}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			page := queryJournal(t, j, tc.kinds, tc.params)
+			if len(page.Entries) != tc.want {
+				t.Fatalf("%s: got %d entries, want %d: %+v",
+					tc.params.Encode(), len(page.Entries), tc.want, page.Entries)
+			}
+			// Every served entry must itself satisfy the filters.
+			for _, e := range page.Entries {
+				if c := tc.params.Get("conversation"); c != "" && e.Conversation != c {
+					t.Fatalf("entry %+v violates conversation=%s", e, c)
+				}
+				if k := tc.params.Get("kind"); k != "" && string(e.Kind) != k {
+					t.Fatalf("entry %+v violates kind=%s", e, k)
+				}
+			}
+		})
+	}
+}
+
+func TestJournalHandlerRejectsBadParams(t *testing.T) {
+	j, _ := seedFilterJournal(t)
+	for _, params := range []url.Values{
+		{"level": {"loud"}},
+		{"since": {"yesterday"}},
+		{"limit": {"-3"}},
+	} {
+		h := JournalHandler(j, KindLog)
+		req := httptest.NewRequest("GET", "/logs?"+params.Encode(), nil)
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		if rr.Code != 400 {
+			t.Fatalf("%s: status = %d, want 400", params.Encode(), rr.Code)
+		}
+	}
+}
+
+// TestJournalRingEvictionConcurrentWriters hammers a small ring from
+// many goroutines and checks the invariants eviction must preserve:
+// capacity is never exceeded, sequence numbers stay strictly
+// increasing, and the retained window is the newest entries.
+func TestJournalRingEvictionConcurrentWriters(t *testing.T) {
+	const (
+		capacity = 32
+		writers  = 8
+		perW     = 500
+	)
+	j := NewJournal(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				j.Record(Entry{
+					Kind:         KindLog,
+					Component:    "writer",
+					Conversation: fmt.Sprintf("conv-%d", w),
+					Message:      fmt.Sprintf("w%d-%d", w, i),
+				})
+				// Interleave reads so queries race live eviction.
+				if i%50 == 0 {
+					j.Entries(Query{Conversation: fmt.Sprintf("conv-%d", w)})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := j.Len(); got != capacity {
+		t.Fatalf("Len() = %d, want full ring of %d", got, capacity)
+	}
+	entries := j.Entries(Query{})
+	if len(entries) != capacity {
+		t.Fatalf("Entries() = %d, want %d", len(entries), capacity)
+	}
+	total := uint64(writers * perW)
+	for i, e := range entries {
+		if i > 0 && e.Seq <= entries[i-1].Seq {
+			t.Fatalf("sequence not increasing: %d after %d", e.Seq, entries[i-1].Seq)
+		}
+		// Only the newest window survives eviction.
+		if e.Seq <= total-capacity {
+			t.Fatalf("entry seq %d survived eviction (total %d, capacity %d)",
+				e.Seq, total, capacity)
+		}
+	}
+}

@@ -29,6 +29,23 @@ var DefLatencyBuckets = []float64{
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// DefSyncBuckets are bucket bounds (in seconds) tuned for disk-flush
+// latencies: fsyncs sit well under the request-latency range on SSDs
+// but spike orders of magnitude higher under contention.
+var DefSyncBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1,
+}
+
+// DefByteBuckets are bucket bounds for payload/record sizes in bytes.
+var DefByteBuckets = []float64{
+	64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304,
+}
+
+// DefCountBuckets are bucket bounds for small cardinalities, e.g.
+// records coalesced into one group-commit fsync.
+var DefCountBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
 type metricKind int
 
 const (
@@ -68,11 +85,40 @@ type family struct {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+
+	hooksMu sync.Mutex
+	hooks   []func()
 }
 
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*family)}
+}
+
+// OnCollect registers a hook run before every exposition or snapshot —
+// the place for pull-style collectors (runtime metrics, SLO gauge
+// refresh) to publish current values. Hooks must not call back into
+// WritePrometheus or Snapshot.
+func (r *Registry) OnCollect(f func()) {
+	if r == nil || f == nil {
+		return
+	}
+	r.hooksMu.Lock()
+	r.hooks = append(r.hooks, f)
+	r.hooksMu.Unlock()
+}
+
+// runHooks invokes the registered collect hooks.
+func (r *Registry) runHooks() {
+	if r == nil {
+		return
+	}
+	r.hooksMu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.hooksMu.Unlock()
+	for _, f := range hooks {
+		f()
+	}
 }
 
 // family returns the named family, creating it on first registration.
@@ -421,10 +467,12 @@ func formatValue(v float64) string {
 
 // WritePrometheus renders every family in the Prometheus text
 // exposition format, families and series sorted for determinism.
+// Collect hooks registered with OnCollect run first.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	r.runHooks()
 	r.mu.Lock()
 	fams := make([]*family, 0, len(r.families))
 	for _, f := range r.families {
@@ -485,6 +533,26 @@ func (f *family) write(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// LintExposition returns the names of registered families that would
+// render without a # HELP line (empty help text). Every first
+// registration of a masc_* family must document itself; the
+// exposition-lint tests fail on what this returns.
+func (r *Registry) LintExposition() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var bad []string
+	for name, f := range r.families {
+		if f.help == "" {
+			bad = append(bad, name)
+		}
+	}
+	sort.Strings(bad)
+	return bad
 }
 
 func (h *Histogram) write(w io.Writer, name string, labelNames, values []string) error {

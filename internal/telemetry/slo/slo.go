@@ -1,0 +1,552 @@
+// Package slo turns the QoS guarantees declared in WS-Policy4MASC
+// monitoring policies into service-level objectives with rolling error
+// budgets and multi-window burn-rate alerting — the middleware's
+// self-observation plane. The paper's monitoring loop watches composed
+// services; this package applies the same discipline to the middleware
+// itself, so readiness and scale-out decisions can be expressed as
+// "is this node meeting its SLOs" instead of raw gauges.
+//
+// Methodology: an availability objective o leaves an error budget of
+// 1−o. The burn rate over a window is the observed error rate divided
+// by that budget: burn 1.0 spends the budget exactly at the sustainable
+// pace, burn 10 exhausts a 30-day budget in 3 days. An SLI is *burning*
+// when both a short (fast-detect) and a long (anti-flap) window exceed
+// the threshold — the standard multi-window burn-rate alert shape.
+package slo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/masc-project/masc/internal/clock"
+	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/telemetry"
+)
+
+// SLI names the two indicators derived per subject.
+const (
+	SLIAvailability = "availability"
+	SLILatency      = "latency_p99"
+)
+
+// Objective is the SLO target for one subject (a VEP or service),
+// derived from WS-Policy4MASC QoS thresholds or supplied as a default.
+type Objective struct {
+	// Subject is the attachment point ("vep:Retailer").
+	Subject string `json:"subject"`
+	// Availability is the target success fraction in (0,1]; 0 disables
+	// the availability SLI.
+	Availability float64 `json:"availability,omitempty"`
+	// LatencyP99 is the target bound for the 99th-percentile response
+	// time; 0 disables the latency SLI. An invocation slower than the
+	// bound spends latency error budget even when it succeeds.
+	LatencyP99 time.Duration `json:"latency_p99,omitempty"`
+	// MinSamples gates burn evaluation until the short window holds at
+	// least this many observations (avoids cold-start false alarms).
+	MinSamples int `json:"min_samples,omitempty"`
+	// Source names the monitoring policy the objective was derived from
+	// ("default" when none applied).
+	Source string `json:"source,omitempty"`
+}
+
+// DeriveObjectives builds one Objective per subject from the monitoring
+// policies in the repository: availability/reliability thresholds set
+// the availability target (the strictest MinValue wins), responseTime
+// thresholds set the latency target (the strictest MaxResponse wins).
+// Subjects with no applicable threshold fall back to def (with def's
+// Source forced to "default"); a zero def yields no objective for them.
+func DeriveObjectives(repo *policy.Repository, subjects []string, def Objective) []Objective {
+	var out []Objective
+	for _, subject := range subjects {
+		obj := Objective{Subject: subject}
+		if repo != nil {
+			for _, mp := range repo.MonitoringFor(subject, "") {
+				for _, th := range mp.Thresholds {
+					switch th.Metric {
+					case policy.MetricAvailability, policy.MetricReliability:
+						if th.MinValue > obj.Availability {
+							obj.Availability = th.MinValue
+							obj.Source = mp.Name
+						}
+					case policy.MetricResponseTime:
+						if th.MaxResponse > 0 && (obj.LatencyP99 == 0 || th.MaxResponse < obj.LatencyP99) {
+							obj.LatencyP99 = th.MaxResponse
+							obj.Source = mp.Name
+						}
+					}
+					if th.MinSamples > obj.MinSamples {
+						obj.MinSamples = th.MinSamples
+					}
+				}
+			}
+		}
+		if obj.Availability == 0 && obj.LatencyP99 == 0 {
+			if def.Availability == 0 && def.LatencyP99 == 0 {
+				continue
+			}
+			obj = def
+			obj.Subject = subject
+			obj.Source = "default"
+		}
+		out = append(out, obj)
+	}
+	return out
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Clock is the time source (real clock when nil).
+	Clock clock.Clock
+	// Registry receives the masc_slo_* metrics (optional).
+	Registry *telemetry.Registry
+	// Journal receives audit entries on burn-state transitions
+	// (optional).
+	Journal *telemetry.Journal
+	// ShortWindow is the fast-detect window (default 5m).
+	ShortWindow time.Duration
+	// LongWindow is the anti-flap window (default 1h).
+	LongWindow time.Duration
+	// Bucket is the ring-bucket granularity (default 10s).
+	Bucket time.Duration
+	// BurnThreshold is the burn rate both windows must exceed for an
+	// SLI to be burning (default 1.0 — spending faster than sustainable).
+	BurnThreshold float64
+	// MinSamples is the evaluation gate for objectives that do not set
+	// their own (default 20).
+	MinSamples int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Clock == nil {
+		o.Clock = clock.New()
+	}
+	if o.ShortWindow <= 0 {
+		o.ShortWindow = 5 * time.Minute
+	}
+	if o.LongWindow <= 0 {
+		o.LongWindow = time.Hour
+	}
+	if o.LongWindow < o.ShortWindow {
+		o.LongWindow = o.ShortWindow
+	}
+	if o.Bucket <= 0 {
+		o.Bucket = 10 * time.Second
+	}
+	if o.BurnThreshold <= 0 {
+		o.BurnThreshold = 1.0
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 20
+	}
+	return o
+}
+
+// bucket is one time slice of observations; idx stamps which slice, so
+// stale ring slots are skipped without explicit zeroing.
+type bucket struct {
+	idx   int64
+	total uint64
+	bad   uint64
+}
+
+// ring is a sliding window of observation buckets sized for the long
+// window.
+type ring struct {
+	bucketDur time.Duration
+	buckets   []bucket
+}
+
+func newRing(bucketDur, span time.Duration) *ring {
+	n := int(span/bucketDur) + 1
+	return &ring{bucketDur: bucketDur, buckets: make([]bucket, n)}
+}
+
+func (r *ring) observe(now time.Time, bad bool) {
+	idx := now.UnixNano() / int64(r.bucketDur)
+	b := &r.buckets[int(idx%int64(len(r.buckets)))]
+	if b.idx != idx {
+		b.idx, b.total, b.bad = idx, 0, 0
+	}
+	b.total++
+	if bad {
+		b.bad++
+	}
+}
+
+// window sums the buckets covering the trailing span ending at now.
+func (r *ring) window(now time.Time, span time.Duration) (total, bad uint64) {
+	idx := now.UnixNano() / int64(r.bucketDur)
+	n := int64(span / r.bucketDur)
+	for i := range r.buckets {
+		b := &r.buckets[i]
+		if b.idx > idx-n && b.idx <= idx {
+			total += b.total
+			bad += b.bad
+		}
+	}
+	return total, bad
+}
+
+// sli tracks one indicator's ring and burn state for a subject.
+type sli struct {
+	name      string
+	objective float64 // availability fraction, or latency bound in seconds
+	ring      *ring
+	burning   bool
+}
+
+// target is one subject's SLO state.
+type target struct {
+	obj  Objective
+	slis []*sli
+}
+
+// Engine tracks SLO compliance per subject. Observe is safe for
+// concurrent use and cheap enough for the invocation hot path (one
+// mutex, two ring-bucket increments). A nil *Engine is a valid no-op.
+type Engine struct {
+	opts Options
+
+	burnRate  *telemetry.GaugeVec   // subject, sli, window
+	budget    *telemetry.GaugeVec   // subject, sli
+	burningG  *telemetry.GaugeVec   // subject
+	alerts    *telemetry.CounterVec // subject, sli
+	observing *telemetry.CounterVec // subject, outcome
+
+	mu      sync.Mutex
+	targets map[string]*target
+	order   []string
+}
+
+// NewEngine builds an engine over the objectives. Subjects without an
+// objective are ignored by Observe.
+func NewEngine(objectives []Objective, opts Options) *Engine {
+	opts = opts.withDefaults()
+	reg := opts.Registry
+	e := &Engine{
+		opts:    opts,
+		targets: make(map[string]*target),
+		burnRate: reg.Gauge("masc_slo_burn_rate",
+			"Error-budget burn rate per subject, SLI, and window (1 = spending exactly at the sustainable pace).",
+			"subject", "sli", "window"),
+		budget: reg.Gauge("masc_slo_budget_remaining",
+			"Fraction of the long-window error budget still unspent per subject and SLI (0 = exhausted).",
+			"subject", "sli"),
+		burningG: reg.Gauge("masc_slo_burning",
+			"1 when any SLI of the subject is burning its error budget over both alert windows.",
+			"subject"),
+		alerts: reg.Counter("masc_slo_alerts_total",
+			"Burn-rate alert transitions (an SLI entering the burning state).",
+			"subject", "sli"),
+		observing: reg.Counter("masc_slo_observations_total",
+			"Invocation outcomes observed by the SLO engine.", "subject", "outcome"),
+	}
+	for _, obj := range objectives {
+		if _, dup := e.targets[obj.Subject]; dup || obj.Subject == "" {
+			continue
+		}
+		t := &target{obj: obj}
+		if obj.Availability > 0 {
+			t.slis = append(t.slis, &sli{
+				name:      SLIAvailability,
+				objective: obj.Availability,
+				ring:      newRing(opts.Bucket, opts.LongWindow),
+			})
+		}
+		if obj.LatencyP99 > 0 {
+			t.slis = append(t.slis, &sli{
+				name:      SLILatency,
+				objective: obj.LatencyP99.Seconds(),
+				ring:      newRing(opts.Bucket, opts.LongWindow),
+			})
+		}
+		e.targets[obj.Subject] = t
+		e.order = append(e.order, obj.Subject)
+	}
+	sort.Strings(e.order)
+	reg.OnCollect(e.refresh)
+	return e
+}
+
+// Observe records one invocation outcome for the subject. It satisfies
+// the bus InvocationObserver interface, so wiring is one option on the
+// Bus. A failed invocation spends availability budget; a slow one
+// (beyond the latency objective) spends latency budget even when it
+// succeeded.
+func (e *Engine) Observe(subject string, ok bool, latency time.Duration) {
+	if e == nil {
+		return
+	}
+	now := e.opts.Clock.Now()
+	outcome := "ok"
+	if !ok {
+		outcome = "fault"
+	}
+	e.mu.Lock()
+	t, tracked := e.targets[subject]
+	if tracked {
+		for _, s := range t.slis {
+			bad := !ok
+			if s.name == SLILatency {
+				bad = latency.Seconds() > s.objective
+			}
+			s.ring.observe(now, bad)
+		}
+	}
+	e.mu.Unlock()
+	if tracked {
+		e.observing.With(subject, outcome).Inc()
+		e.Tick()
+	}
+}
+
+// minSamples resolves the evaluation gate for a target.
+func (e *Engine) minSamples(t *target) uint64 {
+	if t.obj.MinSamples > 0 {
+		return uint64(t.obj.MinSamples)
+	}
+	return uint64(e.opts.MinSamples)
+}
+
+// Tick re-evaluates burn state for every subject, publishing gauge
+// updates and audit entries on transitions. It runs after every
+// tracked Observe and should also run periodically (so recovery is
+// noticed when traffic stops).
+func (e *Engine) Tick() {
+	if e == nil {
+		return
+	}
+	now := e.opts.Clock.Now()
+	type transition struct {
+		subject, sli string
+		burning      bool
+		short, long  float64
+	}
+	var transitions []transition
+
+	e.mu.Lock()
+	for _, subject := range e.order {
+		t := e.targets[subject]
+		for _, s := range t.slis {
+			short, long, _, _ := e.ratesLocked(s, now)
+			totalShort, _ := s.ring.window(now, e.opts.ShortWindow)
+			isBurning := totalShort >= e.minSamples(t) &&
+				short >= e.opts.BurnThreshold && long >= e.opts.BurnThreshold
+			if isBurning != s.burning {
+				s.burning = isBurning
+				transitions = append(transitions, transition{subject, s.name, isBurning, short, long})
+			}
+		}
+	}
+	e.mu.Unlock()
+
+	for _, tr := range transitions {
+		if tr.burning {
+			e.alerts.With(tr.subject, tr.sli).Inc()
+		}
+		level := telemetry.LevelInfo
+		msg := "error budget burn recovered"
+		if tr.burning {
+			level = telemetry.LevelWarn
+			msg = "error budget burning"
+		}
+		e.opts.Journal.Record(telemetry.Entry{
+			Level:     level,
+			Kind:      telemetry.KindAudit,
+			Component: "slo",
+			Message:   fmt.Sprintf("%s: %s %s", msg, tr.subject, tr.sli),
+			Fields: map[string]string{
+				"subject":    tr.subject,
+				"sli":        tr.sli,
+				"burning":    fmt.Sprint(tr.burning),
+				"burn_short": fmt.Sprintf("%.2f", tr.short),
+				"burn_long":  fmt.Sprintf("%.2f", tr.long),
+				"threshold":  fmt.Sprintf("%.2f", e.opts.BurnThreshold),
+			},
+		})
+	}
+}
+
+// ratesLocked computes the short- and long-window burn rates plus the
+// long-window error rate and budget fraction for an SLI. Caller holds
+// e.mu.
+func (e *Engine) ratesLocked(s *sli, now time.Time) (short, long, longErrRate, budgetLeft float64) {
+	errBudget := 1 - s.objective
+	if s.name == SLILatency {
+		// The latency SLI is "99% of invocations under the bound", so
+		// its error budget is the 1% tail.
+		errBudget = 0.01
+	}
+	if errBudget <= 0 {
+		errBudget = 1e-9 // a 100% objective: any error burns hard
+	}
+	rate := func(span time.Duration) (float64, float64) {
+		total, bad := s.ring.window(now, span)
+		if total == 0 {
+			return 0, 0
+		}
+		errRate := float64(bad) / float64(total)
+		return errRate / errBudget, errRate
+	}
+	short, _ = rate(e.opts.ShortWindow)
+	long, longErrRate = rate(e.opts.LongWindow)
+	budgetLeft = 1 - longErrRate/errBudget
+	if budgetLeft < 0 {
+		budgetLeft = 0
+	}
+	if budgetLeft > 1 {
+		budgetLeft = 1
+	}
+	return short, long, longErrRate, budgetLeft
+}
+
+// refresh republishes the masc_slo_* gauges; registered as a collect
+// hook so every scrape and snapshot sees current values.
+func (e *Engine) refresh() {
+	if e == nil {
+		return
+	}
+	now := e.opts.Clock.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	shortLabel, longLabel := windowLabel(e.opts.ShortWindow), windowLabel(e.opts.LongWindow)
+	for _, subject := range e.order {
+		t := e.targets[subject]
+		subjectBurning := false
+		for _, s := range t.slis {
+			short, long, _, left := e.ratesLocked(s, now)
+			e.burnRate.With(subject, s.name, shortLabel).Set(short)
+			e.burnRate.With(subject, s.name, longLabel).Set(long)
+			e.budget.With(subject, s.name).Set(left)
+			if s.burning {
+				subjectBurning = true
+			}
+		}
+		v := 0.0
+		if subjectBurning {
+			v = 1
+		}
+		e.burningG.With(subject).Set(v)
+	}
+}
+
+// windowLabel renders a duration as a compact label ("5m", "1h").
+func windowLabel(d time.Duration) string {
+	switch {
+	case d%time.Hour == 0:
+		return fmt.Sprintf("%dh", d/time.Hour)
+	case d%time.Minute == 0:
+		return fmt.Sprintf("%dm", d/time.Minute)
+	default:
+		return d.String()
+	}
+}
+
+// WindowStatus is one window's view of an SLI.
+type WindowStatus struct {
+	Window    string  `json:"window"`
+	Samples   uint64  `json:"samples"`
+	Errors    uint64  `json:"errors"`
+	ErrorRate float64 `json:"error_rate"`
+	BurnRate  float64 `json:"burn_rate"`
+}
+
+// SLIStatus is one indicator's full state for a subject.
+type SLIStatus struct {
+	SLI string `json:"sli"`
+	// Objective is the target: a success fraction for availability, a
+	// bound in seconds for latency_p99.
+	Objective       float64        `json:"objective"`
+	BudgetRemaining float64        `json:"budget_remaining"`
+	Burning         bool           `json:"burning"`
+	Windows         []WindowStatus `json:"windows"`
+}
+
+// SubjectStatus is one subject's SLO report.
+type SubjectStatus struct {
+	Subject string      `json:"subject"`
+	Source  string      `json:"source,omitempty"`
+	Burning bool        `json:"burning"`
+	SLIs    []SLIStatus `json:"slis"`
+}
+
+// Report is the full engine state, served by GET /api/v1/slo.
+type Report struct {
+	Time          time.Time       `json:"time"`
+	BurnThreshold float64         `json:"burn_threshold"`
+	Subjects      []SubjectStatus `json:"subjects"`
+	// Burning lists subjects currently burning budget (readiness input).
+	Burning []string `json:"burning,omitempty"`
+}
+
+// Status reports the current state of every tracked subject, sorted by
+// subject name.
+func (e *Engine) Status() Report {
+	if e == nil {
+		return Report{}
+	}
+	now := e.opts.Clock.Now()
+	rep := Report{Time: now, BurnThreshold: e.opts.BurnThreshold}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, subject := range e.order {
+		t := e.targets[subject]
+		ss := SubjectStatus{Subject: subject, Source: t.obj.Source}
+		for _, s := range t.slis {
+			short, long, _, left := e.ratesLocked(s, now)
+			st := SLIStatus{
+				SLI:             s.name,
+				Objective:       s.objective,
+				BudgetRemaining: left,
+				Burning:         s.burning,
+			}
+			for _, w := range []struct {
+				span time.Duration
+				burn float64
+			}{{e.opts.ShortWindow, short}, {e.opts.LongWindow, long}} {
+				total, bad := s.ring.window(now, w.span)
+				ws := WindowStatus{
+					Window:   windowLabel(w.span),
+					Samples:  total,
+					Errors:   bad,
+					BurnRate: w.burn,
+				}
+				if total > 0 {
+					ws.ErrorRate = float64(bad) / float64(total)
+				}
+				st.Windows = append(st.Windows, ws)
+			}
+			ss.SLIs = append(ss.SLIs, st)
+			if s.burning {
+				ss.Burning = true
+			}
+		}
+		rep.Subjects = append(rep.Subjects, ss)
+		if ss.Burning {
+			rep.Burning = append(rep.Burning, subject)
+		}
+	}
+	return rep
+}
+
+// Burning returns the subjects currently burning budget (sorted). The
+// readiness probe degrades when this is non-empty.
+func (e *Engine) Burning() []string {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []string
+	for _, subject := range e.order {
+		for _, s := range e.targets[subject].slis {
+			if s.burning {
+				out = append(out, subject)
+				break
+			}
+		}
+	}
+	return out
+}

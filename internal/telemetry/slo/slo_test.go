@@ -1,0 +1,239 @@
+package slo
+
+import (
+	"testing"
+	"time"
+
+	"github.com/masc-project/masc/internal/clock"
+	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/telemetry"
+)
+
+func testRepo(t *testing.T) *policy.Repository {
+	t.Helper()
+	repo := policy.NewRepository()
+	doc := &policy.Document{
+		Name: "slatest",
+		Monitoring: []*policy.MonitoringPolicy{
+			{
+				Name:  "RetailerSLA",
+				Scope: policy.Scope{Subject: "vep:Retailer"},
+				Thresholds: []*policy.QoSThreshold{
+					{Metric: policy.MetricAvailability, MinValue: 0.995, MinSamples: 10},
+					{Metric: policy.MetricResponseTime, MaxResponse: 200 * time.Millisecond},
+				},
+			},
+		},
+	}
+	if err := repo.Load(doc); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return repo
+}
+
+func TestDeriveObjectivesFromPolicies(t *testing.T) {
+	repo := testRepo(t)
+	objs := DeriveObjectives(repo,
+		[]string{"vep:Retailer", "vep:Warehouse"},
+		Objective{Availability: 0.99})
+	if len(objs) != 2 {
+		t.Fatalf("objectives = %d, want 2", len(objs))
+	}
+	r := objs[0]
+	if r.Subject != "vep:Retailer" || r.Availability != 0.995 ||
+		r.LatencyP99 != 200*time.Millisecond || r.MinSamples != 10 {
+		t.Fatalf("derived objective = %+v", r)
+	}
+	if r.Source != "RetailerSLA" {
+		t.Fatalf("Source = %q, want RetailerSLA", r.Source)
+	}
+	w := objs[1]
+	if w.Subject != "vep:Warehouse" || w.Availability != 0.99 || w.Source != "default" {
+		t.Fatalf("fallback objective = %+v", w)
+	}
+}
+
+func TestDeriveObjectivesZeroDefaultSkipsSubject(t *testing.T) {
+	objs := DeriveObjectives(policy.NewRepository(), []string{"vep:X"}, Objective{})
+	if len(objs) != 0 {
+		t.Fatalf("objectives = %+v, want none", objs)
+	}
+}
+
+// newTestEngine builds an engine over one availability+latency objective
+// with compressed windows so tests drive it with a fake clock.
+func newTestEngine(clk clock.Clock, j *telemetry.Journal) *Engine {
+	return NewEngine(
+		[]Objective{{
+			Subject:      "vep:Retailer",
+			Availability: 0.99,
+			LatencyP99:   100 * time.Millisecond,
+			MinSamples:   5,
+		}},
+		Options{
+			Clock:       clk,
+			Registry:    telemetry.NewRegistry(),
+			Journal:     j,
+			ShortWindow: time.Minute,
+			LongWindow:  5 * time.Minute,
+			Bucket:      10 * time.Second,
+		})
+}
+
+func TestBurnAndRecoverTransitions(t *testing.T) {
+	clk := clock.NewFake(time.Unix(1_000_000, 0))
+	j := telemetry.NewJournal(256)
+	e := newTestEngine(clk, j)
+
+	// Sustained failures: every observation spends availability budget at
+	// 100x the sustainable pace, across both windows.
+	for i := 0; i < 30; i++ {
+		e.Observe("vep:Retailer", false, 10*time.Millisecond)
+		clk.Advance(2 * time.Second)
+	}
+	if got := e.Burning(); len(got) != 1 || got[0] != "vep:Retailer" {
+		t.Fatalf("Burning() = %v, want [vep:Retailer]", got)
+	}
+	warn := j.Entries(telemetry.Query{Component: "slo", MinLevel: telemetry.LevelWarn})
+	if len(warn) == 0 {
+		t.Fatal("no audit entry for the burn transition")
+	}
+	if warn[0].Kind != telemetry.KindAudit || warn[0].Fields["subject"] != "vep:Retailer" {
+		t.Fatalf("audit entry = %+v", warn[0])
+	}
+
+	// Silence long enough for both windows to empty, then a periodic
+	// Tick must notice recovery even without fresh traffic.
+	clk.Advance(10 * time.Minute)
+	e.Tick()
+	if got := e.Burning(); len(got) != 0 {
+		t.Fatalf("Burning() after recovery = %v, want none", got)
+	}
+	rec := j.Entries(telemetry.Query{Component: "slo"})
+	last := rec[len(rec)-1]
+	if last.Fields["burning"] != "false" {
+		t.Fatalf("last audit entry = %+v, want recovery", last)
+	}
+}
+
+func TestMinSamplesGatesColdStart(t *testing.T) {
+	clk := clock.NewFake(time.Unix(1_000_000, 0))
+	e := newTestEngine(clk, nil)
+	// Three failures — catastrophic error rate, but below MinSamples=5.
+	for i := 0; i < 3; i++ {
+		e.Observe("vep:Retailer", false, time.Millisecond)
+	}
+	if got := e.Burning(); len(got) != 0 {
+		t.Fatalf("Burning() = %v, want none below MinSamples", got)
+	}
+}
+
+func TestLatencySLIBurnsOnSlowSuccesses(t *testing.T) {
+	clk := clock.NewFake(time.Unix(1_000_000, 0))
+	e := newTestEngine(clk, nil)
+	// Successful but slow: only the latency SLI should burn.
+	for i := 0; i < 30; i++ {
+		e.Observe("vep:Retailer", true, 300*time.Millisecond)
+		clk.Advance(2 * time.Second)
+	}
+	rep := e.Status()
+	if len(rep.Subjects) != 1 {
+		t.Fatalf("subjects = %+v", rep.Subjects)
+	}
+	var avail, lat *SLIStatus
+	for i := range rep.Subjects[0].SLIs {
+		s := &rep.Subjects[0].SLIs[i]
+		switch s.SLI {
+		case SLIAvailability:
+			avail = s
+		case SLILatency:
+			lat = s
+		}
+	}
+	if avail == nil || lat == nil {
+		t.Fatalf("SLIs = %+v", rep.Subjects[0].SLIs)
+	}
+	if avail.Burning {
+		t.Fatal("availability SLI burning on successful invocations")
+	}
+	if !lat.Burning || lat.BudgetRemaining != 0 {
+		t.Fatalf("latency SLI = %+v, want burning with budget 0", lat)
+	}
+}
+
+func TestStatusReportShape(t *testing.T) {
+	clk := clock.NewFake(time.Unix(1_000_000, 0))
+	e := newTestEngine(clk, nil)
+	for i := 0; i < 10; i++ {
+		e.Observe("vep:Retailer", i%2 == 0, time.Millisecond)
+	}
+	rep := e.Status()
+	if rep.BurnThreshold != 1.0 {
+		t.Fatalf("BurnThreshold = %v", rep.BurnThreshold)
+	}
+	sli := rep.Subjects[0].SLIs[0]
+	if len(sli.Windows) != 2 || sli.Windows[0].Window != "1m" || sli.Windows[1].Window != "5m" {
+		t.Fatalf("windows = %+v", sli.Windows)
+	}
+	if sli.Windows[0].Samples != 10 || sli.Windows[0].Errors != 5 {
+		t.Fatalf("short window = %+v, want 10 samples / 5 errors", sli.Windows[0])
+	}
+	if sli.Windows[0].ErrorRate != 0.5 {
+		t.Fatalf("error rate = %v", sli.Windows[0].ErrorRate)
+	}
+}
+
+func TestUntrackedSubjectIgnored(t *testing.T) {
+	clk := clock.NewFake(time.Unix(1_000_000, 0))
+	e := newTestEngine(clk, nil)
+	e.Observe("vep:Unknown", false, time.Millisecond)
+	if got := e.Burning(); len(got) != 0 {
+		t.Fatalf("Burning() = %v", got)
+	}
+	if len(e.Status().Subjects) != 1 {
+		t.Fatal("untracked subject leaked into the report")
+	}
+}
+
+func TestNilEngineNoOps(t *testing.T) {
+	var e *Engine
+	e.Observe("vep:X", false, time.Second)
+	e.Tick()
+	if got := e.Burning(); got != nil {
+		t.Fatalf("nil Burning() = %v", got)
+	}
+	if rep := e.Status(); len(rep.Subjects) != 0 {
+		t.Fatalf("nil Status() = %+v", rep)
+	}
+}
+
+func TestEngineMetricsPublished(t *testing.T) {
+	clk := clock.NewFake(time.Unix(1_000_000, 0))
+	reg := telemetry.NewRegistry()
+	e := NewEngine(
+		[]Objective{{Subject: "vep:Retailer", Availability: 0.99, MinSamples: 5}},
+		Options{Clock: clk, Registry: reg, ShortWindow: time.Minute, LongWindow: 5 * time.Minute})
+	for i := 0; i < 10; i++ {
+		e.Observe("vep:Retailer", false, time.Millisecond)
+	}
+	// Snapshot runs the collect hooks, so the gauges reflect current state.
+	var burning, alerts float64
+	for _, fam := range reg.Snapshot() {
+		switch fam.Name {
+		case "masc_slo_burning":
+			for _, s := range fam.Samples {
+				burning = s.Value
+			}
+		case "masc_slo_alerts_total":
+			for _, s := range fam.Samples {
+				alerts = s.Value
+			}
+		}
+	}
+	if burning != 1 {
+		t.Fatalf("masc_slo_burning = %v, want 1", burning)
+	}
+	if alerts != 1 {
+		t.Fatalf("masc_slo_alerts_total = %v, want 1", alerts)
+	}
+}

@@ -28,6 +28,7 @@ type PersistenceService struct {
 
 	recovered *telemetry.Gauge
 	saves     *telemetry.CounterVec
+	ckptBytes *telemetry.Histogram
 }
 
 var _ RuntimeService = (*PersistenceService)(nil)
@@ -45,6 +46,8 @@ func NewPersistenceService(st *store.Store, tel *telemetry.Telemetry) *Persisten
 			"Process instances rebuilt from the store at the last recovery.").With(),
 		saves: reg.Counter("masc_store_instance_checkpoints_total",
 			"Instance checkpoints journaled to the store.", "outcome"),
+		ckptBytes: reg.Histogram("masc_store_checkpoint_bytes",
+			"Serialized size of instance checkpoint documents.", telemetry.DefByteBuckets).With(),
 	}
 }
 
@@ -74,6 +77,7 @@ func (p *PersistenceService) save(inst *Instance) {
 	doc := inst.CheckpointXML()
 	text, err := xmltree.MarshalString(doc)
 	if err == nil {
+		p.ckptBytes.Observe(float64(len(text)))
 		err = p.st.Put(SpaceInstances, inst.ID(), []byte(text))
 	}
 	if err != nil {
