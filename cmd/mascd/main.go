@@ -43,6 +43,9 @@
 //	/api/v1/instances/{id}/resume  release (incl. boot-recovered
 //	                       instances, which continue from their last
 //	                       durable checkpoint)
+//	/api/v1/instances/{id}/checkpoint  the instance's durable
+//	                       checkpoint decoded to instanceSnapshot XML
+//	                       (requires -data-dir)
 //	/debug/pprof           only with -debug
 //
 // The OrderingProcess composition is deployed and hosted at
@@ -53,6 +56,13 @@
 // in suspended state, listed under /api/v1/instances, and resumable
 // via POST .../resume. Store health appears in /api/v1/healthz and as
 // masc_store_* metrics.
+//
+// Checkpoints are written as delta chains (docs/persistence.md):
+// -ckpt-anchor-every <n> caps a chain at n records before a fresh full
+// snapshot, -ckpt-queue <n> bounds the async checkpoint queue (the
+// backpressure point for batched/off sync modes), and
+// -ckpt-durable-finish makes instance completion wait for the terminal
+// checkpoint's fsync, not just its enqueue.
 //
 // The unversioned paths (/metrics, /traces, /logs, /messages,
 // /healthz, /readyz) remain as deprecated aliases.
@@ -68,6 +78,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -111,6 +122,7 @@ func run(args []string) error {
 	policyPath := ""
 	dataDir := ""
 	syncMode := "batched"
+	ckptOpts := workflow.PersistenceOptions{}
 	exportURL := ""
 	exportInterval := 15 * time.Second
 	debug := false
@@ -140,6 +152,28 @@ func run(args []string) error {
 				return fmt.Errorf("-sync needs a mode (always, batched, off)")
 			}
 			syncMode = args[i]
+		case "-ckpt-anchor-every":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-ckpt-anchor-every needs a record count")
+			}
+			n, err := strconv.Atoi(args[i])
+			if err != nil || n < 1 {
+				return fmt.Errorf("-ckpt-anchor-every: want a positive integer, got %q", args[i])
+			}
+			ckptOpts.AnchorEvery = n
+		case "-ckpt-queue":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-ckpt-queue needs a queue depth")
+			}
+			n, err := strconv.Atoi(args[i])
+			if err != nil || n < 1 {
+				return fmt.Errorf("-ckpt-queue: want a positive integer, got %q", args[i])
+			}
+			ckptOpts.QueueDepth = n
+		case "-ckpt-durable-finish":
+			ckptOpts.DurableFinish = true
 		case "-export-url":
 			i++
 			if i >= len(args) {
@@ -191,10 +225,11 @@ func run(args []string) error {
 	events := event.NewBus()
 
 	d := &daemon{
-		network: network,
-		repo:    repo,
-		tel:     tel,
-		start:   time.Now(),
+		network:  network,
+		repo:     repo,
+		tel:      tel,
+		start:    time.Now(),
+		ckptOpts: ckptOpts,
 	}
 	if dataDir != "" {
 		st, err := openDataDir(dataDir, syncMode, d)
@@ -292,6 +327,11 @@ func run(args []string) error {
 	if err := d.setupWorkflow(); err != nil {
 		return err
 	}
+	if d.persist != nil {
+		// Drain the async checkpoint queue before the store closes
+		// (deferred closes run last-in-first-out).
+		defer d.persist.Close()
+	}
 	mux := d.routes(debug)
 
 	// The startup entry lands in the journal (first /logs line) and on
@@ -339,6 +379,7 @@ type daemon struct {
 	engine   *workflow.Engine
 	st       *store.Store
 	persist  *workflow.PersistenceService
+	ckptOpts workflow.PersistenceOptions
 	recovery workflow.RecoveryReport
 	slo      *slo.Engine
 	flight   *flightrec.Recorder

@@ -3,7 +3,9 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -137,10 +139,28 @@ func TestDaemonCrashRecoveryEndToEnd(t *testing.T) {
 	if out, ok := rec.GetVar("confirmation"); !ok || out == nil {
 		t.Fatal("recovered instance has no confirmation output")
 	}
-	// The completion checkpoint is durable.
-	if raw, ok := d2.st.Get(workflow.SpaceInstances, inst.ID()); !ok ||
-		!bytes.Contains(raw, []byte(`state="completed"`)) {
-		t.Fatalf("terminal checkpoint missing: %s", raw)
+	// The completion checkpoint is durable (decode the delta chain).
+	raw, ok := d2.st.Get(workflow.SpaceInstances, inst.ID())
+	if !ok {
+		t.Fatal("terminal checkpoint missing")
+	}
+	doc, err := workflow.DecodeCheckpoint(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.AttrValue("", "state"); got != "completed" {
+		t.Fatalf("terminal checkpoint state = %q, want completed", got)
+	}
+
+	// The export endpoint decodes the same chain to XML.
+	hr2, err := srv.Client().Get(srv.URL + "/api/v1/instances/" + inst.ID() + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(hr2.Body)
+	hr2.Body.Close()
+	if hr2.StatusCode != 200 || !strings.Contains(string(body), "instanceSnapshot") {
+		t.Fatalf("checkpoint export status = %d body = %q", hr2.StatusCode, body)
 	}
 }
 

@@ -70,7 +70,7 @@ func (d *daemon) setupWorkflow() error {
 	if d.st == nil {
 		return nil
 	}
-	d.persist = workflow.NewPersistenceService(d.st, d.tel)
+	d.persist = workflow.NewPersistenceServiceWith(d.st, d.tel, d.ckptOpts)
 	d.persist.Attach(d.engine)
 	rep, err := d.persist.Recover(d.engine)
 	if err != nil {
@@ -184,8 +184,10 @@ func (d *daemon) instancesIndex(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// instanceManage routes /api/v1/instances/{id} and the lifecycle verbs
-// /api/v1/instances/{id}/suspend and /api/v1/instances/{id}/resume.
+// instanceManage routes /api/v1/instances/{id}, the lifecycle verbs
+// /api/v1/instances/{id}/suspend and /api/v1/instances/{id}/resume,
+// and /api/v1/instances/{id}/checkpoint, which decodes the instance's
+// stored delta chain to instanceSnapshot XML for export and debugging.
 // Resume releases a suspended instance — including one rebuilt from
 // the store at boot, which continues from its last durable checkpoint.
 func (d *daemon) instanceManage(w http.ResponseWriter, r *http.Request) {
@@ -231,6 +233,22 @@ func (d *daemon) instanceManage(w http.ResponseWriter, r *http.Request) {
 		}
 		d.tel.Logger("api").Conversation(id).Info("instance resumed", "instance", id)
 		writeJSON(w, http.StatusOK, d.summarizeInstance(inst))
+	case "checkpoint":
+		if r.Method != http.MethodGet {
+			writeAPIError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		if d.persist == nil {
+			writeAPIError(w, http.StatusNotFound, "no durable store (-data-dir) is configured")
+			return
+		}
+		text, err := d.persist.ExportXML(id)
+		if err != nil {
+			writeAPIError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+		fmt.Fprintln(w, text)
 	default:
 		writeAPIError(w, http.StatusNotFound, "unknown resource "+r.URL.Path)
 	}

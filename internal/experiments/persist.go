@@ -33,9 +33,15 @@ type PersistConfig struct {
 	// Retailers behind the VEP (default 2).
 	Retailers int
 	// SyncInterval is the batched mode's group-commit gather window
-	// (default 200µs). Longer windows trade checkpoint latency for
-	// fewer fsyncs.
+	// (default 2ms). Longer windows trade the crash-loss bound for
+	// fewer fsyncs; with the async checkpoint pipeline nothing on the
+	// hot path waits for the flush.
 	SyncInterval time.Duration
+	// Rounds runs each mode this many times and keeps the best round
+	// (default 3). The runs are closed-loop and latency-bound, so
+	// scheduler/background interference is strictly additive — the
+	// fastest round is the cleanest measurement.
+	Rounds int
 	// Dir is the parent directory for the per-mode stores (default:
 	// a fresh temp directory, removed afterwards).
 	Dir string
@@ -55,7 +61,10 @@ func (c *PersistConfig) fill() {
 		c.Retailers = 2
 	}
 	if c.SyncInterval <= 0 {
-		c.SyncInterval = 200 * time.Microsecond
+		c.SyncInterval = 2 * time.Millisecond
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 3
 	}
 }
 
@@ -91,14 +100,20 @@ type PersistPoint struct {
 	// checkpoints were serialized and their mean size.
 	Checkpoints         uint64
 	CheckpointBytesMean float64
+	// FullCheckpoints and DeltaCheckpoints split the checkpoint stream
+	// by record kind (masc_store_checkpoint_records_total): full
+	// snapshot anchors versus dirty-delta records.
+	FullCheckpoints  uint64
+	DeltaCheckpoints uint64
 	// Runtime is the allocation/GC cost of the measured run.
 	Runtime telemetry.RuntimeDelta
 }
 
 // persistProcessXML is the measured composition: browse then order
 // through the Retailer VEP. With the persistence service attached,
-// each run writes a checkpoint at every activity boundary — created,
-// two invokes, the containing sequence, and the terminal state.
+// each run checkpoints at every activity boundary — created (a full
+// snapshot anchor), two invokes, the containing sequence, and the
+// terminal state (dirty-delta records appended to the anchor).
 const persistProcessXML = `
 <process xmlns="urn:masc:workflow" name="PersistBench">
   <variables>
@@ -134,11 +149,17 @@ func RunPersistComparison(cfg PersistConfig) ([]PersistPoint, error) {
 
 	var points []PersistPoint
 	for _, mode := range []string{"none", "off", "batched", "always"} {
-		p, err := runPersistMode(cfg, mode, parent)
-		if err != nil {
-			return nil, err
+		var best PersistPoint
+		for round := 0; round < cfg.Rounds; round++ {
+			p, err := runPersistMode(cfg, mode, fmt.Sprintf("%s/%s-%d", parent, mode, round))
+			if err != nil {
+				return nil, err
+			}
+			if round == 0 || p.Throughput > best.Throughput {
+				best = p
+			}
 		}
-		points = append(points, p)
+		points = append(points, best)
 	}
 	base := points[0].Throughput
 	for i := range points {
@@ -149,7 +170,7 @@ func RunPersistComparison(cfg PersistConfig) ([]PersistPoint, error) {
 	return points, nil
 }
 
-func runPersistMode(cfg PersistConfig, mode, parent string) (PersistPoint, error) {
+func runPersistMode(cfg PersistConfig, mode, dir string) (PersistPoint, error) {
 	net := transport.NewNetwork()
 	d, err := scm.Deploy(net, nil, scm.DeployConfig{
 		Retailers: cfg.Retailers,
@@ -180,6 +201,7 @@ func runPersistMode(cfg PersistConfig, mode, parent string) (PersistPoint, error
 	e.Deploy(def)
 
 	var st *store.Store
+	var ps *workflow.PersistenceService
 	if mode != "none" {
 		sync, err := store.ParseSyncMode(mode)
 		if err != nil {
@@ -191,12 +213,13 @@ func runPersistMode(cfg PersistConfig, mode, parent string) (PersistPoint, error
 			// writers landing inside it share one fsync.
 			opts.SyncInterval = cfg.SyncInterval
 		}
-		st, err = store.Open(parent+"/"+mode, opts)
+		st, err = store.Open(dir, opts)
 		if err != nil {
 			return PersistPoint{}, err
 		}
 		defer st.Close()
-		workflow.NewPersistenceService(st, tel).Attach(e)
+		ps = workflow.NewPersistenceService(st, tel)
+		ps.Attach(e)
 	}
 
 	op := func(ctx context.Context, client, seq int) error {
@@ -225,6 +248,11 @@ func runPersistMode(cfg PersistConfig, mode, parent string) (PersistPoint, error
 		WarmupPerClient:   5,
 	}, op)
 	runtimeDelta := telemetry.CaptureRuntime().DeltaSince(before)
+	if ps != nil {
+		// Drain the async checkpoint pipeline so the counters below see
+		// every record of the run.
+		ps.Close()
+	}
 
 	p := PersistPoint{
 		Mode:       mode,
@@ -256,6 +284,9 @@ func runPersistMode(cfg PersistConfig, mode, parent string) (PersistPoint, error
 		if p.Checkpoints > 0 {
 			p.CheckpointBytesMean = ckptH.Sum() / float64(p.Checkpoints)
 		}
+		kinds := reg.Counter("masc_store_checkpoint_records_total", "", "kind")
+		p.FullCheckpoints = kinds.With("full").Value()
+		p.DeltaCheckpoints = kinds.With("delta").Value()
 	}
 	return p, nil
 }
@@ -264,13 +295,14 @@ func runPersistMode(cfg PersistConfig, mode, parent string) (PersistPoint, error
 func FormatPersist(points []PersistPoint) string {
 	var sb strings.Builder
 	sb.WriteString("Durable checkpointing: process throughput vs store fsync policy\n")
-	sb.WriteString(fmt.Sprintf("  %-9s %-10s %-10s %-12s %-12s %-9s %-12s %-10s %-10s %-8s %s\n",
-		"mode", "inst/s", "loss", "mean", "p95", "fsyncs", "wal_bytes", "records", "fsync_p99", "batch", "failures"))
+	sb.WriteString(fmt.Sprintf("  %-9s %-10s %-10s %-12s %-12s %-9s %-12s %-10s %-11s %-10s %-8s %s\n",
+		"mode", "inst/s", "loss", "mean", "p95", "fsyncs", "wal_bytes", "records", "full/delta", "fsync_p99", "batch", "failures"))
 	for _, p := range points {
-		sb.WriteString(fmt.Sprintf("  %-9s %-10.1f %-10s %-12v %-12v %-9d %-12d %-10d %-10v %-8.1f %d\n",
+		sb.WriteString(fmt.Sprintf("  %-9s %-10.1f %-10s %-12v %-12v %-9d %-12d %-10d %-11s %-10v %-8.1f %d\n",
 			p.Mode, p.Throughput, fmt.Sprintf("%.1f%%", p.OverheadPct),
 			p.Mean.Round(1000), p.P95.Round(1000), p.Fsyncs, p.WALBytes,
-			p.Records, p.FsyncP99.Round(1000), p.CommitBatchMean, p.Failures))
+			p.Records, fmt.Sprintf("%d/%d", p.FullCheckpoints, p.DeltaCheckpoints),
+			p.FsyncP99.Round(1000), p.CommitBatchMean, p.Failures))
 	}
 	return sb.String()
 }

@@ -34,7 +34,36 @@ const (
 	// file without a trailing commit record is incomplete (a crash hit
 	// mid-write) and is ignored on open.
 	opCommit = byte(3)
+	// opAppend appends bytes to the existing value of a key — the
+	// delta-record primitive behind the checkpoint fast path: one small
+	// WAL record extends a large value without rewriting it. Snapshots
+	// collapse the accumulated value back into a single opPut.
+	opAppend = byte(4)
 )
+
+// recordKinds names every record op the codec writes, in opcode order.
+// docs/persistence.md must document each one — the format-spec test
+// (TestFormatSpecCoversRecordKinds) enumerates this table against the
+// doc, so extend both together when adding an op.
+var recordKinds = []struct {
+	Name string
+	Op   byte
+}{
+	{"put", opPut},
+	{"delete", opDelete},
+	{"commit", opCommit},
+	{"append", opAppend},
+}
+
+// opName renders an op for the records-by-op metric label.
+func opName(op byte) string {
+	for _, k := range recordKinds {
+		if k.Op == op {
+			return k.Name
+		}
+	}
+	return "unknown"
+}
 
 // maxRecordBytes bounds a single record so a corrupt length prefix
 // cannot trigger an absurd allocation during replay.

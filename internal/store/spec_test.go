@@ -1,0 +1,26 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestPersistenceDocCoversRecordOps pins the on-disk format spec to
+// the code: every WAL record op the codec can write must be documented
+// in docs/persistence.md as "`name` (value)". Adding an op without
+// specifying it fails here.
+func TestPersistenceDocCoversRecordOps(t *testing.T) {
+	raw, err := os.ReadFile("../../docs/persistence.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+	for _, k := range recordKinds {
+		want := fmt.Sprintf("`%s` (%d)", k.Name, k.Op)
+		if !strings.Contains(doc, want) {
+			t.Errorf("docs/persistence.md does not document WAL record op %s", want)
+		}
+	}
+}

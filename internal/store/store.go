@@ -152,6 +152,13 @@ type Store struct {
 	writeSeq  uint64
 	syncedSeq uint64
 	syncErr   error
+	// flushing is true while the group-commit fsync runs outside the
+	// mutex; rotation, snapshot, and close wait it out before touching
+	// the active segment file.
+	flushing bool
+	// firstPending is when the oldest unsynced record was appended —
+	// the start of the batched-mode gather window.
+	firstPending time.Time
 
 	records   uint64
 	fsyncs    uint64
@@ -339,15 +346,82 @@ func (s *Store) recover() error {
 // Dir returns the data directory.
 func (s *Store) Dir() string { return s.dir }
 
+// Mode returns the configured fsync policy.
+func (s *Store) Mode() SyncMode { return s.opts.Sync }
+
 // Put durably sets a key. It returns after the record is durable per
 // the configured SyncMode.
 func (s *Store) Put(space, key string, value []byte) error {
 	return s.mutate(record{op: opPut, space: space, key: key, value: value})
 }
 
+// Append appends value to the existing value at (space, key), creating
+// the key if absent — the delta-record primitive of the checkpoint
+// fast path: one small WAL record extends a large value without
+// rewriting it. Like Put it returns after the record is durable per
+// the configured SyncMode.
+func (s *Store) Append(space, key string, value []byte) error {
+	return s.mutate(record{op: opAppend, space: space, key: key, value: value})
+}
+
 // Delete durably removes a key.
 func (s *Store) Delete(space, key string) error {
 	return s.mutate(record{op: opDelete, space: space, key: key})
+}
+
+// PutAsync is Put without the durability wait: the record is appended
+// to the WAL, applied to memory, and — in batched mode — the
+// group-commit syncer is nudged, but the call does not block until the
+// fsync lands. Durability follows within the gather window;
+// WaitDurable blocks until it has. In SyncAlways mode PutAsync falls
+// back to the synchronous Put so that mode's per-record guarantee is
+// never weakened.
+func (s *Store) PutAsync(space, key string, value []byte) error {
+	return s.mutateAsync(record{op: opPut, space: space, key: key, value: value})
+}
+
+// AppendAsync is Append without the durability wait (see PutAsync).
+func (s *Store) AppendAsync(space, key string, value []byte) error {
+	return s.mutateAsync(record{op: opAppend, space: space, key: key, value: value})
+}
+
+// DeleteAsync is Delete without the durability wait (see PutAsync).
+func (s *Store) DeleteAsync(space, key string) error {
+	return s.mutateAsync(record{op: opDelete, space: space, key: key})
+}
+
+// WaitDurable blocks until every record written before the call is
+// covered by an fsync. In batched mode it nudges the syncer and waits;
+// in SyncAlways mode every mutation was already durable on return; in
+// SyncNever mode durability is deferred by policy, so it returns
+// immediately.
+func (s *Store) WaitDurable() error {
+	if s.opts.Sync != SyncBatched {
+		return nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	seq := s.writeSeq
+	s.mu.Unlock()
+	select {
+	case s.syncReq <- struct{}{}:
+	default:
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.syncedSeq < seq && s.syncErr == nil && !s.closed {
+		s.syncCond.Wait()
+	}
+	if s.syncErr != nil {
+		return s.syncErr
+	}
+	if s.syncedSeq < seq {
+		return ErrClosed
+	}
+	return nil
 }
 
 // Get returns a copy of the value at (space, key).
@@ -395,11 +469,7 @@ func (s *Store) mutate(rec record) error {
 	}
 	applyRecord(s.mem, rec)
 	seq := s.writeSeq
-	opName := "put"
-	if rec.op == opDelete {
-		opName = "delete"
-	}
-	s.met.records.With(opName).Inc()
+	s.met.records.With(opName(rec.op)).Inc()
 	s.maybeSnapshotLocked()
 
 	switch s.opts.Sync {
@@ -428,6 +498,35 @@ func (s *Store) mutate(rec record) error {
 	}
 }
 
+// mutateAsync appends and applies a record without waiting for its
+// durability point. SyncAlways falls back to the synchronous path so
+// the strict mode keeps its per-record guarantee.
+func (s *Store) mutateAsync(rec record) error {
+	if s.opts.Sync == SyncAlways {
+		return s.mutate(rec)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if err := s.appendLocked(rec); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	applyRecord(s.mem, rec)
+	s.met.records.With(opName(rec.op)).Inc()
+	s.maybeSnapshotLocked()
+	s.mu.Unlock()
+	if s.opts.Sync == SyncBatched {
+		select {
+		case s.syncReq <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
 // appendLocked encodes and writes one record to the active segment,
 // rotating it when full. Callers hold s.mu.
 func (s *Store) appendLocked(rec record) error {
@@ -440,6 +539,11 @@ func (s *Store) appendLocked(rec record) error {
 		return err
 	}
 	s.writeSeq++
+	if s.writeSeq == s.syncedSeq+1 {
+		// First record of a new batch: the gather window starts here,
+		// not at the syncer's wakeup.
+		s.firstPending = s.clk.Now()
+	}
 	s.records++
 	s.sinceSnap++
 	s.publishGauges()
@@ -449,9 +553,19 @@ func (s *Store) appendLocked(rec record) error {
 	return nil
 }
 
+// awaitFlushLocked waits out an in-flight group-commit fsync so the
+// active segment can be fsynced under the mutex, closed, or swapped
+// safely. Callers hold s.mu.
+func (s *Store) awaitFlushLocked() {
+	for s.flushing {
+		s.syncCond.Wait()
+	}
+}
+
 // rotateLocked fsyncs and closes the active segment and opens the
 // next one. Callers hold s.mu.
 func (s *Store) rotateLocked() error {
+	s.awaitFlushLocked()
 	if err := s.fsyncLocked(); err != nil {
 		return err
 	}
@@ -496,8 +610,12 @@ func (s *Store) markSyncedLocked() {
 
 // syncer is the batched-mode group-commit goroutine: it coalesces all
 // records written since the last flush into one fsync and wakes every
-// waiter the fsync covered. Writers arriving while an fsync runs
-// block on s.mu and form the next batch.
+// waiter the fsync covered. The gather window (SyncInterval) is
+// measured from the FIRST unsynced record, and the fsync itself runs
+// outside the store mutex, so writers arriving during the disk flush
+// append immediately and form the next batch — without this, each
+// flush blocked the writers it was meant to batch and the window
+// degenerated to roughly one fsync per concurrent writer.
 func (s *Store) syncer() {
 	defer close(s.syncerDone)
 	for {
@@ -507,21 +625,55 @@ func (s *Store) syncer() {
 		case <-s.syncReq:
 		}
 		if s.opts.SyncInterval > 0 {
-			s.clk.Sleep(s.opts.SyncInterval)
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			return
-		}
-		if s.syncedSeq < s.writeSeq {
-			if err := s.fsyncLocked(); err != nil && s.syncErr == nil {
-				s.syncErr = err
+			s.mu.Lock()
+			var wait time.Duration
+			if !s.closed && s.syncedSeq < s.writeSeq {
+				wait = s.opts.SyncInterval - s.clk.Since(s.firstPending)
 			}
-			s.markSyncedLocked()
+			s.mu.Unlock()
+			if wait > 0 {
+				s.clk.Sleep(wait)
+			}
 		}
-		s.mu.Unlock()
+		s.flushBatch()
 	}
+}
+
+// flushBatch is the group-commit flush: it captures the current write
+// position, fsyncs the active segment WITHOUT holding the store mutex,
+// then advances the durability point and wakes the waiters the flush
+// covered. Rotation, snapshot, and close coordinate through s.flushing.
+func (s *Store) flushBatch() {
+	s.mu.Lock()
+	if s.closed || s.syncErr != nil || s.syncedSeq >= s.writeSeq {
+		s.mu.Unlock()
+		return
+	}
+	seq := s.writeSeq
+	f := s.seg
+	s.flushing = true
+	s.mu.Unlock()
+
+	start := time.Now()
+	err := f.Sync()
+	elapsed := time.Since(start)
+
+	s.mu.Lock()
+	s.flushing = false
+	s.met.fsyncSeconds.Observe(elapsed.Seconds())
+	s.fsyncs++
+	s.met.fsyncsTotal.Inc()
+	if err != nil && s.syncErr == nil {
+		s.syncErr = err
+	}
+	if err == nil && seq > s.syncedSeq {
+		// Rotation or snapshot may have advanced syncedSeq past our
+		// capture while we were off-lock; never move it backwards.
+		s.met.commitBatch.Observe(float64(seq - s.syncedSeq))
+		s.syncedSeq = seq
+	}
+	s.syncCond.Broadcast()
+	s.mu.Unlock()
 }
 
 // Sync forces an fsync of the active segment regardless of mode.
@@ -531,6 +683,7 @@ func (s *Store) Sync() error {
 	if s.closed {
 		return ErrClosed
 	}
+	s.awaitFlushLocked()
 	err := s.fsyncLocked()
 	s.markSyncedLocked()
 	return err
@@ -556,6 +709,7 @@ func (s *Store) Snapshot() error {
 }
 
 func (s *Store) snapshotLocked() error {
+	s.awaitFlushLocked()
 	// Seal the active segment: everything up to here lands in the
 	// snapshot; the WAL restarts in a fresh segment after it.
 	if err := s.fsyncLocked(); err != nil {
@@ -617,6 +771,7 @@ func (s *Store) close(flush bool) error {
 		return nil
 	}
 	s.closed = true
+	s.awaitFlushLocked()
 	var err error
 	if flush {
 		err = s.fsyncLocked()

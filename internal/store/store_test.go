@@ -302,9 +302,13 @@ func TestGroupCommitConcurrentWriters(t *testing.T) {
 	if st.Records != writers*each {
 		t.Fatalf("recorded %d records, want %d", st.Records, writers*each)
 	}
-	// Group commit must have coalesced: far fewer fsyncs than records.
-	if st.Fsyncs >= st.Records {
-		t.Fatalf("no fsync batching: %d fsyncs for %d records", st.Fsyncs, st.Records)
+	// Group commit must have coalesced: with 8 writers inside a 2ms
+	// gather window each flush should cover several records, so fsync
+	// count must be a small fraction of record count — the BENCH_5
+	// regression was ~1 fsync per 2 records.
+	if st.Fsyncs > st.Records/4 {
+		t.Fatalf("group commit not coalescing: %d fsyncs for %d records (want <= %d)",
+			st.Fsyncs, st.Records, st.Records/4)
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)

@@ -211,6 +211,17 @@ func applyRecord(state map[string]map[string][]byte, rec record) {
 			state[rec.space] = sp
 		}
 		sp[rec.key] = rec.value
+	case opAppend:
+		sp := state[rec.space]
+		if sp == nil {
+			sp = make(map[string][]byte)
+			state[rec.space] = sp
+		}
+		// Reallocate rather than append in place: the old slice may be
+		// aliased by a caller of Get/List or by the snapshot writer.
+		old := sp[rec.key]
+		buf := make([]byte, 0, len(old)+len(rec.value))
+		sp[rec.key] = append(append(buf, old...), rec.value...)
 	case opDelete:
 		if sp := state[rec.space]; sp != nil {
 			delete(sp, rec.key)

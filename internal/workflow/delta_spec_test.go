@@ -1,0 +1,36 @@
+package workflow
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestPersistenceDocCoversCheckpointVocabulary pins the checkpoint
+// value format spec to the code: the format version byte, every chunk
+// kind, and every delta field tag the codec can write must appear in
+// docs/persistence.md as "`name` (0xNN)". An independent decoder
+// written from the doc must never meet an unspecified byte.
+func TestPersistenceDocCoversCheckpointVocabulary(t *testing.T) {
+	raw, err := os.ReadFile("../../docs/persistence.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+	if want := fmt.Sprintf("0x%02X", ckptMagic); !strings.Contains(doc, want) {
+		t.Errorf("docs/persistence.md does not document the format version byte %s", want)
+	}
+	for _, k := range ckptChunkKinds {
+		want := fmt.Sprintf("`%s` (0x%02X)", k.Name, k.Kind)
+		if !strings.Contains(doc, want) {
+			t.Errorf("docs/persistence.md does not document chunk kind %s", want)
+		}
+	}
+	for _, f := range ckptFieldTags {
+		want := fmt.Sprintf("`%s` (0x%02X)", f.Name, f.Tag)
+		if !strings.Contains(doc, want) {
+			t.Errorf("docs/persistence.md does not document delta field tag %s", want)
+		}
+	}
+}

@@ -293,6 +293,9 @@ func (in *Instance) ApplyUpdate(u *TreeUpdate) error {
 			return fmt.Errorf("workflow: live update failed after validation: %w", err)
 		}
 	}
+	// Deltas do not describe structural edits: anchor a fresh full
+	// snapshot at the next checkpoint.
+	in.dirtyTreeLocked()
 	in.mu.Unlock()
 	in.notifyUpdated()
 	return nil
@@ -334,6 +337,8 @@ func (in *Instance) AdjustInvokeTimeout(activity string, d time.Duration) error 
 		return fmt.Errorf("workflow: activity %q is a %s, not an invoke", activity, a.Kind())
 	}
 	inv.SetTimeout(d)
+	// Timeouts live in the tree, which deltas do not describe.
+	in.dirtyTreeLocked()
 	in.mu.Unlock()
 	in.notifyUpdated()
 	return nil

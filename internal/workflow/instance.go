@@ -116,6 +116,15 @@ type Instance struct {
 	adaptState string
 	finalErr   error
 
+	// Dirty set for delta checkpointing (guarded by mu): what changed
+	// since the persistence service's last captureCheckpoint. ckptFull
+	// forces the next capture to anchor a full snapshot — set at birth
+	// and after structural tree edits, which deltas do not describe.
+	ckptFull  bool
+	ckptVars  map[string]struct{}
+	ckptMarks []markChange
+	ckptSeq   uint64
+
 	runCtx    context.Context
 	cancelRun context.CancelFunc
 	termCh    chan struct{}
@@ -149,6 +158,7 @@ func newInstance(e *Engine, id string, def *Definition, inputs map[string]*xmltr
 		cancelRun: cancel,
 		termCh:    make(chan struct{}),
 		doneCh:    make(chan struct{}),
+		ckptFull:  true,
 		span:      span,
 		created:   e.clk.Now(),
 	}
@@ -457,6 +467,7 @@ func (in *Instance) isDone(name string) bool {
 func (in *Instance) markDone(name string) {
 	in.mu.Lock()
 	in.done[name] = true
+	in.dirtyMarkLocked(name, true)
 	in.mu.Unlock()
 }
 
@@ -465,7 +476,12 @@ func (in *Instance) markDone(name string) {
 func (in *Instance) clearDoneSubtree(a Activity) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	walkActivities(a, func(x Activity) { delete(in.done, x.Name()) })
+	walkActivities(a, func(x Activity) {
+		if _, ok := in.done[x.Name()]; ok {
+			delete(in.done, x.Name())
+			in.dirtyMarkLocked(x.Name(), false)
+		}
+	})
 }
 
 // withTree runs fn with the tree lock held; containers use it to
@@ -507,6 +523,7 @@ func (in *Instance) GetVar(name string) (*xmltree.Element, bool) {
 func (in *Instance) SetVar(name string, val *xmltree.Element) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	in.dirtyVarLocked(name)
 	if val == nil {
 		in.vars[name] = nil
 		return

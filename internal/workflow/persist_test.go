@@ -59,7 +59,7 @@ func TestPersistenceJournalsLifecycle(t *testing.T) {
 	if !ok {
 		t.Fatalf("no durable record for %s", inst.ID())
 	}
-	doc, err := xmltree.ParseString(string(raw))
+	doc, err := DecodeCheckpoint(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,8 +148,12 @@ func TestCrashRecoveryResumesSuspendedInstance(t *testing.T) {
 	}
 	// The terminal state is durable too.
 	raw, _ := st2.Get(SpaceInstances, inst.ID())
-	if !strings.Contains(string(raw), `state="completed"`) {
-		t.Fatalf("terminal record not journaled: %s", raw)
+	doc, err := DecodeCheckpoint(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.AttrValue("", "state"); got != StateCompleted.String() {
+		t.Fatalf("terminal record state = %q, want completed", got)
 	}
 }
 
