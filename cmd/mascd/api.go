@@ -9,6 +9,7 @@ import (
 
 	"github.com/masc-project/masc/internal/bus"
 	"github.com/masc-project/masc/internal/telemetry"
+	"github.com/masc-project/masc/internal/telemetry/decision"
 	"github.com/masc-project/masc/internal/telemetry/flightrec"
 )
 
@@ -42,6 +43,7 @@ func (d *daemon) apiRoutes(mux *http.ServeMux) {
 	handle("/slo", http.HandlerFunc(d.sloReport))
 	handle("/flightrec", http.HandlerFunc(d.flightrecIndex))
 	handle("/flightrec/", http.HandlerFunc(d.flightrecGet))
+	handle("/decisions", decision.Handler(d.decisions))
 }
 
 // sloReport serves GET /api/v1/slo: derived objectives, per-window

@@ -15,6 +15,7 @@ import (
 	"github.com/masc-project/masc/internal/scm"
 	"github.com/masc-project/masc/internal/soap"
 	"github.com/masc-project/masc/internal/telemetry"
+	"github.com/masc-project/masc/internal/telemetry/decision"
 	"github.com/masc-project/masc/internal/transport"
 	"github.com/masc-project/masc/internal/workflow"
 )
@@ -47,7 +48,9 @@ func e2eDaemon(t *testing.T) *daemon {
 		t.Fatal(err)
 	}
 	tel := telemetry.New(0)
-	gateway := bus.New(network, bus.WithPolicyRepository(repo), bus.WithTelemetry(tel))
+	dec := decision.NewRecorder(0, tel.Registry())
+	gateway := bus.New(network, bus.WithPolicyRepository(repo), bus.WithTelemetry(tel),
+		bus.WithDecisions(dec))
 	if _, err := gateway.CreateVEP(bus.VEPConfig{
 		Name:      "Retailer",
 		Services:  append([]string{"inproc://scm/dead"}, deployment.RetailerAddrs...),
@@ -57,12 +60,13 @@ func e2eDaemon(t *testing.T) *daemon {
 		t.Fatal(err)
 	}
 	d := &daemon{
-		gateway: gateway,
-		network: network,
-		repo:    repo,
-		tel:     tel,
-		start:   time.Now(),
-		engine:  workflow.NewEngine(gateway, workflow.WithTelemetry(tel)),
+		gateway:   gateway,
+		network:   network,
+		repo:      repo,
+		tel:       tel,
+		start:     time.Now(),
+		engine:    workflow.NewEngine(gateway, workflow.WithTelemetry(tel)),
+		decisions: dec,
 	}
 	if err := d.setupWorkflow(); err != nil {
 		t.Fatal(err)
@@ -216,6 +220,45 @@ func TestGatewayExchangeFullyCorrelated(t *testing.T) {
 	// the same exchange.
 	if m.Trace != sums[0].ID {
 		t.Fatalf("message trace = %q, want %q", m.Trace, sums[0].ID)
+	}
+
+	// The decision provenance for the exchange shares the same keys:
+	// the adaptation record that explains the recovery carries the
+	// conversation ID of the journal entries and the trace ID of the
+	// span tree, so "why did it adapt?" joins both planes.
+	hr3, err := srv.Client().Get(srv.URL + "/api/v1/decisions?conversation=" + url.QueryEscape(conv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page decision.Page
+	err = json.NewDecoder(hr3.Body).Decode(&page)
+	hr3.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Count == 0 {
+		t.Fatal("no decision records for the conversation")
+	}
+	var adapted *decision.Record
+	for i, rec := range page.Records {
+		if rec.Conversation != conv {
+			t.Fatalf("decision record with wrong conversation: %+v", rec)
+		}
+		if rec.Policy == "retry-then-failover" && rec.Verdict == decision.VerdictMatched {
+			adapted = &page.Records[i]
+		}
+	}
+	if adapted == nil {
+		t.Fatalf("no matched retry-then-failover decision\n%+v", page.Records)
+	}
+	if adapted.Trace != sums[0].ID {
+		t.Fatalf("decision trace = %q, want %q", adapted.Trace, sums[0].ID)
+	}
+	if adapted.Action != "Retry+Substitute" {
+		t.Fatalf("decision action = %q", adapted.Action)
+	}
+	if !strings.HasPrefix(adapted.Outcome, "served_by:") {
+		t.Fatalf("decision outcome = %q", adapted.Outcome)
 	}
 }
 

@@ -31,6 +31,12 @@
 //	                       classified faults / SLA violations (requires
 //	                       -data-dir); /api/v1/flightrec/{id} fetches
 //	                       one correlated bundle
+//	/api/v1/decisions      decision provenance: one structured record
+//	                       per policy evaluation, with inputs,
+//	                       assertions, verdicts, and latency
+//	                       (?policy=, ?subject=, ?conversation=,
+//	                       ?instance=, ?trace=, ?site=, ?verdict=,
+//	                       ?since=, ?limit=)
 //	/api/v1/veps           VEP listing with services, protection
 //	                       status, and circuit-breaker states
 //	/api/v1/veps/{name}/services  runtime service (de)registration
@@ -46,6 +52,10 @@
 //	/api/v1/instances/{id}/checkpoint  the instance's durable
 //	                       checkpoint decoded to instanceSnapshot XML
 //	                       (requires -data-dir)
+//	/api/v1/instances/{id}/timeline  the instance's adaptation
+//	                       timeline: decision records, journal entries,
+//	                       trace spans, and checkpoint events merged in
+//	                       time order
 //	/debug/pprof           only with -debug
 //
 // The OrderingProcess composition is deployed and hosted at
@@ -63,6 +73,12 @@
 // backpressure point for batched/off sync modes), and
 // -ckpt-durable-finish makes instance completion wait for the terminal
 // checkpoint's fsync, not just its enqueue.
+//
+// Every policy evaluation leaves a decision record in a bounded
+// in-memory ring (-decision-ring caps it, default 4096). With
+// -data-dir the records also stream to size-capped NDJSON segments
+// under <data-dir>/decisions; -decision-log-segment caps one segment's
+// bytes and -decision-log-keep bounds how many segments are retained.
 //
 // The unversioned paths (/metrics, /traces, /logs, /messages,
 // /healthz, /readyz) remain as deprecated aliases.
@@ -92,6 +108,7 @@ import (
 	"github.com/masc-project/masc/internal/soap"
 	"github.com/masc-project/masc/internal/store"
 	"github.com/masc-project/masc/internal/telemetry"
+	"github.com/masc-project/masc/internal/telemetry/decision"
 	"github.com/masc-project/masc/internal/telemetry/flightrec"
 	"github.com/masc-project/masc/internal/telemetry/slo"
 	"github.com/masc-project/masc/internal/transport"
@@ -125,6 +142,8 @@ func run(args []string) error {
 	ckptOpts := workflow.PersistenceOptions{}
 	exportURL := ""
 	exportInterval := 15 * time.Second
+	decisionRing := 0
+	decisionLogOpts := decision.LogOptions{}
 	debug := false
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
@@ -174,6 +193,36 @@ func run(args []string) error {
 			ckptOpts.QueueDepth = n
 		case "-ckpt-durable-finish":
 			ckptOpts.DurableFinish = true
+		case "-decision-ring":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-decision-ring needs a record count")
+			}
+			n, err := strconv.Atoi(args[i])
+			if err != nil || n < 1 {
+				return fmt.Errorf("-decision-ring: want a positive integer, got %q", args[i])
+			}
+			decisionRing = n
+		case "-decision-log-segment":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-decision-log-segment needs a byte count")
+			}
+			n, err := strconv.ParseInt(args[i], 10, 64)
+			if err != nil || n < 1 {
+				return fmt.Errorf("-decision-log-segment: want a positive byte count, got %q", args[i])
+			}
+			decisionLogOpts.SegmentBytes = n
+		case "-decision-log-keep":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-decision-log-keep needs a segment count")
+			}
+			n, err := strconv.Atoi(args[i])
+			if err != nil || n < 1 {
+				return fmt.Errorf("-decision-log-keep: want a positive integer, got %q", args[i])
+			}
+			decisionLogOpts.MaxSegments = n
 		case "-export-url":
 			i++
 			if i >= len(args) {
@@ -224,12 +273,18 @@ func run(args []string) error {
 	tel := telemetry.New(0)
 	events := event.NewBus()
 
+	// Decision provenance: every policy-evaluation site records into
+	// this ring; with -data-dir the records additionally stream to a
+	// durable NDJSON log under <data-dir>/decisions.
+	dec := decision.NewRecorder(decisionRing, tel.Registry())
+
 	d := &daemon{
-		network:  network,
-		repo:     repo,
-		tel:      tel,
-		start:    time.Now(),
-		ckptOpts: ckptOpts,
+		network:   network,
+		repo:      repo,
+		tel:       tel,
+		start:     time.Now(),
+		ckptOpts:  ckptOpts,
+		decisions: dec,
 	}
 	if dataDir != "" {
 		st, err := openDataDir(dataDir, syncMode, d)
@@ -244,6 +299,7 @@ func run(args []string) error {
 		bus.WithPolicyRepository(repo),
 		bus.WithEventBus(events),
 		bus.WithTelemetry(tel),
+		bus.WithDecisions(dec),
 	}
 	if d.st != nil {
 		busOpts = append(busOpts, bus.WithStore(d.st))
@@ -272,7 +328,7 @@ func run(args []string) error {
 	}
 	d.slo = slo.NewEngine(
 		slo.DeriveObjectives(repo, subjects, slo.Objective{Availability: 0.99}),
-		slo.Options{Registry: tel.Registry(), Journal: tel.Logs()})
+		slo.Options{Registry: tel.Registry(), Journal: tel.Logs(), Decisions: dec})
 	gateway.SetInvocationObserver(d.slo)
 	sloStop := make(chan struct{})
 	defer close(sloStop)
@@ -294,6 +350,7 @@ func run(args []string) error {
 			Dir:       filepath.Join(dataDir, "flightrec"),
 			Telemetry: tel,
 			SLOState:  func() interface{} { return d.slo.Status() },
+			Decisions: dec,
 		})
 		if err != nil {
 			return err
@@ -301,6 +358,14 @@ func run(args []string) error {
 		rec.Attach(events)
 		d.flight = rec
 		defer rec.Close()
+
+		decisionLogOpts.Metrics = tel.Registry()
+		dlog, err := decision.OpenLog(filepath.Join(dataDir, "decisions"), decisionLogOpts)
+		if err != nil {
+			return err
+		}
+		dec.SetSink(dlog)
+		defer dlog.Close()
 	}
 
 	if exportURL != "" {
@@ -371,18 +436,19 @@ func run(args []string) error {
 
 // daemon holds the running gateway's shared state for HTTP handlers.
 type daemon struct {
-	gateway  *bus.Bus
-	network  *transport.Network
-	repo     *policy.Repository
-	tel      *telemetry.Telemetry
-	start    time.Time
-	engine   *workflow.Engine
-	st       *store.Store
-	persist  *workflow.PersistenceService
-	ckptOpts workflow.PersistenceOptions
-	recovery workflow.RecoveryReport
-	slo      *slo.Engine
-	flight   *flightrec.Recorder
+	gateway   *bus.Bus
+	network   *transport.Network
+	repo      *policy.Repository
+	tel       *telemetry.Telemetry
+	start     time.Time
+	engine    *workflow.Engine
+	st        *store.Store
+	persist   *workflow.PersistenceService
+	ckptOpts  workflow.PersistenceOptions
+	recovery  workflow.RecoveryReport
+	slo       *slo.Engine
+	flight    *flightrec.Recorder
+	decisions *decision.Recorder
 
 	inflight  sync.WaitGroup
 	inflightN atomic.Int64

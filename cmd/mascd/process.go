@@ -186,8 +186,9 @@ func (d *daemon) instancesIndex(w http.ResponseWriter, r *http.Request) {
 
 // instanceManage routes /api/v1/instances/{id}, the lifecycle verbs
 // /api/v1/instances/{id}/suspend and /api/v1/instances/{id}/resume,
-// and /api/v1/instances/{id}/checkpoint, which decodes the instance's
-// stored delta chain to instanceSnapshot XML for export and debugging.
+// /api/v1/instances/{id}/checkpoint, which decodes the instance's
+// stored delta chain to instanceSnapshot XML for export and debugging,
+// and /api/v1/instances/{id}/timeline, the merged adaptation timeline.
 // Resume releases a suspended instance — including one rebuilt from
 // the store at boot, which continues from its last durable checkpoint.
 func (d *daemon) instanceManage(w http.ResponseWriter, r *http.Request) {
@@ -249,6 +250,12 @@ func (d *daemon) instanceManage(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
 		fmt.Fprintln(w, text)
+	case "timeline":
+		if r.Method != http.MethodGet {
+			writeAPIError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		writeJSON(w, http.StatusOK, d.instanceTimeline(id))
 	default:
 		writeAPIError(w, http.StatusNotFound, "unknown resource "+r.URL.Path)
 	}

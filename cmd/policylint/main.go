@@ -6,9 +6,12 @@
 // checks the paper claims over RobustBPEL: layer coverage, action
 // ordering, trigger/kind coherence), and on success a summary of the
 // policies the document defines. It also warns — without failing — on
-// adaptation policies whose OnEvent type no middleware component ever
-// publishes, since such a policy can never fire. Exit status is
-// non-zero if any file fails.
+// two classes of dead policy: adaptation policies whose OnEvent type
+// no middleware component ever publishes (the policy can never fire),
+// and messaging-layer adaptation policies shadowed by an unconditional
+// higher-priority sibling with the same (or broader) scope and
+// trigger, which the bus's first-match recovery always picks instead.
+// Exit status is non-zero if any file fails.
 package main
 
 import (
@@ -61,6 +64,7 @@ func lint(path string) (warnings []string, err error) {
 		return nil, err
 	}
 	warnings = deadTriggers(doc)
+	warnings = append(warnings, shadowedPolicies(doc)...)
 	fmt.Printf("%s: document %q OK — %d monitoring, %d adaptation, %d protection\n",
 		path, doc.Name, len(doc.Monitoring), len(doc.Adaptation), len(doc.Protection))
 	for _, mp := range doc.Monitoring {
@@ -92,4 +96,65 @@ func deadTriggers(doc *policy.Document) []string {
 		}
 	}
 	return out
+}
+
+// shadowedPolicies flags messaging-layer adaptation policies that can
+// never enact because a higher-priority sibling always wins first: the
+// bus's corrective recovery stops at the first policy whose gates
+// hold, so a sibling with the same (or broader) scope and trigger that
+// has no state-before gate and no condition matches every event the
+// shadowed policy could have handled. Process-layer policies are
+// exempt — the decision maker dispatches every applicable policy.
+func shadowedPolicies(doc *policy.Document) []string {
+	var out []string
+	for _, ap := range doc.Adaptation {
+		if ap.Layer == policy.LayerProcess {
+			continue
+		}
+		for _, winner := range doc.Adaptation {
+			if winner == ap || winner.Layer == policy.LayerProcess {
+				continue
+			}
+			if !sortsBefore(winner, ap) || !covers(winner, ap) {
+				continue
+			}
+			if winner.StateBefore != "" || winner.Condition != nil {
+				continue
+			}
+			out = append(out, fmt.Sprintf(
+				"adaptation policy %q is shadowed by %q (priority %d >= %d): same scope and trigger, and %q has no state or condition gate, so the messaging layer's first-match recovery always picks it — %q can never enact",
+				ap.Name, winner.Name, winner.Priority, ap.Priority, winner.Name, ap.Name))
+			break
+		}
+	}
+	return out
+}
+
+// sortsBefore mirrors Repository.AdaptationFor's ordering: descending
+// priority, ties broken by ascending name.
+func sortsBefore(a, b *policy.AdaptationPolicy) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.Name < b.Name
+}
+
+// covers reports whether policy a is evaluated for every event that
+// would reach policy b: a's scope and trigger are equal to or broader
+// than b's (an empty field matches everything, so it covers any
+// narrower value).
+func covers(a, b *policy.AdaptationPolicy) bool {
+	if a.Scope.Subject != "" && a.Scope.Subject != b.Scope.Subject {
+		return false
+	}
+	if a.Scope.Operation != "" && a.Scope.Operation != b.Scope.Operation {
+		return false
+	}
+	if a.Trigger.EventType != "" && a.Trigger.EventType != b.Trigger.EventType {
+		return false
+	}
+	if a.Trigger.FaultType != "" && a.Trigger.FaultType != b.Trigger.FaultType {
+		return false
+	}
+	return true
 }

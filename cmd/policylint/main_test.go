@@ -83,6 +83,86 @@ func TestLintWarnsOnDeadTrigger(t *testing.T) {
 	}
 }
 
+func TestLintWarnsOnShadowedPolicy(t *testing.T) {
+	// catch-all has higher priority, the same scope and trigger, and no
+	// gates, so the bus's first-match recovery never reaches specific.
+	path := write(t, "shadowed.xml", `
+<PolicyDocument xmlns="urn:masc:ws-policy4masc" name="shadowed">
+  <AdaptationPolicy name="catch-all" subject="vep:S" priority="20">
+    <OnEvent type="fault.detected"/>
+    <Actions><Retry maxAttempts="1"/></Actions>
+  </AdaptationPolicy>
+  <AdaptationPolicy name="specific" subject="vep:S" priority="10">
+    <OnEvent type="fault.detected" faultType="wsbus:Timeout"/>
+    <Actions><Substitute selection="first"/></Actions>
+  </AdaptationPolicy>
+</PolicyDocument>`)
+	warnings, err := lint(path)
+	if err != nil {
+		t.Fatalf("shadowed policy must warn, not fail: %v", err)
+	}
+	if len(warnings) != 1 {
+		t.Fatalf("warnings = %v, want exactly one", warnings)
+	}
+	if !strings.Contains(warnings[0], `"specific" is shadowed by "catch-all"`) {
+		t.Fatalf("warning does not name both policies: %q", warnings[0])
+	}
+}
+
+func TestLintShadowLintExemptions(t *testing.T) {
+	for name, doc := range map[string]string{
+		// A winner gated by a condition does not shadow: when the
+		// condition is false, evaluation falls through to the sibling.
+		"guarded winner": `
+<PolicyDocument xmlns="urn:masc:ws-policy4masc" name="ok">
+  <AdaptationPolicy name="gated" subject="vep:S" priority="20">
+    <OnEvent type="fault.detected"/>
+    <Condition>$faultType = 'wsbus:Timeout'</Condition>
+    <Actions><Retry maxAttempts="1"/></Actions>
+  </AdaptationPolicy>
+  <AdaptationPolicy name="fallback" subject="vep:S" priority="10">
+    <OnEvent type="fault.detected"/>
+    <Actions><Substitute selection="first"/></Actions>
+  </AdaptationPolicy>
+</PolicyDocument>`,
+		// A winner with a narrower fault trigger leaves other faults to
+		// the sibling.
+		"narrower winner": `
+<PolicyDocument xmlns="urn:masc:ws-policy4masc" name="ok">
+  <AdaptationPolicy name="timeouts-only" subject="vep:S" priority="20">
+    <OnEvent type="fault.detected" faultType="wsbus:Timeout"/>
+    <Actions><Retry maxAttempts="1"/></Actions>
+  </AdaptationPolicy>
+  <AdaptationPolicy name="everything-else" subject="vep:S" priority="10">
+    <OnEvent type="fault.detected"/>
+    <Actions><Substitute selection="first"/></Actions>
+  </AdaptationPolicy>
+</PolicyDocument>`,
+		// Process-layer policies are all dispatched by the decision
+		// maker, so priority order cannot starve them.
+		"process layer": `
+<PolicyDocument xmlns="urn:masc:ws-policy4masc" name="ok">
+  <AdaptationPolicy name="first" subject="OrderingProcess" priority="20" layer="process">
+    <OnEvent type="fault.detected"/>
+    <Actions><SuspendProcess/></Actions>
+  </AdaptationPolicy>
+  <AdaptationPolicy name="second" subject="OrderingProcess" priority="10" layer="process">
+    <OnEvent type="fault.detected"/>
+    <Actions><SuspendProcess/></Actions>
+  </AdaptationPolicy>
+</PolicyDocument>`,
+	} {
+		path := write(t, "exempt.xml", doc)
+		warnings, err := lint(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(warnings) != 0 {
+			t.Fatalf("%s: unexpected warnings: %v", name, warnings)
+		}
+	}
+}
+
 func TestLintMissingFile(t *testing.T) {
 	if _, err := lint(filepath.Join(t.TempDir(), "ghost.xml")); err == nil {
 		t.Fatal("missing file not reported")

@@ -1,11 +1,13 @@
 package bus
 
 import (
+	"strconv"
 	"sync"
 	"time"
 
 	"github.com/masc-project/masc/internal/clock"
 	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/telemetry/decision"
 )
 
 // Breaker states, exported through metrics (gauge value) and the
@@ -45,24 +47,55 @@ type breakerState struct {
 // front of selection, so broken backends stop absorbing traffic.
 type breakerGroup struct {
 	vep       string
+	polName   string
 	threshold int
 	cooldown  time.Duration
 	clk       clock.Clock
 	met       *busMetrics
+	dec       *decision.Recorder
 
 	mu sync.Mutex
 	m  map[string]*breakerState
 }
 
-func newBreakerGroup(vep string, spec *policy.BreakerSpec, clk clock.Clock, met *busMetrics) *breakerGroup {
+func newBreakerGroup(vep, polName string, spec *policy.BreakerSpec, clk clock.Clock, met *busMetrics, dec *decision.Recorder) *breakerGroup {
 	return &breakerGroup{
 		vep:       vep,
+		polName:   polName,
 		threshold: spec.FailureThreshold,
 		cooldown:  spec.Cooldown,
 		clk:       clk,
 		met:       met,
+		dec:       dec,
 		m:         make(map[string]*breakerState),
 	}
+}
+
+// recordTransition emits one provenance record for a breaker state
+// change — the protection policy "deciding" to open, probe, or close a
+// backend's circuit. Only transitions record, never steady state, so
+// the cost is bounded by outages rather than traffic.
+func (g *breakerGroup) recordTransition(target, action string, verdict decision.Verdict, consecutive int) {
+	if g.dec == nil {
+		return
+	}
+	g.dec.Record(decision.Record{
+		Time:       g.clk.Now(),
+		Site:       decision.SiteBus,
+		PolicyType: "protection",
+		Policy:     g.polName,
+		Subject:    SubjectPrefix + g.vep,
+		Trigger:    "breaker",
+		Verdict:    verdict,
+		Action:     action,
+		Outcome:    "target:" + target,
+		Inputs: map[string]string{
+			"target":      target,
+			"consecutive": strconv.Itoa(consecutive),
+			"threshold":   strconv.Itoa(g.threshold),
+			"cooldown":    g.cooldown.String(),
+		},
+	})
 }
 
 func (g *breakerGroup) get(target string) *breakerState {
@@ -106,6 +139,7 @@ func (g *breakerGroup) markAttempt(target string) {
 	if s.state == breakerOpen && !now.Before(s.openUntil) {
 		s.state = breakerHalfOpen
 		g.met.breakerState.With(g.vep, target).Set(breakerHalfOpen)
+		g.recordTransition(target, "probe", decision.VerdictMatched, s.consecutive)
 	}
 	if s.state == breakerHalfOpen {
 		s.probing = true
@@ -122,6 +156,7 @@ func (g *breakerGroup) record(target string, healthy bool) {
 	if healthy {
 		if s.state != breakerClosed {
 			g.met.breakerState.With(g.vep, target).Set(breakerClosed)
+			g.recordTransition(target, "close", decision.VerdictPassed, s.consecutive)
 		}
 		s.state = breakerClosed
 		s.consecutive = 0
@@ -133,6 +168,7 @@ func (g *breakerGroup) record(target string, healthy bool) {
 	if s.state == breakerHalfOpen || s.consecutive >= g.threshold {
 		if s.state != breakerOpen {
 			g.met.breakerTrips.With(g.vep, target).Inc()
+			g.recordTransition(target, "open", decision.VerdictMatched, s.consecutive)
 		}
 		s.state = breakerOpen
 		s.openUntil = g.clk.Now().Add(g.cooldown)

@@ -17,6 +17,7 @@ import (
 	"github.com/masc-project/masc/internal/soap"
 	"github.com/masc-project/masc/internal/store"
 	"github.com/masc-project/masc/internal/telemetry"
+	"github.com/masc-project/masc/internal/telemetry/decision"
 	"github.com/masc-project/masc/internal/transport"
 )
 
@@ -81,6 +82,7 @@ type Bus struct {
 	log          *telemetry.Logger
 	convIDs      *soap.IDGenerator
 	observer     InvocationObserver
+	decisions    *decision.Recorder
 
 	mu      sync.RWMutex
 	veps    map[string]*VEP
@@ -149,6 +151,15 @@ func WithInvocationObserver(o InvocationObserver) Option {
 	return func(b *Bus) { b.observer = o }
 }
 
+// WithDecisions attaches the decision-provenance recorder: protection
+// verdicts (admission sheds, breaker transitions, hedge fires) and
+// messaging-layer adaptation-policy evaluations leave records, and the
+// bus's default monitor records its own policy checks through the same
+// recorder. Nil disables capture.
+func WithDecisions(d *decision.Recorder) Option {
+	return func(b *Bus) { b.decisions = d }
+}
+
 // WithStore attaches the durable state store: retry queues built via
 // NewRetryQueueFor persist their pending entries and DLQ, so
 // undelivered one-way messages survive a middleware restart.
@@ -180,6 +191,7 @@ func New(downstream transport.Invoker, opts ...Option) *Bus {
 			monitor.WithQoSTracker(b.tracker),
 			monitor.WithStore(monitor.NewStore(0)),
 			monitor.WithJournal(b.tel.Logs()),
+			monitor.WithDecisions(b.decisions),
 		}
 		if b.events != nil {
 			monOpts = append(monOpts, monitor.WithEventBus(b.events))
@@ -208,6 +220,10 @@ func (b *Bus) Tracker() *qos.Tracker { return b.tracker }
 
 // Monitor returns the monitoring service.
 func (b *Bus) Monitor() *monitor.Monitor { return b.monitor }
+
+// Decisions returns the decision-provenance recorder (nil when not
+// wired).
+func (b *Bus) Decisions() *decision.Recorder { return b.decisions }
 
 // Clock returns the bus time source.
 func (b *Bus) Clock() clock.Clock { return b.clk }

@@ -7,6 +7,7 @@ import (
 	"github.com/masc-project/masc/internal/policy"
 	"github.com/masc-project/masc/internal/soap"
 	"github.com/masc-project/masc/internal/telemetry"
+	"github.com/masc-project/masc/internal/telemetry/decision"
 )
 
 // hedgeDelay derives the hedge trigger for a target from its tracked
@@ -118,8 +119,31 @@ func (v *VEP) attemptHedged(ctx context.Context, order []string, req *soap.Envel
 				next := backups[0]
 				backups = backups[1:]
 				v.bus.met.hedges.With(v.name, "launched").Inc()
-				telemetry.SpanFromContext(ctx).Annotate(
+				span := telemetry.SpanFromContext(ctx)
+				span.Annotate(
 					"hedging %s after %v (p95 policy) with %s", primary, delay, next)
+				if dec := v.bus.decisions; dec != nil {
+					dec.Record(decision.Record{
+						Time:         v.bus.clk.Now(),
+						Site:         decision.SiteBus,
+						PolicyType:   "protection",
+						Policy:       v.protectionName(),
+						Subject:      v.Subject(),
+						Operation:    op,
+						Conversation: ConversationIDOf(req),
+						Trace:        span.TraceID(),
+						Span:         span.SpanID(),
+						Trigger:      "hedge",
+						Verdict:      decision.VerdictMatched,
+						Action:       "hedge",
+						Outcome:      "launched:" + next,
+						Inputs: map[string]string{
+							"primary": primary,
+							"hedge":   next,
+							"delay":   delay.String(),
+						},
+					})
+				}
 				launch(next)
 				outstanding++
 				if len(backups) > 0 {

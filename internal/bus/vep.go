@@ -13,6 +13,7 @@ import (
 	"github.com/masc-project/masc/internal/policy"
 	"github.com/masc-project/masc/internal/soap"
 	"github.com/masc-project/masc/internal/telemetry"
+	"github.com/masc-project/masc/internal/telemetry/decision"
 	"github.com/masc-project/masc/internal/transport"
 	"github.com/masc-project/masc/internal/wsdl"
 	"github.com/masc-project/masc/internal/xmltree"
@@ -202,7 +203,7 @@ func (v *VEP) ApplyProtection(pp *policy.ProtectionPolicy) {
 				v.bus.met.queueDepth.With(v.name), v.bus.met.admitted.With(v.name))
 		}
 		if pp.Breaker != nil {
-			brk = newBreakerGroup(v.name, pp.Breaker, v.bus.clk, &v.bus.met)
+			brk = newBreakerGroup(v.name, pp.Name, pp.Breaker, v.bus.clk, &v.bus.met, v.bus.decisions)
 		}
 		hedge = pp.Hedge
 	}
@@ -330,6 +331,31 @@ func (v *VEP) mediate(ctx context.Context, op string, req *soap.Envelope) (*soap
 		reason := shedReason(aerr)
 		v.bus.met.shed.With(v.name, reason).Inc()
 		telemetry.SpanFromContext(ctx).Annotate("admission shed (%s)", reason)
+		if dec := v.bus.decisions; dec != nil {
+			inFlight, queued := adm.depths()
+			span := telemetry.SpanFromContext(ctx)
+			dec.Record(decision.Record{
+				Time:         v.bus.clk.Now(),
+				Site:         decision.SiteBus,
+				PolicyType:   "protection",
+				Policy:       v.protectionName(),
+				Subject:      v.Subject(),
+				Operation:    op,
+				Instance:     soap.ProcessInstanceID(req),
+				Conversation: ConversationIDOf(req),
+				Trace:        span.TraceID(),
+				Span:         span.SpanID(),
+				Trigger:      "admission",
+				Verdict:      decision.VerdictMatched,
+				Action:       "shed",
+				Outcome:      monitor.FaultServerBusy,
+				Reason:       reason,
+				Inputs: map[string]string{
+					"in_flight": strconv.Itoa(inFlight),
+					"queued":    strconv.Itoa(queued),
+				},
+			})
+		}
 		if mon := v.bus.monitor; mon != nil {
 			mon.ReportInvocationFault(v.Subject(), op, "", req, aerr)
 		}
@@ -526,12 +552,17 @@ func (v *VEP) correct(ctx context.Context, req *soap.Envelope, op, failedTarget,
 	instanceID := soap.ProcessInstanceID(req)
 
 	for _, pol := range repo.AdaptationFor(ev, v.Subject()) {
-		ok, err := v.policyApplies(pol, req, op, failedTarget, faultType, instanceID)
-		if err != nil || !ok {
+		start := v.bus.clk.Now()
+		ok, reason := v.policyApplies(pol, req, op, failedTarget, faultType, instanceID)
+		if !ok {
+			v.recordAdaptDecision(ctx, pol, req, op, faultType, instanceID, start,
+				decision.VerdictRejected, reason, "")
 			continue
 		}
 		resp, target, handled := v.executePolicy(ctx, pol, req, op, failedTarget, instanceID)
 		if !handled {
+			v.recordAdaptDecision(ctx, pol, req, op, faultType, instanceID, start,
+				decision.VerdictError, "", "actions_failed")
 			continue
 		}
 		if pol.StateAfter != "" && v.bus.procAdapter != nil && instanceID != "" {
@@ -543,23 +574,102 @@ func (v *VEP) correct(ctx context.Context, req *soap.Envelope, op, failedTarget,
 			pol.Name, faultType, target)
 		v.auditAdaptation(span, ConversationIDOf(req), pol.Name, faultType, op, failedTarget, target)
 		v.publishAdaptation(pol, op, faultType, instanceID)
+		v.recordAdaptDecision(ctx, pol, req, op, faultType, instanceID, start,
+			decision.VerdictMatched, "", "served_by:"+target)
 		return resp, target, nil
 	}
 	return origResp, failedTarget, origErr
 }
 
-func (v *VEP) policyApplies(pol *policy.AdaptationPolicy, req *soap.Envelope, op, target, faultType, instanceID string) (bool, error) {
+// recordAdaptDecision emits one provenance record for one messaging-
+// layer adaptation-policy evaluation in correct(), carrying the
+// trace/span of the mediation so the record joins the exchange's
+// trace and journal slice.
+func (v *VEP) recordAdaptDecision(ctx context.Context, pol *policy.AdaptationPolicy,
+	req *soap.Envelope, op, faultType, instanceID string, start time.Time,
+	verdict decision.Verdict, reason, outcome string) {
+
+	dec := v.bus.decisions
+	if dec == nil {
+		return
+	}
+	span := telemetry.SpanFromContext(ctx)
+	var checks []decision.Assertion
+	if pol.StateBefore != "" {
+		a := decision.Assertion{Name: "state-before", Value: pol.StateBefore}
+		if reason == "state_mismatch" || reason == "no_process_state" {
+			a.Reason = reason
+		} else {
+			a.Matched = true
+		}
+		checks = append(checks, a)
+	}
+	if pol.Condition != nil {
+		a := decision.Assertion{Name: "condition", Value: pol.Condition.Source()}
+		switch {
+		case reason == "state_mismatch" || reason == "no_process_state":
+			a.Skipped = true
+			a.Reason = "short_circuit"
+		case reason != "":
+			a.Reason = reason
+		default:
+			a.Matched = true
+		}
+		checks = append(checks, a)
+	}
+	rec := decision.Record{
+		Time:         start,
+		Site:         decision.SiteBus,
+		PolicyType:   "adaptation",
+		Policy:       pol.Name,
+		Subject:      v.Subject(),
+		Operation:    op,
+		Instance:     instanceID,
+		Conversation: ConversationIDOf(req),
+		Trace:        span.TraceID(),
+		Span:         span.SpanID(),
+		Trigger:      string(event.TypeFaultDetected),
+		Verdict:      verdict,
+		Reason:       reason,
+		Outcome:      outcome,
+		Inputs: map[string]string{
+			"faultType":  faultType,
+			"operation":  op,
+			"instanceID": instanceID,
+		},
+		Assertions: checks,
+		Latency:    v.bus.clk.Since(start),
+	}
+	if verdict == decision.VerdictMatched || verdict == decision.VerdictError {
+		rec.Action = decision.JoinActions(policy.ActionNames(pol.Actions))
+	}
+	dec.Record(rec)
+}
+
+// protectionName names the VEP's applied protection policy for
+// decision records ("" when none).
+func (v *VEP) protectionName() string {
+	if pp := v.Protection(); pp != nil {
+		return pp.Name
+	}
+	return ""
+}
+
+// policyApplies reports whether a messaging-layer recovery policy's
+// gates hold; when they do not, the second return names the rejection
+// reason for the decision record.
+func (v *VEP) policyApplies(pol *policy.AdaptationPolicy, req *soap.Envelope, op, target, faultType, instanceID string) (bool, string) {
 	if pol.StateBefore != "" {
 		if v.bus.procAdapter == nil || instanceID == "" {
-			return false, nil
+			return false, "no_process_state"
 		}
 		state, ok := v.bus.procAdapter.AdaptationState(instanceID)
 		if !ok || state != pol.StateBefore {
-			return false, nil
+			return false, "state_mismatch"
 		}
 	}
 	if pol.Condition == nil {
-		return true, nil
+		return true, ""
 	}
 	env := xpath.Context{Vars: map[string]xpath.Value{
 		"faultType":  xpath.String(faultType),
@@ -567,7 +677,14 @@ func (v *VEP) policyApplies(pol *policy.AdaptationPolicy, req *soap.Envelope, op
 		"operation":  xpath.String(op),
 		"instanceID": xpath.String(instanceID),
 	}}
-	return pol.Condition.EvalBool(req.ToXML(), env)
+	ok, err := pol.Condition.EvalBool(req.ToXML(), env)
+	if err != nil {
+		return false, "condition_error"
+	}
+	if !ok {
+		return false, "condition_false"
+	}
+	return true, ""
 }
 
 // executePolicy runs a policy's actions in order. It reports whether
@@ -793,17 +910,35 @@ func (v *VEP) CheckQoSAndPrevent(demotion time.Duration) []monitor.Violation {
 			if !isSub {
 				continue
 			}
+			enacted := "demote"
 			if pol.Kind == policy.KindOptimization {
 				// Optimizing adaptation: re-route future traffic by the
 				// policy's selection strategy instead of (only)
 				// avoiding the violating target.
 				v.SetSelection(sub.Selection, 1)
-				v.auditPrevention(pol.Name, vs[0].FaultType, target, "reroute:"+string(sub.Selection))
+				enacted = "reroute:" + string(sub.Selection)
 			} else {
 				v.Demote(target, demotion)
-				v.auditPrevention(pol.Name, vs[0].FaultType, target, "demote")
 			}
+			v.auditPrevention(pol.Name, vs[0].FaultType, target, enacted)
 			v.publishAdaptation(pol, "", vs[0].FaultType, "")
+			if dec := v.bus.decisions; dec != nil {
+				dec.Record(decision.Record{
+					Time:       v.bus.clk.Now(),
+					Site:       decision.SiteBus,
+					PolicyType: "adaptation",
+					Policy:     pol.Name,
+					Subject:    v.Subject(),
+					Trigger:    string(event.TypeSLAViolation),
+					Verdict:    decision.VerdictMatched,
+					Action:     enacted,
+					Outcome:    "target:" + target,
+					Inputs: map[string]string{
+						"faultType": vs[0].FaultType,
+						"target":    target,
+					},
+				})
+			}
 			break
 		}
 	}

@@ -2,12 +2,15 @@ package core
 
 import (
 	"context"
+	"strconv"
 	"strings"
+	"time"
 
 	"github.com/masc-project/masc/internal/event"
 	"github.com/masc-project/masc/internal/monitor"
 	"github.com/masc-project/masc/internal/policy"
 	"github.com/masc-project/masc/internal/telemetry"
+	"github.com/masc-project/masc/internal/telemetry/decision"
 	"github.com/masc-project/masc/internal/workflow"
 	"github.com/masc-project/masc/internal/xpath"
 )
@@ -58,7 +61,14 @@ type DecisionMaker struct {
 	evaluations *telemetry.CounterVec
 	dispatches  *telemetry.CounterVec
 	log         *telemetry.Logger
+	decisions   *decision.Recorder
 }
+
+// SetDecisions wires the decision-provenance recorder: every
+// adaptation-policy evaluation — including policyApplies rejections —
+// leaves a record with its inputs, verdict, and dispatch outcome. Nil
+// disables capture.
+func (d *DecisionMaker) SetDecisions(rec *decision.Recorder) { d.decisions = rec }
 
 // SetTelemetry wires the observability layer: policy-evaluation and
 // dispatch counters plus audit records of every dispatched policy.
@@ -108,13 +118,17 @@ func (d *DecisionMaker) onEvent(ev event.Event) {
 	// Policies scoped to the process definition (the bus enforces
 	// VEP-scoped ones itself).
 	for _, pol := range d.repo.AdaptationFor(ev, inst.Definition()) {
-		if !d.policyApplies(pol, inst, ev) {
+		start := time.Now()
+		applies, reason := d.policyApplies(pol, inst, ev)
+		if !applies {
+			d.recordDecision(pol, inst, ev, start, decision.VerdictRejected, reason, "")
 			continue
 		}
 		if err := d.dispatch(pol, inst, ev); err != nil {
 			d.dispatches.With(pol.Name, "error").Inc()
 			d.auditDispatch(pol, inst, ev, "error: "+err.Error())
 			d.adapt.publishAdaptation(inst.ID(), pol, "adaptation failed: "+err.Error())
+			d.recordDecision(pol, inst, ev, start, decision.VerdictError, "", err.Error())
 			continue
 		}
 		d.dispatches.With(pol.Name, "ok").Inc()
@@ -123,7 +137,68 @@ func (d *DecisionMaker) onEvent(ev event.Event) {
 			inst.SetAdaptationState(pol.StateAfter)
 		}
 		d.adapt.publishAdaptation(inst.ID(), pol, "dynamic adaptation applied")
+		d.recordDecision(pol, inst, ev, start, decision.VerdictMatched, "", "ok")
 	}
+}
+
+// recordDecision emits one provenance record for one adaptation-policy
+// evaluation round in the process-layer decision maker.
+func (d *DecisionMaker) recordDecision(pol *policy.AdaptationPolicy, inst *workflow.Instance, ev event.Event, start time.Time, verdict decision.Verdict, reason, outcome string) {
+	if d.decisions == nil {
+		return
+	}
+	inputs := map[string]string{
+		"faultType": ev.FaultType,
+		"operation": ev.Operation,
+		"state":     inst.AdaptationState(),
+	}
+	if d.store != nil {
+		inputs["instanceMessageCount"] = strconv.Itoa(d.store.CountForInstance(inst.ID()))
+	}
+	var checks []decision.Assertion
+	if pol.StateBefore != "" {
+		a := decision.Assertion{Name: "state-before", Value: inst.AdaptationState()}
+		if reason == "state_mismatch" {
+			a.Reason = reason
+		} else {
+			a.Matched = true
+		}
+		checks = append(checks, a)
+	}
+	if pol.Condition != nil {
+		a := decision.Assertion{Name: "condition", Value: pol.Condition.Source()}
+		switch {
+		case reason == "state_mismatch":
+			a.Skipped = true
+			a.Reason = "short_circuit"
+		case reason != "":
+			a.Reason = reason
+		default:
+			a.Matched = true
+		}
+		checks = append(checks, a)
+	}
+	rec := decision.Record{
+		Time:         start,
+		Site:         decision.SiteDecision,
+		PolicyType:   "adaptation",
+		Policy:       pol.Name,
+		Subject:      inst.Definition(),
+		Operation:    ev.Operation,
+		Instance:     inst.ID(),
+		Conversation: inst.ID(),
+		Trigger:      string(ev.Type),
+		Verdict:      verdict,
+		Reason:       reason,
+		Outcome:      outcome,
+		Inputs:       inputs,
+		Assertions:   checks,
+		Latency:      time.Since(start),
+	}
+	if verdict == decision.VerdictMatched || verdict == decision.VerdictError {
+		rec.Action = decision.JoinActions(policy.ActionNames(pol.Actions))
+	}
+	d.decisions.Record(rec)
 }
 
 // auditDispatch records a process-layer policy dispatch in the audit
@@ -146,12 +221,16 @@ func (d *DecisionMaker) auditDispatch(pol *policy.AdaptationPolicy, inst *workfl
 	})
 }
 
-func (d *DecisionMaker) policyApplies(pol *policy.AdaptationPolicy, inst *workflow.Instance, ev event.Event) bool {
+// policyApplies reports whether a policy's gates hold for the instance
+// and event; when they do not, the second return names the rejection
+// reason for the decision record ("state_mismatch", "condition_false",
+// "condition_error").
+func (d *DecisionMaker) policyApplies(pol *policy.AdaptationPolicy, inst *workflow.Instance, ev event.Event) (bool, string) {
 	if pol.StateBefore != "" && inst.AdaptationState() != pol.StateBefore {
-		return false
+		return false, "state_mismatch"
 	}
 	if pol.Condition == nil {
-		return true
+		return true, ""
 	}
 	env := instanceXPathEnv(inst)
 	env.Vars["faultType"] = xpath.String(ev.FaultType)
@@ -168,7 +247,13 @@ func (d *DecisionMaker) policyApplies(pol *policy.AdaptationPolicy, inst *workfl
 		root = ev.Message.ToXML()
 	}
 	ok, err := pol.Condition.EvalBool(root, env)
-	return err == nil && ok
+	if err != nil {
+		return false, "condition_error"
+	}
+	if !ok {
+		return false, "condition_false"
+	}
+	return true, ""
 }
 
 // dispatch executes a policy: structural actions via dynamic

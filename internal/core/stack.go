@@ -9,6 +9,7 @@ import (
 	"github.com/masc-project/masc/internal/qos"
 	"github.com/masc-project/masc/internal/registry"
 	"github.com/masc-project/masc/internal/telemetry"
+	"github.com/masc-project/masc/internal/telemetry/decision"
 	"github.com/masc-project/masc/internal/transport"
 	"github.com/masc-project/masc/internal/workflow"
 )
@@ -40,6 +41,9 @@ type Stack struct {
 	Registry *registry.Registry
 	// Telemetry is the observability hub (nil unless WithTelemetry).
 	Telemetry *telemetry.Telemetry
+	// Provenance is the decision-record recorder wired through every
+	// evaluation site (nil unless WithDecisionRecorder).
+	Provenance *decision.Recorder
 
 	clk         clock.Clock
 	unsubscribe []func()
@@ -49,11 +53,12 @@ type Stack struct {
 type StackOption func(*stackConfig)
 
 type stackConfig struct {
-	clk      clock.Clock
-	repo     *policy.Repository
-	seed     int64
-	registry *registry.Registry
-	tel      *telemetry.Telemetry
+	clk       clock.Clock
+	repo      *policy.Repository
+	seed      int64
+	registry  *registry.Registry
+	tel       *telemetry.Telemetry
+	decisions *decision.Recorder
 }
 
 // WithClock injects the time source used by every component.
@@ -74,6 +79,13 @@ func WithSeed(seed int64) StackOption {
 // WithRegistry supplies a service directory.
 func WithRegistry(r *registry.Registry) StackOption {
 	return func(c *stackConfig) { c.registry = r }
+}
+
+// WithDecisionRecorder wires one decision-provenance recorder through
+// every policy-evaluation site: monitoring checks, the DecisionMaker's
+// adaptation matching, and the bus protection/recovery paths.
+func WithDecisionRecorder(rec *decision.Recorder) StackOption {
+	return func(c *stackConfig) { c.decisions = rec }
 }
 
 // WithTelemetry wires one observability hub through every layer:
@@ -107,6 +119,7 @@ func NewStack(downstream transport.Invoker, opts ...StackOption) *Stack {
 		monitor.WithEventBus(events),
 		monitor.WithStore(monitor.NewStore(0)),
 		monitor.WithJournal(cfg.tel.Logs()),
+		monitor.WithDecisions(cfg.decisions),
 	)
 	b := bus.New(downstream,
 		bus.WithClock(cfg.clk),
@@ -116,6 +129,7 @@ func NewStack(downstream transport.Invoker, opts ...StackOption) *Stack {
 		bus.WithMonitor(mon),
 		bus.WithSeed(cfg.seed),
 		bus.WithTelemetry(cfg.tel),
+		bus.WithDecisions(cfg.decisions),
 	)
 
 	reg := cfg.registry
@@ -147,6 +161,7 @@ func NewStack(downstream transport.Invoker, opts ...StackOption) *Stack {
 	decisions := NewDecisionMaker(engine, cfg.repo, adapt, events)
 	decisions.SetTelemetry(cfg.tel)
 	decisions.SetStore(mon.Store())
+	decisions.SetDecisions(cfg.decisions)
 	unDecide := decisions.Subscribe()
 
 	ledger := NewLedger()
@@ -167,6 +182,7 @@ func NewStack(downstream transport.Invoker, opts ...StackOption) *Stack {
 		Ledger:      ledger,
 		Registry:    reg,
 		Telemetry:   cfg.tel,
+		Provenance:  cfg.decisions,
 		clk:         cfg.clk,
 		unsubscribe: unsubs,
 	}

@@ -82,7 +82,7 @@ func WriteHedgeCSV(w io.Writer, points []HedgePoint) error {
 // WritePersistCSV emits the durability-overhead comparison as CSV.
 func WritePersistCSV(w io.Writer, points []PersistPoint) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"mode", "instances", "failures", "throughput_ips", "overhead_pct", "mean_us", "p50_us", "p95_us", "wal_bytes", "records", "fsyncs", "fsync_p50_us", "fsync_p99_us", "commit_batch_mean", "checkpoints", "checkpoint_bytes_mean", "full_checkpoints", "delta_checkpoints", "alloc_bytes", "gc_pause_ns"}); err != nil {
+	if err := cw.Write([]string{"mode", "instances", "failures", "throughput_ips", "overhead_pct", "mean_us", "p50_us", "p95_us", "wal_bytes", "records", "fsyncs", "fsync_p50_us", "fsync_p99_us", "commit_batch_mean", "checkpoints", "checkpoint_bytes_mean", "full_checkpoints", "delta_checkpoints", "decision_evals", "decision_matches", "alloc_bytes", "gc_pause_ns"}); err != nil {
 		return err
 	}
 	for _, p := range points {
@@ -105,6 +105,8 @@ func WritePersistCSV(w io.Writer, points []PersistPoint) error {
 			fmt.Sprintf("%.0f", p.CheckpointBytesMean),
 			strconv.FormatUint(p.FullCheckpoints, 10),
 			strconv.FormatUint(p.DeltaCheckpoints, 10),
+			strconv.FormatUint(p.DecisionEvals, 10),
+			strconv.FormatUint(p.DecisionMatches, 10),
 			strconv.FormatUint(p.Runtime.AllocBytes, 10),
 			strconv.FormatUint(p.Runtime.GCPauseNS, 10),
 		}

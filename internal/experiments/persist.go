@@ -14,6 +14,7 @@ import (
 	"github.com/masc-project/masc/internal/simnet"
 	"github.com/masc-project/masc/internal/store"
 	"github.com/masc-project/masc/internal/telemetry"
+	"github.com/masc-project/masc/internal/telemetry/decision"
 	"github.com/masc-project/masc/internal/transport"
 	"github.com/masc-project/masc/internal/workflow"
 	"github.com/masc-project/masc/internal/xmltree"
@@ -105,6 +106,13 @@ type PersistPoint struct {
 	// snapshot anchors versus dirty-delta records.
 	FullCheckpoints  uint64
 	DeltaCheckpoints uint64
+	// DecisionEvals and DecisionMatches are the decision-provenance
+	// recorder's counters after the run: every mode (including the
+	// "none" baseline) evaluates the same monitoring policy per
+	// instance with capture on, so the throughput numbers carry the
+	// provenance cost and BENCH JSON records the evaluator volume.
+	DecisionEvals   uint64
+	DecisionMatches uint64
 	// Runtime is the allocation/GC cost of the measured run.
 	Runtime telemetry.RuntimeDelta
 }
@@ -129,6 +137,18 @@ const persistProcessXML = `
             input="orderReq" output="confirmation" timeout="10s"/>
   </sequence>
 </process>`
+
+// persistMonitoringXML is a deliberately cheap monitoring policy: one
+// pre- and one post-condition on the browse step, evaluated (and
+// recorded as decision provenance) once per instance in every mode,
+// so the benchmark measures the capture cost on the hot path.
+const persistMonitoringXML = `
+<PolicyDocument xmlns="urn:masc:ws-policy4masc" name="persist-bench">
+  <MonitoringPolicy name="catalog-monitoring" subject="vep:Retailer" operation="getCatalog">
+    <PreCondition name="category-present">//getCatalog/category != ''</PreCondition>
+    <PostCondition name="catalog-nonempty">count(//Product) > 0</PostCondition>
+  </MonitoringPolicy>
+</PolicyDocument>`
 
 // RunPersistComparison measures the durable-store write path on the
 // workflow engine's checkpoint stream: mode "none" runs without a
@@ -182,7 +202,13 @@ func runPersistMode(cfg PersistConfig, mode, dir string) (PersistPoint, error) {
 	}
 
 	tel := telemetry.New(0)
-	b := bus.New(d.Net, bus.WithSeed(cfg.Seed), bus.WithTelemetry(tel))
+	repo := policy.NewRepository()
+	if _, err := repo.LoadXML(persistMonitoringXML); err != nil {
+		return PersistPoint{}, err
+	}
+	dec := decision.NewRecorder(0, tel.Registry())
+	b := bus.New(d.Net, bus.WithSeed(cfg.Seed), bus.WithTelemetry(tel),
+		bus.WithPolicyRepository(repo), bus.WithDecisions(dec))
 	if _, err := b.CreateVEP(bus.VEPConfig{
 		Name:          "Retailer",
 		Services:      d.RetailerAddrs,
@@ -264,6 +290,7 @@ func runPersistMode(cfg PersistConfig, mode, dir string) (PersistPoint, error) {
 		P95:        summary.P95,
 	}
 	p.Runtime = runtimeDelta
+	p.DecisionEvals, p.DecisionMatches = dec.Counts()
 	if st != nil {
 		stats := st.Stats()
 		p.WALBytes = stats.WALBytes
@@ -295,14 +322,14 @@ func runPersistMode(cfg PersistConfig, mode, dir string) (PersistPoint, error) {
 func FormatPersist(points []PersistPoint) string {
 	var sb strings.Builder
 	sb.WriteString("Durable checkpointing: process throughput vs store fsync policy\n")
-	sb.WriteString(fmt.Sprintf("  %-9s %-10s %-10s %-12s %-12s %-9s %-12s %-10s %-11s %-10s %-8s %s\n",
-		"mode", "inst/s", "loss", "mean", "p95", "fsyncs", "wal_bytes", "records", "full/delta", "fsync_p99", "batch", "failures"))
+	sb.WriteString(fmt.Sprintf("  %-9s %-10s %-10s %-12s %-12s %-9s %-12s %-10s %-11s %-10s %-8s %-10s %s\n",
+		"mode", "inst/s", "loss", "mean", "p95", "fsyncs", "wal_bytes", "records", "full/delta", "fsync_p99", "batch", "decisions", "failures"))
 	for _, p := range points {
-		sb.WriteString(fmt.Sprintf("  %-9s %-10.1f %-10s %-12v %-12v %-9d %-12d %-10d %-11s %-10v %-8.1f %d\n",
+		sb.WriteString(fmt.Sprintf("  %-9s %-10.1f %-10s %-12v %-12v %-9d %-12d %-10d %-11s %-10v %-8.1f %-10d %d\n",
 			p.Mode, p.Throughput, fmt.Sprintf("%.1f%%", p.OverheadPct),
 			p.Mean.Round(1000), p.P95.Round(1000), p.Fsyncs, p.WALBytes,
 			p.Records, fmt.Sprintf("%d/%d", p.FullCheckpoints, p.DeltaCheckpoints),
-			p.FsyncP99.Round(1000), p.CommitBatchMean, p.Failures))
+			p.FsyncP99.Round(1000), p.CommitBatchMean, p.DecisionEvals, p.Failures))
 	}
 	return sb.String()
 }

@@ -57,6 +57,21 @@ func TestPersistComparisonShape(t *testing.T) {
 		t.Errorf("fsync=off issued %d fsyncs", byMode["off"].Fsyncs)
 	}
 
+	// Decision provenance runs identically in every mode (including
+	// the baseline): the monitoring policy is checked on the browse
+	// step's request and response, so each mode records at least two
+	// evaluations per measured instance and no matches (nothing
+	// violates).
+	for _, mode := range []string{"none", "off", "batched", "always"} {
+		p := byMode[mode]
+		if p.DecisionEvals < uint64(2*p.Instances) {
+			t.Errorf("mode %s: decision evals = %d for %d instances", mode, p.DecisionEvals, p.Instances)
+		}
+		if p.DecisionMatches != 0 {
+			t.Errorf("mode %s: decision matches = %d, want 0", mode, p.DecisionMatches)
+		}
+	}
+
 	out := FormatPersist(points)
 	for _, want := range []string{"none", "batched", "always", "fsyncs"} {
 		if !strings.Contains(out, want) {

@@ -20,6 +20,7 @@ import (
 	"github.com/masc-project/masc/internal/qos"
 	"github.com/masc-project/masc/internal/soap"
 	"github.com/masc-project/masc/internal/telemetry"
+	"github.com/masc-project/masc/internal/telemetry/decision"
 	"github.com/masc-project/masc/internal/transport"
 	"github.com/masc-project/masc/internal/wsdl"
 	"github.com/masc-project/masc/internal/xpath"
@@ -102,12 +103,13 @@ func (v *Violation) Error() string {
 
 // Monitor evaluates monitoring policies. It is safe for concurrent use.
 type Monitor struct {
-	repo    *policy.Repository
-	tracker *qos.Tracker
-	bus     *event.Bus
-	store   *Store
-	clk     clock.Clock
-	journal *telemetry.Journal
+	repo      *policy.Repository
+	tracker   *qos.Tracker
+	bus       *event.Bus
+	store     *Store
+	clk       clock.Clock
+	journal   *telemetry.Journal
+	decisions *decision.Recorder
 }
 
 // Option configures a Monitor.
@@ -139,6 +141,14 @@ func WithStore(s *Store) Option {
 // disables auditing).
 func WithJournal(j *telemetry.Journal) Option {
 	return func(m *Monitor) { m.journal = j }
+}
+
+// WithDecisions attaches a decision recorder: every monitoring-policy
+// evaluation (message checks and QoS threshold checks) leaves a
+// provenance record with its evaluated assertions and verdict (nil
+// disables decision capture).
+func WithDecisions(d *decision.Recorder) Option {
+	return func(m *Monitor) { m.decisions = d }
 }
 
 // New builds a monitor over a policy repository.
@@ -180,42 +190,119 @@ func (m *Monitor) checkMessage(subject, operation string, env *soap.Envelope, co
 	}
 
 	root := env.ToXML()
+	record := m.decisions != nil
 	for _, mp := range m.repo.MonitoringFor(subject, operation) {
-		if mp.ValidateContract && contract != nil {
-			if err := contract.Validate(env, dir); err != nil {
-				return m.violate(subject, operation, env, &Violation{
-					Policy:    mp.Name,
-					Check:     "contract",
-					FaultType: FaultServiceFailure,
-					Detail:    err.Error(),
-				})
-			}
-		}
+		start := m.clk.Now()
+		var checks []decision.Assertion
 		assertions := mp.PreConditions
 		if dir == wsdl.Response {
 			assertions = mp.PostConditions
 		}
-		for _, a := range assertions {
+		if mp.ValidateContract && contract != nil {
+			if err := contract.Validate(env, dir); err != nil {
+				v := &Violation{
+					Policy:    mp.Name,
+					Check:     "contract",
+					FaultType: FaultServiceFailure,
+					Detail:    err.Error(),
+				}
+				if record {
+					checks = append(checks, decision.Assertion{
+						Name: "contract", Matched: true, Reason: err.Error(),
+					})
+					checks = skipRemaining(checks, assertions, 0)
+					m.recordMessageDecision(mp, subject, operation, env, dir, start, checks, v)
+				}
+				return m.violate(subject, operation, env, v)
+			}
+			if record {
+				checks = append(checks, decision.Assertion{Name: "contract"})
+			}
+		}
+		for i, a := range assertions {
 			ok, err := a.Expr.EvalBool(root, m.xpathEnv(env))
-			if err != nil {
-				return m.violate(subject, operation, env, &Violation{
+			if err != nil || !ok {
+				v := &Violation{
 					Policy:    mp.Name,
 					Check:     a.Name,
 					FaultType: a.FaultType,
-					Detail:    "assertion evaluation failed: " + err.Error(),
-				})
+				}
+				reason := ""
+				if err != nil {
+					v.Detail = "assertion evaluation failed: " + err.Error()
+					reason = "eval_error"
+				} else {
+					v.Detail = fmt.Sprintf("assertion %q is false", a.Expr.Source())
+					reason = "condition_false"
+				}
+				if record {
+					checks = append(checks, decision.Assertion{
+						Name: a.Name, Matched: true, Reason: reason, Value: v.Detail,
+					})
+					checks = skipRemaining(checks, assertions, i+1)
+					m.recordMessageDecision(mp, subject, operation, env, dir, start, checks, v)
+				}
+				return m.violate(subject, operation, env, v)
 			}
-			if !ok {
-				return m.violate(subject, operation, env, &Violation{
-					Policy:    mp.Name,
-					Check:     a.Name,
-					FaultType: a.FaultType,
-					Detail:    fmt.Sprintf("assertion %q is false", a.Expr.Source()),
-				})
+			if record {
+				checks = append(checks, decision.Assertion{Name: a.Name})
 			}
+		}
+		if record {
+			m.recordMessageDecision(mp, subject, operation, env, dir, start, checks, nil)
 		}
 	}
 	return nil
+}
+
+// skipRemaining marks assertions from index on as skipped: once one
+// constraint fires, the policy short-circuits and the rest are never
+// evaluated — the decision record says so explicitly.
+func skipRemaining(checks []decision.Assertion, assertions []*policy.Assertion, from int) []decision.Assertion {
+	for _, rest := range assertions[from:] {
+		checks = append(checks, decision.Assertion{
+			Name: rest.Name, Skipped: true, Reason: "short_circuit",
+		})
+	}
+	return checks
+}
+
+// recordMessageDecision emits one provenance record for the evaluation
+// of one monitoring policy against one message. v is the violation
+// when the policy fired, nil when every constraint held.
+func (m *Monitor) recordMessageDecision(mp *policy.MonitoringPolicy, subject, operation string, env *soap.Envelope, dir wsdl.Direction, start time.Time, checks []decision.Assertion, v *Violation) {
+	trigger := "message.request"
+	if dir == wsdl.Response {
+		trigger = "message.response"
+	}
+	rec := decision.Record{
+		Time:       start,
+		Site:       decision.SiteMonitor,
+		PolicyType: "monitoring",
+		Policy:     mp.Name,
+		Subject:    subject,
+		Operation:  operation,
+		Trigger:    trigger,
+		Verdict:    decision.VerdictPassed,
+		Assertions: checks,
+		Latency:    m.clk.Since(start),
+	}
+	if env != nil {
+		rec.Instance = soap.ProcessInstanceID(env)
+		rec.Conversation = conversationOf(env)
+		inputs := map[string]string{"instanceID": rec.Instance}
+		if m.store != nil {
+			inputs["instanceMessageCount"] = strconv.Itoa(m.store.CountForInstance(rec.Instance))
+		}
+		rec.Inputs = inputs
+	}
+	if v != nil {
+		rec.Verdict = decision.VerdictMatched
+		rec.Action = "publish:fault.detected"
+		rec.Outcome = v.FaultType
+		rec.Reason = v.Detail
+	}
+	m.decisions.Record(rec)
 }
 
 // xpathEnv exposes evaluation variables to monitoring assertions,
@@ -245,19 +332,72 @@ func (m *Monitor) CheckQoS(subject, target string) []Violation {
 	if !snap.Known() {
 		return nil
 	}
+	record := m.decisions != nil
 	var out []Violation
 	for _, mp := range m.repo.MonitoringFor(subject, "") {
+		if len(mp.Thresholds) == 0 {
+			continue
+		}
+		start := m.clk.Now()
+		var checks []decision.Assertion
+		violated := false
 		for _, th := range mp.Thresholds {
+			name := th.Name
+			if name == "" {
+				name = string(th.Metric)
+			}
 			if snap.Invocations < th.MinSamples {
+				if record {
+					checks = append(checks, decision.Assertion{
+						Name: name, Skipped: true, Reason: "min_samples",
+						Value: fmt.Sprintf("%d/%d samples", snap.Invocations, th.MinSamples),
+					})
+				}
 				continue
 			}
 			v := checkThreshold(th, snap)
 			if v == nil {
+				if record {
+					checks = append(checks, decision.Assertion{Name: name})
+				}
 				continue
+			}
+			violated = true
+			if record {
+				checks = append(checks, decision.Assertion{
+					Name: name, Matched: true, Reason: "threshold_breached", Value: v.Detail,
+				})
 			}
 			v.Policy = mp.Name
 			m.publishSLA(subject, target, *v, snap)
 			out = append(out, *v)
+		}
+		if record {
+			rec := decision.Record{
+				Time:       start,
+				Site:       decision.SiteMonitor,
+				PolicyType: "monitoring",
+				Policy:     mp.Name,
+				Subject:    subject,
+				Trigger:    "qos",
+				Verdict:    decision.VerdictPassed,
+				Inputs: map[string]string{
+					"target":        target,
+					"invocations":   strconv.Itoa(snap.Invocations),
+					"failures":      strconv.Itoa(snap.Failures),
+					"reliability":   strconv.FormatFloat(snap.Reliability, 'f', 4, 64),
+					"availability":  strconv.FormatFloat(snap.Availability, 'f', 4, 64),
+					"mean_response": snap.MeanResponse.String(),
+					"p95_response":  snap.P95Response.String(),
+				},
+				Assertions: checks,
+				Latency:    m.clk.Since(start),
+			}
+			if violated {
+				rec.Verdict = decision.VerdictMatched
+				rec.Action = "publish:sla.violation"
+			}
+			m.decisions.Record(rec)
 		}
 	}
 	return out

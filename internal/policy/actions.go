@@ -18,6 +18,19 @@ type Action interface {
 	ActionLayer() Layer
 }
 
+// ActionNames renders an action list as its element names, in order —
+// the decision-provenance rendering of a policy's chosen actions.
+func ActionNames(actions []Action) []string {
+	if len(actions) == 0 {
+		return nil
+	}
+	names := make([]string, len(actions))
+	for i, a := range actions {
+		names[i] = a.ActionName()
+	}
+	return names
+}
+
 // BackoffKind selects the delay pattern between retries ("the queue
 // reader tries redelivery using the pattern specified by the used
 // recovery policy", §3.1).

@@ -1,0 +1,173 @@
+package decision
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/masc-project/masc/internal/telemetry"
+)
+
+func waitForLogged(t *testing.T, reg *telemetry.Registry, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		got := reg.Counter("masc_decision_log_records_total", "", "outcome").
+			With("written").Value()
+		if got >= want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("log never reached %d written records", want)
+}
+
+func TestLogWritesAndReadsBack(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	l, err := OpenLog(dir, LogOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRecorder(8, reg)
+	r.SetSink(l)
+	r.Record(Record{Site: SiteMonitor, Policy: "mon", Verdict: VerdictMatched,
+		Inputs: map[string]string{"responseTime": "1.8s"}})
+	r.Record(Record{Site: SiteBus, Policy: "prot", Verdict: VerdictPassed})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d records, want 2", len(got))
+	}
+	if got[0].ID != "urn:masc:decision:1" || got[0].Inputs["responseTime"] != "1.8s" {
+		t.Fatalf("first record wrong: %+v", got[0])
+	}
+}
+
+func TestLogRotatesAndPrunes(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	l, err := OpenLog(dir, LogOptions{SegmentBytes: 256, MaxSegments: 2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRecorder(64, nil)
+	r.SetSink(l)
+	for i := 0; i < 40; i++ {
+		r.Record(Record{Site: SiteMonitor, Policy: "mon", Verdict: VerdictPassed})
+	}
+	waitForLogged(t, reg, 40)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := listSegments(dir)
+	if len(segs) > 2 {
+		t.Fatalf("kept %d segments, want <= 2", len(segs))
+	}
+	if segs[len(segs)-1] < 3 {
+		t.Fatalf("rotation never advanced: segments %v", segs)
+	}
+}
+
+func TestLogAdoptsExistingSegmentsOnRestart(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	l.records = reg.Counter("masc_decision_log_records_total", "", "outcome")
+	l.Append(Record{Seq: 1, ID: "urn:masc:decision:1", Policy: "p", Verdict: VerdictPassed})
+	waitForLogged(t, reg, 1)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenLog(dir, LogOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Append(Record{Seq: 2, ID: "urn:masc:decision:2", Policy: "p", Verdict: VerdictPassed})
+	waitForLogged(t, reg, 2)
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("adoption lost records: %+v", got)
+	}
+	if segs := listSegments(dir); len(segs) != 1 {
+		t.Fatalf("restart should continue the same segment, got %v", segs)
+	}
+}
+
+func TestLogTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "decisions-000001.ndjson")
+	whole := `{"seq":1,"id":"urn:masc:decision:1","policy":"p","verdict":"passed","time":"2026-08-07T00:00:00Z","site":"monitor","policy_type":"monitoring","latency_ns":0}` + "\n"
+	torn := `{"seq":2,"id":"urn:masc:dec`
+	if err := os.WriteFile(path, []byte(whole+torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	l, err := OpenLog(dir, LogOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Record{Seq: 3, ID: "urn:masc:decision:3", Policy: "p", Verdict: VerdictMatched})
+	waitForLogged(t, reg, 1)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d records, want 2 (torn tail dropped)", len(got))
+	}
+	if got[0].Seq != 1 || got[1].Seq != 3 {
+		t.Fatalf("wrong records survived: %+v", got)
+	}
+}
+
+func TestLogDropsOnFullQueueWithoutBlocking(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	l, err := OpenLog(dir, LogOptions{QueueDepth: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			l.Append(Record{Seq: uint64(i), Policy: "p", Verdict: VerdictPassed})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Append blocked")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Append(Record{Policy: "p"})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"github.com/masc-project/masc/internal/event"
 	"github.com/masc-project/masc/internal/soap"
 	"github.com/masc-project/masc/internal/telemetry"
+	"github.com/masc-project/masc/internal/telemetry/decision"
 )
 
 // Options configures a Recorder.
@@ -58,6 +59,15 @@ type Options struct {
 	// SLOState, when set, is invoked at capture time and embedded as
 	// the bundle's SLO section.
 	SLOState func() interface{}
+	// Decisions, when set, supplies the decision-record slice embedded
+	// in each bundle: the policy evaluations correlated with the
+	// trigger's conversation (falling back to its instance, then to the
+	// recent tail), so the bundle shows the decisions that led up to
+	// the fault.
+	Decisions *decision.Recorder
+	// DecisionSlice bounds how many decision records a bundle embeds
+	// (default 50).
+	DecisionSlice int
 }
 
 func (o Options) withDefaults() Options {
@@ -75,6 +85,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.JournalSlice <= 0 {
 		o.JournalSlice = 200
+	}
+	if o.DecisionSlice <= 0 {
+		o.DecisionSlice = 50
 	}
 	return o
 }
@@ -104,7 +117,11 @@ type Bundle struct {
 	TraceID string               `json:"trace_id,omitempty"`
 	Trace   *telemetry.TraceView `json:"trace,omitempty"`
 	Journal []telemetry.Entry    `json:"journal,omitempty"`
-	SLO     interface{}          `json:"slo,omitempty"`
+	// Decisions are the policy-evaluation records correlated with the
+	// trigger — the "why" behind the adaptation machinery's behaviour
+	// in the moments before capture.
+	Decisions []decision.Record `json:"decisions,omitempty"`
+	SLO       interface{}       `json:"slo,omitempty"`
 	// Goroutines is the full runtime.Stack dump at capture time.
 	Goroutines string `json:"goroutines,omitempty"`
 }
@@ -309,6 +326,18 @@ func (r *Recorder) capture(t Trigger) error {
 				break
 			}
 			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	if dec := r.opts.Decisions; dec != nil {
+		b.Decisions = dec.Records(decision.Query{
+			Conversation: t.Conversation, Limit: r.opts.DecisionSlice})
+		if len(b.Decisions) == 0 && t.Instance != "" {
+			b.Decisions = dec.Records(decision.Query{
+				Instance: t.Instance, Limit: r.opts.DecisionSlice})
+		}
+		if len(b.Decisions) == 0 {
+			b.Decisions = dec.Records(decision.Query{Limit: r.opts.DecisionSlice})
 		}
 	}
 

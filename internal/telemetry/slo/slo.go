@@ -23,6 +23,7 @@ import (
 	"github.com/masc-project/masc/internal/clock"
 	"github.com/masc-project/masc/internal/policy"
 	"github.com/masc-project/masc/internal/telemetry"
+	"github.com/masc-project/masc/internal/telemetry/decision"
 )
 
 // SLI names the two indicators derived per subject.
@@ -104,6 +105,9 @@ type Options struct {
 	// Journal receives audit entries on burn-state transitions
 	// (optional).
 	Journal *telemetry.Journal
+	// Decisions receives one provenance record per burn/recover
+	// transition (optional).
+	Decisions *decision.Recorder
 	// ShortWindow is the fast-detect window (default 5m).
 	ShortWindow time.Duration
 	// LongWindow is the anti-flap window (default 1h).
@@ -320,9 +324,9 @@ func (e *Engine) Tick() {
 	}
 	now := e.opts.Clock.Now()
 	type transition struct {
-		subject, sli string
-		burning      bool
-		short, long  float64
+		subject, sli, source string
+		burning              bool
+		short, long          float64
 	}
 	var transitions []transition
 
@@ -336,7 +340,7 @@ func (e *Engine) Tick() {
 				short >= e.opts.BurnThreshold && long >= e.opts.BurnThreshold
 			if isBurning != s.burning {
 				s.burning = isBurning
-				transitions = append(transitions, transition{subject, s.name, isBurning, short, long})
+				transitions = append(transitions, transition{subject, s.name, t.obj.Source, isBurning, short, long})
 			}
 		}
 	}
@@ -366,6 +370,34 @@ func (e *Engine) Tick() {
 				"threshold":  fmt.Sprintf("%.2f", e.opts.BurnThreshold),
 			},
 		})
+		if e.opts.Decisions != nil {
+			polName := tr.source
+			if polName == "" {
+				polName = "slo:" + tr.subject
+			}
+			rec := decision.Record{
+				Time:       now,
+				Site:       decision.SiteSLO,
+				PolicyType: "slo",
+				Policy:     polName,
+				Subject:    tr.subject,
+				Trigger:    "burn_rate",
+				Verdict:    decision.VerdictPassed,
+				Outcome:    "recovered",
+				Inputs: map[string]string{
+					"sli":        tr.sli,
+					"burn_short": fmt.Sprintf("%.2f", tr.short),
+					"burn_long":  fmt.Sprintf("%.2f", tr.long),
+					"threshold":  fmt.Sprintf("%.2f", e.opts.BurnThreshold),
+				},
+			}
+			if tr.burning {
+				rec.Verdict = decision.VerdictMatched
+				rec.Action = "alert"
+				rec.Outcome = "burning"
+			}
+			e.opts.Decisions.Record(rec)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/masc-project/masc/internal/store"
 	"github.com/masc-project/masc/internal/telemetry"
@@ -68,6 +69,12 @@ type PersistenceService struct {
 	chainsMu sync.Mutex
 	chains   map[string]*instChain
 
+	// events is a bounded ring of recent checkpoint activity feeding
+	// the instance timeline API.
+	eventsMu   sync.Mutex
+	events     []CheckpointEvent
+	eventsHead int
+
 	recovered   *telemetry.Gauge
 	saves       *telemetry.CounterVec
 	ckptBytes   *telemetry.Histogram
@@ -81,6 +88,63 @@ type instChain struct {
 	mu       sync.Mutex
 	anchored bool
 	deltas   int
+}
+
+// CheckpointEvent is one entry in the bounded checkpoint history: a
+// timestamped note that an instance captured a full anchor or a delta,
+// and what state it was in. The history is what the instance timeline
+// API joins against — the persistence layer's own view of when the
+// instance moved.
+type CheckpointEvent struct {
+	Time     time.Time `json:"time"`
+	Instance string    `json:"instance"`
+	// Kind is "full" (snapshot anchor) or "delta" (dirty-set record).
+	Kind  string `json:"kind"`
+	State string `json:"state"`
+	// AdaptState is the adaptation-state label at capture, when set —
+	// it lets the timeline show checkpoints bracketing an adaptation.
+	AdaptState string `json:"adapt_state,omitempty"`
+}
+
+// ckptEventCap bounds the shared checkpoint-event ring. Events are
+// evicted oldest-first across all instances, so a busy instance cannot
+// be starved of history by an idle one for long — the ring simply holds
+// the most recent persistence activity.
+const ckptEventCap = 1024
+
+// noteEvent appends one checkpoint event to the bounded ring.
+func (p *PersistenceService) noteEvent(inst *Instance, kind string) {
+	ev := CheckpointEvent{
+		Time:       time.Now(),
+		Instance:   inst.ID(),
+		Kind:       kind,
+		State:      inst.State().String(),
+		AdaptState: inst.AdaptationState(),
+	}
+	p.eventsMu.Lock()
+	if len(p.events) < ckptEventCap {
+		p.events = append(p.events, ev)
+	} else {
+		p.events[p.eventsHead] = ev
+		p.eventsHead = (p.eventsHead + 1) % ckptEventCap
+	}
+	p.eventsMu.Unlock()
+}
+
+// CheckpointEvents returns the retained checkpoint history for one
+// instance, oldest first. It is bounded by the shared ring, so for a
+// long-running instance it is the recent tail, not the full life.
+func (p *PersistenceService) CheckpointEvents(id string) []CheckpointEvent {
+	p.eventsMu.Lock()
+	defer p.eventsMu.Unlock()
+	var out []CheckpointEvent
+	for i := 0; i < len(p.events); i++ {
+		ev := p.events[(p.eventsHead+i)%len(p.events)]
+		if ev.Instance == id {
+			out = append(out, ev)
+		}
+	}
+	return out
 }
 
 var _ RuntimeService = (*PersistenceService)(nil)
@@ -185,12 +249,15 @@ func (p *PersistenceService) save(inst *Instance) {
 	defer c.mu.Unlock()
 	force := !c.anchored || c.deltas+1 >= p.opts.AnchorEvery
 	d := inst.captureCheckpoint(force)
+	kind := "delta"
 	if d.full != nil {
 		c.anchored = true
 		c.deltas = 0
+		kind = "full"
 	} else {
 		c.deltas++
 	}
+	p.noteEvent(inst, kind)
 
 	if p.committer == nil {
 		p.writeSync(id, d)
