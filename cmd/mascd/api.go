@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"github.com/masc-project/masc/internal/bus"
+	"github.com/masc-project/masc/internal/policy/compile"
 	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/telemetry/decision"
 	"github.com/masc-project/masc/internal/telemetry/flightrec"
@@ -38,6 +39,8 @@ func (d *daemon) apiRoutes(mux *http.ServeMux) {
 	mux.Handle(apiPrefix+"/readyz", http.HandlerFunc(d.readyz))
 	handle("/veps", http.HandlerFunc(d.vepsIndex))
 	handle("/veps/", http.HandlerFunc(d.vepManage))
+	handle("/policies", http.HandlerFunc(d.policiesIndex))
+	handle("/policies/", http.HandlerFunc(d.policyManage))
 	handle("/instances", http.HandlerFunc(d.instancesIndex))
 	handle("/instances/", http.HandlerFunc(d.instanceManage))
 	handle("/slo", http.HandlerFunc(d.sloReport))
@@ -104,6 +107,9 @@ type errorEnvelope struct {
 type errorBody struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Diagnostics carries the compiler front-end's structured findings
+	// when a policy document is rejected (422).
+	Diagnostics []compile.Diagnostic `json:"diagnostics,omitempty"`
 }
 
 // errorCode maps an HTTP status to the envelope's stable code slug.
@@ -115,6 +121,8 @@ func errorCode(status int) string {
 		return "not_found"
 	case http.StatusMethodNotAllowed:
 		return "method_not_allowed"
+	case http.StatusUnprocessableEntity:
+		return "unprocessable"
 	case http.StatusServiceUnavailable:
 		return "unavailable"
 	case http.StatusInternalServerError:

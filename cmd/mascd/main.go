@@ -2,7 +2,11 @@
 // the SCM services are hosted on local HTTP ports, a wsBus gateway
 // endpoint mediates them through a Retailer VEP with the Table 1
 // recovery policies, and (optionally) a policy document supplied with
-// -policies replaces the built-in one. Send SOAP POSTs at the gateway:
+// -policies — or a whole bundle directory of *.xml documents supplied
+// with -policy-dir — replaces the built-in one. Policies are compiled
+// to an immutable decision IR and swapped atomically on every change;
+// -policy-interp keeps the tree interpreter instead (the
+// differential-testing escape hatch). Send SOAP POSTs at the gateway:
 //
 //	mascd -listen :8080
 //	curl -s -X POST --data '<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"><e:Body><getCatalog xmlns="urn:wsi:scm"><category>tv</category></getCatalog></e:Body></e:Envelope>' http://localhost:8080/vep/Retailer
@@ -37,6 +41,18 @@
 //	                       (?policy=, ?subject=, ?conversation=,
 //	                       ?instance=, ?trace=, ?site=, ?verdict=,
 //	                       ?since=, ?limit=)
+//	/api/v1/policies       policy management: GET lists the published
+//	                       bundle (revision, per-document SHA-256,
+//	                       compile diagnostics)
+//	/api/v1/policies/{name}  GET one document (raw WS-Policy4MASC XML
+//	                       with Accept: application/xml or ?format=xml,
+//	                       JSON metadata otherwise), PUT validates +
+//	                       compiles + atomically publishes a replacement
+//	                       (422 with structured diagnostics on failure;
+//	                       the previous set keeps serving), DELETE
+//	                       unloads it
+//	/api/v1/policies/reload  POST re-reads -policy-dir as one
+//	                       all-or-nothing transaction
 //	/api/v1/veps           VEP listing with services, protection
 //	                       status, and circuit-breaker states
 //	/api/v1/veps/{name}/services  runtime service (de)registration
@@ -104,6 +120,7 @@ import (
 	"github.com/masc-project/masc/internal/bus"
 	"github.com/masc-project/masc/internal/event"
 	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/policy/compile"
 	"github.com/masc-project/masc/internal/scm"
 	"github.com/masc-project/masc/internal/soap"
 	"github.com/masc-project/masc/internal/store"
@@ -137,6 +154,8 @@ func main() {
 func run(args []string) error {
 	listen := ":8080"
 	policyPath := ""
+	policyDir := ""
+	policyInterp := false
 	dataDir := ""
 	syncMode := "batched"
 	ckptOpts := workflow.PersistenceOptions{}
@@ -159,6 +178,14 @@ func run(args []string) error {
 				return fmt.Errorf("-policies needs a file")
 			}
 			policyPath = args[i]
+		case "-policy-dir":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-policy-dir needs a directory")
+			}
+			policyDir = args[i]
+		case "-policy-interp":
+			policyInterp = true
 		case "-data-dir":
 			i++
 			if i >= len(args) {
@@ -257,21 +284,45 @@ func run(args []string) error {
 		return err
 	}
 
-	policyXML := defaultPolicies
-	if policyPath != "" {
-		raw, err := os.ReadFile(policyPath)
-		if err != nil {
-			return err
-		}
-		policyXML = string(raw)
-	}
-	repo := policy.NewRepository()
-	if _, err := repo.LoadXML(policyXML); err != nil {
-		return err
+	if policyPath != "" && policyDir != "" {
+		return fmt.Errorf("-policies and -policy-dir are mutually exclusive")
 	}
 
 	tel := telemetry.New(0)
 	events := event.NewBus()
+
+	// Policies compile to the decision IR by default; -policy-interp
+	// keeps the tree interpreter (the differential-testing escape hatch).
+	repo := policy.NewRepository()
+	if !policyInterp {
+		if err := compile.Enable(repo, compile.Options{
+			Registry: tel.Registry(),
+			Journal:  tel.Logs(),
+		}); err != nil {
+			return err
+		}
+	}
+	if policyDir != "" {
+		bundle, err := compile.LoadDir(policyDir)
+		if err != nil {
+			return err
+		}
+		if err := repo.ReplaceAll(bundle.Docs); err != nil {
+			return err
+		}
+	} else {
+		policyXML := defaultPolicies
+		if policyPath != "" {
+			raw, err := os.ReadFile(policyPath)
+			if err != nil {
+				return err
+			}
+			policyXML = string(raw)
+		}
+		if _, err := repo.LoadXML(policyXML); err != nil {
+			return err
+		}
+	}
 
 	// Decision provenance: every policy-evaluation site records into
 	// this ring; with -data-dir the records additionally stream to a
@@ -281,6 +332,7 @@ func run(args []string) error {
 	d := &daemon{
 		network:   network,
 		repo:      repo,
+		policyDir: policyDir,
 		tel:       tel,
 		start:     time.Now(),
 		ckptOpts:  ckptOpts,
@@ -439,6 +491,7 @@ type daemon struct {
 	gateway   *bus.Bus
 	network   *transport.Network
 	repo      *policy.Repository
+	policyDir string
 	tel       *telemetry.Telemetry
 	start     time.Time
 	engine    *workflow.Engine
@@ -549,11 +602,16 @@ func (d *daemon) latencyQuantiles() []vepLatency {
 // what is deployed, and how fast the VEPs are serving.
 func (d *daemon) healthz(w http.ResponseWriter, _ *http.Request) {
 	mon, adapt := d.repo.Counts()
+	policyRevision := ""
+	if cs := compile.Lookup(d.repo); cs != nil {
+		policyRevision = cs.Manifest.Revision
+	}
 	status := struct {
 		Status             string       `json:"status"`
 		Version            string       `json:"version"`
 		UptimeSeconds      float64      `json:"uptime_seconds"`
 		VEPs               []string     `json:"veps"`
+		PolicyRevision     string       `json:"policy_revision,omitempty"`
 		PolicyDocuments    []string     `json:"policy_documents"`
 		MonitoringPolicies int          `json:"monitoring_policies"`
 		AdaptationPolicies int          `json:"adaptation_policies"`
@@ -567,6 +625,7 @@ func (d *daemon) healthz(w http.ResponseWriter, _ *http.Request) {
 		Version:            version.Version,
 		UptimeSeconds:      time.Since(d.start).Seconds(),
 		VEPs:               d.gateway.VEPs(),
+		PolicyRevision:     policyRevision,
 		PolicyDocuments:    d.repo.Documents(),
 		MonitoringPolicies: mon,
 		AdaptationPolicies: adapt,

@@ -12,6 +12,7 @@ import (
 
 	"github.com/masc-project/masc/internal/bus"
 	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/policy/compile"
 	"github.com/masc-project/masc/internal/scm"
 	"github.com/masc-project/masc/internal/soap"
 	"github.com/masc-project/masc/internal/telemetry"
@@ -32,11 +33,15 @@ func testDaemon(t *testing.T) *daemon {
 	if err != nil {
 		t.Fatal(err)
 	}
+	tel := telemetry.New(0)
+	// The compiler is the production default; testDaemon mirrors run().
 	repo := policy.NewRepository()
+	if err := compile.Enable(repo, compile.Options{Registry: tel.Registry(), Journal: tel.Logs()}); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := repo.LoadXML(defaultPolicies); err != nil {
 		t.Fatal(err)
 	}
-	tel := telemetry.New(0)
 	gateway := bus.New(network, bus.WithPolicyRepository(repo), bus.WithTelemetry(tel))
 	if _, err := gateway.CreateVEP(bus.VEPConfig{
 		Name:     "Retailer",

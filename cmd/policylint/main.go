@@ -15,12 +15,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
-	"github.com/masc-project/masc/internal/event"
 	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/policy/compile"
 )
 
 func main() {
@@ -49,6 +50,10 @@ func main() {
 	}
 }
 
+// lint runs the shared compiler front-end (compile.CheckDocument) over
+// one file: validation failures become the returned error, lint
+// findings become the warning strings — the same diagnostics the
+// policy-management API returns for a rejected PUT.
 func lint(path string) (warnings []string, err error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -60,11 +65,12 @@ func lint(path string) (warnings []string, err error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := policy.Validate(doc); err != nil {
-		return nil, err
+	for _, d := range compile.CheckDocument(doc) {
+		if d.Severity == compile.SeverityError {
+			return nil, errors.New(d.Message)
+		}
+		warnings = append(warnings, d.Message)
 	}
-	warnings = deadTriggers(doc)
-	warnings = append(warnings, shadowedPolicies(doc)...)
 	fmt.Printf("%s: document %q OK — %d monitoring, %d adaptation, %d protection\n",
 		path, doc.Name, len(doc.Monitoring), len(doc.Adaptation), len(doc.Protection))
 	for _, mp := range doc.Monitoring {
@@ -81,80 +87,4 @@ func lint(path string) (warnings []string, err error) {
 			pp.Name, pp.Subject, pp.Admission != nil, pp.Breaker != nil, pp.Hedge != nil)
 	}
 	return warnings, nil
-}
-
-// deadTriggers flags adaptation policies whose OnEvent type is never
-// published by any middleware component: the policy is syntactically
-// valid but can never fire.
-func deadTriggers(doc *policy.Document) []string {
-	var out []string
-	for _, ap := range doc.Adaptation {
-		if t := ap.Trigger.EventType; t != "" && !event.IsPublished(t) {
-			out = append(out, fmt.Sprintf(
-				"adaptation policy %q triggers on %q, which no component publishes — the policy can never fire (published types: %v)",
-				ap.Name, t, event.PublishedTypes()))
-		}
-	}
-	return out
-}
-
-// shadowedPolicies flags messaging-layer adaptation policies that can
-// never enact because a higher-priority sibling always wins first: the
-// bus's corrective recovery stops at the first policy whose gates
-// hold, so a sibling with the same (or broader) scope and trigger that
-// has no state-before gate and no condition matches every event the
-// shadowed policy could have handled. Process-layer policies are
-// exempt — the decision maker dispatches every applicable policy.
-func shadowedPolicies(doc *policy.Document) []string {
-	var out []string
-	for _, ap := range doc.Adaptation {
-		if ap.Layer == policy.LayerProcess {
-			continue
-		}
-		for _, winner := range doc.Adaptation {
-			if winner == ap || winner.Layer == policy.LayerProcess {
-				continue
-			}
-			if !sortsBefore(winner, ap) || !covers(winner, ap) {
-				continue
-			}
-			if winner.StateBefore != "" || winner.Condition != nil {
-				continue
-			}
-			out = append(out, fmt.Sprintf(
-				"adaptation policy %q is shadowed by %q (priority %d >= %d): same scope and trigger, and %q has no state or condition gate, so the messaging layer's first-match recovery always picks it — %q can never enact",
-				ap.Name, winner.Name, winner.Priority, ap.Priority, winner.Name, ap.Name))
-			break
-		}
-	}
-	return out
-}
-
-// sortsBefore mirrors Repository.AdaptationFor's ordering: descending
-// priority, ties broken by ascending name.
-func sortsBefore(a, b *policy.AdaptationPolicy) bool {
-	if a.Priority != b.Priority {
-		return a.Priority > b.Priority
-	}
-	return a.Name < b.Name
-}
-
-// covers reports whether policy a is evaluated for every event that
-// would reach policy b: a's scope and trigger are equal to or broader
-// than b's (an empty field matches everything, so it covers any
-// narrower value).
-func covers(a, b *policy.AdaptationPolicy) bool {
-	if a.Scope.Subject != "" && a.Scope.Subject != b.Scope.Subject {
-		return false
-	}
-	if a.Scope.Operation != "" && a.Scope.Operation != b.Scope.Operation {
-		return false
-	}
-	if a.Trigger.EventType != "" && a.Trigger.EventType != b.Trigger.EventType {
-		return false
-	}
-	if a.Trigger.FaultType != "" && a.Trigger.FaultType != b.Trigger.FaultType {
-		return false
-	}
-	return true
 }

@@ -6,6 +6,7 @@
 //	scmbench -throughput  # throughput sweep (§3.2 metric)
 //	scmbench -hedge       # hedged invocation vs plain: tail latency under QoS degradation
 //	scmbench -persist     # durable checkpointing: throughput vs store fsync policy
+//	scmbench -policybench # policy evaluation: tree interpreter vs compiled decision IR
 //	scmbench -ablations   # retry budget, strategy, policy-reparse, listener
 //	scmbench -all         # everything
 //
@@ -37,6 +38,7 @@ func main() {
 		throughput = flag.Bool("throughput", false, "run the throughput sweep")
 		hedge      = flag.Bool("hedge", false, "run the hedged-invocation tail-latency comparison")
 		persist    = flag.Bool("persist", false, "run the durable-store fsync overhead comparison")
+		policyb    = flag.Bool("policybench", false, "run the policy-evaluation microbenchmark (interpreter vs compiled IR)")
 		ablations  = flag.Bool("ablations", false, "run the ablation studies")
 		all        = flag.Bool("all", false, "run everything")
 		requests   = flag.Int("requests", 0, "requests per configuration (0 = default)")
@@ -45,7 +47,7 @@ func main() {
 		benchJSON  = flag.String("bench-json", "", "write all results as one JSON file (default $MASC_BENCH_JSON)")
 	)
 	flag.Parse()
-	if !*table1 && !*figure5 && !*throughput && !*hedge && !*persist && !*ablations && !*all {
+	if !*table1 && !*figure5 && !*throughput && !*hedge && !*persist && !*policyb && !*ablations && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -53,7 +55,7 @@ func main() {
 	if jsonPath == "" {
 		jsonPath = os.Getenv("MASC_BENCH_JSON")
 	}
-	if err := run(*table1 || *all, *figure5 || *all, *throughput || *all, *hedge || *all, *persist || *all, *ablations || *all, *requests, *seed, *csvDir, jsonPath); err != nil {
+	if err := run(*table1 || *all, *figure5 || *all, *throughput || *all, *hedge || *all, *persist || *all, *policyb || *all, *ablations || *all, *requests, *seed, *csvDir, jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "scmbench:", err)
 		os.Exit(1)
 	}
@@ -63,15 +65,16 @@ func main() {
 // Sections are present only for the experiments that ran; durations
 // serialize as nanoseconds (time.Duration's JSON form).
 type benchReport struct {
-	Version    string                        `json:"version"`
-	Requests   int                           `json:"requests"`
-	Seed       int64                         `json:"seed"`
-	Table1     []experiments.Table1Row       `json:"table1,omitempty"`
-	Figure5    []experiments.Figure5Point    `json:"figure5,omitempty"`
-	Throughput []experiments.ThroughputPoint `json:"throughput,omitempty"`
-	Hedge      []experiments.HedgePoint      `json:"hedge,omitempty"`
-	Persist    []experiments.PersistPoint    `json:"persist,omitempty"`
-	Ablations  *ablationReport               `json:"ablations,omitempty"`
+	Version    string                         `json:"version"`
+	Requests   int                            `json:"requests"`
+	Seed       int64                          `json:"seed"`
+	Table1     []experiments.Table1Row        `json:"table1,omitempty"`
+	Figure5    []experiments.Figure5Point     `json:"figure5,omitempty"`
+	Throughput []experiments.ThroughputPoint  `json:"throughput,omitempty"`
+	Hedge      []experiments.HedgePoint       `json:"hedge,omitempty"`
+	Persist    []experiments.PersistPoint     `json:"persist,omitempty"`
+	Policy     []experiments.PolicyBenchPoint `json:"policy,omitempty"`
+	Ablations  *ablationReport                `json:"ablations,omitempty"`
 	// Runtime captures the bench process's allocation and GC pressure
 	// across the whole run, so BENCH_*.json tracks hot-path allocation
 	// regressions alongside throughput.
@@ -92,7 +95,7 @@ type ablationReport struct {
 	Listener   []experiments.ListenerPoint   `json:"listener"`
 }
 
-func run(table1, figure5, throughput, hedge, persist, ablations bool, requests int, seed int64, csvDir, jsonPath string) error {
+func run(table1, figure5, throughput, hedge, persist, policybench, ablations bool, requests int, seed int64, csvDir, jsonPath string) error {
 	writeCSV := func(name string, write func(io.Writer) error) error {
 		if csvDir == "" {
 			return nil
@@ -172,6 +175,19 @@ func run(table1, figure5, throughput, hedge, persist, ablations bool, requests i
 		report.Persist = points
 		if err := writeCSV("persist.csv", func(w io.Writer) error {
 			return experiments.WritePersistCSV(w, points)
+		}); err != nil {
+			return err
+		}
+	}
+	if policybench {
+		points, err := experiments.RunPolicyBench(experiments.PolicyBenchConfig{Decisions: requests, Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatPolicyBench(points))
+		report.Policy = points
+		if err := writeCSV("policybench.csv", func(w io.Writer) error {
+			return experiments.WritePolicyBenchCSV(w, points)
 		}); err != nil {
 			return err
 		}

@@ -13,6 +13,7 @@ import (
 	"github.com/masc-project/masc/internal/event"
 	"github.com/masc-project/masc/internal/monitor"
 	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/policy/compile"
 	"github.com/masc-project/masc/internal/qos"
 	"github.com/masc-project/masc/internal/soap"
 	"github.com/masc-project/masc/internal/store"
@@ -269,7 +270,7 @@ func (b *Bus) CreateVEP(cfg VEPConfig) (*VEP, error) {
 	v.services = append(v.services, cfg.Services...)
 	pp := cfg.Protection
 	if pp == nil {
-		pp = b.repo.ProtectionFor(v.Subject())
+		pp = compile.ProtectionLookup(b.repo, v.Subject())
 	}
 	if pp != nil {
 		v.ApplyProtection(pp)

@@ -11,6 +11,7 @@ import (
 	"github.com/masc-project/masc/internal/event"
 	"github.com/masc-project/masc/internal/monitor"
 	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/policy/compile"
 	"github.com/masc-project/masc/internal/soap"
 	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/telemetry/decision"
@@ -551,7 +552,7 @@ func (v *VEP) correct(ctx context.Context, req *soap.Envelope, op, failedTarget,
 	repo := v.bus.policySource()
 	instanceID := soap.ProcessInstanceID(req)
 
-	for _, pol := range repo.AdaptationFor(ev, v.Subject()) {
+	for _, pol := range compile.AdaptationsFor(repo, ev, v.Subject()) {
 		start := v.bus.clk.Now()
 		ok, reason := v.policyApplies(pol, req, op, failedTarget, faultType, instanceID)
 		if !ok {
@@ -559,7 +560,7 @@ func (v *VEP) correct(ctx context.Context, req *soap.Envelope, op, failedTarget,
 				decision.VerdictRejected, reason, "")
 			continue
 		}
-		resp, target, handled := v.executePolicy(ctx, pol, req, op, failedTarget, instanceID)
+		resp, target, handled := v.executePolicy(ctx, pol.AdaptationPolicy, req, op, failedTarget, instanceID)
 		if !handled {
 			v.recordAdaptDecision(ctx, pol, req, op, faultType, instanceID, start,
 				decision.VerdictError, "", "actions_failed")
@@ -573,7 +574,7 @@ func (v *VEP) correct(ctx context.Context, req *soap.Envelope, op, failedTarget,
 		span.Annotate("adaptation policy %s handled %s (served by %s)",
 			pol.Name, faultType, target)
 		v.auditAdaptation(span, ConversationIDOf(req), pol.Name, faultType, op, failedTarget, target)
-		v.publishAdaptation(pol, op, faultType, instanceID)
+		v.publishAdaptation(pol.AdaptationPolicy, op, faultType, instanceID)
 		v.recordAdaptDecision(ctx, pol, req, op, faultType, instanceID, start,
 			decision.VerdictMatched, "", "served_by:"+target)
 		return resp, target, nil
@@ -585,7 +586,7 @@ func (v *VEP) correct(ctx context.Context, req *soap.Envelope, op, failedTarget,
 // layer adaptation-policy evaluation in correct(), carrying the
 // trace/span of the mediation so the record joins the exchange's
 // trace and journal slice.
-func (v *VEP) recordAdaptDecision(ctx context.Context, pol *policy.AdaptationPolicy,
+func (v *VEP) recordAdaptDecision(ctx context.Context, pol *compile.CompiledAdaptation,
 	req *soap.Envelope, op, faultType, instanceID string, start time.Time,
 	verdict decision.Verdict, reason, outcome string) {
 
@@ -641,7 +642,7 @@ func (v *VEP) recordAdaptDecision(ctx context.Context, pol *policy.AdaptationPol
 		Latency:    v.bus.clk.Since(start),
 	}
 	if verdict == decision.VerdictMatched || verdict == decision.VerdictError {
-		rec.Action = decision.JoinActions(policy.ActionNames(pol.Actions))
+		rec.Action = pol.ActionsJoined
 	}
 	dec.Record(rec)
 }
@@ -658,7 +659,7 @@ func (v *VEP) protectionName() string {
 // policyApplies reports whether a messaging-layer recovery policy's
 // gates hold; when they do not, the second return names the rejection
 // reason for the decision record.
-func (v *VEP) policyApplies(pol *policy.AdaptationPolicy, req *soap.Envelope, op, target, faultType, instanceID string) (bool, string) {
+func (v *VEP) policyApplies(pol *compile.CompiledAdaptation, req *soap.Envelope, op, target, faultType, instanceID string) (bool, string) {
 	if pol.StateBefore != "" {
 		if v.bus.procAdapter == nil || instanceID == "" {
 			return false, "no_process_state"
@@ -677,7 +678,7 @@ func (v *VEP) policyApplies(pol *policy.AdaptationPolicy, req *soap.Envelope, op
 		"operation":  xpath.String(op),
 		"instanceID": xpath.String(instanceID),
 	}}
-	ok, err := pol.Condition.EvalBool(req.ToXML(), env)
+	ok, err := pol.EvalCondition(req.ToXML(), env)
 	if err != nil {
 		return false, "condition_error"
 	}
@@ -902,7 +903,7 @@ func (v *VEP) CheckQoSAndPrevent(demotion time.Duration) []monitor.Violation {
 			continue
 		}
 		ev := event.Event{Type: event.TypeSLAViolation, FaultType: vs[0].FaultType}
-		for _, pol := range repo.AdaptationFor(ev, v.Subject()) {
+		for _, pol := range compile.AdaptationsFor(repo, ev, v.Subject()) {
 			if len(pol.Actions) == 0 {
 				continue
 			}
@@ -921,7 +922,7 @@ func (v *VEP) CheckQoSAndPrevent(demotion time.Duration) []monitor.Violation {
 				v.Demote(target, demotion)
 			}
 			v.auditPrevention(pol.Name, vs[0].FaultType, target, enacted)
-			v.publishAdaptation(pol, "", vs[0].FaultType, "")
+			v.publishAdaptation(pol.AdaptationPolicy, "", vs[0].FaultType, "")
 			if dec := v.bus.decisions; dec != nil {
 				dec.Record(decision.Record{
 					Time:       v.bus.clk.Now(),

@@ -27,6 +27,7 @@ import (
 	"github.com/masc-project/masc/internal/clock"
 	"github.com/masc-project/masc/internal/event"
 	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/policy/compile"
 	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/workflow"
 	"github.com/masc-project/masc/internal/xmltree"
@@ -139,30 +140,27 @@ func (s *AdaptationService) InstanceCreated(inst *workflow.Instance) {
 		ProcessInstanceID: inst.ID(),
 		Service:           inst.Definition(),
 	}
-	for _, pol := range s.repo.AdaptationFor(ev, inst.Definition()) {
+	for _, pol := range compile.AdaptationsFor(s.repo, ev, inst.Definition()) {
 		applies, err := policyAppliesToInstance(pol, inst)
 		if err != nil || !applies {
 			continue
 		}
-		if err := s.CustomizeInstance(inst, pol); err != nil {
-			s.publishAdaptation(inst.ID(), pol, "static customization failed: "+err.Error())
+		if err := s.CustomizeInstance(inst, pol.AdaptationPolicy); err != nil {
+			s.publishAdaptation(inst.ID(), pol.AdaptationPolicy, "static customization failed: "+err.Error())
 			continue
 		}
 		s.customizations.With(pol.Name, "static").Inc()
-		s.publishAdaptation(inst.ID(), pol, "static customization applied")
+		s.publishAdaptation(inst.ID(), pol.AdaptationPolicy, "static customization applied")
 	}
 }
 
 // policyAppliesToInstance checks pre-state and condition against the
 // instance's variables document.
-func policyAppliesToInstance(pol *policy.AdaptationPolicy, inst *workflow.Instance) (bool, error) {
+func policyAppliesToInstance(pol *compile.CompiledAdaptation, inst *workflow.Instance) (bool, error) {
 	if pol.StateBefore != "" && inst.AdaptationState() != pol.StateBefore {
 		return false, nil
 	}
-	if pol.Condition == nil {
-		return true, nil
-	}
-	return pol.Condition.EvalBool(inst.VarsDoc(), instanceXPathEnv(inst))
+	return pol.EvalCondition(inst.VarsDoc(), instanceXPathEnv(inst))
 }
 
 // CustomizeInstance applies a customization policy's process-layer

@@ -9,6 +9,7 @@ import (
 	"github.com/masc-project/masc/internal/event"
 	"github.com/masc-project/masc/internal/monitor"
 	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/policy/compile"
 	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/telemetry/decision"
 	"github.com/masc-project/masc/internal/workflow"
@@ -116,8 +117,9 @@ func (d *DecisionMaker) onEvent(ev event.Event) {
 	}
 	d.evaluations.With(string(ev.Type)).Inc()
 	// Policies scoped to the process definition (the bus enforces
-	// VEP-scoped ones itself).
-	for _, pol := range d.repo.AdaptationFor(ev, inst.Definition()) {
+	// VEP-scoped ones itself). Dispatch reads the compiled IR when one
+	// is published, the repository interpreter otherwise.
+	for _, pol := range compile.AdaptationsFor(d.repo, ev, inst.Definition()) {
 		start := time.Now()
 		applies, reason := d.policyApplies(pol, inst, ev)
 		if !applies {
@@ -127,7 +129,7 @@ func (d *DecisionMaker) onEvent(ev event.Event) {
 		if err := d.dispatch(pol, inst, ev); err != nil {
 			d.dispatches.With(pol.Name, "error").Inc()
 			d.auditDispatch(pol, inst, ev, "error: "+err.Error())
-			d.adapt.publishAdaptation(inst.ID(), pol, "adaptation failed: "+err.Error())
+			d.adapt.publishAdaptation(inst.ID(), pol.AdaptationPolicy, "adaptation failed: "+err.Error())
 			d.recordDecision(pol, inst, ev, start, decision.VerdictError, "", err.Error())
 			continue
 		}
@@ -136,14 +138,14 @@ func (d *DecisionMaker) onEvent(ev event.Event) {
 		if pol.StateAfter != "" {
 			inst.SetAdaptationState(pol.StateAfter)
 		}
-		d.adapt.publishAdaptation(inst.ID(), pol, "dynamic adaptation applied")
+		d.adapt.publishAdaptation(inst.ID(), pol.AdaptationPolicy, "dynamic adaptation applied")
 		d.recordDecision(pol, inst, ev, start, decision.VerdictMatched, "", "ok")
 	}
 }
 
 // recordDecision emits one provenance record for one adaptation-policy
 // evaluation round in the process-layer decision maker.
-func (d *DecisionMaker) recordDecision(pol *policy.AdaptationPolicy, inst *workflow.Instance, ev event.Event, start time.Time, verdict decision.Verdict, reason, outcome string) {
+func (d *DecisionMaker) recordDecision(pol *compile.CompiledAdaptation, inst *workflow.Instance, ev event.Event, start time.Time, verdict decision.Verdict, reason, outcome string) {
 	if d.decisions == nil {
 		return
 	}
@@ -196,14 +198,14 @@ func (d *DecisionMaker) recordDecision(pol *policy.AdaptationPolicy, inst *workf
 		Latency:      time.Since(start),
 	}
 	if verdict == decision.VerdictMatched || verdict == decision.VerdictError {
-		rec.Action = decision.JoinActions(policy.ActionNames(pol.Actions))
+		rec.Action = pol.ActionsJoined
 	}
 	d.decisions.Record(rec)
 }
 
 // auditDispatch records a process-layer policy dispatch in the audit
 // trail, correlated by the instance ID (the conversation fallback key).
-func (d *DecisionMaker) auditDispatch(pol *policy.AdaptationPolicy, inst *workflow.Instance, ev event.Event, outcome string) {
+func (d *DecisionMaker) auditDispatch(pol *compile.CompiledAdaptation, inst *workflow.Instance, ev event.Event, outcome string) {
 	if d.log == nil {
 		return
 	}
@@ -225,7 +227,7 @@ func (d *DecisionMaker) auditDispatch(pol *policy.AdaptationPolicy, inst *workfl
 // and event; when they do not, the second return names the rejection
 // reason for the decision record ("state_mismatch", "condition_false",
 // "condition_error").
-func (d *DecisionMaker) policyApplies(pol *policy.AdaptationPolicy, inst *workflow.Instance, ev event.Event) (bool, string) {
+func (d *DecisionMaker) policyApplies(pol *compile.CompiledAdaptation, inst *workflow.Instance, ev event.Event) (bool, string) {
 	if pol.StateBefore != "" && inst.AdaptationState() != pol.StateBefore {
 		return false, "state_mismatch"
 	}
@@ -246,7 +248,7 @@ func (d *DecisionMaker) policyApplies(pol *policy.AdaptationPolicy, inst *workfl
 	if ev.Message != nil {
 		root = ev.Message.ToXML()
 	}
-	ok, err := pol.Condition.EvalBool(root, env)
+	ok, err := pol.EvalCondition(root, env)
 	if err != nil {
 		return false, "condition_error"
 	}
@@ -258,7 +260,7 @@ func (d *DecisionMaker) policyApplies(pol *policy.AdaptationPolicy, inst *workfl
 
 // dispatch executes a policy: structural actions via dynamic
 // customization, the rest via ExecuteProcessAction in order.
-func (d *DecisionMaker) dispatch(pol *policy.AdaptationPolicy, inst *workflow.Instance, ev event.Event) error {
+func (d *DecisionMaker) dispatch(pol *compile.CompiledAdaptation, inst *workflow.Instance, ev event.Event) error {
 	structural := &policy.AdaptationPolicy{
 		Name:    pol.Name,
 		Kind:    pol.Kind,

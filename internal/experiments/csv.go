@@ -138,3 +138,28 @@ func WriteThroughputCSV(w io.Writer, points []ThroughputPoint) error {
 	cw.Flush()
 	return cw.Error()
 }
+
+// WritePolicyBenchCSV emits the policy-evaluation comparison as CSV.
+func WritePolicyBenchCSV(w io.Writer, points []PolicyBenchPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"mode", "decisions", "policies", "mean_ns", "p50_ns", "p95_ns", "p99_ns", "decisions_per_sec"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{
+			p.Mode,
+			strconv.Itoa(p.Decisions),
+			strconv.Itoa(p.Policies),
+			strconv.FormatInt(p.Mean.Nanoseconds(), 10),
+			strconv.FormatInt(p.P50.Nanoseconds(), 10),
+			strconv.FormatInt(p.P95.Nanoseconds(), 10),
+			strconv.FormatInt(p.P99.Nanoseconds(), 10),
+			fmt.Sprintf("%.0f", p.DecisionsPerSec),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/masc-project/masc/internal/event"
+	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/policy/compile"
+	"github.com/masc-project/masc/internal/xmltree"
+	"github.com/masc-project/masc/internal/xpath"
+)
+
+// PolicyBenchConfig shapes the policy-evaluation microbenchmark: the
+// same decision workload (monitoring pre/post checks, adaptation
+// dispatch with condition evaluation, protection lookup) driven through
+// the tree interpreter and through the compiled decision IR.
+type PolicyBenchConfig struct {
+	// Decisions is the measured decision count per mode.
+	Decisions int
+	// Documents is the fixture document count; each document carries
+	// policies for its own subject plus shared-subject policies, so
+	// dispatch has to filter a realistically mixed repository.
+	Documents int
+	// Seed is accepted for interface symmetry with the other
+	// experiments; the workload is deterministic.
+	Seed int64
+}
+
+func (c *PolicyBenchConfig) fill() {
+	if c.Decisions <= 0 {
+		c.Decisions = 20000
+	}
+	if c.Documents <= 0 {
+		c.Documents = 48
+	}
+}
+
+// PolicyBenchPoint is one mode's decision-latency distribution.
+type PolicyBenchPoint struct {
+	// Mode is "interpreter" or "compiled".
+	Mode string
+	// Decisions is the measured decision count.
+	Decisions int
+	// Policies is how many policies each decision consulted (monitoring
+	// matches plus adaptation matches; identical across modes by
+	// construction, and a cross-check that both replays saw the same
+	// dispatch).
+	Policies int
+	// Mean, P50, P95, P99 summarize per-decision latency.
+	Mean, P50, P95, P99 time.Duration
+	// DecisionsPerSec is the sustained decision throughput.
+	DecisionsPerSec float64
+}
+
+// policyBenchDocument renders one fixture document. Every document
+// carries monitoring and adaptation policies for its own cold subject
+// — the realistic shape of a grown repository, where most policies are
+// irrelevant to any one mediation and dispatch must filter them out.
+// Document 0 carries the hot subject's monitoring policy, and every
+// fourth document carries a hot adaptation rule.
+func policyBenchDocument(i int) string {
+	var hot string
+	if i == 0 {
+		hot += `
+  <MonitoringPolicy name="hot-msgs" subject="vep:Hot" operation="doWork">
+    <PreCondition name="amount-present">count(//Amount) &gt; 0</PreCondition>
+    <PreCondition name="amount-positive">number(//Amount) &gt; 0</PreCondition>
+    <PostCondition name="result-present" faultType="masc:policyViolation">count(//Result) &gt; 0</PostCondition>
+    <PostCondition name="result-bounded" faultType="masc:policyViolation">number(//Result) &lt; 1000000</PostCondition>
+  </MonitoringPolicy>`
+	}
+	if i%4 == 0 {
+		hot += fmt.Sprintf(`
+  <AdaptationPolicy name="hot-recover-%02d" subject="vep:Hot" priority="%d" kind="correction">
+    <OnEvent type="fault.detected"/>
+    <Condition>$faultType != '' and $operation = 'doWork'</Condition>
+    <Actions><Retry maxAttempts="2"/><Substitute selection="first"/></Actions>
+  </AdaptationPolicy>`, i, 10+i)
+	}
+	return fmt.Sprintf(`
+<PolicyDocument xmlns="urn:masc:ws-policy4masc" name="bench-%02d">%s
+  <MonitoringPolicy name="cold-msgs-%02d" subject="vep:Cold%02d">
+    <PreCondition name="any">count(//*) &gt; 0</PreCondition>
+    <PostCondition name="some" faultType="masc:policyViolation">count(//*) &gt; 0</PostCondition>
+  </MonitoringPolicy>
+  <AdaptationPolicy name="cold-recover-%02d" subject="vep:Cold%02d" priority="5" kind="correction">
+    <OnEvent type="fault.detected"/>
+    <Actions><Skip/></Actions>
+  </AdaptationPolicy>
+  <AdaptationPolicy name="cold-sla-%02d" subject="vep:Cold%02d" priority="3" kind="correction">
+    <OnEvent type="sla.violation"/>
+    <Actions><Skip/></Actions>
+  </AdaptationPolicy>
+</PolicyDocument>`, i, hot, i, i, i, i, i, i)
+}
+
+// policyBenchConsulted is how many policies one decision consults: the
+// hot monitoring policy plus the hot adaptation rules.
+func policyBenchConsulted(documents int) int {
+	return 1 + (documents+3)/4
+}
+
+// RunPolicyBench replays the identical decision workload through both
+// evaluation paths. Each decision performs one full mediation's worth
+// of policy work: monitoring dispatch plus pre- and post-condition
+// evaluation, protection lookup, and fault-triggered adaptation
+// dispatch with condition evaluation.
+func RunPolicyBench(cfg PolicyBenchConfig) ([]PolicyBenchPoint, error) {
+	cfg.fill()
+	var points []PolicyBenchPoint
+	for _, compiled := range []bool{false, true} {
+		p, err := runPolicyBenchMode(cfg, compiled)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	if points[0].Policies != points[1].Policies {
+		return nil, fmt.Errorf("policybench: modes consulted different policy counts: interpreter=%d compiled=%d",
+			points[0].Policies, points[1].Policies)
+	}
+	return points, nil
+}
+
+func runPolicyBenchMode(cfg PolicyBenchConfig, compiled bool) (PolicyBenchPoint, error) {
+	repo := policy.NewRepository()
+	if compiled {
+		if err := compile.Enable(repo, compile.Options{}); err != nil {
+			return PolicyBenchPoint{}, err
+		}
+	}
+	for i := 0; i < cfg.Documents; i++ {
+		if _, err := repo.LoadXML(policyBenchDocument(i)); err != nil {
+			return PolicyBenchPoint{}, err
+		}
+	}
+
+	request := xmltree.New("urn:t", "doWork")
+	request.Append(xmltree.NewText("urn:t", "Amount", "42"))
+	response := xmltree.New("urn:t", "doWorkResponse")
+	response.Append(xmltree.NewText("urn:t", "Result", "17"))
+	env := xpath.Context{Vars: map[string]xpath.Value{
+		"faultType":  xpath.String("TimeoutFault"),
+		"target":     xpath.String("inproc://hot-1"),
+		"operation":  xpath.String("doWork"),
+		"instanceID": xpath.String(""),
+	}}
+	ev := event.Event{Type: event.TypeFaultDetected, Operation: "doWork", FaultType: "TimeoutFault"}
+
+	// decide runs one full decision and returns how many policies it
+	// consulted; any unexpected verdict invalidates the measurement.
+	decide := func() (int, error) {
+		n := 0
+		for _, mp := range compile.MonitoringsFor(repo, "vep:Hot", "doWork") {
+			n++
+			for _, a := range mp.Pre {
+				ok, err := a.EvalBool(request, xpath.Context{})
+				if err != nil || !ok {
+					return 0, fmt.Errorf("pre %s: ok=%v err=%v", a.Name, ok, err)
+				}
+			}
+			for _, a := range mp.Post {
+				ok, err := a.EvalBool(response, xpath.Context{})
+				if err != nil || !ok {
+					return 0, fmt.Errorf("post %s: ok=%v err=%v", a.Name, ok, err)
+				}
+			}
+		}
+		if pp := compile.ProtectionLookup(repo, "vep:Hot"); pp != nil {
+			return 0, fmt.Errorf("unexpected protection policy %s", pp.Name)
+		}
+		for _, ap := range compile.AdaptationsFor(repo, ev, "vep:Hot") {
+			n++
+			ok, err := ap.EvalCondition(request, env)
+			if err != nil {
+				return 0, fmt.Errorf("condition %s: %v", ap.Name, err)
+			}
+			_ = ok
+		}
+		return n, nil
+	}
+
+	// Warmup checks correctness once and faults in any lazy state.
+	consulted, err := decide()
+	if err != nil {
+		return PolicyBenchPoint{}, err
+	}
+	if want := policyBenchConsulted(cfg.Documents); consulted != want {
+		return PolicyBenchPoint{}, fmt.Errorf("policybench: consulted %d policies, want %d", consulted, want)
+	}
+
+	lat := make([]time.Duration, cfg.Decisions)
+	start := time.Now()
+	for i := range lat {
+		t0 := time.Now()
+		if _, err := decide(); err != nil {
+			return PolicyBenchPoint{}, err
+		}
+		lat[i] = time.Since(t0)
+	}
+	elapsed := time.Since(start)
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	q := func(p float64) time.Duration {
+		idx := int(p * float64(len(lat)-1))
+		return lat[idx]
+	}
+	mode := "interpreter"
+	if compiled {
+		mode = "compiled"
+	}
+	return PolicyBenchPoint{
+		Mode:            mode,
+		Decisions:       cfg.Decisions,
+		Policies:        consulted,
+		Mean:            sum / time.Duration(len(lat)),
+		P50:             q(0.50),
+		P95:             q(0.95),
+		P99:             q(0.99),
+		DecisionsPerSec: float64(cfg.Decisions) / elapsed.Seconds(),
+	}, nil
+}
+
+// FormatPolicyBench renders the evaluation-path comparison.
+func FormatPolicyBench(points []PolicyBenchPoint) string {
+	var sb strings.Builder
+	sb.WriteString("Policy evaluation: tree interpreter vs compiled decision IR\n")
+	sb.WriteString(fmt.Sprintf("  %-12s %-10s %-10s %-12s %-12s %-12s %-12s %s\n",
+		"mode", "decisions", "policies", "mean", "p50", "p95", "p99", "decisions/s"))
+	for _, p := range points {
+		sb.WriteString(fmt.Sprintf("  %-12s %-10d %-10d %-12v %-12v %-12v %-12v %.0f\n",
+			p.Mode, p.Decisions, p.Policies, p.Mean, p.P50, p.P95, p.P99, p.DecisionsPerSec))
+	}
+	return sb.String()
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPolicyBenchShape asserts the compiled-IR experiment's qualitative
+// result: both evaluation paths consult the same policies, and the
+// compiled path is faster than the interpreter on the same workload.
+func TestPolicyBenchShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full microbenchmark run")
+	}
+	points, err := RunPolicyBench(PolicyBenchConfig{Decisions: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	interp, compiled := points[0], points[1]
+	if interp.Mode != "interpreter" || compiled.Mode != "compiled" {
+		t.Fatalf("modes = %q, %q", interp.Mode, compiled.Mode)
+	}
+	if interp.Policies != compiled.Policies || interp.Policies == 0 {
+		t.Fatalf("consulted policies = %d vs %d", interp.Policies, compiled.Policies)
+	}
+	// The hard ≥2x p50 acceptance lives in CI over BENCH_8.json; under
+	// the race detector and parallel test load this only asserts the
+	// direction of the win.
+	if compiled.P50 >= interp.P50 {
+		t.Errorf("compiled p50 = %v, want below interpreter p50 = %v", compiled.P50, interp.P50)
+	}
+	if compiled.DecisionsPerSec <= interp.DecisionsPerSec {
+		t.Errorf("compiled throughput = %.0f/s, want above interpreter %.0f/s",
+			compiled.DecisionsPerSec, interp.DecisionsPerSec)
+	}
+
+	out := FormatPolicyBench(points)
+	for _, want := range []string{"interpreter", "compiled", "p50", "decisions/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatPolicyBench output missing %q:\n%s", want, out)
+		}
+	}
+}

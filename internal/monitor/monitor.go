@@ -17,6 +17,7 @@ import (
 	"github.com/masc-project/masc/internal/clock"
 	"github.com/masc-project/masc/internal/event"
 	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/policy/compile"
 	"github.com/masc-project/masc/internal/qos"
 	"github.com/masc-project/masc/internal/soap"
 	"github.com/masc-project/masc/internal/telemetry"
@@ -191,12 +192,12 @@ func (m *Monitor) checkMessage(subject, operation string, env *soap.Envelope, co
 
 	root := env.ToXML()
 	record := m.decisions != nil
-	for _, mp := range m.repo.MonitoringFor(subject, operation) {
+	for _, mp := range compile.MonitoringsFor(m.repo, subject, operation) {
 		start := m.clk.Now()
 		var checks []decision.Assertion
-		assertions := mp.PreConditions
+		assertions := mp.Pre
 		if dir == wsdl.Response {
-			assertions = mp.PostConditions
+			assertions = mp.Post
 		}
 		if mp.ValidateContract && contract != nil {
 			if err := contract.Validate(env, dir); err != nil {
@@ -211,7 +212,7 @@ func (m *Monitor) checkMessage(subject, operation string, env *soap.Envelope, co
 						Name: "contract", Matched: true, Reason: err.Error(),
 					})
 					checks = skipRemaining(checks, assertions, 0)
-					m.recordMessageDecision(mp, subject, operation, env, dir, start, checks, v)
+					m.recordMessageDecision(mp.Name, subject, operation, env, dir, start, checks, v)
 				}
 				return m.violate(subject, operation, env, v)
 			}
@@ -220,7 +221,7 @@ func (m *Monitor) checkMessage(subject, operation string, env *soap.Envelope, co
 			}
 		}
 		for i, a := range assertions {
-			ok, err := a.Expr.EvalBool(root, m.xpathEnv(env))
+			ok, err := a.EvalBool(root, m.xpathEnv(env))
 			if err != nil || !ok {
 				v := &Violation{
 					Policy:    mp.Name,
@@ -232,7 +233,7 @@ func (m *Monitor) checkMessage(subject, operation string, env *soap.Envelope, co
 					v.Detail = "assertion evaluation failed: " + err.Error()
 					reason = "eval_error"
 				} else {
-					v.Detail = fmt.Sprintf("assertion %q is false", a.Expr.Source())
+					v.Detail = fmt.Sprintf("assertion %q is false", a.Source())
 					reason = "condition_false"
 				}
 				if record {
@@ -240,7 +241,7 @@ func (m *Monitor) checkMessage(subject, operation string, env *soap.Envelope, co
 						Name: a.Name, Matched: true, Reason: reason, Value: v.Detail,
 					})
 					checks = skipRemaining(checks, assertions, i+1)
-					m.recordMessageDecision(mp, subject, operation, env, dir, start, checks, v)
+					m.recordMessageDecision(mp.Name, subject, operation, env, dir, start, checks, v)
 				}
 				return m.violate(subject, operation, env, v)
 			}
@@ -249,7 +250,7 @@ func (m *Monitor) checkMessage(subject, operation string, env *soap.Envelope, co
 			}
 		}
 		if record {
-			m.recordMessageDecision(mp, subject, operation, env, dir, start, checks, nil)
+			m.recordMessageDecision(mp.Name, subject, operation, env, dir, start, checks, nil)
 		}
 	}
 	return nil
@@ -258,7 +259,7 @@ func (m *Monitor) checkMessage(subject, operation string, env *soap.Envelope, co
 // skipRemaining marks assertions from index on as skipped: once one
 // constraint fires, the policy short-circuits and the rest are never
 // evaluated — the decision record says so explicitly.
-func skipRemaining(checks []decision.Assertion, assertions []*policy.Assertion, from int) []decision.Assertion {
+func skipRemaining(checks []decision.Assertion, assertions []*compile.CompiledAssertion, from int) []decision.Assertion {
 	for _, rest := range assertions[from:] {
 		checks = append(checks, decision.Assertion{
 			Name: rest.Name, Skipped: true, Reason: "short_circuit",
@@ -270,7 +271,7 @@ func skipRemaining(checks []decision.Assertion, assertions []*policy.Assertion, 
 // recordMessageDecision emits one provenance record for the evaluation
 // of one monitoring policy against one message. v is the violation
 // when the policy fired, nil when every constraint held.
-func (m *Monitor) recordMessageDecision(mp *policy.MonitoringPolicy, subject, operation string, env *soap.Envelope, dir wsdl.Direction, start time.Time, checks []decision.Assertion, v *Violation) {
+func (m *Monitor) recordMessageDecision(policyName, subject, operation string, env *soap.Envelope, dir wsdl.Direction, start time.Time, checks []decision.Assertion, v *Violation) {
 	trigger := "message.request"
 	if dir == wsdl.Response {
 		trigger = "message.response"
@@ -279,7 +280,7 @@ func (m *Monitor) recordMessageDecision(mp *policy.MonitoringPolicy, subject, op
 		Time:       start,
 		Site:       decision.SiteMonitor,
 		PolicyType: "monitoring",
-		Policy:     mp.Name,
+		Policy:     policyName,
 		Subject:    subject,
 		Operation:  operation,
 		Trigger:    trigger,
@@ -334,7 +335,7 @@ func (m *Monitor) CheckQoS(subject, target string) []Violation {
 	}
 	record := m.decisions != nil
 	var out []Violation
-	for _, mp := range m.repo.MonitoringFor(subject, "") {
+	for _, mp := range compile.MonitoringsFor(m.repo, subject, "") {
 		if len(mp.Thresholds) == 0 {
 			continue
 		}

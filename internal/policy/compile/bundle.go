@@ -1,0 +1,59 @@
+package compile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/masc-project/masc/internal/policy"
+)
+
+// Bundle is a policy document set read from a directory, before
+// validation and compilation.
+type Bundle struct {
+	// Dir is the directory the bundle was read from.
+	Dir string
+	// Docs are the parsed documents, in file-name order.
+	Docs []*policy.Document
+	// Files maps document name to the file (base name) it came from.
+	Files map[string]string
+}
+
+// LoadDir reads every *.xml file in dir (sorted by name) as one bundle.
+// Any file that fails to parse, or two files declaring the same
+// document name, fails the whole bundle — load-from-directory is a
+// transaction, like the swap that follows it. Validation is deferred to
+// the repository swap (ReplaceAll) so parse and policy errors surface
+// through the same diagnostic path.
+func LoadDir(dir string) (*Bundle, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("compile: read bundle directory: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".xml" {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	b := &Bundle{Dir: dir, Files: make(map[string]string, len(names))}
+	for _, name := range names {
+		text, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("compile: read bundle file %s: %w", name, err)
+		}
+		doc, err := policy.ParseString(string(text))
+		if err != nil {
+			return nil, fmt.Errorf("compile: bundle file %s: %w", name, err)
+		}
+		if prev, dup := b.Files[doc.Name]; dup {
+			return nil, fmt.Errorf("compile: bundle files %s and %s both declare document %q", prev, name, doc.Name)
+		}
+		b.Docs = append(b.Docs, doc)
+		b.Files[doc.Name] = name
+	}
+	return b, nil
+}

@@ -1,0 +1,179 @@
+package compile
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/masc-project/masc/internal/event"
+	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/telemetry"
+	"github.com/masc-project/masc/internal/telemetry/decision"
+)
+
+// Options configures Enable. Both fields are optional.
+type Options struct {
+	// Registry receives the masc_policy_* metric families.
+	Registry *telemetry.Registry
+	// Journal receives one audit entry per published (or rejected)
+	// bundle swap.
+	Journal *telemetry.Journal
+}
+
+// compileBuckets grade compile latency from trivial single-document
+// sets up to large bundles.
+var compileBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}
+
+// Enable registers the compiler on the repository: from this call on,
+// every mutation (Load, Unload, ReplaceAll) compiles the full incoming
+// document set before publishing it, and Lookup returns the live
+// CompiledSet via one atomic load. The current document set is compiled
+// immediately. Each swap observes masc_policy_compile_seconds, counts
+// into masc_policy_bundle_swaps_total{outcome}, updates the
+// masc_policy_bundle_* gauges, and appends an audit-journal entry.
+func Enable(r *policy.Repository, opts Options) error {
+	var (
+		compileSeconds *telemetry.HistogramVec
+		swaps          *telemetry.CounterVec
+		docsGauge      *telemetry.GaugeVec
+		policiesGauge  *telemetry.GaugeVec
+	)
+	if reg := opts.Registry; reg != nil {
+		compileSeconds = reg.Histogram("masc_policy_compile_seconds",
+			"Latency of compiling the full policy document set into the decision IR.",
+			compileBuckets)
+		swaps = reg.Counter("masc_policy_bundle_swaps_total",
+			"Policy bundle swap attempts by outcome (ok = new set published, error = rejected, previous set kept).",
+			"outcome")
+		docsGauge = reg.Gauge("masc_policy_bundle_documents",
+			"Documents in the currently published policy bundle.")
+		policiesGauge = reg.Gauge("masc_policy_bundle_policies",
+			"Compiled policies in the currently published bundle, by policy type.",
+			"type")
+	}
+	fn := func(docs []*policy.Document) (any, error) {
+		start := time.Now()
+		cs, err := Compile(docs)
+		if compileSeconds != nil {
+			compileSeconds.With().Observe(time.Since(start).Seconds())
+		}
+		if err != nil {
+			if swaps != nil {
+				swaps.With("error").Inc()
+			}
+			if opts.Journal != nil {
+				opts.Journal.Record(telemetry.Entry{
+					Level:     telemetry.LevelWarn,
+					Kind:      telemetry.KindAudit,
+					Component: "policy",
+					Message:   fmt.Sprintf("policy bundle swap rejected, previous set keeps serving: %v", err),
+					Fields:    map[string]string{"outcome": "error", "error": err.Error()},
+				})
+			}
+			return nil, err
+		}
+		if swaps != nil {
+			swaps.With("ok").Inc()
+			docsGauge.With().Set(float64(len(cs.Manifest.Documents)))
+			policiesGauge.With("monitoring").Set(float64(cs.monitoring))
+			policiesGauge.With("adaptation").Set(float64(cs.adaptation))
+			policiesGauge.With("protection").Set(float64(cs.protection))
+		}
+		if opts.Journal != nil {
+			opts.Journal.Record(telemetry.Entry{
+				Level:     telemetry.LevelInfo,
+				Kind:      telemetry.KindAudit,
+				Component: "policy",
+				Message: fmt.Sprintf("policy bundle %s published: %d document(s), %d monitoring, %d adaptation, %d protection",
+					cs.Manifest.Revision, len(cs.Manifest.Documents), cs.monitoring, cs.adaptation, cs.protection),
+				Fields: map[string]string{
+					"outcome":   "ok",
+					"revision":  cs.Manifest.Revision,
+					"documents": fmt.Sprint(len(cs.Manifest.Documents)),
+				},
+			})
+		}
+		return cs, nil
+	}
+	return r.SetCompiler(fn)
+}
+
+// Lookup returns the repository's live CompiledSet, or nil when no
+// compiler is registered (interpreter mode). One atomic load; never
+// takes the repository lock.
+func Lookup(r *policy.Repository) *CompiledSet {
+	cs, _ := r.Compiled().(*CompiledSet)
+	return cs
+}
+
+// MonitoringsFor is the evaluation-site facade for monitoring lookups:
+// compiled entries from the live set when one is published, or thin
+// uncompiled wrappers over the repository interpreter otherwise — so
+// each call site keeps a single loop either way.
+func MonitoringsFor(r *policy.Repository, subject, operation string) []*CompiledMonitoring {
+	if cs := Lookup(r); cs != nil {
+		return cs.MonitoringFor(subject, operation)
+	}
+	src := r.MonitoringFor(subject, operation)
+	if len(src) == 0 {
+		return nil
+	}
+	out := make([]*CompiledMonitoring, len(src))
+	for i, mp := range src {
+		out[i] = &CompiledMonitoring{
+			Doc:              "",
+			Name:             mp.Name,
+			Scope:            mp.Scope,
+			Pre:              wrapAssertions(mp.PreConditions),
+			Post:             wrapAssertions(mp.PostConditions),
+			Thresholds:       mp.Thresholds,
+			ValidateContract: mp.ValidateContract,
+		}
+	}
+	return out
+}
+
+// wrapAssertions builds interpreter-backed assertion wrappers (nil
+// program: EvalBool tree-walks the source expression).
+func wrapAssertions(src []*policy.Assertion) []*CompiledAssertion {
+	if len(src) == 0 {
+		return nil
+	}
+	out := make([]*CompiledAssertion, len(src))
+	for i, a := range src {
+		out[i] = &CompiledAssertion{Name: a.Name, FaultType: a.FaultType, src: a}
+	}
+	return out
+}
+
+// AdaptationsFor is the evaluation-site facade for adaptation dispatch:
+// compiled entries when a set is live, interpreter-backed wrappers
+// otherwise.
+func AdaptationsFor(r *policy.Repository, e event.Event, subject string) []*CompiledAdaptation {
+	if cs := Lookup(r); cs != nil {
+		return cs.AdaptationFor(e, subject)
+	}
+	src := r.AdaptationFor(e, subject)
+	if len(src) == 0 {
+		return nil
+	}
+	out := make([]*CompiledAdaptation, len(src))
+	for i, ap := range src {
+		names := policy.ActionNames(ap.Actions)
+		out[i] = &CompiledAdaptation{
+			AdaptationPolicy: ap,
+			ActionNames:      names,
+			ActionsJoined:    decision.JoinActions(names),
+		}
+	}
+	return out
+}
+
+// ProtectionLookup is the evaluation-site facade for protection
+// policies: the compiled first-match table when a set is live, the
+// repository scan otherwise.
+func ProtectionLookup(r *policy.Repository, subject string) *policy.ProtectionPolicy {
+	if cs := Lookup(r); cs != nil {
+		return cs.ProtectionFor(subject)
+	}
+	return r.ProtectionFor(subject)
+}

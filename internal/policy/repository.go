@@ -4,9 +4,17 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/masc-project/masc/internal/event"
 )
+
+// CompilerFunc lowers a full document set (sorted by document name)
+// into an opaque compiled artifact. Registered by internal/policy/compile
+// via SetCompiler; the indirection keeps this package free of a
+// dependency on its own compiler. The returned artifact must be
+// immutable: it is published to readers via a single atomic pointer.
+type CompilerFunc func(docs []*Document) (artifact any, err error)
 
 // Repository is the policy store queried by decision makers: "policy
 // assertions are stored in a policy repository, which is a collection
@@ -15,25 +23,123 @@ import (
 // automatically enforced the next time adaptation is needed with no
 // need to restart any software component" (§2.2). Repository is safe
 // for concurrent use.
+//
+// When a compiler is registered (SetCompiler), every mutation is
+// transactional: the incoming document set is validated and compiled in
+// full before the result is published with one atomic store, and on
+// compile failure the mutation is rolled back — the previous documents
+// and compiled artifact keep serving. Readers on the evaluation hot
+// path call Compiled() and never take the repository lock.
 type Repository struct {
-	mu   sync.RWMutex
-	docs map[string]*Document
+	mu       sync.RWMutex
+	docs     map[string]*Document
+	compiler CompilerFunc
+	compiled atomic.Value // compiledBox; nil artifact until SetCompiler
+	revision atomic.Uint64
 }
+
+// compiledBox wraps the compiler artifact so atomic.Value always stores
+// one concrete type (atomic.Value forbids storing differing types or
+// untyped nil).
+type compiledBox struct{ artifact any }
 
 // NewRepository builds an empty repository.
 func NewRepository() *Repository {
 	return &Repository{docs: make(map[string]*Document)}
 }
 
+// SetCompiler registers the compiler and immediately compiles the
+// current document set so readers see a consistent artifact from the
+// moment of registration. Mutations recompile before publishing.
+func (r *Repository) SetCompiler(fn CompilerFunc) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.compiler = fn
+	return r.recompileLocked()
+}
+
+// Compiled returns the artifact produced by the registered compiler for
+// the current document set, or nil when no compiler is registered. It
+// is a single atomic load — safe on the evaluation hot path, never
+// blocked by concurrent mutations.
+func (r *Repository) Compiled() any {
+	if box, ok := r.compiled.Load().(compiledBox); ok {
+		return box.artifact
+	}
+	return nil
+}
+
+// Revision returns a counter incremented on every published mutation
+// (load, unload, bundle replace). Zero means never mutated.
+func (r *Repository) Revision() uint64 { return r.revision.Load() }
+
+// recompileLocked runs the registered compiler over the current
+// (sorted) document set and publishes the artifact. Callers hold r.mu
+// and roll the document map back if this fails.
+func (r *Repository) recompileLocked() error {
+	if r.compiler == nil {
+		r.revision.Add(1)
+		return nil
+	}
+	docs := make([]*Document, 0, len(r.docs))
+	for _, name := range r.docNamesLocked() {
+		docs = append(docs, r.docs[name])
+	}
+	artifact, err := r.compiler(docs)
+	if err != nil {
+		return err
+	}
+	r.compiled.Store(compiledBox{artifact: artifact})
+	r.revision.Add(1)
+	return nil
+}
+
 // Load validates the document and adds or replaces it (keyed by
-// document name).
+// document name). With a compiler registered the swap is atomic: on
+// compile failure the previous document (if any) is restored and keeps
+// serving.
 func (r *Repository) Load(d *Document) error {
 	if err := Validate(d); err != nil {
 		return err
 	}
 	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev, existed := r.docs[d.Name]
 	r.docs[d.Name] = d
-	r.mu.Unlock()
+	if err := r.recompileLocked(); err != nil {
+		if existed {
+			r.docs[d.Name] = prev
+		} else {
+			delete(r.docs, d.Name)
+		}
+		return err
+	}
+	return nil
+}
+
+// ReplaceAll atomically replaces the entire document set (a bundle
+// transaction): every document is validated, then the whole set is
+// compiled, and only then published. On any failure the previous set —
+// documents and compiled artifact — keeps serving unchanged.
+func (r *Repository) ReplaceAll(docs []*Document) error {
+	next := make(map[string]*Document, len(docs))
+	for _, d := range docs {
+		if err := Validate(d); err != nil {
+			return fmt.Errorf("document %q: %w", d.Name, err)
+		}
+		if _, dup := next[d.Name]; dup {
+			return fmt.Errorf("%w: duplicate document name %q", ErrInvalid, d.Name)
+		}
+		next[d.Name] = d
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev := r.docs
+	r.docs = next
+	if err := r.recompileLocked(); err != nil {
+		r.docs = prev
+		return err
+	}
 	return nil
 }
 
@@ -50,14 +156,40 @@ func (r *Repository) LoadXML(text string) (*Document, error) {
 }
 
 // Unload removes the named document and reports whether it existed.
+// Removal never fails compilation of the remaining set in practice, but
+// if it does the document is restored.
 func (r *Repository) Unload(name string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.docs[name]; !ok {
+	prev, ok := r.docs[name]
+	if !ok {
 		return false
 	}
 	delete(r.docs, name)
+	if err := r.recompileLocked(); err != nil {
+		r.docs[name] = prev
+		return false
+	}
 	return true
+}
+
+// Document returns the named loaded document, or nil.
+func (r *Repository) Document(name string) *Document {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.docs[name]
+}
+
+// Snapshot returns the loaded documents sorted by name. The slice is
+// fresh but the documents are shared — treat them as read-only.
+func (r *Repository) Snapshot() []*Document {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Document, 0, len(r.docs))
+	for _, name := range r.docNamesLocked() {
+		out = append(out, r.docs[name])
+	}
+	return out
 }
 
 // Documents returns the loaded document names, sorted.

@@ -22,6 +22,7 @@ import (
 
 	"github.com/masc-project/masc/internal/clock"
 	"github.com/masc-project/masc/internal/policy"
+	"github.com/masc-project/masc/internal/policy/compile"
 	"github.com/masc-project/masc/internal/telemetry"
 	"github.com/masc-project/masc/internal/telemetry/decision"
 )
@@ -63,7 +64,7 @@ func DeriveObjectives(repo *policy.Repository, subjects []string, def Objective)
 	for _, subject := range subjects {
 		obj := Objective{Subject: subject}
 		if repo != nil {
-			for _, mp := range repo.MonitoringFor(subject, "") {
+			for _, mp := range compile.MonitoringsFor(repo, subject, "") {
 				for _, th := range mp.Thresholds {
 					switch th.Metric {
 					case policy.MetricAvailability, policy.MetricReliability:

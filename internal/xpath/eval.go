@@ -333,9 +333,12 @@ func descendantOrSelf(n Node) NodeSet {
 	return out
 }
 
-func (ev *evaluator) axisCandidates(base Node, st step) (NodeSet, error) {
+// axisNodes enumerates the raw candidate nodes of one axis from a base
+// node, before any node test is applied. Shared by the tree-walking
+// evaluator and the compiled Program path.
+func axisNodes(base Node, axis axisKind) (NodeSet, error) {
 	var raw NodeSet
-	switch st.axis {
+	switch axis {
 	case axisSelf:
 		raw = NodeSet{base}
 	case axisParent:
@@ -369,7 +372,15 @@ func (ev *evaluator) axisCandidates(base Node, st step) (NodeSet, error) {
 	case axisDescendantOrSelf:
 		raw = descendantOrSelf(base)
 	default:
-		return nil, fmt.Errorf("unsupported axis %d", st.axis)
+		return nil, fmt.Errorf("unsupported axis %d", axis)
+	}
+	return raw, nil
+}
+
+func (ev *evaluator) axisCandidates(base Node, st step) (NodeSet, error) {
+	raw, err := axisNodes(base, st.axis)
+	if err != nil {
+		return nil, err
 	}
 
 	out := raw[:0]
@@ -475,19 +486,25 @@ func (ev *evaluator) evalFunc(x funcExpr, ctx evalPos) (Value, error) {
 		}
 		args = append(args, v)
 	}
+	return applyFunc(x.name, args, ctx)
+}
 
+// applyFunc applies the XPath function library to already-evaluated
+// arguments. Shared by the tree-walking evaluator and compiled Programs
+// so both report identical runtime errors.
+func applyFunc(name string, args []Value, ctx evalPos) (Value, error) {
 	argc := func(want ...int) error {
 		for _, w := range want {
 			if len(args) == w {
 				return nil
 			}
 		}
-		return fmt.Errorf("%s(): got %d arguments", x.name, len(args))
+		return fmt.Errorf("%s(): got %d arguments", name, len(args))
 	}
 	nodeSetArg := func(i int) (NodeSet, error) {
 		ns, ok := args[i].(NodeSet)
 		if !ok {
-			return nil, fmt.Errorf("%s(): argument %d is %T, not a node-set", x.name, i+1, args[i])
+			return nil, fmt.Errorf("%s(): argument %d is %T, not a node-set", name, i+1, args[i])
 		}
 		return ns, nil
 	}
@@ -498,7 +515,7 @@ func (ev *evaluator) evalFunc(x funcExpr, ctx evalPos) (Value, error) {
 		return ctx.node.StringValue()
 	}
 
-	switch x.name {
+	switch name {
 	case "true":
 		if err := argc(0); err != nil {
 			return nil, err
@@ -704,6 +721,6 @@ func (ev *evaluator) evalFunc(x funcExpr, ctx evalPos) (Value, error) {
 		}
 		return Bool(re.MatchString(args[0].String())), nil
 	default:
-		return nil, fmt.Errorf("unknown function %s()", x.name)
+		return nil, fmt.Errorf("unknown function %s()", name)
 	}
 }

@@ -1,0 +1,506 @@
+package xpath
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/masc-project/masc/internal/xmltree"
+)
+
+// Program is a Compiled expression lowered into a tree of closures: the
+// AST is walked once at lowering time, and every per-evaluation decision
+// that depends only on the expression shape (operator dispatch, step
+// axis selection, the text() axis rewrite, function identity) is
+// resolved then. Evaluation runs the pre-bound closures directly with no
+// type switches over AST nodes. Programs are immutable and safe for
+// concurrent use.
+//
+// A Program is observationally identical to evaluating the Compiled
+// expression it was lowered from: same values, same runtime errors
+// (including error text). The policy compiler relies on this equivalence
+// and the differential tests in internal/policy/compile enforce it.
+type Program struct {
+	src string
+	fn  progFn
+}
+
+// progFn is one lowered expression node: evaluate against the dynamic
+// context and return the value.
+type progFn func(ev *evaluator, ctx evalPos) (Value, error)
+
+// Program lowers the compiled expression into a closure program.
+// Lowering is infallible: every AST shape Compile can produce has a
+// lowering, and runtime-only failures (unbound prefixes, undefined
+// variables, unknown functions) stay runtime errors exactly as in tree
+// evaluation.
+func (c *Compiled) Program() *Program {
+	return &Program{src: c.src, fn: lowerExpr(c.expr)}
+}
+
+// Source returns the original expression text.
+func (p *Program) Source() string { return p.src }
+
+// Eval evaluates the program with root as both the context node and the
+// document root, using an empty Context.
+func (p *Program) Eval(root *xmltree.Element) (Value, error) {
+	return p.EvalContext(root, Context{})
+}
+
+// EvalContext evaluates the program against root with the given
+// environment.
+func (p *Program) EvalContext(root *xmltree.Element, env Context) (Value, error) {
+	ev := &evaluator{env: env, root: root}
+	return p.fn(ev, evalPos{node: Node{El: root}, pos: 1, size: 1})
+}
+
+// EvalBool is a convenience wrapper returning the boolean value.
+func (p *Program) EvalBool(root *xmltree.Element, env Context) (bool, error) {
+	v, err := p.EvalContext(root, env)
+	if err != nil {
+		return false, err
+	}
+	return v.Bool(), nil
+}
+
+// EvalString is a convenience wrapper returning the string value.
+func (p *Program) EvalString(root *xmltree.Element, env Context) (string, error) {
+	v, err := p.EvalContext(root, env)
+	if err != nil {
+		return "", err
+	}
+	return v.String(), nil
+}
+
+// EvalNumber is a convenience wrapper returning the numeric value.
+func (p *Program) EvalNumber(root *xmltree.Element, env Context) (float64, error) {
+	v, err := p.EvalContext(root, env)
+	if err != nil {
+		return 0, err
+	}
+	return v.Number(), nil
+}
+
+// EvalNodes evaluates and returns the node-set result, or an error if
+// the expression does not yield a node-set.
+func (p *Program) EvalNodes(root *xmltree.Element, env Context) (NodeSet, error) {
+	v, err := p.EvalContext(root, env)
+	if err != nil {
+		return nil, err
+	}
+	ns, ok := v.(NodeSet)
+	if !ok {
+		return nil, fmt.Errorf("xpath: %q evaluates to %T, not a node-set", p.src, v)
+	}
+	return ns, nil
+}
+
+// --- Lowering ---
+
+func lowerExpr(e expr) progFn {
+	switch x := e.(type) {
+	case literalExpr:
+		v := String(x.s)
+		return func(*evaluator, evalPos) (Value, error) { return v, nil }
+	case numberExpr:
+		v := Number(x.f)
+		return func(*evaluator, evalPos) (Value, error) { return v, nil }
+	case varExpr:
+		name := x.name
+		return func(ev *evaluator, _ evalPos) (Value, error) {
+			v, ok := ev.env.Vars[name]
+			if !ok {
+				return nil, fmt.Errorf("undefined variable $%s", name)
+			}
+			return v, nil
+		}
+	case negExpr:
+		operand := lowerExpr(x.operand)
+		return func(ev *evaluator, ctx evalPos) (Value, error) {
+			v, err := operand(ev, ctx)
+			if err != nil {
+				return nil, err
+			}
+			return Number(-v.Number()), nil
+		}
+	case binaryExpr:
+		return lowerBinary(x)
+	case unionExpr:
+		return lowerUnion(x)
+	case funcExpr:
+		return lowerFunc(x)
+	case filterExpr:
+		return lowerFilter(x)
+	case pathExpr:
+		return lowerPath(x)
+	default:
+		// Unreachable for anything Compile produces; defer to the tree
+		// evaluator so behavior (and its error) stays identical.
+		return func(ev *evaluator, ctx evalPos) (Value, error) {
+			return ev.eval(e, ctx)
+		}
+	}
+}
+
+func lowerBinary(x binaryExpr) progFn {
+	lhs := lowerExpr(x.lhs)
+	rhs := lowerExpr(x.rhs)
+	switch x.op {
+	case "or":
+		return func(ev *evaluator, ctx evalPos) (Value, error) {
+			l, err := lhs(ev, ctx)
+			if err != nil {
+				return nil, err
+			}
+			if l.Bool() {
+				return Bool(true), nil
+			}
+			r, err := rhs(ev, ctx)
+			if err != nil {
+				return nil, err
+			}
+			return Bool(r.Bool()), nil
+		}
+	case "and":
+		return func(ev *evaluator, ctx evalPos) (Value, error) {
+			l, err := lhs(ev, ctx)
+			if err != nil {
+				return nil, err
+			}
+			if !l.Bool() {
+				return Bool(false), nil
+			}
+			r, err := rhs(ev, ctx)
+			if err != nil {
+				return nil, err
+			}
+			return Bool(r.Bool()), nil
+		}
+	case "=", "!=", "<", "<=", ">", ">=":
+		op := x.op
+		return func(ev *evaluator, ctx evalPos) (Value, error) {
+			l, r, err := evalPair(ev, ctx, lhs, rhs)
+			if err != nil {
+				return nil, err
+			}
+			return Bool(compare(op, l, r)), nil
+		}
+	case "+":
+		return func(ev *evaluator, ctx evalPos) (Value, error) {
+			l, r, err := evalPair(ev, ctx, lhs, rhs)
+			if err != nil {
+				return nil, err
+			}
+			return Number(l.Number() + r.Number()), nil
+		}
+	case "-":
+		return func(ev *evaluator, ctx evalPos) (Value, error) {
+			l, r, err := evalPair(ev, ctx, lhs, rhs)
+			if err != nil {
+				return nil, err
+			}
+			return Number(l.Number() - r.Number()), nil
+		}
+	case "*":
+		return func(ev *evaluator, ctx evalPos) (Value, error) {
+			l, r, err := evalPair(ev, ctx, lhs, rhs)
+			if err != nil {
+				return nil, err
+			}
+			return Number(l.Number() * r.Number()), nil
+		}
+	case "div":
+		return func(ev *evaluator, ctx evalPos) (Value, error) {
+			l, r, err := evalPair(ev, ctx, lhs, rhs)
+			if err != nil {
+				return nil, err
+			}
+			return Number(l.Number() / r.Number()), nil
+		}
+	case "mod":
+		return func(ev *evaluator, ctx evalPos) (Value, error) {
+			l, r, err := evalPair(ev, ctx, lhs, rhs)
+			if err != nil {
+				return nil, err
+			}
+			return Number(math.Mod(l.Number(), r.Number())), nil
+		}
+	default:
+		op := x.op
+		return func(ev *evaluator, ctx evalPos) (Value, error) {
+			if _, _, err := evalPair(ev, ctx, lhs, rhs); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("unknown operator %q", op)
+		}
+	}
+}
+
+func evalPair(ev *evaluator, ctx evalPos, lhs, rhs progFn) (Value, Value, error) {
+	l, err := lhs(ev, ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := rhs(ev, ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}
+
+func lowerUnion(x unionExpr) progFn {
+	parts := make([]progFn, len(x.parts))
+	for i, p := range x.parts {
+		parts[i] = lowerExpr(p)
+	}
+	return func(ev *evaluator, ctx evalPos) (Value, error) {
+		var out NodeSet
+		seen := map[Node]bool{}
+		for _, part := range parts {
+			v, err := part(ev, ctx)
+			if err != nil {
+				return nil, err
+			}
+			ns, ok := v.(NodeSet)
+			if !ok {
+				return nil, fmt.Errorf("union operand is %T, not a node-set", v)
+			}
+			for _, n := range ns {
+				if !seen[n] {
+					seen[n] = true
+					out = append(out, n)
+				}
+			}
+		}
+		return out, nil
+	}
+}
+
+func lowerFunc(x funcExpr) progFn {
+	name := x.name
+	args := make([]progFn, len(x.args))
+	for i, a := range x.args {
+		args[i] = lowerExpr(a)
+	}
+	return func(ev *evaluator, ctx evalPos) (Value, error) {
+		vals := make([]Value, len(args))
+		for i, a := range args {
+			v, err := a(ev, ctx)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		return applyFunc(name, vals, ctx)
+	}
+}
+
+func lowerFilter(x filterExpr) progFn {
+	primary := lowerExpr(x.primary)
+	preds := lowerPreds(x.preds)
+	return func(ev *evaluator, ctx evalPos) (Value, error) {
+		v, err := primary(ev, ctx)
+		if err != nil {
+			return nil, err
+		}
+		ns, ok := v.(NodeSet)
+		if !ok {
+			return nil, fmt.Errorf("predicate applied to %T, not a node-set", v)
+		}
+		for _, pred := range preds {
+			ns, err = applyPredicateProg(ev, ns, pred)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return ns, nil
+	}
+}
+
+// matchFn is a lowered node test: does node n pass this step's test?
+type matchFn func(ev *evaluator, n Node) (bool, error)
+
+// loweredStep is one location step with its axis resolved (including the
+// text()-selects-self rewrite), its node test lowered to a matcher, and
+// its predicates lowered to programs.
+type loweredStep struct {
+	axis           axisKind
+	fromDescendant bool
+	match          matchFn
+	preds          []progFn
+}
+
+func lowerPath(x pathExpr) progFn {
+	var filter progFn
+	if x.filter != nil {
+		filter = lowerExpr(x.filter)
+	}
+	absolute := x.absolute
+	steps := make([]loweredStep, len(x.steps))
+	for i, st := range x.steps {
+		steps[i] = lowerStep(st)
+	}
+	return func(ev *evaluator, ctx evalPos) (Value, error) {
+		var current NodeSet
+		switch {
+		case filter != nil:
+			v, err := filter(ev, ctx)
+			if err != nil {
+				return nil, err
+			}
+			ns, ok := v.(NodeSet)
+			if !ok {
+				return nil, fmt.Errorf("path rooted at %T, not a node-set", v)
+			}
+			current = ns
+		case absolute:
+			current = NodeSet{{El: ev.docNode()}}
+		default:
+			current = NodeSet{ctx.node}
+		}
+		for i := range steps {
+			next, err := applyLoweredStep(ev, current, &steps[i])
+			if err != nil {
+				return nil, err
+			}
+			current = next
+		}
+		return current, nil
+	}
+}
+
+func lowerStep(st step) loweredStep {
+	axis := st.axis
+	// text() selects the character data of the step's context node (see
+	// applyStep); resolve that axis rewrite once at lowering time.
+	if st.test.nodeType == "text" {
+		axis = axisSelf
+	}
+	return loweredStep{
+		axis:           axis,
+		fromDescendant: st.fromDescendant,
+		match:          lowerTest(axis, st.test),
+		preds:          lowerPreds(st.preds),
+	}
+}
+
+func lowerPreds(preds []expr) []progFn {
+	if len(preds) == 0 {
+		return nil
+	}
+	out := make([]progFn, len(preds))
+	for i, p := range preds {
+		out[i] = lowerExpr(p)
+	}
+	return out
+}
+
+// lowerTest lowers a node test against its (rewritten) axis into a
+// matcher closure, mirroring evaluator.matchTest case by case.
+func lowerTest(axis axisKind, t nodeTest) matchFn {
+	switch t.nodeType {
+	case "node":
+		return func(*evaluator, Node) (bool, error) { return true, nil }
+	case "text":
+		return func(_ *evaluator, n Node) (bool, error) {
+			return !n.IsAttr() && n.El.Text != "", nil
+		}
+	}
+	wantAttr := axis == axisAttribute
+	prefix := t.prefix
+	local := t.local
+	anyName := t.anyName
+	return func(ev *evaluator, n Node) (bool, error) {
+		if wantAttr != n.IsAttr() {
+			return false, nil
+		}
+		name := n.Name()
+		if name.Local == "" {
+			// The virtual document node never matches a name test.
+			return false, nil
+		}
+		if anyName {
+			if prefix == "" {
+				return true, nil
+			}
+			uri, ok := ev.env.Namespaces[prefix]
+			if !ok {
+				return false, fmt.Errorf("unbound namespace prefix %q", prefix)
+			}
+			return name.Space == uri, nil
+		}
+		if name.Local != local {
+			return false, nil
+		}
+		if prefix == "" {
+			// Deviation (documented): unprefixed matches any namespace.
+			return true, nil
+		}
+		uri, ok := ev.env.Namespaces[prefix]
+		if !ok {
+			return false, fmt.Errorf("unbound namespace prefix %q", prefix)
+		}
+		return name.Space == uri, nil
+	}
+}
+
+func applyLoweredStep(ev *evaluator, input NodeSet, st *loweredStep) (NodeSet, error) {
+	var out NodeSet
+	seen := map[Node]bool{}
+	for _, ctxNode := range input {
+		bases := NodeSet{ctxNode}
+		if st.fromDescendant {
+			bases = descendantOrSelf(ctxNode)
+		}
+		for _, base := range bases {
+			raw, err := axisNodes(base, st.axis)
+			if err != nil {
+				return nil, err
+			}
+			cands := raw[:0]
+			for _, n := range raw {
+				ok, err := st.match(ev, n)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					cands = append(cands, n)
+				}
+			}
+			// Predicates apply per context node with proximity positions.
+			for _, pred := range st.preds {
+				cands, err = applyPredicateProg(ev, cands, pred)
+				if err != nil {
+					return nil, err
+				}
+			}
+			for _, n := range cands {
+				if !seen[n] {
+					seen[n] = true
+					out = append(out, n)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func applyPredicateProg(ev *evaluator, cands NodeSet, pred progFn) (NodeSet, error) {
+	var out NodeSet
+	size := len(cands)
+	for i, n := range cands {
+		v, err := pred(ev, evalPos{node: n, pos: i + 1, size: size})
+		if err != nil {
+			return nil, err
+		}
+		keep := false
+		if num, ok := v.(Number); ok {
+			keep = float64(i+1) == float64(num)
+		} else {
+			keep = v.Bool()
+		}
+		if keep {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
