@@ -163,6 +163,7 @@ func run(args []string) error {
 	exportInterval := 15 * time.Second
 	decisionRing := 0
 	decisionLogOpts := decision.LogOptions{}
+	clusterCfg := clusterSettings{}
 	debug := false
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
@@ -266,6 +267,48 @@ func run(args []string) error {
 				return fmt.Errorf("-export-interval: %w", err)
 			}
 			exportInterval = iv
+		case "-node-id":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-node-id needs an identifier")
+			}
+			clusterCfg.nodeID = args[i]
+		case "-advertise":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-advertise needs a base URL")
+			}
+			clusterCfg.advertise = strings.TrimRight(args[i], "/")
+		case "-cluster-seed":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-cluster-seed needs id=http://host:port")
+			}
+			seed, err := parseSeed(args[i])
+			if err != nil {
+				return err
+			}
+			clusterCfg.seeds = append(clusterCfg.seeds, seed)
+		case "-replication-level":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-replication-level needs a follower count")
+			}
+			n, err := strconv.Atoi(args[i])
+			if err != nil || n < 0 {
+				return fmt.Errorf("-replication-level: want a non-negative integer, got %q", args[i])
+			}
+			clusterCfg.replicationLevel = n
+		case "-cluster-heartbeat":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-cluster-heartbeat needs a duration")
+			}
+			iv, err := time.ParseDuration(args[i])
+			if err != nil {
+				return fmt.Errorf("-cluster-heartbeat: %w", err)
+			}
+			clusterCfg.heartbeat = iv
 		case "-debug":
 			debug = true
 		case "-version":
@@ -338,8 +381,14 @@ func run(args []string) error {
 		ckptOpts:  ckptOpts,
 		decisions: dec,
 	}
+	if clusterCfg.enabled() && clusterCfg.advertise == "" {
+		return fmt.Errorf("-node-id requires -advertise (peers must be able to reach this node)")
+	}
 	if dataDir != "" {
-		st, err := openDataDir(dataDir, syncMode, d)
+		// Cluster mode keeps every WAL segment (no snapshot compaction):
+		// followers replicate the raw log, and a compacted segment would
+		// break their cursors mid-stream.
+		st, err := openDataDir(dataDir, syncMode, d, clusterCfg.enabled())
 		if err != nil {
 			return err
 		}
@@ -403,6 +452,7 @@ func run(args []string) error {
 			Telemetry: tel,
 			SLOState:  func() interface{} { return d.slo.Status() },
 			Decisions: dec,
+			Node:      clusterCfg.nodeID,
 		})
 		if err != nil {
 			return err
@@ -448,6 +498,15 @@ func run(args []string) error {
 		// Drain the async checkpoint queue before the store closes
 		// (deferred closes run last-in-first-out).
 		defer d.persist.Close()
+	}
+	if clusterCfg.enabled() {
+		cr, err := setupCluster(d, clusterCfg, dataDir)
+		if err != nil {
+			return err
+		}
+		d.cluster = cr
+		cr.start()
+		defer cr.Stop()
 	}
 	mux := d.routes(debug)
 
@@ -502,6 +561,11 @@ type daemon struct {
 	slo       *slo.Engine
 	flight    *flightrec.Recorder
 	decisions *decision.Recorder
+	cluster   *clusterRuntime
+
+	// recMu guards recovery: promotion-time failover merges reports
+	// into it while healthz and instance listings read it.
+	recMu sync.Mutex
 
 	inflight  sync.WaitGroup
 	inflightN atomic.Int64
@@ -512,12 +576,22 @@ type daemon struct {
 func (d *daemon) routes(debug bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	// Gateway endpoints: /vep/<name> mediates through the named VEP.
-	mux.Handle("/vep/", http.StripPrefix("/vep/", d.track(vepHandler(d.gateway, d.tel))))
-	// Direct endpoints: /svc/<address suffix>, e.g. /svc/scm/retailer-a.
-	mux.Handle("/svc/", directHandler(d.network))
+	// In cluster mode the forwarding middleware wraps them outermost
+	// (before StripPrefix, so a proxied request keeps its full URL):
+	// exchanges whose conversation is owned by a peer are forwarded
+	// there transparently.
+	vep := http.Handler(http.StripPrefix("/vep/", d.track(vepHandler(d.gateway, d.tel))))
 	// Hosted compositions: /process/<definition> starts one instance
 	// per SOAP request and answers with its output.
-	mux.Handle("/process/", http.StripPrefix("/process/", d.track(processHandler(d.engine))))
+	proc := http.Handler(http.StripPrefix("/process/", d.track(processHandler(d.engine))))
+	if d.cluster != nil {
+		vep = d.cluster.node.Forward(clusterKey, vep)
+		proc = d.cluster.node.Forward(clusterKey, proc)
+	}
+	mux.Handle("/vep/", vep)
+	mux.Handle("/process/", proc)
+	// Direct endpoints: /svc/<address suffix>, e.g. /svc/scm/retailer-a.
+	mux.Handle("/svc/", directHandler(d.network))
 	mux.Handle("/metrics", telemetry.MetricsHandler(d.tel.Registry()))
 	mux.Handle("/traces", telemetry.TracesHandler(d.tel.Traces(), d.tel.Logs()))
 	mux.Handle("/traces/", telemetry.TracesHandler(d.tel.Traces(), d.tel.Logs()))
@@ -526,6 +600,9 @@ func (d *daemon) routes(debug bool) *http.ServeMux {
 	mux.HandleFunc("/healthz", d.healthz)
 	mux.HandleFunc("/readyz", d.readyz)
 	d.apiRoutes(mux)
+	if d.cluster != nil {
+		d.cluster.mount(mux)
+	}
 	if debug {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -607,19 +684,20 @@ func (d *daemon) healthz(w http.ResponseWriter, _ *http.Request) {
 		policyRevision = cs.Manifest.Revision
 	}
 	status := struct {
-		Status             string       `json:"status"`
-		Version            string       `json:"version"`
-		UptimeSeconds      float64      `json:"uptime_seconds"`
-		VEPs               []string     `json:"veps"`
-		PolicyRevision     string       `json:"policy_revision,omitempty"`
-		PolicyDocuments    []string     `json:"policy_documents"`
-		MonitoringPolicies int          `json:"monitoring_policies"`
-		AdaptationPolicies int          `json:"adaptation_policies"`
-		ProtectionPolicies int          `json:"protection_policies"`
-		InflightRequests   int64        `json:"inflight_requests"`
-		Instances          int          `json:"instances"`
-		Store              *storeStatus `json:"store,omitempty"`
-		VEPLatency         []vepLatency `json:"vep_latency,omitempty"`
+		Status             string         `json:"status"`
+		Version            string         `json:"version"`
+		UptimeSeconds      float64        `json:"uptime_seconds"`
+		VEPs               []string       `json:"veps"`
+		PolicyRevision     string         `json:"policy_revision,omitempty"`
+		PolicyDocuments    []string       `json:"policy_documents"`
+		MonitoringPolicies int            `json:"monitoring_policies"`
+		AdaptationPolicies int            `json:"adaptation_policies"`
+		ProtectionPolicies int            `json:"protection_policies"`
+		InflightRequests   int64          `json:"inflight_requests"`
+		Instances          int            `json:"instances"`
+		Store              *storeStatus   `json:"store,omitempty"`
+		Cluster            *clusterHealth `json:"cluster,omitempty"`
+		VEPLatency         []vepLatency   `json:"vep_latency,omitempty"`
 	}{
 		Status:             "ok",
 		Version:            version.Version,
@@ -633,6 +711,7 @@ func (d *daemon) healthz(w http.ResponseWriter, _ *http.Request) {
 		InflightRequests:   d.inflightN.Load(),
 		Instances:          len(d.engine.Instances()),
 		Store:              d.storeStatus(),
+		Cluster:            d.clusterHealth(),
 		VEPLatency:         d.latencyQuantiles(),
 	}
 	writeJSON(w, http.StatusOK, status)

@@ -76,7 +76,9 @@ func (d *daemon) setupWorkflow() error {
 	if err != nil {
 		return err
 	}
+	d.recMu.Lock()
 	d.recovery = rep
+	d.recMu.Unlock()
 	return nil
 }
 
@@ -118,11 +120,7 @@ func (d *daemon) summarizeInstance(inst *workflow.Instance) instanceSummary {
 		State:           inst.State().String(),
 		AdaptationState: inst.AdaptationState(),
 	}
-	for _, id := range d.recovery.Recovered {
-		if id == s.ID {
-			s.Recovered = true
-		}
-	}
+	s.Recovered = d.isRecovered(s.ID)
 	if err := inst.Err(); err != nil {
 		s.Error = err.Error()
 	}
@@ -294,19 +292,24 @@ func (d *daemon) storeStatus() *storeStatus {
 		SnapshotAgeSeconds: st.SnapshotAge.Seconds(),
 		RecoveredRecords:   st.RecoveredRecords,
 		TruncatedTail:      st.TruncatedTail,
-		RecoveredInstances: len(d.recovery.Recovered),
+		RecoveredInstances: d.recoveredCount(),
 	}
 }
 
 // openDataDir opens the durable store for -data-dir with the parsed
-// -sync mode.
-func openDataDir(dir, syncMode string, d *daemon) (*store.Store, error) {
+// -sync mode. Cluster mode disables snapshot compaction so followers
+// can replicate the raw WAL segments.
+func openDataDir(dir, syncMode string, d *daemon, clustered bool) (*store.Store, error) {
 	mode, err := store.ParseSyncMode(syncMode)
 	if err != nil {
 		return nil, err
 	}
-	return store.Open(dir, store.Options{
+	opts := store.Options{
 		Sync:    mode,
 		Metrics: d.tel.Registry(),
-	})
+	}
+	if clustered {
+		opts.SnapshotEvery = -1
+	}
+	return store.Open(dir, opts)
 }

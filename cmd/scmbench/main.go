@@ -7,6 +7,7 @@
 //	scmbench -hedge       # hedged invocation vs plain: tail latency under QoS degradation
 //	scmbench -persist     # durable checkpointing: throughput vs store fsync policy
 //	scmbench -policybench # policy evaluation: tree interpreter vs compiled decision IR
+//	scmbench -cluster     # multi-node scaling: sharded gateways at 1/2/4 nodes over loopback
 //	scmbench -ablations   # retry budget, strategy, policy-reparse, listener
 //	scmbench -all         # everything
 //
@@ -39,6 +40,7 @@ func main() {
 		hedge      = flag.Bool("hedge", false, "run the hedged-invocation tail-latency comparison")
 		persist    = flag.Bool("persist", false, "run the durable-store fsync overhead comparison")
 		policyb    = flag.Bool("policybench", false, "run the policy-evaluation microbenchmark (interpreter vs compiled IR)")
+		clusterb   = flag.Bool("cluster", false, "run the multi-node scaling sweep (1/2/4 sharded gateway nodes)")
 		ablations  = flag.Bool("ablations", false, "run the ablation studies")
 		all        = flag.Bool("all", false, "run everything")
 		requests   = flag.Int("requests", 0, "requests per configuration (0 = default)")
@@ -47,7 +49,7 @@ func main() {
 		benchJSON  = flag.String("bench-json", "", "write all results as one JSON file (default $MASC_BENCH_JSON)")
 	)
 	flag.Parse()
-	if !*table1 && !*figure5 && !*throughput && !*hedge && !*persist && !*policyb && !*ablations && !*all {
+	if !*table1 && !*figure5 && !*throughput && !*hedge && !*persist && !*policyb && !*clusterb && !*ablations && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -55,7 +57,7 @@ func main() {
 	if jsonPath == "" {
 		jsonPath = os.Getenv("MASC_BENCH_JSON")
 	}
-	if err := run(*table1 || *all, *figure5 || *all, *throughput || *all, *hedge || *all, *persist || *all, *policyb || *all, *ablations || *all, *requests, *seed, *csvDir, jsonPath); err != nil {
+	if err := run(*table1 || *all, *figure5 || *all, *throughput || *all, *hedge || *all, *persist || *all, *policyb || *all, *clusterb || *all, *ablations || *all, *requests, *seed, *csvDir, jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "scmbench:", err)
 		os.Exit(1)
 	}
@@ -74,6 +76,7 @@ type benchReport struct {
 	Hedge      []experiments.HedgePoint       `json:"hedge,omitempty"`
 	Persist    []experiments.PersistPoint     `json:"persist,omitempty"`
 	Policy     []experiments.PolicyBenchPoint `json:"policy,omitempty"`
+	Cluster    []experiments.ClusterPoint     `json:"cluster,omitempty"`
 	Ablations  *ablationReport                `json:"ablations,omitempty"`
 	// Runtime captures the bench process's allocation and GC pressure
 	// across the whole run, so BENCH_*.json tracks hot-path allocation
@@ -95,7 +98,7 @@ type ablationReport struct {
 	Listener   []experiments.ListenerPoint   `json:"listener"`
 }
 
-func run(table1, figure5, throughput, hedge, persist, policybench, ablations bool, requests int, seed int64, csvDir, jsonPath string) error {
+func run(table1, figure5, throughput, hedge, persist, policybench, clusterb, ablations bool, requests int, seed int64, csvDir, jsonPath string) error {
 	writeCSV := func(name string, write func(io.Writer) error) error {
 		if csvDir == "" {
 			return nil
@@ -188,6 +191,19 @@ func run(table1, figure5, throughput, hedge, persist, policybench, ablations boo
 		report.Policy = points
 		if err := writeCSV("policybench.csv", func(w io.Writer) error {
 			return experiments.WritePolicyBenchCSV(w, points)
+		}); err != nil {
+			return err
+		}
+	}
+	if clusterb {
+		points, err := experiments.RunCluster(experiments.ClusterConfig{RequestsPerWorker: requests, Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatCluster(points))
+		report.Cluster = points
+		if err := writeCSV("cluster.csv", func(w io.Writer) error {
+			return experiments.WriteClusterCSV(w, points)
 		}); err != nil {
 			return err
 		}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ForwardedByHeader marks an exchange that was already forwarded once
+// by the named node. It is the forwarding loop guard: a request
+// carrying it is always handled locally, so ring disagreement during a
+// membership transition degrades to one extra hop, never a cycle.
+const ForwardedByHeader = "X-Masc-Forwarded-By"
+
+// ConversationHTTPHeader lets HTTP clients name the conversation key
+// without the router having to parse the SOAP body: when present, it
+// is used directly for ring placement. It mirrors the MASC
+// ConversationID SOAP header (internal/soap), which remains the
+// fallback source.
+const ConversationHTTPHeader = "X-Masc-Conversation"
+
+// maxForwardBody bounds the request body buffered for forwarding.
+// SOAP exchanges in this middleware are small; anything larger is
+// handled locally rather than buffered.
+const maxForwardBody = 8 << 20
+
+// KeyFunc extracts the sharding key (the ConversationID) from a
+// request. Returning "" means "no key — handle locally". The request
+// body may be read; it is restored before the request proceeds.
+type KeyFunc func(r *http.Request, body []byte) string
+
+// Forward wraps next with ring-aware routing: requests whose
+// conversation key is owned by a live peer are proxied there
+// transparently (the client sees the peer's response); everything
+// else — local keys, keyless requests, already-forwarded requests,
+// and forward failures — is handled by next. Journal entries and
+// decision records produced by the handling node carry that node's ID
+// (satellite: provenance stamping), so a forwarded exchange is
+// attributable to its owner.
+func (n *Node) Forward(keyOf KeyFunc, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(ForwardedByHeader) != "" {
+			n.forwarded.With("in").Inc()
+			next.ServeHTTP(w, r)
+			return
+		}
+		var body []byte
+		if r.Body != nil && r.ContentLength >= 0 && r.ContentLength <= maxForwardBody {
+			var err error
+			body, err = io.ReadAll(io.LimitReader(r.Body, maxForwardBody+1))
+			if err != nil || int64(len(body)) > maxForwardBody {
+				http.Error(w, "request body unreadable", http.StatusBadRequest)
+				return
+			}
+			r.Body = io.NopCloser(bytes.NewReader(body))
+		}
+		key := keyOf(r, body)
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		peer, local := n.Route(key)
+		if local {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if err := n.forwardTo(w, r, body, peer); err != nil {
+			// Availability over placement: the owner was unreachable,
+			// so serve the exchange here rather than fail it.
+			n.forwardErr.Inc()
+			n.log.Warn("forward failed, handling locally",
+				"peer", peer.ID, "error", err.Error())
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// forwardTo proxies the exchange to the owning peer and relays its
+// response. An error before any bytes were written lets the caller
+// fall back to local handling.
+func (n *Node) forwardTo(w http.ResponseWriter, r *http.Request, body []byte, peer Member) error {
+	start := time.Now()
+	url := strings.TrimRight(peer.Addr, "/") + r.URL.RequestURI()
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(ForwardedByHeader, n.cfg.NodeID)
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	n.forwarded.With("out").Inc()
+	n.forwardSec.Observe(time.Since(start).Seconds())
+	h := w.Header()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return nil
+}

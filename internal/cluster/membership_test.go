@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testNode is one in-process cluster member for membership tests: a
+// Membership wired to an httptest server that mounts its heartbeat
+// handler.
+type testNode struct {
+	id   string
+	mem  *Membership
+	srv  *httptest.Server
+	mu   sync.Mutex
+	dead []string
+	live []string
+	rev  string
+}
+
+func (tn *testNode) deaths() []string {
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	return append([]string(nil), tn.dead...)
+}
+
+func (tn *testNode) revivals() []string {
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	return append([]string(nil), tn.live...)
+}
+
+// newTestCluster boots n membership instances over loopback HTTP with
+// aggressive timing so failure detection converges within a test.
+func newTestCluster(t *testing.T, n int, interval time.Duration) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, n)
+	// Allocate listeners first so every node can seed every address.
+	for i := range nodes {
+		tn := &testNode{id: fmt.Sprintf("node-%d", i)}
+		mux := http.NewServeMux()
+		tn.srv = httptest.NewServer(mux)
+		nodes[i] = tn
+		mux.HandleFunc("/api/v1/cluster/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+			tn.mem.HandleHeartbeat(w, r)
+		})
+	}
+	for i, tn := range nodes {
+		var seeds []NodeInfo
+		for j, peer := range nodes {
+			if j != i {
+				seeds = append(seeds, NodeInfo{ID: peer.id, Addr: peer.srv.URL})
+			}
+		}
+		tn := tn
+		tn.mem = NewMembership(MembershipOptions{
+			Self: func() NodeInfo {
+				tn.mu.Lock()
+				defer tn.mu.Unlock()
+				return NodeInfo{ID: tn.id, Addr: tn.srv.URL, PolicyRevision: tn.rev}
+			},
+			Seeds:             seeds,
+			HeartbeatInterval: interval,
+			OnDead: func(m Member) {
+				tn.mu.Lock()
+				tn.dead = append(tn.dead, m.ID)
+				tn.mu.Unlock()
+			},
+			OnAlive: func(m Member) {
+				tn.mu.Lock()
+				tn.live = append(tn.live, m.ID)
+				tn.mu.Unlock()
+			},
+		})
+	}
+	t.Cleanup(func() {
+		for _, tn := range nodes {
+			tn.mem.Stop()
+			tn.srv.Close()
+		}
+	})
+	return nodes
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestMembershipHeartbeatAndDeath(t *testing.T) {
+	nodes := newTestCluster(t, 3, 25*time.Millisecond)
+	for _, tn := range nodes {
+		tn.mem.Start()
+	}
+	// All peers alive on every node.
+	waitFor(t, 3*time.Second, "all members alive", func() bool {
+		for _, tn := range nodes {
+			ms := tn.mem.Members()
+			if len(ms) != 2 {
+				return false
+			}
+			for _, m := range ms {
+				if m.State != StateAlive {
+					return false
+				}
+			}
+		}
+		return true
+	})
+
+	// Kill node-2 abruptly: stop heartbeating and close its listener.
+	nodes[2].mem.Stop()
+	nodes[2].srv.Close()
+
+	// Survivors must pass through suspect and land on dead, firing
+	// OnDead exactly once each.
+	waitFor(t, 5*time.Second, "node-2 declared dead", func() bool {
+		for _, tn := range nodes[:2] {
+			m, ok := tn.mem.Member("node-2")
+			if !ok || m.State != StateDead {
+				return false
+			}
+		}
+		return true
+	})
+	for _, tn := range nodes[:2] {
+		if got := tn.deaths(); len(got) != 1 || got[0] != "node-2" {
+			t.Errorf("%s OnDead calls = %v, want exactly [node-2]", tn.id, got)
+		}
+		// The pair keeps seeing each other as alive.
+		if m, ok := tn.mem.Member(peerOf(tn.id)); !ok || m.State != StateAlive {
+			t.Errorf("%s lost its live peer", tn.id)
+		}
+	}
+}
+
+func peerOf(id string) string {
+	if id == "node-0" {
+		return "node-1"
+	}
+	return "node-0"
+}
+
+// TestMembershipGossipLearnsUnknownPeers seeds node-0 with only
+// node-1, and node-1 with both others: gossip must teach node-0 about
+// node-2 without static configuration.
+func TestMembershipGossipLearnsUnknownPeers(t *testing.T) {
+	nodes := newTestCluster(t, 3, 25*time.Millisecond)
+	// Rebuild node-0 with a partial seed list.
+	nodes[0].mem.Stop()
+	tn := nodes[0]
+	tn.mem = NewMembership(MembershipOptions{
+		Self:              func() NodeInfo { return NodeInfo{ID: tn.id, Addr: tn.srv.URL} },
+		Seeds:             []NodeInfo{{ID: nodes[1].id, Addr: nodes[1].srv.URL}},
+		HeartbeatInterval: 25 * time.Millisecond,
+	})
+	for _, n := range nodes {
+		n.mem.Start()
+	}
+	waitFor(t, 3*time.Second, "node-0 to learn node-2 via gossip", func() bool {
+		m, ok := nodes[0].mem.Member("node-2")
+		return ok && m.State == StateAlive && m.Addr == nodes[2].srv.URL
+	})
+}
+
+// TestMembershipRevival asserts a dead member heartbeating again goes
+// back to alive and fires OnAlive.
+func TestMembershipRevival(t *testing.T) {
+	nodes := newTestCluster(t, 2, 25*time.Millisecond)
+	nodes[0].mem.Start() // node-1 stays passive: it only answers heartbeats
+	waitFor(t, 3*time.Second, "node-1 alive", func() bool {
+		m, ok := nodes[0].mem.Member("node-1")
+		return ok && m.State == StateAlive
+	})
+	// Take node-1's listener down long enough to be declared dead.
+	nodes[1].srv.Close()
+	waitFor(t, 5*time.Second, "node-1 dead", func() bool {
+		m, _ := nodes[0].mem.Member("node-1")
+		return m.State == StateDead
+	})
+	// Bring it back at a new address and let node-0 hear from it
+	// directly (the revived node initiates, as after a restart).
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/cluster/heartbeat", nodes[1].mem.HandleHeartbeat)
+	revived := httptest.NewServer(mux)
+	defer revived.Close()
+	reborn := NewMembership(MembershipOptions{
+		Self:              func() NodeInfo { return NodeInfo{ID: "node-1", Addr: revived.URL} },
+		Seeds:             []NodeInfo{{ID: "node-0", Addr: nodes[0].srv.URL}},
+		HeartbeatInterval: 25 * time.Millisecond,
+	})
+	reborn.Start()
+	defer reborn.Stop()
+	waitFor(t, 5*time.Second, "node-1 alive again", func() bool {
+		m, _ := nodes[0].mem.Member("node-1")
+		return m.State == StateAlive && m.Addr == revived.URL
+	})
+	if got := nodes[0].revivals(); len(got) == 0 || got[len(got)-1] != "node-1" {
+		t.Errorf("OnAlive calls = %v, want node-1 revival", got)
+	}
+}
+
+// TestMembershipRevisionSkew exercises the satellite: heartbeats carry
+// the policy manifest revision and skew counts disagreeing live
+// members.
+func TestMembershipRevisionSkew(t *testing.T) {
+	nodes := newTestCluster(t, 3, 25*time.Millisecond)
+	for _, tn := range nodes {
+		tn.mu.Lock()
+		tn.rev = "rev-1"
+		tn.mu.Unlock()
+		tn.mem.Start()
+	}
+	waitFor(t, 3*time.Second, "zero skew at rev-1", func() bool {
+		for _, tn := range nodes {
+			if len(tn.mem.Members()) != 2 || tn.mem.RevisionSkew() != 0 {
+				return false
+			}
+		}
+		return true
+	})
+	// node-2 hot-swaps to rev-2; everyone else should report skew 1,
+	// and node-2 should report skew 2 (both peers differ from it).
+	nodes[2].mu.Lock()
+	nodes[2].rev = "rev-2"
+	nodes[2].mu.Unlock()
+	waitFor(t, 3*time.Second, "skew visible", func() bool {
+		return nodes[0].mem.RevisionSkew() == 1 &&
+			nodes[1].mem.RevisionSkew() == 1 &&
+			nodes[2].mem.RevisionSkew() == 2
+	})
+}
+
+// TestMembershipStaticMode asserts interval 0 marks all seeds
+// permanently alive with no goroutines.
+func TestMembershipStaticMode(t *testing.T) {
+	m := NewMembership(MembershipOptions{
+		Self:  func() NodeInfo { return NodeInfo{ID: "a"} },
+		Seeds: []NodeInfo{{ID: "b", Addr: "http://b"}, {ID: "c", Addr: "http://c"}},
+	})
+	m.Start()
+	defer m.Stop()
+	ms := m.Members()
+	if len(ms) != 2 || ms[0].State != StateAlive || ms[1].State != StateAlive {
+		t.Fatalf("static members = %+v, want b and c alive", ms)
+	}
+}

@@ -1,0 +1,288 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// headerKey shards by a plain header, standing in for the SOAP
+// conversation extractor mascd wires in.
+func headerKey(r *http.Request, _ []byte) string {
+	return r.Header.Get(ConversationHTTPHeader)
+}
+
+// newForwardPair boots two Nodes in static membership mode, each
+// serving an echo handler behind the forwarding middleware, and
+// returns them once both servers are wired.
+func newForwardPair(t *testing.T) (a, b *Node, aURL, bURL string) {
+	t.Helper()
+	build := func(id string) (*Node, *httptest.Server) {
+		// The server must exist before the Node (the Node advertises its
+		// URL), so route through a late-bound handler.
+		var handler http.Handler
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handler.ServeHTTP(w, r)
+		}))
+		t.Cleanup(srv.Close)
+		echo := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			body, _ := io.ReadAll(r.Body)
+			fmt.Fprintf(w, "%s handled %s (forwarded-by=%q)", id, body, r.Header.Get(ForwardedByHeader))
+		})
+		n, err := NewNode(Config{NodeID: id, Advertise: srv.URL})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handler = n.Forward(headerKey, echo)
+		return n, srv
+	}
+	na, sa := build("node-a")
+	nb, sb := build("node-b")
+	// Teach each node about the other (static mode: permanently alive).
+	na.mem.observe(NodeInfo{ID: "node-b", Addr: sb.URL}, true)
+	nb.mem.observe(NodeInfo{ID: "node-a", Addr: sa.URL}, true)
+	na.ring.Add("node-b")
+	nb.ring.Add("node-a")
+	return na, nb, sa.URL, sb.URL
+}
+
+// TestForwardRoutesToOwner sends keys to the NON-owner and asserts the
+// owner's handler answers, with the loop-guard header stamped.
+func TestForwardRoutesToOwner(t *testing.T) {
+	na, _, aURL, bURL := newForwardPair(t)
+	// Find one key per owner.
+	keys := map[string]string{}
+	for i := 0; len(keys) < 2 && i < 1000; i++ {
+		k := fmt.Sprintf("conv-%d", i)
+		keys[na.Owner(k)] = k
+	}
+	if len(keys) != 2 {
+		t.Fatal("could not find keys for both owners")
+	}
+
+	for owner, key := range keys {
+		// Send to the node that does NOT own the key.
+		target := aURL
+		if owner == "node-a" {
+			target = bURL
+		}
+		req, _ := http.NewRequest(http.MethodPost, target+"/vep/test", strings.NewReader("payload"))
+		req.Header.Set(ConversationHTTPHeader, key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		got := string(body)
+		if !strings.HasPrefix(got, owner+" handled payload") {
+			t.Fatalf("key %s (owner %s) answered by wrong node: %q", key, owner, got)
+		}
+		if !strings.Contains(got, `forwarded-by="node-`) {
+			t.Fatalf("forwarded request missing loop guard: %q", got)
+		}
+	}
+}
+
+// TestForwardLocalAndKeyless asserts local keys and keyless requests
+// never leave the node.
+func TestForwardLocalAndKeyless(t *testing.T) {
+	na, _, aURL, _ := newForwardPair(t)
+	var localKey string
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("conv-%d", i)
+		if na.Owner(k) == "node-a" {
+			localKey = k
+			break
+		}
+	}
+	for _, key := range []string{localKey, ""} {
+		req, _ := http.NewRequest(http.MethodPost, aURL+"/vep/test", strings.NewReader("x"))
+		if key != "" {
+			req.Header.Set(ConversationHTTPHeader, key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.HasPrefix(string(body), `node-a handled x (forwarded-by="")`) {
+			t.Fatalf("request (key=%q) left the node: %q", key, body)
+		}
+	}
+}
+
+// TestForwardLoopGuard asserts an already-forwarded request is handled
+// locally even if the ring disagrees — one hop maximum.
+func TestForwardLoopGuard(t *testing.T) {
+	na, _, aURL, _ := newForwardPair(t)
+	var remoteKey string
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("conv-%d", i)
+		if na.Owner(k) == "node-b" {
+			remoteKey = k
+			break
+		}
+	}
+	req, _ := http.NewRequest(http.MethodPost, aURL+"/vep/test", strings.NewReader("x"))
+	req.Header.Set(ConversationHTTPHeader, remoteKey)
+	req.Header.Set(ForwardedByHeader, "node-z") // pretend it already hopped
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.HasPrefix(string(body), "node-a handled x") {
+		t.Fatalf("forwarded request hopped again: %q", body)
+	}
+}
+
+// TestForwardFallbackOnPeerFailure asserts an unreachable owner
+// degrades to local handling instead of an error.
+func TestForwardFallbackOnPeerFailure(t *testing.T) {
+	echo := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		fmt.Fprintf(w, "local handled %s", body)
+	})
+	n, err := NewNode(Config{
+		NodeID:    "node-a",
+		Advertise: "http://unused",
+		Client:    &http.Client{Timeout: 200 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A peer that is "alive" but unreachable (closed port).
+	deadSrv := httptest.NewServer(http.NotFoundHandler())
+	deadURL := deadSrv.URL
+	deadSrv.Close()
+	n.mem.observe(NodeInfo{ID: "node-b", Addr: deadURL}, true)
+	n.ring.Add("node-b")
+
+	srv := httptest.NewServer(n.Forward(headerKey, echo))
+	defer srv.Close()
+	var remoteKey string
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("conv-%d", i)
+		if n.Owner(k) == "node-b" {
+			remoteKey = k
+			break
+		}
+	}
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/x", strings.NewReader("y"))
+	req.Header.Set(ConversationHTTPHeader, remoteKey)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "local handled y" {
+		t.Fatalf("fallback did not handle locally: %q", body)
+	}
+}
+
+// TestNodeTakeoverResolution asserts Owner chains through the takeover
+// table and Route treats dead owners as local fallbacks.
+func TestNodeTakeoverResolution(t *testing.T) {
+	n, err := NewNode(Config{NodeID: "b", Advertise: "http://b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.mem.observe(NodeInfo{ID: "a", Addr: "http://a"}, true)
+	n.mem.observe(NodeInfo{ID: "c", Addr: "http://c"}, true)
+	n.ring.Add("a")
+	n.ring.Add("c")
+
+	var keyA string
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("conv-%d", i)
+		if n.ring.Owner(k) == "a" {
+			keyA = k
+			break
+		}
+	}
+	// a dies; by the successor rule its heir is b (the local node).
+	n.memberDead(Member{NodeInfo: NodeInfo{ID: "a"}})
+	if got := n.Owner(keyA); got != "b" {
+		t.Fatalf("after a's death Owner = %q, want b", got)
+	}
+	if _, local := n.Route(keyA); !local {
+		t.Fatal("Route should handle taken-over key locally")
+	}
+	if tk := n.Takeovers(); tk["a"] != "b" {
+		t.Fatalf("takeover table = %v", tk)
+	}
+	// a rejoins: the table entry clears and the ring owns it again.
+	n.memberAlive(Member{NodeInfo: NodeInfo{ID: "a"}})
+	if got := n.Owner(keyA); got != "a" {
+		t.Fatalf("after rejoin Owner = %q, want a", got)
+	}
+}
+
+// TestNodeCascadingTakeover kills two nodes in sequence and asserts
+// the chain resolves to the final live heir.
+func TestNodeCascadingTakeover(t *testing.T) {
+	n, err := NewNode(Config{NodeID: "c", Advertise: "http://c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.mem.observe(NodeInfo{ID: "a", Addr: "http://a"}, true)
+	n.mem.observe(NodeInfo{ID: "b", Addr: "http://b"}, true)
+	n.ring.Add("a")
+	n.ring.Add("b")
+	var keyA string
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("conv-%d", i)
+		if n.ring.Owner(k) == "a" {
+			keyA = k
+			break
+		}
+	}
+	// a dies -> heir b. Mark a dead in the member table as the sweep
+	// would, so b's subsequent death skips it.
+	n.memberDead(Member{NodeInfo: NodeInfo{ID: "a"}})
+	n.mu.Lock()
+	n.redirect["a"] = "b"
+	n.mu.Unlock()
+	if am, ok := n.mem.members["a"]; ok {
+		am.State = StateDead
+	}
+	// b dies -> its shard (and a's, transitively) lands on c.
+	n.memberDead(Member{NodeInfo: NodeInfo{ID: "b"}})
+	if got := n.Owner(keyA); got != "c" {
+		t.Fatalf("cascading takeover Owner = %q, want c", got)
+	}
+}
+
+func TestNodeStatus(t *testing.T) {
+	n, err := NewNode(Config{
+		NodeID:    "a",
+		Advertise: "http://a",
+		Seeds:     []NodeInfo{{ID: "a"}, {ID: "b", Addr: "http://b"}},
+		Self:      func() NodeInfo { return NodeInfo{PolicyRevision: "rev-9"} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := n.Status()
+	if s.Self.ID != "a" || s.Self.PolicyRevision != "rev-9" {
+		t.Fatalf("self = %+v", s.Self)
+	}
+	if len(s.Ring.Members) != 2 || s.Ring.VirtualNodes != DefaultVirtualNodes {
+		t.Fatalf("ring = %+v", s.Ring)
+	}
+	if len(s.Members) != 1 || s.Members[0].ID != "b" {
+		t.Fatalf("members = %+v", s.Members)
+	}
+	// b (static alive, empty revision) differs from local rev-9.
+	if s.PolicyRevisionSkew != 1 {
+		t.Fatalf("skew = %d, want 1", s.PolicyRevisionSkew)
+	}
+}

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keysFor synthesizes conversation-shaped keys.
+func keysFor(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("urn:masc:conv:%d", i)
+	}
+	return keys
+}
+
+// TestRingDistributionBounds asserts the satellite's load-balance
+// floor: across 1–8 nodes with 128 vnodes, the most-loaded shard
+// carries no more than 1.25x the mean.
+func TestRingDistributionBounds(t *testing.T) {
+	keys := keysFor(100_000)
+	for nodes := 1; nodes <= 8; nodes++ {
+		var members []string
+		for i := 0; i < nodes; i++ {
+			members = append(members, fmt.Sprintf("node-%d", i))
+		}
+		r := NewRing(128, members...)
+		counts := make(map[string]int)
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		if len(counts) != nodes {
+			t.Fatalf("%d nodes: only %d received keys", nodes, len(counts))
+		}
+		mean := float64(len(keys)) / float64(nodes)
+		for m, c := range counts {
+			if ratio := float64(c) / mean; ratio > 1.25 {
+				t.Errorf("%d nodes: shard %s load ratio %.3f > 1.25 (%d keys, mean %.0f)",
+					nodes, m, ratio, c, mean)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovementOnJoin asserts consistent hashing's defining
+// property: adding an (N+1)th node remaps about 1/(N+1) of the keys
+// — and no more than that plus a small epsilon.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	keys := keysFor(50_000)
+	for nodes := 1; nodes <= 7; nodes++ {
+		var members []string
+		for i := 0; i < nodes; i++ {
+			members = append(members, fmt.Sprintf("node-%d", i))
+		}
+		before := NewRing(128, members...)
+		owners := make(map[string]string, len(keys))
+		for _, k := range keys {
+			owners[k] = before.Owner(k)
+		}
+
+		after := NewRing(128, members...)
+		joined := fmt.Sprintf("node-%d", nodes)
+		after.Add(joined)
+		moved := 0
+		for _, k := range keys {
+			if now := after.Owner(k); now != owners[k] {
+				if now != joined {
+					t.Fatalf("%d nodes: key %s moved to %s, not the joining node", nodes, k, now)
+				}
+				moved++
+			}
+		}
+		frac := float64(moved) / float64(len(keys))
+		bound := 1.0/float64(nodes+1) + 0.05
+		if frac > bound {
+			t.Errorf("join onto %d nodes moved %.3f of keys, want <= %.3f", nodes, frac, bound)
+		}
+		if moved == 0 {
+			t.Errorf("join onto %d nodes moved no keys", nodes)
+		}
+	}
+}
+
+// TestRingMinimalMovementOnLeave is the symmetric property: removing
+// a node remaps only the keys it owned, which is about 1/N of them.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	keys := keysFor(50_000)
+	for nodes := 2; nodes <= 8; nodes++ {
+		var members []string
+		for i := 0; i < nodes; i++ {
+			members = append(members, fmt.Sprintf("node-%d", i))
+		}
+		r := NewRing(128, members...)
+		owners := make(map[string]string, len(keys))
+		for _, k := range keys {
+			owners[k] = r.Owner(k)
+		}
+		left := members[0]
+		r.Remove(left)
+		moved := 0
+		for _, k := range keys {
+			now := r.Owner(k)
+			if owners[k] == left {
+				if now == left {
+					t.Fatalf("%d nodes: key %s still owned by removed node", nodes, k)
+				}
+				moved++
+			} else if now != owners[k] {
+				t.Fatalf("%d nodes: key %s moved without its owner leaving", nodes, k)
+			}
+		}
+		frac := float64(moved) / float64(len(keys))
+		bound := 1.0/float64(nodes) + 0.05
+		if frac > bound {
+			t.Errorf("leave from %d nodes moved %.3f of keys, want <= %.3f", nodes, frac, bound)
+		}
+	}
+}
+
+// TestRingDeterminism asserts two independently-built rings agree on
+// every owner — the property coordination-free routing rests on.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing(0, "alpha", "beta", "gamma")
+	b := NewRing(0, "gamma", "alpha", "beta") // different insertion order
+	for _, k := range keysFor(10_000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("rings disagree on %s: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(8)
+	if got := r.Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+	r.Add("only")
+	for _, k := range keysFor(100) {
+		if got := r.Owner(k); got != "only" {
+			t.Fatalf("single-node ring owner = %q", got)
+		}
+	}
+	r.Add("only") // duplicate add must not double vnodes
+	if n := len(r.points); n != 8 {
+		t.Fatalf("duplicate add grew points to %d", n)
+	}
+}
+
+func TestSuccessor(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	cases := []struct {
+		node string
+		skip map[string]bool
+		want string
+	}{
+		{"a", nil, "b"},
+		{"b", nil, "c"},
+		{"c", nil, "a"}, // wraps
+		{"a", map[string]bool{"b": true}, "c"},
+		{"c", map[string]bool{"a": true}, "b"},
+		{"a", map[string]bool{"b": true, "c": true}, ""},
+	}
+	for _, c := range cases {
+		if got := Successor(members, c.node, c.skip); got != c.want {
+			t.Errorf("Successor(%s, skip=%v) = %q, want %q", c.node, c.skip, got, c.want)
+		}
+	}
+}

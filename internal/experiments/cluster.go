@@ -1,0 +1,304 @@
+package experiments
+
+import (
+	"context"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/masc-project/masc/internal/cluster"
+	"github.com/masc-project/masc/internal/loadgen"
+	"github.com/masc-project/masc/internal/scm"
+	"github.com/masc-project/masc/internal/simnet"
+	"github.com/masc-project/masc/internal/soap"
+	"github.com/masc-project/masc/internal/telemetry"
+	"github.com/masc-project/masc/internal/transport"
+)
+
+// ClusterConfig shapes the multi-node scaling experiment (E12): 1, 2,
+// and 4 mascd-style gateway nodes on loopback HTTP, sharded by
+// ConversationID over the consistent-hash ring.
+//
+// The workload is deliberately latency-bound (a simulated backend
+// processing time dominated by ServiceTime, few closed-loop workers
+// per node) so node count — not host core count — is the scaling
+// axis. On a single-core host a CPU-bound sweep would show nothing:
+// every node shares one core. Conversation-sharded latency-bound
+// traffic is also the honest regime: it is what the paper's composed
+// long-running exchanges look like.
+type ClusterConfig struct {
+	// Nodes lists the cluster sizes swept (default 1, 2, 4).
+	Nodes []int
+	// RequestsPerWorker per closed-loop worker per mode (default 60).
+	RequestsPerWorker int
+	// WorkersPerNode scales offered concurrency with the cluster
+	// (default 4 closed-loop workers per node).
+	WorkersPerNode int
+	// ServiceTime is the simulated backend processing time per request
+	// (default 20ms — the latency floor each request pays exactly once,
+	// on whichever node owns its conversation).
+	ServiceTime time.Duration
+	// Seed for deterministic conversation keys.
+	Seed int64
+}
+
+func (c *ClusterConfig) fill() {
+	if len(c.Nodes) == 0 {
+		c.Nodes = []int{1, 2, 4}
+	}
+	if c.RequestsPerWorker <= 0 {
+		c.RequestsPerWorker = 60
+	}
+	if c.WorkersPerNode <= 0 {
+		c.WorkersPerNode = 4
+	}
+	if c.ServiceTime <= 0 {
+		c.ServiceTime = 20 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// ClusterPoint is one (cluster size, client mode) result.
+type ClusterPoint struct {
+	// Nodes is the cluster size.
+	Nodes int `json:"nodes"`
+	// Mode is how clients pick a node: "routed" clients hash the
+	// conversation themselves and hit the owner directly; "sprayed"
+	// clients round-robin over all nodes and rely on the middleware's
+	// transparent forwarding.
+	Mode string `json:"mode"`
+	// Requests and Failures count the measured exchanges.
+	Requests int `json:"requests"`
+	Failures int `json:"failures"`
+	// RPS is successful exchanges per second across the cluster.
+	RPS float64 `json:"rps"`
+	// Speedup is RPS relative to the single-node routed baseline.
+	Speedup float64 `json:"speedup_vs_single"`
+	// ForwardedPct is the share of exchanges the receiving node proxied
+	// to the ring owner (0 for routed clients, ~ (N-1)/N for sprayed).
+	ForwardedPct float64 `json:"forwarded_pct"`
+	// P95MS is the client-observed 95th-percentile latency.
+	P95MS float64 `json:"p95_ms"`
+}
+
+// clusterBenchNode is one gateway node of the benchmark cluster.
+type clusterBenchNode struct {
+	id   string
+	url  string
+	node *cluster.Node
+	tel  *telemetry.Telemetry
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// forwardedOut reads this node's outbound-forward counter.
+func (b *clusterBenchNode) forwardedOut() uint64 {
+	return b.tel.Registry().Counter("masc_cluster_forwarded_total", "", "direction").With("out").Value()
+}
+
+func (b *clusterBenchNode) close() {
+	_ = b.srv.Close()
+	_ = b.ln.Close()
+}
+
+// bootBenchCluster starts n independent gateway nodes on loopback,
+// each with its own simulated SCM backend, VEP, and cluster runtime in
+// static membership mode (every node permanently alive — the scaling
+// sweep measures routing, not failure detection).
+func bootBenchCluster(n int, cfg ClusterConfig) ([]*clusterBenchNode, error) {
+	nodes := make([]*clusterBenchNode, n)
+	seeds := make([]cluster.NodeInfo, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = &clusterBenchNode{
+			id:  fmt.Sprintf("node-%d", i),
+			url: "http://" + ln.Addr().String(),
+			ln:  ln,
+		}
+		seeds[i] = cluster.NodeInfo{ID: nodes[i].id, Addr: nodes[i].url}
+	}
+	for _, bn := range nodes {
+		network := transport.NewNetwork()
+		d, err := scm.Deploy(network, nil, scm.DeployConfig{
+			Retailers: 1,
+			Service:   simnet.ServiceProfile{Base: cfg.ServiceTime},
+		})
+		if err != nil {
+			return nil, err
+		}
+		b, err := figure5Bus(d)
+		if err != nil {
+			return nil, err
+		}
+		bn.tel = telemetry.New(0)
+		// HeartbeatInterval -1 selects static membership: all seeds
+		// alive, no background goroutines, deterministic ring.
+		bn.node, err = cluster.NewNode(cluster.Config{
+			NodeID:            bn.id,
+			Advertise:         bn.url,
+			Seeds:             seeds,
+			HeartbeatInterval: -1,
+			Telemetry:         bn.tel,
+		})
+		if err != nil {
+			return nil, err
+		}
+		gatewayHandler := &transport.HTTPHandler{Service: transport.HandlerFunc(
+			func(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error) {
+				return b.Invoke(ctx, "vep:Retailer", req)
+			})}
+		keyOf := func(r *http.Request, _ []byte) string {
+			return r.Header.Get(cluster.ConversationHTTPHeader)
+		}
+		bn.srv = &http.Server{Handler: bn.node.Forward(keyOf, gatewayHandler)}
+		go func(bn *clusterBenchNode) { _ = bn.srv.Serve(bn.ln) }(bn)
+	}
+	return nodes, nil
+}
+
+// RunCluster measures conversation-sharded gateway throughput at 1, 2,
+// and 4 nodes, for ring-aware (routed) and ring-oblivious (sprayed)
+// clients.
+func RunCluster(cfg ClusterConfig) ([]ClusterPoint, error) {
+	cfg.fill()
+	env := soap.NewRequest(scm.NewGetCatalogRequest("tv", 0))
+	soap.Addressing{To: "vep:Retailer", Action: "getCatalog"}.Apply(env)
+	body, err := env.Encode()
+	if err != nil {
+		return nil, err
+	}
+
+	var points []ClusterPoint
+	singleRPS := 0.0
+	for _, n := range cfg.Nodes {
+		for _, mode := range []string{"routed", "sprayed"} {
+			if n == 1 && mode == "sprayed" {
+				continue // identical to routed with one node
+			}
+			nodes, err := bootBenchCluster(n, cfg)
+			if err != nil {
+				return nil, err
+			}
+			urlByID := make(map[string]string, n)
+			ids := make([]string, n)
+			for i, bn := range nodes {
+				urlByID[bn.id] = bn.url
+				ids[i] = bn.id
+			}
+			// The routed client's ring mirrors the nodes' own.
+			ring := cluster.NewRing(0, ids...)
+			client := &http.Client{
+				Transport: &http.Transport{MaxIdleConnsPerHost: cfg.WorkersPerNode * n},
+				Timeout:   30 * time.Second,
+			}
+			op := func(ctx context.Context, worker, seq int) error {
+				key := fmt.Sprintf("conv-%d-%d-%d", cfg.Seed, worker, seq)
+				var target string
+				if mode == "routed" {
+					target = urlByID[ring.Owner(key)]
+				} else {
+					// seq is negative during warmup; keep the index positive.
+					target = nodes[((worker+seq)%n+n)%n].url
+				}
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/vep/Retailer", strings.NewReader(body))
+				if err != nil {
+					return err
+				}
+				req.Header.Set("Content-Type", "text/xml; charset=utf-8")
+				req.Header.Set(cluster.ConversationHTTPHeader, key)
+				resp, err := client.Do(req)
+				if err != nil {
+					return err
+				}
+				defer resp.Body.Close()
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					return err
+				}
+				if resp.StatusCode != http.StatusOK {
+					return fmt.Errorf("status %d", resp.StatusCode)
+				}
+				return nil
+			}
+			sum := loadgen.Run(context.Background(), loadgen.Config{
+				Clients:           cfg.WorkersPerNode * n,
+				RequestsPerClient: cfg.RequestsPerWorker,
+				WarmupPerClient:   2,
+			}, op)
+			var forwarded uint64
+			for _, bn := range nodes {
+				forwarded += bn.forwardedOut()
+			}
+			for _, bn := range nodes {
+				bn.close()
+			}
+			p := ClusterPoint{
+				Nodes:    n,
+				Mode:     mode,
+				Requests: sum.Requests,
+				Failures: sum.Failures,
+				RPS:      sum.Throughput,
+				P95MS:    float64(sum.P95) / float64(time.Millisecond),
+			}
+			if sum.Requests > 0 {
+				p.ForwardedPct = 100 * float64(forwarded) / float64(sum.Requests)
+			}
+			if n == 1 && mode == "routed" {
+				singleRPS = sum.Throughput
+			}
+			if singleRPS > 0 {
+				p.Speedup = p.RPS / singleRPS
+			}
+			points = append(points, p)
+		}
+	}
+	return points, nil
+}
+
+// FormatCluster renders the scaling sweep.
+func FormatCluster(points []ClusterPoint) string {
+	var sb strings.Builder
+	sb.WriteString("Cluster: conversation-sharded gateway throughput vs node count (loopback, latency-bound)\n")
+	sb.WriteString(fmt.Sprintf("  %-7s %-9s %-10s %-10s %-10s %-12s %s\n",
+		"nodes", "mode", "requests", "rps", "speedup", "forwarded", "p95"))
+	for _, p := range points {
+		sb.WriteString(fmt.Sprintf("  %-7d %-9s %-10d %-10.0f %-10.2f %-12s %.1fms\n",
+			p.Nodes, p.Mode, p.Requests, p.RPS, p.Speedup,
+			fmt.Sprintf("%.1f%%", p.ForwardedPct), p.P95MS))
+	}
+	return sb.String()
+}
+
+// WriteClusterCSV emits the scaling sweep as CSV.
+func WriteClusterCSV(w io.Writer, points []ClusterPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"nodes", "mode", "requests", "failures", "rps", "speedup_vs_single", "forwarded_pct", "p95_ms"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{
+			strconv.Itoa(p.Nodes),
+			p.Mode,
+			strconv.Itoa(p.Requests),
+			strconv.Itoa(p.Failures),
+			fmt.Sprintf("%.1f", p.RPS),
+			fmt.Sprintf("%.3f", p.Speedup),
+			fmt.Sprintf("%.1f", p.ForwardedPct),
+			fmt.Sprintf("%.2f", p.P95MS),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunClusterSmall runs a tiny 1-vs-2-node sweep and checks the
+// invariants that don't depend on wall-clock scaling: zero failures,
+// the sprayed mode forwards roughly half its exchanges at two nodes,
+// and routed clients never trigger a forward.
+func TestRunClusterSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	points, err := RunCluster(ClusterConfig{
+		Nodes:             []int{1, 2},
+		RequestsPerWorker: 10,
+		WorkersPerNode:    2,
+		ServiceTime:       2 * time.Millisecond,
+		Seed:              7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 { // 1 routed, 2 routed, 2 sprayed
+		t.Fatalf("points = %+v", points)
+	}
+	for _, p := range points {
+		if p.Failures != 0 {
+			t.Errorf("%d-node %s: %d failures", p.Nodes, p.Mode, p.Failures)
+		}
+		if p.Requests == 0 || p.RPS <= 0 {
+			t.Errorf("%d-node %s: empty result %+v", p.Nodes, p.Mode, p)
+		}
+		switch {
+		case p.Mode == "routed" && p.ForwardedPct != 0:
+			t.Errorf("routed clients forwarded %.1f%%", p.ForwardedPct)
+		case p.Mode == "sprayed" && (p.ForwardedPct < 20 || p.ForwardedPct > 80):
+			t.Errorf("sprayed forwarding = %.1f%%, want ~50%%", p.ForwardedPct)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteClusterCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(points)+1 {
+		t.Errorf("CSV lines = %d", lines)
+	}
+	if out := FormatCluster(points); !strings.Contains(out, "nodes") {
+		t.Errorf("format output: %q", out)
+	}
+}

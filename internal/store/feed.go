@@ -1,0 +1,326 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/masc-project/masc/internal/telemetry"
+)
+
+// walPos is a replication cursor: a byte offset inside a WAL segment.
+// Offsets handed out by the Feed are always frame-aligned, because the
+// leader appends whole frames under its mutex and the Feed serves only
+// bytes below the recorded write position.
+type walPos struct {
+	Segment uint64 `json:"segment"`
+	Offset  int64  `json:"offset"`
+}
+
+func (p walPos) less(q walPos) bool {
+	return p.Segment < q.Segment || (p.Segment == q.Segment && p.Offset < q.Offset)
+}
+
+// Wire headers of the WAL shipping protocol (see docs/cluster.md,
+// "Replication framing").
+const (
+	walHdrSegment     = "X-Masc-Wal-Segment"
+	walHdrOffset      = "X-Masc-Wal-Offset"
+	walHdrNextSegment = "X-Masc-Wal-Next-Segment"
+	walHdrNextOffset  = "X-Masc-Wal-Next-Offset"
+)
+
+// feedPollInterval is how often a long-polling fetch rechecks the
+// leader's write position for fresh bytes.
+const feedPollInterval = 5 * time.Millisecond
+
+// Feed is the leader side of WAL replication: it serves raw framed
+// records out of the store's segment files over HTTP, tracks each
+// follower's acknowledged (durable) position, and lets writers wait
+// until a record is replicated to a configurable number of followers.
+//
+// The feed serves written — not necessarily fsynced — bytes, so
+// replication lag is bounded by the network round-trip rather than the
+// leader's fsync cadence; a follower can therefore hold records the
+// crashed leader never made durable locally, which is exactly what
+// failover wants.
+//
+// Snapshot compaction deletes the segments a snapshot covers, which
+// would tear holes in the shipping stream; cluster deployments disable
+// automatic snapshots (Options.SnapshotEvery < 0) and the Feed answers
+// 410 Gone for a compacted segment.
+type Feed struct {
+	s *Store
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	acks map[string]walPos
+
+	chunks    *telemetry.Counter
+	served    *telemetry.Counter
+	lagGauge  *telemetry.GaugeVec
+	followers *telemetry.Gauge
+}
+
+// NewFeed builds the leader-side shipping endpoint over an open store.
+func NewFeed(s *Store, reg *telemetry.Registry) *Feed {
+	f := &Feed{
+		s:    s,
+		acks: make(map[string]walPos),
+		chunks: reg.Counter("masc_cluster_wal_chunks_total",
+			"WAL chunks served to replication followers.").With(),
+		served: reg.Counter("masc_cluster_wal_served_bytes_total",
+			"WAL bytes served to replication followers.").With(),
+		lagGauge: reg.Gauge("masc_cluster_replication_lag_bytes",
+			"Bytes of WAL the follower has not yet acknowledged, per follower.", "follower"),
+		followers: reg.Gauge("masc_cluster_replication_followers",
+			"Followers that have fetched from this node's WAL feed.").With(),
+	}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// leaderPos snapshots the store's current write position.
+func (f *Feed) leaderPos() walPos {
+	f.s.mu.Lock()
+	defer f.s.mu.Unlock()
+	return walPos{Segment: f.s.segIndex, Offset: f.s.segBytes}
+}
+
+// read returns up to max bytes of complete frames starting at (seg,
+// off) and the cursor after them. An exhausted sealed segment advances
+// the cursor to the next segment with no data; an exhausted active
+// segment returns the cursor unchanged (nothing new yet).
+func (f *Feed) read(seg uint64, off, max int64) ([]byte, walPos, error) {
+	f.s.mu.Lock()
+	curSeg, curOff := f.s.segIndex, f.s.segBytes
+	minSeg := f.s.snapIndex
+	f.s.mu.Unlock()
+
+	if seg > curSeg {
+		return nil, walPos{Segment: seg, Offset: off}, nil
+	}
+	var limit int64
+	if seg == curSeg {
+		limit = curOff
+	} else {
+		fi, err := os.Stat(segmentPath(f.s.dir, seg))
+		if err != nil {
+			if os.IsNotExist(err) && seg < minSeg {
+				return nil, walPos{}, errSegmentCompacted
+			}
+			return nil, walPos{}, err
+		}
+		limit = fi.Size()
+	}
+	if off >= limit {
+		if seg < curSeg {
+			return nil, walPos{Segment: seg + 1, Offset: 0}, nil
+		}
+		return nil, walPos{Segment: seg, Offset: off}, nil
+	}
+	n := limit - off
+	if n > max {
+		n = max
+	}
+	file, err := os.Open(segmentPath(f.s.dir, seg))
+	if err != nil {
+		return nil, walPos{}, err
+	}
+	defer file.Close()
+	buf := make([]byte, n)
+	if _, err := file.ReadAt(buf, off); err != nil {
+		return nil, walPos{}, err
+	}
+	return buf, walPos{Segment: seg, Offset: off + n}, nil
+}
+
+var errSegmentCompacted = fmt.Errorf("store: WAL segment compacted away (snapshots must be disabled on replicated stores)")
+
+// ack records a follower's durable position and refreshes the lag
+// gauge.
+func (f *Feed) ack(node string, pos walPos) {
+	if node == "" {
+		return
+	}
+	f.mu.Lock()
+	f.acks[node] = pos
+	f.followers.Set(float64(len(f.acks)))
+	f.mu.Unlock()
+	f.cond.Broadcast()
+	f.lagGauge.With(node).Set(float64(f.lagBytes(pos)))
+}
+
+// lagBytes measures the WAL bytes between a follower position and the
+// leader's write position, statting the sealed segments in between.
+func (f *Feed) lagBytes(from walPos) int64 {
+	to := f.leaderPos()
+	if !from.less(to) {
+		return 0
+	}
+	if from.Segment == to.Segment {
+		return to.Offset - from.Offset
+	}
+	lag := to.Offset - 0
+	for seg := from.Segment; seg < to.Segment; seg++ {
+		fi, err := os.Stat(segmentPath(f.s.dir, seg))
+		if err != nil {
+			continue
+		}
+		size := fi.Size()
+		if seg == from.Segment {
+			size -= from.Offset
+		}
+		if size > 0 {
+			lag += size
+		}
+	}
+	return lag
+}
+
+// WaitReplicated blocks until at least level followers have
+// acknowledged every WAL byte written before the call (the replication
+// level of the paper's middleware: how many copies a checkpoint must
+// reach before the caller treats it as cluster-durable). Level 0
+// returns immediately.
+func (f *Feed) WaitReplicated(ctx context.Context, level int) error {
+	if level <= 0 {
+		return nil
+	}
+	target := f.leaderPos()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			f.cond.Broadcast()
+		case <-stop:
+		}
+	}()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		n := 0
+		for _, p := range f.acks {
+			if !p.less(target) {
+				n++
+			}
+		}
+		if n >= level {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		f.cond.Wait()
+	}
+}
+
+// FeedStatus is the replication section of /api/v1/cluster.
+type FeedStatus struct {
+	// Position is the leader's WAL write position.
+	Position walPos `json:"position"`
+	// Followers maps follower node IDs to their acknowledged positions
+	// and byte lag.
+	Followers map[string]FollowerAck `json:"followers,omitempty"`
+}
+
+// FollowerAck is one follower's acknowledged replication state.
+type FollowerAck struct {
+	Segment  uint64 `json:"segment"`
+	Offset   int64  `json:"offset"`
+	LagBytes int64  `json:"lag_bytes"`
+}
+
+// Status snapshots the feed for status reporting.
+func (f *Feed) Status() FeedStatus {
+	st := FeedStatus{Position: f.leaderPos(), Followers: map[string]FollowerAck{}}
+	f.mu.Lock()
+	acks := make(map[string]walPos, len(f.acks))
+	for k, v := range f.acks {
+		acks[k] = v
+	}
+	f.mu.Unlock()
+	names := make([]string, 0, len(acks))
+	for n := range acks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := acks[n]
+		st.Followers[n] = FollowerAck{Segment: p.Segment, Offset: p.Offset, LagBytes: f.lagBytes(p)}
+	}
+	return st
+}
+
+// Handler serves the shipping protocol: GET with a (segment, offset)
+// cursor returns raw framed record bytes from that position plus the
+// next cursor in response headers. `wait` (milliseconds) long-polls
+// until bytes are available; `node`+`ackseg`/`ackoff` piggyback the
+// follower's durable position onto the fetch.
+func (f *Feed) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "use GET", http.StatusMethodNotAllowed)
+			return
+		}
+		q := r.URL.Query()
+		seg, _ := strconv.ParseUint(q.Get("segment"), 10, 64)
+		off, _ := strconv.ParseInt(q.Get("offset"), 10, 64)
+		max, _ := strconv.ParseInt(q.Get("max"), 10, 64)
+		if max <= 0 || max > 4<<20 {
+			max = 256 << 10
+		}
+		waitMs, _ := strconv.ParseInt(q.Get("wait"), 10, 64)
+		if node := q.Get("node"); node != "" {
+			ackSeg, _ := strconv.ParseUint(q.Get("ackseg"), 10, 64)
+			ackOff, _ := strconv.ParseInt(q.Get("ackoff"), 10, 64)
+			f.ack(node, walPos{Segment: ackSeg, Offset: ackOff})
+		}
+
+		deadline := time.Now().Add(time.Duration(waitMs) * time.Millisecond)
+		var (
+			data []byte
+			next walPos
+			err  error
+		)
+		for {
+			data, next, err = f.read(seg, off, max)
+			if err != nil || len(data) > 0 || next != (walPos{Segment: seg, Offset: off}) {
+				break
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(feedPollInterval):
+			}
+		}
+		if err == errSegmentCompacted {
+			http.Error(w, err.Error(), http.StatusGone)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		h := w.Header()
+		h.Set("Content-Type", "application/octet-stream")
+		h.Set(walHdrSegment, strconv.FormatUint(seg, 10))
+		h.Set(walHdrOffset, strconv.FormatInt(off, 10))
+		h.Set(walHdrNextSegment, strconv.FormatUint(next.Segment, 10))
+		h.Set(walHdrNextOffset, strconv.FormatInt(next.Offset, 10))
+		if len(data) > 0 {
+			f.chunks.Inc()
+			f.served.Add(uint64(len(data)))
+		}
+		_, _ = w.Write(data)
+	})
+}

@@ -1,0 +1,220 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// replicatedPair opens a leader store with its feed served over HTTP
+// and a follower replicating into a second directory.
+func replicatedPair(t *testing.T, leaderOpts Options) (*Store, *Feed, *Follower) {
+	t.Helper()
+	leaderOpts.SnapshotEvery = -1 // replicated stores must not compact
+	leader, err := Open(t.TempDir(), leaderOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = leader.Close() })
+	feed := NewFeed(leader, nil)
+	srv := httptest.NewServer(feed.Handler())
+	t.Cleanup(srv.Close)
+	fol, err := StartFollower(t.TempDir(), srv.URL, FollowerOptions{
+		NodeID:   "follower-1",
+		PollWait: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fol.Stop)
+	return leader, feed, fol
+}
+
+// waitCaughtUp blocks until the follower's position reaches the
+// leader's current write position.
+func waitCaughtUp(t *testing.T, leader *Store, fol *Follower) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		leader.mu.Lock()
+		seg, off := leader.segIndex, leader.segBytes
+		leader.mu.Unlock()
+		fseg, foff := fol.Position()
+		if fseg == seg && foff == off {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("follower never caught up: leader %+v follower %d:%d",
+		leader.Stats(), func() uint64 { s, _ := fol.Position(); return s }(),
+		func() int64 { _, o := fol.Position(); return o }())
+}
+
+// TestReplicationMirrorsState writes through the leader, waits for the
+// follower, and asserts Open(replica) reconstructs identical state.
+func TestReplicationMirrorsState(t *testing.T) {
+	leader, _, fol := replicatedPair(t, Options{Sync: SyncNever})
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("inst-%03d", i)
+		if err := leader.Put("instance", key, []byte(fmt.Sprintf("state-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if err := leader.Append("instance", key, []byte("+delta")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	_ = leader.Delete("instance", "inst-000")
+	waitCaughtUp(t, leader, fol)
+	fol.Stop()
+
+	promoted, err := Open(fol.Dir(), Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promoted.Close()
+	want := leader.List("instance")
+	got := promoted.List("instance")
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("promoted state differs: %d keys vs %d", len(got), len(want))
+	}
+	if _, ok := promoted.Get("instance", "inst-000"); ok {
+		t.Fatal("deleted key survived replication")
+	}
+}
+
+// TestReplicationCrossesSegmentRotation uses a tiny segment size so
+// the stream spans many sealed segments.
+func TestReplicationCrossesSegmentRotation(t *testing.T) {
+	leader, _, fol := replicatedPair(t, Options{Sync: SyncNever, SegmentBytes: 2048})
+	payload := make([]byte, 300)
+	for i := 0; i < 100; i++ {
+		if err := leader.Put("s", fmt.Sprintf("k-%d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := leader.Stats().Segments; got < 4 {
+		t.Fatalf("test needs multiple segments, got %d", got)
+	}
+	waitCaughtUp(t, leader, fol)
+	fol.Stop()
+	promoted, err := Open(fol.Dir(), Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promoted.Close()
+	if n := promoted.Len("s"); n != 100 {
+		t.Fatalf("promoted store has %d keys, want 100", n)
+	}
+}
+
+// TestWaitReplicated asserts the replication-level gate: a write is
+// "cluster-durable" only once the follower acked it.
+func TestWaitReplicated(t *testing.T) {
+	leader, feed, fol := replicatedPair(t, Options{Sync: SyncNever})
+	if err := leader.Put("s", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := feed.WaitReplicated(ctx, 1); err != nil {
+		t.Fatalf("WaitReplicated: %v", err)
+	}
+	seg, off := fol.Position()
+	leader.mu.Lock()
+	lseg, loff := leader.segIndex, leader.segBytes
+	leader.mu.Unlock()
+	if seg != lseg || off != loff {
+		t.Fatalf("acked position %d:%d behind leader %d:%d", seg, off, lseg, loff)
+	}
+
+	// Level 2 with a single follower must time out, not pass.
+	short, cancel2 := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel2()
+	if err := feed.WaitReplicated(short, 2); err == nil {
+		t.Fatal("WaitReplicated(2) passed with one follower")
+	}
+	st := feed.Status()
+	if ack, ok := st.Followers["follower-1"]; !ok || ack.LagBytes != 0 {
+		t.Fatalf("feed status = %+v, want follower-1 caught up", st)
+	}
+}
+
+// TestFollowerResumeAfterTornTail simulates a follower crash mid-chunk
+// (a torn frame at the replica tail) and asserts resume truncates and
+// refetches cleanly.
+func TestFollowerResumeAfterTornTail(t *testing.T) {
+	leader, err := Open(t.TempDir(), Options{Sync: SyncNever, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	feed := NewFeed(leader, nil)
+	srv := httptest.NewServer(feed.Handler())
+	defer srv.Close()
+
+	replica := t.TempDir()
+	fol, err := StartFollower(replica, srv.URL, FollowerOptions{NodeID: "f", PollWait: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := leader.Put("s", fmt.Sprintf("k-%d", i), []byte("vvvvvvvv")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCaughtUp(t, leader, fol)
+	fol.Stop()
+
+	// Tear the replica's tail mid-frame, as a crash during a chunk
+	// write would.
+	path := segmentPath(replica, 0)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	fol2, err := StartFollower(replica, srv.URL, FollowerOptions{NodeID: "f", PollWait: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, leader, fol2)
+	fol2.Stop()
+	promoted, err := Open(replica, Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promoted.Close()
+	if n := promoted.Len("s"); n != 50 {
+		t.Fatalf("resumed replica has %d keys, want 50", n)
+	}
+}
+
+// TestFeedRejectsCompactedSegment asserts the 410 contract: snapshot
+// compaction on a replicated store breaks the stream loudly.
+func TestFeedRejectsCompactedSegment(t *testing.T) {
+	leader, err := Open(t.TempDir(), Options{Sync: SyncNever, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	for i := 0; i < 10; i++ {
+		_ = leader.Put("s", fmt.Sprintf("k-%d", i), []byte("v"))
+	}
+	if err := leader.Snapshot(); err != nil { // manual compaction
+		t.Fatal(err)
+	}
+	feed := NewFeed(leader, nil)
+	_, _, err = feed.read(0, 0, 1<<20)
+	if err != errSegmentCompacted {
+		t.Fatalf("read(compacted) err = %v, want errSegmentCompacted", err)
+	}
+}

@@ -1,0 +1,281 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/masc-project/masc/internal/telemetry"
+)
+
+// FollowerOptions configures a WAL replication follower.
+type FollowerOptions struct {
+	// NodeID identifies this follower in its acks to the leader (and in
+	// the leader's lag gauges).
+	NodeID string
+	// Client fetches chunks (default: 30s timeout, comfortably above
+	// the long-poll window).
+	Client *http.Client
+	// ChunkBytes caps one fetch (default 256 KiB).
+	ChunkBytes int64
+	// PollWait is the long-poll window the follower asks the leader to
+	// hold an empty fetch open for (default 1s).
+	PollWait time.Duration
+	// Fsync fsyncs each chunk before acknowledging it (default true via
+	// NoFsync=false). Acks are the leader's replication-level
+	// guarantee, so they must mean "on stable storage here".
+	NoFsync bool
+	// Registry receives follower metrics.
+	Registry *telemetry.Registry
+	// Logger (optional) records fetch errors and segment advances.
+	Logger *telemetry.Logger
+}
+
+func (o *FollowerOptions) fill() {
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if o.ChunkBytes <= 0 {
+		o.ChunkBytes = 256 << 10
+	}
+	if o.PollWait <= 0 {
+		o.PollWait = time.Second
+	}
+}
+
+// Follower is the receiving side of WAL replication: it streams framed
+// record bytes from a leader's Feed into a local replica directory,
+// mirroring the leader's segment files byte for byte. Because the
+// replica uses the same layout and framing as a live store, promotion
+// after the leader dies is simply Open(replicaDir): recovery replays
+// the replicated WAL, and its torn-tail handling absorbs a chunk cut
+// short by the follower's own crash.
+type Follower struct {
+	dir    string
+	leader string
+	opts   FollowerOptions
+
+	mu      sync.Mutex
+	pos     walPos
+	file    *os.File
+	lastErr error
+	fetched uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+
+	bytesIn *telemetry.Counter
+	errs    *telemetry.Counter
+}
+
+// StartFollower begins replicating leaderURL's WAL feed into dir. It
+// resumes from whatever the replica already holds: the tail segment is
+// scanned for a torn final chunk (truncated away) and fetching
+// continues from the end of the last intact record.
+func StartFollower(dir, leaderURL string, opts FollowerOptions) (*Follower, error) {
+	opts.fill()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f := &Follower{
+		dir:    dir,
+		leader: leaderURL,
+		opts:   opts,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		bytesIn: opts.Registry.Counter("masc_cluster_wal_replicated_bytes_total",
+			"WAL bytes replicated from the leader into the local replica.").With(),
+		errs: opts.Registry.Counter("masc_cluster_wal_fetch_errors_total",
+			"Failed WAL fetches from the leader (each is retried after a backoff).").With(),
+	}
+	if err := f.resume(); err != nil {
+		return nil, err
+	}
+	go f.loop()
+	return f, nil
+}
+
+// resume positions the cursor after the last intact replicated record.
+func (f *Follower) resume() error {
+	segs, err := listIndexed(f.dir, segmentPrefix, segmentSuffix)
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		f.pos = walPos{}
+		return f.openSegment()
+	}
+	last := segs[len(segs)-1]
+	kept, torn, err := replaySegment(segmentPath(f.dir, last), func(record) {})
+	if err != nil {
+		return err
+	}
+	if torn {
+		if err := os.Truncate(segmentPath(f.dir, last), kept); err != nil {
+			return err
+		}
+	}
+	f.pos = walPos{Segment: last, Offset: kept}
+	return f.openSegment()
+}
+
+// openSegment (re)opens the file the cursor points into, creating it
+// when absent. Callers either hold f.mu or have exclusive access.
+func (f *Follower) openSegment() error {
+	if f.file != nil {
+		_ = f.file.Close()
+	}
+	file, err := os.OpenFile(segmentPath(f.dir, f.pos.Segment), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := file.Seek(f.pos.Offset, 0); err != nil {
+		file.Close()
+		return err
+	}
+	f.file = file
+	return nil
+}
+
+func (f *Follower) loop() {
+	defer close(f.done)
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		if err := f.fetchOnce(); err != nil {
+			f.errs.Inc()
+			f.mu.Lock()
+			f.lastErr = err
+			f.mu.Unlock()
+			if f.opts.Logger != nil {
+				f.opts.Logger.Warn("wal fetch failed", "leader", f.leader, "error", err.Error())
+			}
+			select {
+			case <-f.stop:
+				return
+			case <-time.After(100 * time.Millisecond):
+			}
+		}
+	}
+}
+
+// fetchOnce performs one long-poll fetch and applies its bytes.
+func (f *Follower) fetchOnce() error {
+	f.mu.Lock()
+	pos := f.pos
+	f.mu.Unlock()
+
+	q := url.Values{}
+	q.Set("segment", strconv.FormatUint(pos.Segment, 10))
+	q.Set("offset", strconv.FormatInt(pos.Offset, 10))
+	q.Set("max", strconv.FormatInt(f.opts.ChunkBytes, 10))
+	q.Set("wait", strconv.FormatInt(f.opts.PollWait.Milliseconds(), 10))
+	q.Set("node", f.opts.NodeID)
+	q.Set("ackseg", strconv.FormatUint(pos.Segment, 10))
+	q.Set("ackoff", strconv.FormatInt(pos.Offset, 10))
+	resp, err := f.opts.Client.Get(f.leader + "?" + q.Encode())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("leader answered %s: %s", resp.Status, body)
+	}
+	nextSeg, _ := strconv.ParseUint(resp.Header.Get(walHdrNextSegment), 10, 64)
+	nextOff, _ := strconv.ParseInt(resp.Header.Get(walHdrNextOffset), 10, 64)
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(data) > 0 {
+		if int64(len(data)) != nextOff-pos.Offset || nextSeg != pos.Segment {
+			return fmt.Errorf("leader cursor mismatch: %d bytes for %d:%d -> %d:%d",
+				len(data), pos.Segment, pos.Offset, nextSeg, nextOff)
+		}
+		if _, err := f.file.Write(data); err != nil {
+			return err
+		}
+		if !f.opts.NoFsync {
+			if err := f.file.Sync(); err != nil {
+				return err
+			}
+		}
+		f.fetched += uint64(len(data))
+		f.bytesIn.Add(uint64(len(data)))
+		f.pos = walPos{Segment: nextSeg, Offset: nextOff}
+		return nil
+	}
+	// Empty body: either nothing new (cursor unchanged) or the leader
+	// sealed the segment and moved us to the next one.
+	if nextSeg != pos.Segment {
+		f.pos = walPos{Segment: nextSeg, Offset: nextOff}
+		if f.opts.Logger != nil {
+			f.opts.Logger.Info("replica advanced to next segment",
+				"segment", strconv.FormatUint(nextSeg, 10))
+		}
+		return f.openSegment()
+	}
+	return nil
+}
+
+// Position returns the replica's durable cursor.
+func (f *Follower) Position() (segment uint64, offset int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pos.Segment, f.pos.Offset
+}
+
+// Dir returns the replica directory (the argument to Open on
+// promotion).
+func (f *Follower) Dir() string { return f.dir }
+
+// Stop halts replication and closes the replica files. The replica
+// directory stays valid for promotion via Open.
+func (f *Follower) Stop() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	<-f.done
+	f.mu.Lock()
+	if f.file != nil {
+		_ = f.file.Close()
+		f.file = nil
+	}
+	f.mu.Unlock()
+}
+
+// FollowerStatus is the follower's half of the replication report.
+type FollowerStatus struct {
+	Leader       string `json:"leader"`
+	Segment      uint64 `json:"segment"`
+	Offset       int64  `json:"offset"`
+	FetchedBytes uint64 `json:"fetched_bytes"`
+	LastError    string `json:"last_error,omitempty"`
+}
+
+// Status snapshots the follower.
+func (f *Follower) Status() FollowerStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := FollowerStatus{
+		Leader:       f.leader,
+		Segment:      f.pos.Segment,
+		Offset:       f.pos.Offset,
+		FetchedBytes: f.fetched,
+	}
+	if f.lastErr != nil {
+		st.LastError = f.lastErr.Error()
+	}
+	return st
+}

@@ -789,6 +789,15 @@ func (s *Store) close(flush bool) error {
 	return err
 }
 
+// WALPosition reports the current write position — the active segment
+// index and its frame-aligned byte size. Cluster heartbeats advertise
+// it so peers can report replication lag against this node.
+func (s *Store) WALPosition() (segment uint64, offset int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.segIndex, s.segBytes
+}
+
 // Stats summarizes the store's current on-disk shape.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()

@@ -115,6 +115,9 @@ type Record struct {
 	// Trace and Span tie the decision into the trace recorder.
 	Trace string `json:"trace,omitempty"`
 	Span  string `json:"span,omitempty"`
+	// Node identifies the cluster member that evaluated the policy
+	// (stamped by Recorder.SetNode; empty on single-node deployments).
+	Node string `json:"node,omitempty"`
 	// Trigger names what caused the evaluation: an event type
 	// ("fault.detected"), a check kind ("message.request", "qos"), or
 	// a protection path ("admission", "breaker", "hedge").
@@ -163,6 +166,7 @@ type Recorder struct {
 	head     int
 	n        int
 	seq      uint64
+	node     string
 	sink     Sink
 
 	evaluations *telemetry.CounterVec
@@ -207,6 +211,17 @@ func (r *Recorder) SetSink(s Sink) {
 	r.mu.Unlock()
 }
 
+// SetNode stamps every subsequently recorded decision with the cluster
+// node ID, so provenance survives request forwarding and failover.
+func (r *Recorder) SetNode(id string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.node = id
+	r.mu.Unlock()
+}
+
 // Record accepts one decision, assigning its Seq, ID, and (when unset)
 // Time, and returns the stamped record. Safe on a nil Recorder.
 func (r *Recorder) Record(rec Record) Record {
@@ -219,6 +234,9 @@ func (r *Recorder) Record(rec Record) Record {
 	r.mu.Lock()
 	r.seq++
 	rec.Seq = r.seq
+	if rec.Node == "" {
+		rec.Node = r.node
+	}
 	rec.ID = fmt.Sprintf("urn:masc:decision:%d", r.seq)
 	evicted := false
 	if r.n < r.capacity {

@@ -68,6 +68,10 @@ type Options struct {
 	// DecisionSlice bounds how many decision records a bundle embeds
 	// (default 50).
 	DecisionSlice int
+	// Node is the cluster node ID stamped onto every bundle (empty on
+	// single-node deployments), so evidence collected after a failover
+	// names the member that captured it.
+	Node string
 }
 
 func (o Options) withDefaults() Options {
@@ -111,7 +115,9 @@ type Trigger struct {
 // correlated view of the middleware at that moment. Trace, journal, and
 // conversation IDs inside cross-reference each other.
 type Bundle struct {
-	ID      string               `json:"id"`
+	ID string `json:"id"`
+	// Node is the cluster member that captured the bundle.
+	Node    string               `json:"node,omitempty"`
 	Time    time.Time            `json:"time"`
 	Trigger Trigger              `json:"trigger"`
 	TraceID string               `json:"trace_id,omitempty"`
@@ -298,7 +304,7 @@ func (r *Recorder) capture(t Trigger) error {
 	id := fmt.Sprintf("fr-%06d-%s", r.seq, t.Time.UTC().Format("20060102T150405"))
 	r.mu.Unlock()
 
-	b := Bundle{ID: id, Time: time.Now(), Trigger: t}
+	b := Bundle{ID: id, Node: r.opts.Node, Time: time.Now(), Trigger: t}
 
 	// Journal slice for the conversation (fall back to the recent tail
 	// when the trigger carries no correlation ID) — this is where the

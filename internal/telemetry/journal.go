@@ -114,6 +114,11 @@ type Entry struct {
 	// Trace and Span tie the entry to a recorded trace.
 	Trace string `json:"trace,omitempty"`
 	Span  string `json:"span,omitempty"`
+	// Node identifies the cluster member that recorded the entry
+	// (stamped by SetNode; empty on single-node deployments), so a
+	// forwarded exchange's history is attributable to the node that
+	// actually handled it.
+	Node string `json:"node,omitempty"`
 	// Fields carries structured key/value detail.
 	Fields map[string]string `json:"fields,omitempty"`
 }
@@ -126,9 +131,22 @@ type Journal struct {
 
 	mu   sync.Mutex
 	seq  uint64
+	node string
 	buf  []Entry
 	head int // index of the oldest entry
 	n    int // live entries, <= capacity
+}
+
+// SetNode stamps every subsequently recorded entry with the cluster
+// node ID (entries that already carry one keep it — a record imported
+// from a peer stays attributed to its origin).
+func (j *Journal) SetNode(id string) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.node = id
+	j.mu.Unlock()
 }
 
 // NewJournal builds a journal retaining the last capacity entries
@@ -157,6 +175,9 @@ func (j *Journal) Record(e Entry) uint64 {
 	defer j.mu.Unlock()
 	j.seq++
 	e.Seq = j.seq
+	if e.Node == "" {
+		e.Node = j.node
+	}
 	if j.n < j.capacity {
 		j.buf[(j.head+j.n)%j.capacity] = e
 		j.n++
