@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"path/filepath"
@@ -17,12 +18,17 @@ import (
 )
 
 // clusterSettings are the parsed -node-id / -advertise /
-// -cluster-seed / -replication-level flags.
+// -cluster-seed / -replication-level / -cluster-secret flags.
 type clusterSettings struct {
 	nodeID           string
 	advertise        string
 	seeds            []cluster.NodeInfo
 	replicationLevel int
+	// secret, when non-empty, is the shared token every intra-cluster
+	// request (heartbeats, WAL fetches) must carry; without it the
+	// cluster endpoints trust the network (docs/cluster.md, "Trust
+	// model").
+	secret string
 	// heartbeat overrides the failure-detector interval (tests use
 	// aggressive values; zero keeps the 1s default).
 	heartbeat time.Duration
@@ -76,6 +82,7 @@ func setupCluster(d *daemon, settings clusterSettings, dataDir string) (*cluster
 		Advertise:         settings.advertise,
 		Seeds:             settings.seeds,
 		HeartbeatInterval: settings.heartbeat,
+		Secret:            settings.secret,
 		Self:              cr.selfInfo,
 		Telemetry:         d.tel,
 		OnPromote:         cr.promote,
@@ -90,8 +97,25 @@ func setupCluster(d *daemon, settings clusterSettings, dataDir string) (*cluster
 	// recorder bundles carry the node that produced them.
 	d.tel.Logs().SetNode(settings.nodeID)
 	d.decisions.SetNode(settings.nodeID)
+
+	// -replication-level N: instance completion waits until the
+	// terminal checkpoint is acknowledged by N followers (bounded, so a
+	// follower outage degrades to a logged warning, not a hang).
+	if d.persist != nil && cr.feed != nil && settings.replicationLevel > 0 {
+		level := settings.replicationLevel
+		feed := cr.feed
+		d.persist.SetReplicationBarrier(func() error {
+			ctx, cancel := context.WithTimeout(context.Background(), replicationBarrierTimeout)
+			defer cancel()
+			return feed.WaitReplicated(ctx, level)
+		})
+	}
 	return cr, nil
 }
+
+// replicationBarrierTimeout bounds how long an instance finish waits
+// for follower acknowledgements at the configured replication level.
+const replicationBarrierTimeout = 10 * time.Second
 
 // start launches heartbeating and (with a store) the replica manager.
 func (cr *clusterRuntime) start() {
@@ -179,9 +203,14 @@ func (cr *clusterRuntime) replicaLoop() {
 				cr.follower.Stop()
 				cr.follower = nil
 			}
+			var hdrs map[string]string
+			if cr.settings.secret != "" {
+				hdrs = map[string]string{cluster.SecretHeader: cr.settings.secret}
+			}
 			fol, err := store.StartFollower(cr.replicaDir(pred.ID),
 				pred.Addr+apiPrefix+"/cluster/wal", store.FollowerOptions{
 					NodeID:   cr.node.ID(),
+					Headers:  hdrs,
 					Registry: cr.d.tel.Registry(),
 					Logger:   log,
 				})
@@ -289,8 +318,22 @@ func (cr *clusterRuntime) mount(mux *http.ServeMux) {
 	mux.Handle(apiPrefix+"/cluster/heartbeat",
 		http.HandlerFunc(cr.node.Membership().HandleHeartbeat))
 	if cr.feed != nil {
-		mux.Handle(apiPrefix+"/cluster/wal", cr.feed.Handler())
+		mux.Handle(apiPrefix+"/cluster/wal",
+			cr.requireClusterSecret(cr.feed.Handler()))
 	}
+}
+
+// requireClusterSecret guards the WAL feed — it serves full
+// conversation state, so it demands the same shared token as
+// heartbeats (no-op when no -cluster-secret is configured).
+func (cr *clusterRuntime) requireClusterSecret(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !cluster.CheckSecret(cr.settings.secret, r) {
+			http.Error(w, "cluster secret missing or wrong", http.StatusForbidden)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // clusterHealth is the cluster section of /api/v1/healthz.

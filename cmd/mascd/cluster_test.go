@@ -106,6 +106,7 @@ func bootCluster(t *testing.T, n int, heartbeat time.Duration) []*clusterTestNod
 			advertise:        tn.srv.URL,
 			seeds:            seeds,
 			replicationLevel: 1,
+			secret:           "soak-secret", // heartbeats and WAL fetches must authenticate
 			heartbeat:        heartbeat,
 		}, tn.dir)
 		if err != nil {

@@ -299,6 +299,12 @@ func run(args []string) error {
 				return fmt.Errorf("-replication-level: want a non-negative integer, got %q", args[i])
 			}
 			clusterCfg.replicationLevel = n
+		case "-cluster-secret":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-cluster-secret needs a token")
+			}
+			clusterCfg.secret = args[i]
 		case "-cluster-heartbeat":
 			i++
 			if i >= len(args) {

@@ -47,7 +47,14 @@ func (n *Node) Forward(keyOf KeyFunc, next http.Handler) http.Handler {
 			return
 		}
 		var body []byte
-		if r.Body != nil && r.ContentLength >= 0 && r.ContentLength <= maxForwardBody {
+		if r.Body != nil {
+			if r.ContentLength < 0 || r.ContentLength > maxForwardBody {
+				// Chunked or oversized: the body cannot be buffered for
+				// forwarding, so the exchange is handled locally with the
+				// original body stream untouched.
+				next.ServeHTTP(w, r)
+				return
+			}
 			var err error
 			body, err = io.ReadAll(io.LimitReader(r.Body, maxForwardBody+1))
 			if err != nil || int64(len(body)) > maxForwardBody {
@@ -57,7 +64,9 @@ func (n *Node) Forward(keyOf KeyFunc, next http.Handler) http.Handler {
 			r.Body = io.NopCloser(bytes.NewReader(body))
 		}
 		key := keyOf(r, body)
-		r.Body = io.NopCloser(bytes.NewReader(body))
+		if r.Body != nil {
+			r.Body = io.NopCloser(bytes.NewReader(body))
+		}
 		peer, local := n.Route(key)
 		if local {
 			next.ServeHTTP(w, r)

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"crypto/subtle"
 	"encoding/json"
 	"net/http"
 	"sort"
@@ -11,6 +12,23 @@ import (
 	"github.com/masc-project/masc/internal/clock"
 	"github.com/masc-project/masc/internal/telemetry"
 )
+
+// SecretHeader carries the shared cluster secret on intra-cluster
+// requests — heartbeats and WAL fetches — when one is configured
+// (mascd -cluster-secret). Without a secret the cluster endpoints
+// trust the network; see docs/cluster.md, "Trust model".
+const SecretHeader = "X-Masc-Cluster-Secret"
+
+// CheckSecret reports whether a request carries the shared cluster
+// secret. An empty configured secret accepts everything (the
+// trusted-network mode).
+func CheckSecret(secret string, r *http.Request) bool {
+	if secret == "" {
+		return true
+	}
+	got := r.Header.Get(SecretHeader)
+	return subtle.ConstantTimeCompare([]byte(got), []byte(secret)) == 1
+}
 
 // NodeInfo is what a node advertises about itself in every heartbeat:
 // identity, reachability, the policy manifest revision it serves
@@ -89,6 +107,11 @@ type MembershipOptions struct {
 	DeadAfter    time.Duration
 	// Client is the heartbeat HTTP client (default: 2s timeout).
 	Client *http.Client
+	// Secret, when non-empty, is the shared cluster secret: outgoing
+	// heartbeats carry it in SecretHeader and incoming ones without it
+	// are rejected — a forged heartbeat can otherwise hijack a member's
+	// advertised address and receive its forwarded conversations.
+	Secret string
 	// Registry receives the masc_cluster_* membership metrics.
 	Registry *telemetry.Registry
 	// Logger (optional) records membership transitions.
@@ -98,6 +121,11 @@ type MembershipOptions struct {
 	// again.
 	OnDead  func(Member)
 	OnAlive func(Member)
+	// OnSweep fires after every sweep (following any OnDead calls),
+	// from the sweep goroutine — the hook for controllers that derive
+	// state from the member table and must re-evaluate it continuously
+	// rather than only on transitions.
+	OnSweep func()
 	// Clock is the time source (defaults to the real clock).
 	Clock clock.Clock
 }
@@ -240,8 +268,16 @@ func (m *Membership) heartbeatPeer(peer NodeInfo) {
 	if err != nil {
 		return
 	}
-	resp, err := m.opts.Client.Post(peer.Addr+"/api/v1/cluster/heartbeat",
-		"application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost,
+		peer.Addr+"/api/v1/cluster/heartbeat", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if m.opts.Secret != "" {
+		req.Header.Set(SecretHeader, m.opts.Secret)
+	}
+	resp, err := m.opts.Client.Do(req)
 	if err != nil {
 		m.heartbeats.With("error").Inc()
 		return
@@ -265,6 +301,10 @@ func (m *Membership) heartbeatPeer(peer NodeInfo) {
 func (m *Membership) HandleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "use POST", http.StatusMethodNotAllowed)
+		return
+	}
+	if !CheckSecret(m.opts.Secret, r) {
+		http.Error(w, "cluster secret missing or wrong", http.StatusForbidden)
 		return
 	}
 	var msg heartbeatMsg
@@ -362,6 +402,9 @@ func (m *Membership) sweep() {
 		if m.opts.OnDead != nil {
 			m.opts.OnDead(mem)
 		}
+	}
+	if m.opts.OnSweep != nil {
+		m.opts.OnSweep()
 	}
 }
 

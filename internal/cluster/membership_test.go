@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -255,5 +256,42 @@ func TestMembershipStaticMode(t *testing.T) {
 	ms := m.Members()
 	if len(ms) != 2 || ms[0].State != StateAlive || ms[1].State != StateAlive {
 		t.Fatalf("static members = %+v, want b and c alive", ms)
+	}
+}
+
+// TestHeartbeatSecret asserts the cluster-secret gate: a heartbeat
+// without the shared token is rejected before it can touch the member
+// table (a forged one could otherwise hijack a member's advertised
+// address), while one carrying the token is processed normally.
+func TestHeartbeatSecret(t *testing.T) {
+	m := NewMembership(MembershipOptions{
+		Self:   func() NodeInfo { return NodeInfo{ID: "node-a"} },
+		Secret: "token",
+	})
+	forge := func(secret string) *httptest.ResponseRecorder {
+		body := `{"from":{"id":"node-b","addr":"http://evil.example"}}`
+		req := httptest.NewRequest(http.MethodPost,
+			"/api/v1/cluster/heartbeat", strings.NewReader(body))
+		if secret != "" {
+			req.Header.Set(SecretHeader, secret)
+		}
+		rw := httptest.NewRecorder()
+		m.HandleHeartbeat(rw, req)
+		return rw
+	}
+	if rw := forge(""); rw.Code != http.StatusForbidden {
+		t.Fatalf("missing secret: status = %d, want 403", rw.Code)
+	}
+	if rw := forge("wrong"); rw.Code != http.StatusForbidden {
+		t.Fatalf("wrong secret: status = %d, want 403", rw.Code)
+	}
+	if _, ok := m.Member("node-b"); ok {
+		t.Fatal("rejected heartbeat still registered the sender")
+	}
+	if rw := forge("token"); rw.Code != http.StatusOK {
+		t.Fatalf("correct secret: status = %d, want 200", rw.Code)
+	}
+	if mem, ok := m.Member("node-b"); !ok || mem.Addr != "http://evil.example" {
+		t.Fatalf("accepted heartbeat not observed: %+v ok=%v", mem, ok)
 	}
 }

@@ -39,6 +39,11 @@ type Config struct {
 	// Client is used for forwarding and heartbeats (default: sensible
 	// timeouts).
 	Client *http.Client
+	// Secret, when non-empty, authenticates intra-cluster requests:
+	// heartbeats (and, in mascd, WAL fetches) carry it in SecretHeader
+	// and unauthenticated ones are rejected. Empty means the cluster
+	// endpoints trust the network (see docs/cluster.md, "Trust model").
+	Secret string
 	// OnPromote fires on the single node that the takeover rule elects
 	// when a member dies — the host recovers the dead member's
 	// instances from its replicated WAL there. Runs on the sweep
@@ -59,9 +64,13 @@ type Node struct {
 
 	// redirect maps a dead member to the heir that took over its
 	// shard. Resolution chains (A->B, B->C) so cascading failures
-	// converge on a live owner.
+	// converge on a live owner. promoted records the dead members this
+	// node has already run the promotion hook for, so the table can be
+	// recomputed idempotently on every sweep without recovering the
+	// same WAL twice.
 	mu       sync.Mutex
 	redirect map[string]string
+	promoted map[string]bool
 
 	forwarded  *telemetry.CounterVec
 	forwardErr *telemetry.Counter
@@ -82,6 +91,7 @@ func NewNode(cfg Config) (*Node, error) {
 	n := &Node{
 		cfg:      cfg,
 		redirect: make(map[string]string),
+		promoted: make(map[string]bool),
 		log:      cfg.Telemetry.Logger("cluster"),
 		forwarded: reg.Counter("masc_cluster_forwarded_total",
 			"Exchanges forwarded between cluster nodes, by direction (out = sent to the owner, in = received from a peer).", "direction"),
@@ -115,10 +125,12 @@ func NewNode(cfg Config) (*Node, error) {
 		SuspectAfter:      cfg.SuspectAfter,
 		DeadAfter:         cfg.DeadAfter,
 		Client:            cfg.Client,
+		Secret:            cfg.Secret,
 		Registry:          reg,
 		Logger:            n.log,
 		OnDead:            n.memberDead,
 		OnAlive:           n.memberAlive,
+		OnSweep:           n.reassess,
 	})
 	return n, nil
 }
@@ -148,40 +160,71 @@ func (n *Node) Membership() *Membership { return n.mem }
 func (n *Node) Start() { n.mem.Start() }
 func (n *Node) Stop()  { n.mem.Stop() }
 
-// memberDead is the failover controller: every survivor updates its
-// takeover table the same way, and the one the rule elects promotes.
-func (n *Node) memberDead(dead Member) {
-	// The takeover rule skips every currently-dead member, so
-	// cascading failures keep electing live heirs.
-	skip := map[string]bool{dead.ID: true}
-	for _, m := range n.mem.Members() {
-		if m.State == StateDead {
-			skip[m.ID] = true
-		}
-	}
-	all := append([]string{n.cfg.NodeID}, memberIDs(n.mem.Members())...)
-	heir := Successor(all, dead.ID, skip)
-	n.mu.Lock()
-	n.redirect[dead.ID] = heir
-	n.mu.Unlock()
-	n.log.Warn("cluster shard reassigned",
-		"dead", dead.ID, "heir", heir)
-	if heir == n.cfg.NodeID {
-		n.takeovers.Inc()
-		if n.cfg.OnPromote != nil {
-			n.cfg.OnPromote(dead)
-		}
-	}
-}
+// memberDead and memberAlive are the failure-detector edges; both
+// defer to reassess, which derives the takeover table from the
+// current member states rather than from the transition that fired.
+func (n *Node) memberDead(Member) { n.reassess() }
 
-// memberAlive clears the takeover entry when a member rejoins: the
-// ring routes its shard back to it. (State recovered by an heir in
-// the interim stays on the heir; a rejoining node must come back
-// empty — see docs/cluster.md, "Rejoin".)
+// memberAlive runs when a member rejoins: its shard routes back to it
+// and it becomes promotable again if it dies later. (State recovered
+// by an heir in the interim stays on the heir; a rejoining node must
+// come back empty — see docs/cluster.md, "Rejoin".)
 func (n *Node) memberAlive(m Member) {
 	n.mu.Lock()
-	delete(n.redirect, m.ID)
+	delete(n.promoted, m.ID)
 	n.mu.Unlock()
+	n.reassess()
+}
+
+// reassess is the failover controller: it recomputes the whole
+// takeover table from the current member table. The heir of every
+// dead member is Successor over the same skip set (all currently-dead
+// members), so survivors converge as soon as their failure detectors
+// agree — unlike an edge-triggered rule, which freezes whatever skip
+// set each survivor happened to hold when the dead transition fired.
+// It runs on every sweep (not just on transitions): a heave that
+// elects this node late — e.g. the originally computed heir died
+// before promoting — still promotes here, exactly once per death,
+// tracked by the promoted set.
+func (n *Node) reassess() {
+	members := n.mem.Members()
+	dead := make(map[string]bool)
+	all := append([]string{n.cfg.NodeID}, memberIDs(members)...)
+	for _, m := range members {
+		if m.State == StateDead {
+			dead[m.ID] = true
+		}
+	}
+	var promote []Member
+	type reassignment struct{ dead, heir string }
+	var changed []reassignment
+	n.mu.Lock()
+	redirect := make(map[string]string, len(dead))
+	for _, m := range members {
+		if m.State != StateDead {
+			continue
+		}
+		heir := Successor(all, m.ID, dead)
+		redirect[m.ID] = heir
+		if n.redirect[m.ID] != heir {
+			changed = append(changed, reassignment{dead: m.ID, heir: heir})
+		}
+		if heir == n.cfg.NodeID && !n.promoted[m.ID] {
+			n.promoted[m.ID] = true
+			promote = append(promote, m)
+		}
+	}
+	n.redirect = redirect
+	n.mu.Unlock()
+	for _, c := range changed {
+		n.log.Warn("cluster shard reassigned", "dead", c.dead, "heir", c.heir)
+	}
+	for _, m := range promote {
+		n.takeovers.Inc()
+		if n.cfg.OnPromote != nil {
+			n.cfg.OnPromote(m)
+		}
+	}
 }
 
 func memberIDs(members []Member) []string {

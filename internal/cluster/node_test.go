@@ -117,6 +117,34 @@ func TestForwardLocalAndKeyless(t *testing.T) {
 	}
 }
 
+// TestForwardChunkedBodyHandledLocally asserts a request whose body
+// cannot be buffered for forwarding (chunked transfer encoding, so
+// ContentLength is unknown) reaches the local handler with its body
+// intact instead of being forwarded — or worse, truncated to empty.
+func TestForwardChunkedBodyHandledLocally(t *testing.T) {
+	na, _, aURL, _ := newForwardPair(t)
+	var remoteKey string
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("conv-%d", i)
+		if na.Owner(k) == "node-b" {
+			remoteKey = k
+			break
+		}
+	}
+	req, _ := http.NewRequest(http.MethodPost, aURL+"/vep/test", io.NopCloser(strings.NewReader("chunked-payload")))
+	req.ContentLength = -1 // force chunked transfer encoding
+	req.Header.Set(ConversationHTTPHeader, remoteKey)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.HasPrefix(string(body), `node-a handled chunked-payload`) {
+		t.Fatalf("chunked request corrupted or forwarded: %q", body)
+	}
+}
+
 // TestForwardLoopGuard asserts an already-forwarded request is handled
 // locally even if the ring disagrees — one hop maximum.
 func TestForwardLoopGuard(t *testing.T) {
@@ -188,6 +216,29 @@ func TestForwardFallbackOnPeerFailure(t *testing.T) {
 	}
 }
 
+// markDead flips a member's state in the table the way a sweep would,
+// then fires the dead edge — the two steps the failure detector takes
+// before the takeover controller reads the table.
+func markDead(n *Node, id string) {
+	n.mem.mu.Lock()
+	if m, ok := n.mem.members[id]; ok {
+		m.State = StateDead
+	}
+	n.mem.mu.Unlock()
+	n.memberDead(Member{NodeInfo: NodeInfo{ID: id}})
+}
+
+// markAlive is the revival counterpart: state back to alive, then the
+// alive edge.
+func markAlive(n *Node, id string) {
+	n.mem.mu.Lock()
+	if m, ok := n.mem.members[id]; ok {
+		m.State = StateAlive
+	}
+	n.mem.mu.Unlock()
+	n.memberAlive(Member{NodeInfo: NodeInfo{ID: id}})
+}
+
 // TestNodeTakeoverResolution asserts Owner chains through the takeover
 // table and Route treats dead owners as local fallbacks.
 func TestNodeTakeoverResolution(t *testing.T) {
@@ -209,7 +260,7 @@ func TestNodeTakeoverResolution(t *testing.T) {
 		}
 	}
 	// a dies; by the successor rule its heir is b (the local node).
-	n.memberDead(Member{NodeInfo: NodeInfo{ID: "a"}})
+	markDead(n, "a")
 	if got := n.Owner(keyA); got != "b" {
 		t.Fatalf("after a's death Owner = %q, want b", got)
 	}
@@ -220,7 +271,7 @@ func TestNodeTakeoverResolution(t *testing.T) {
 		t.Fatalf("takeover table = %v", tk)
 	}
 	// a rejoins: the table entry clears and the ring owns it again.
-	n.memberAlive(Member{NodeInfo: NodeInfo{ID: "a"}})
+	markAlive(n, "a")
 	if got := n.Owner(keyA); got != "a" {
 		t.Fatalf("after rejoin Owner = %q, want a", got)
 	}
@@ -245,19 +296,63 @@ func TestNodeCascadingTakeover(t *testing.T) {
 			break
 		}
 	}
-	// a dies -> heir b. Mark a dead in the member table as the sweep
-	// would, so b's subsequent death skips it.
-	n.memberDead(Member{NodeInfo: NodeInfo{ID: "a"}})
-	n.mu.Lock()
-	n.redirect["a"] = "b"
-	n.mu.Unlock()
-	if am, ok := n.mem.members["a"]; ok {
-		am.State = StateDead
+	// a dies -> heir b.
+	markDead(n, "a")
+	if tk := n.Takeovers(); tk["a"] != "b" {
+		t.Fatalf("takeover table after a's death = %v", tk)
 	}
-	// b dies -> its shard (and a's, transitively) lands on c.
-	n.memberDead(Member{NodeInfo: NodeInfo{ID: "b"}})
+	// b dies -> reassessment re-elects a's heir with the current dead
+	// set, so both shards land directly on c.
+	markDead(n, "b")
 	if got := n.Owner(keyA); got != "c" {
 		t.Fatalf("cascading takeover Owner = %q, want c", got)
+	}
+	if tk := n.Takeovers(); tk["a"] != "c" || tk["b"] != "c" {
+		t.Fatalf("takeover table after both deaths = %v", tk)
+	}
+}
+
+// TestNodeLatePromotionAfterHeirDeath pins the convergence property
+// the edge-triggered rule lacked: when a member's originally elected
+// heir dies before the cluster recovers, the re-evaluated rule elects
+// this node and the promotion hook still fires — once per death.
+func TestNodeLatePromotionAfterHeirDeath(t *testing.T) {
+	promotions := map[string]int{}
+	n, err := NewNode(Config{
+		NodeID:    "c",
+		Advertise: "http://c",
+		OnPromote: func(dead Member) { promotions[dead.ID]++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.mem.observe(NodeInfo{ID: "a", Addr: "http://a"}, true)
+	n.mem.observe(NodeInfo{ID: "b", Addr: "http://b"}, true)
+	n.ring.Add("a")
+	n.ring.Add("b")
+
+	// a dies while b is alive: heir is b, c does not promote.
+	markDead(n, "a")
+	if len(promotions) != 0 {
+		t.Fatalf("c promoted %v while b was the heir", promotions)
+	}
+	// b dies before it recovered a's shard: the re-evaluated table
+	// elects c for BOTH, and c promotes both — a's late, b's fresh.
+	markDead(n, "b")
+	if promotions["a"] != 1 || promotions["b"] != 1 {
+		t.Fatalf("promotions = %v, want a and b promoted exactly once", promotions)
+	}
+	// Subsequent sweeps with the same dead set are idempotent.
+	n.reassess()
+	n.reassess()
+	if promotions["a"] != 1 || promotions["b"] != 1 {
+		t.Fatalf("repeated sweeps re-promoted: %v", promotions)
+	}
+	// b rejoins and dies again: promotable again.
+	markAlive(n, "b")
+	markDead(n, "b")
+	if promotions["b"] != 2 {
+		t.Fatalf("b's second death promoted %d times, want 2", promotions["b"])
 	}
 }
 

@@ -3,6 +3,7 @@ package store
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"sort"
@@ -142,6 +143,31 @@ func (f *Feed) read(seg uint64, off, max int64) ([]byte, walPos, error) {
 
 var errSegmentCompacted = fmt.Errorf("store: WAL segment compacted away (snapshots must be disabled on replicated stores)")
 
+// serveSnapshot streams the leader's newest snapshot file, with
+// walHdrSegment naming the first segment the snapshot does NOT cover —
+// the cursor a resyncing follower restarts from. 404 when the store
+// has never snapshotted (then no segment can be compacted and the
+// follower's 410 was transient).
+func (f *Feed) serveSnapshot(w http.ResponseWriter) {
+	f.s.mu.Lock()
+	idx := f.s.snapIndex
+	f.s.mu.Unlock()
+	if idx == 0 {
+		http.Error(w, "store: no snapshot", http.StatusNotFound)
+		return
+	}
+	file, err := os.Open(snapshotPath(f.s.dir, idx))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer file.Close()
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set(walHdrSegment, strconv.FormatUint(idx, 10))
+	_, _ = io.Copy(w, file)
+}
+
 // ack records a follower's durable position and refreshes the lag
 // gauge.
 func (f *Feed) ack(node string, pos walPos) {
@@ -262,7 +288,10 @@ func (f *Feed) Status() FeedStatus {
 // cursor returns raw framed record bytes from that position plus the
 // next cursor in response headers. `wait` (milliseconds) long-polls
 // until bytes are available; `node`+`ackseg`/`ackoff` piggyback the
-// follower's durable position onto the fetch.
+// follower's durable position onto the fetch. `snapshot=1` instead
+// serves the leader's newest snapshot file — the resync path a
+// follower takes after a 410 (its cursor fell below a compacted
+// segment, e.g. the data dir ran snapshots before cluster mode).
 func (f *Feed) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -270,6 +299,10 @@ func (f *Feed) Handler() http.Handler {
 			return
 		}
 		q := r.URL.Query()
+		if q.Get("snapshot") != "" {
+			f.serveSnapshot(w)
+			return
+		}
 		seg, _ := strconv.ParseUint(q.Get("segment"), 10, 64)
 		off, _ := strconv.ParseInt(q.Get("offset"), 10, 64)
 		max, _ := strconv.ParseInt(q.Get("max"), 10, 64)

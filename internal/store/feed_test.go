@@ -218,3 +218,60 @@ func TestFeedRejectsCompactedSegment(t *testing.T) {
 		t.Fatalf("read(compacted) err = %v, want errSegmentCompacted", err)
 	}
 }
+
+// TestFollowerResyncsFromSnapshot covers the 410 recovery path: a
+// leader whose data dir was compacted before replication began (a
+// snapshot deleted the early segments) answers Gone to a fresh
+// follower, which must rebuild its replica from the leader's snapshot
+// and then ship the live tail — not retry the dead cursor forever.
+func TestFollowerResyncsFromSnapshot(t *testing.T) {
+	leader, err := Open(t.TempDir(), Options{Sync: SyncNever, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	for i := 0; i < 40; i++ {
+		if err := leader.Put("s", fmt.Sprintf("k-%03d", i), []byte(fmt.Sprintf("v-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.Snapshot(); err != nil { // compaction pre-dating replication
+		t.Fatal(err)
+	}
+	for i := 40; i < 60; i++ {
+		if err := leader.Put("s", fmt.Sprintf("k-%03d", i), []byte(fmt.Sprintf("v-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	feed := NewFeed(leader, nil)
+	srv := httptest.NewServer(feed.Handler())
+	defer srv.Close()
+	fol, err := StartFollower(t.TempDir(), srv.URL, FollowerOptions{
+		NodeID:   "follower-1",
+		PollWait: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, leader, fol)
+	if st := fol.Status(); st.Resyncs == 0 {
+		t.Fatalf("follower status records no resync: %+v", st)
+	}
+	fol.Stop()
+
+	promoted, err := Open(fol.Dir(), Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promoted.Close()
+	if n := promoted.Len("s"); n != 60 {
+		t.Fatalf("promoted replica has %d keys, want 60", n)
+	}
+	for i := 0; i < 60; i++ {
+		got, ok := promoted.Get("s", fmt.Sprintf("k-%03d", i))
+		if !ok || string(got) != fmt.Sprintf("v-%d", i) {
+			t.Fatalf("k-%03d = %q (ok=%v) after resync", i, got, ok)
+		}
+	}
+}

@@ -30,6 +30,10 @@ type FollowerOptions struct {
 	// NoFsync=false). Acks are the leader's replication-level
 	// guarantee, so they must mean "on stable storage here".
 	NoFsync bool
+	// Headers are sent on every fetch — mascd passes the cluster secret
+	// here (the store package stays protocol-agnostic; the header name
+	// belongs to the cluster package).
+	Headers map[string]string
 	// Registry receives follower metrics.
 	Registry *telemetry.Registry
 	// Logger (optional) records fetch errors and segment advances.
@@ -65,13 +69,15 @@ type Follower struct {
 	file    *os.File
 	lastErr error
 	fetched uint64
+	resyncs uint64
 
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
 
-	bytesIn *telemetry.Counter
-	errs    *telemetry.Counter
+	bytesIn   *telemetry.Counter
+	errs      *telemetry.Counter
+	resyncCtr *telemetry.Counter
 }
 
 // StartFollower begins replicating leaderURL's WAL feed into dir. It
@@ -93,6 +99,8 @@ func StartFollower(dir, leaderURL string, opts FollowerOptions) (*Follower, erro
 			"WAL bytes replicated from the leader into the local replica.").With(),
 		errs: opts.Registry.Counter("masc_cluster_wal_fetch_errors_total",
 			"Failed WAL fetches from the leader (each is retried after a backoff).").With(),
+		resyncCtr: opts.Registry.Counter("masc_cluster_wal_resyncs_total",
+			"Replica resyncs from a leader snapshot after the follower's cursor fell below a compacted segment.").With(),
 	}
 	if err := f.resume(); err != nil {
 		return nil, err
@@ -109,6 +117,12 @@ func (f *Follower) resume() error {
 	}
 	if len(segs) == 0 {
 		f.pos = walPos{}
+		// A replica holding only a snapshot (a resync interrupted right
+		// after installing it) resumes at the first segment the
+		// snapshot does not cover, not at zero.
+		if snaps, err := listIndexed(f.dir, snapshotPrefix, snapshotSuffix); err == nil && len(snaps) > 0 {
+			f.pos = walPos{Segment: snaps[len(snaps)-1]}
+		}
 		return f.openSegment()
 	}
 	last := segs[len(segs)-1]
@@ -151,7 +165,19 @@ func (f *Follower) loop() {
 			return
 		default:
 		}
-		if err := f.fetchOnce(); err != nil {
+		err := f.fetchOnce()
+		if err == errLeaderCompacted {
+			// The cursor points below the leader's oldest retained
+			// segment — linear shipping can never catch up. Restart the
+			// replica from the leader's snapshot instead of retrying
+			// forever (review fix: a data dir that ran snapshots before
+			// cluster mode silently never replicated).
+			err = f.resyncFromSnapshot()
+			if err == nil {
+				continue
+			}
+		}
+		if err != nil {
 			f.errs.Inc()
 			f.mu.Lock()
 			f.lastErr = err
@@ -182,11 +208,15 @@ func (f *Follower) fetchOnce() error {
 	q.Set("node", f.opts.NodeID)
 	q.Set("ackseg", strconv.FormatUint(pos.Segment, 10))
 	q.Set("ackoff", strconv.FormatInt(pos.Offset, 10))
-	resp, err := f.opts.Client.Get(f.leader + "?" + q.Encode())
+	resp, err := f.get(f.leader + "?" + q.Encode())
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusGone {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+		return errLeaderCompacted
+	}
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("leader answered %s: %s", resp.Status, body)
@@ -231,6 +261,95 @@ func (f *Follower) fetchOnce() error {
 	return nil
 }
 
+// errLeaderCompacted reports that the leader answered 410 Gone: the
+// replica cursor fell below the leader's oldest retained segment and
+// linear shipping can never catch up.
+var errLeaderCompacted = fmt.Errorf("store: leader compacted past the replica cursor")
+
+// get issues one GET against the leader with the configured headers.
+func (f *Follower) get(url string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range f.opts.Headers {
+		req.Header.Set(k, v)
+	}
+	return f.opts.Client.Do(req)
+}
+
+// resyncFromSnapshot rebuilds the replica from the leader's newest
+// snapshot: download it, install it as the replica's only file, and
+// restart shipping at the first segment it does not cover. Promotion
+// then Opens snapshot+segments exactly as it would a locally-compacted
+// store. A crash mid-resync converges — the replica either resumes at
+// the installed snapshot or hits 410 again and rebuilds.
+func (f *Follower) resyncFromSnapshot() error {
+	resp, err := f.get(f.leader + "?snapshot=1")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("snapshot fetch: leader answered %s: %s", resp.Status, body)
+	}
+	idx, err := strconv.ParseUint(resp.Header.Get(walHdrSegment), 10, 64)
+	if err != nil || idx == 0 {
+		return fmt.Errorf("snapshot fetch: bad %s header %q",
+			walHdrSegment, resp.Header.Get(walHdrSegment))
+	}
+	tmp, err := os.CreateTemp(f.dir, snapshotPrefix+"*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := io.Copy(tmp, resp.Body); err != nil {
+		tmp.Close()
+		return err
+	}
+	if !f.opts.NoFsync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.file != nil {
+		_ = f.file.Close()
+		f.file = nil
+	}
+	// Drop everything the snapshot supersedes before installing it: a
+	// crash in between leaves an empty replica, which re-resyncs.
+	if segs, err := listIndexed(f.dir, segmentPrefix, segmentSuffix); err == nil {
+		for _, s := range segs {
+			_ = os.Remove(segmentPath(f.dir, s))
+		}
+	}
+	if snaps, err := listIndexed(f.dir, snapshotPrefix, snapshotSuffix); err == nil {
+		for _, s := range snaps {
+			_ = os.Remove(snapshotPath(f.dir, s))
+		}
+	}
+	if err := os.Rename(tmp.Name(), snapshotPath(f.dir, idx)); err != nil {
+		return err
+	}
+	f.pos = walPos{Segment: idx, Offset: 0}
+	f.lastErr = nil
+	f.resyncs++
+	f.resyncCtr.Inc()
+	if f.opts.Logger != nil {
+		f.opts.Logger.Warn("replica resynced from leader snapshot",
+			"leader", f.leader, "segment", strconv.FormatUint(idx, 10))
+	}
+	return f.openSegment()
+}
+
 // Position returns the replica's durable cursor.
 func (f *Follower) Position() (segment uint64, offset int64) {
 	f.mu.Lock()
@@ -261,6 +380,7 @@ type FollowerStatus struct {
 	Segment      uint64 `json:"segment"`
 	Offset       int64  `json:"offset"`
 	FetchedBytes uint64 `json:"fetched_bytes"`
+	Resyncs      uint64 `json:"resyncs,omitempty"`
 	LastError    string `json:"last_error,omitempty"`
 }
 
@@ -273,6 +393,7 @@ func (f *Follower) Status() FollowerStatus {
 		Segment:      f.pos.Segment,
 		Offset:       f.pos.Offset,
 		FetchedBytes: f.fetched,
+		Resyncs:      f.resyncs,
 	}
 	if f.lastErr != nil {
 		st.LastError = f.lastErr.Error()

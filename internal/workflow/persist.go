@@ -64,6 +64,14 @@ type PersistenceService struct {
 	// committer drains checkpoints in order; nil in SyncAlways mode.
 	committer *store.AsyncCommitter
 
+	// replBarrier, when set, extends the instance-finish barrier across
+	// the cluster: it blocks until the terminal checkpoint reached the
+	// configured number of replication followers (mascd wires it to
+	// Feed.WaitReplicated). Guarded by replMu because the cluster
+	// runtime is built after the persistence service.
+	replMu      sync.Mutex
+	replBarrier func() error
+
 	// chains serializes capture+enqueue per instance and tracks chain
 	// length for anchor cadence.
 	chainsMu sync.Mutex
@@ -236,7 +244,31 @@ func (p *PersistenceService) InstanceFinished(inst *Instance, _ State, _ error) 
 			p.committer.Barrier()
 		}
 	}
+	p.replMu.Lock()
+	barrier := p.replBarrier
+	p.replMu.Unlock()
+	if barrier != nil {
+		// -replication-level: the terminal checkpoint must reach the
+		// configured follower count before completion is acknowledged.
+		// Failure (not enough live followers before the deadline) is
+		// logged, not fatal — availability over strict durability, and
+		// the record is already applied locally.
+		if err := barrier(); err != nil {
+			p.log.Conversation(inst.ID()).Warn("replication barrier failed at instance finish",
+				"instance", inst.ID(), "error", err.Error())
+		}
+	}
 	p.dropChain(inst.ID())
+}
+
+// SetReplicationBarrier installs (or clears, with nil) the
+// cluster-replication half of the instance-finish barrier. It is a
+// post-construction setter because mascd builds the persistence
+// service before the cluster runtime exists.
+func (p *PersistenceService) SetReplicationBarrier(barrier func() error) {
+	p.replMu.Lock()
+	p.replBarrier = barrier
+	p.replMu.Unlock()
 }
 
 // save captures the instance's dirty set and hands the checkpoint to

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -333,5 +334,50 @@ func TestForgetRemovesRecord(t *testing.T) {
 	}
 	if _, ok := st.Get(SpaceInstances, inst.ID()); ok {
 		t.Fatal("record survived Forget")
+	}
+}
+
+// TestReplicationBarrierAtFinish asserts the cluster half of the
+// instance-finish barrier: an installed replication barrier runs
+// before InstanceFinished returns, and installing nil clears it.
+func TestReplicationBarrierAtFinish(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, store.Options{Sync: store.SyncBatched, SyncInterval: time.Millisecond})
+	defer st.Close()
+
+	ri := newRecordingInvoker()
+	e := NewEngine(ri)
+	p := NewPersistenceService(st, telemetry.New(0))
+	defer p.Close()
+	p.Attach(e)
+
+	var calls int32
+	p.SetReplicationBarrier(func() error {
+		atomic.AddInt32(&calls, 1)
+		return nil
+	})
+
+	e.Deploy(twoStepDef(t))
+	inst, err := e.Start("P", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stt, err := waitDone(t, inst); err != nil || stt != StateCompleted {
+		t.Fatalf("state=%s err=%v", stt, err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("replication barrier ran %d times at finish, want 1", got)
+	}
+
+	p.SetReplicationBarrier(nil)
+	inst2, err := e.Start("P", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stt, err := waitDone(t, inst2); err != nil || stt != StateCompleted {
+		t.Fatalf("state=%s err=%v", stt, err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("cleared barrier still ran (calls=%d)", got)
 	}
 }
